@@ -1,0 +1,80 @@
+"""Ablation — aggregator placement: uniform rank-spacing vs packed.
+
+§3.2 chooses aggregators "uniformly from the rank space, to ensure even
+utilization of the network" instead of packing them at the front.  The
+functional half measures the spread of incoming traffic across node groups
+(a stand-in for I/O nodes); the model half prices the difference on Mira,
+where I/O nodes are dedicated per node-group.
+"""
+
+import pytest
+
+from repro.core.aggregation import select_aggregators
+from repro.perf import MIRA
+from repro.utils import Table
+
+RANKS_PER_NODE_GROUP = 4  # simulator-scale stand-in for an I/O-node group
+
+
+def node_groups_used(aggregators, nprocs):
+    return len({a // RANKS_PER_NODE_GROUP for a in aggregators})
+
+
+def packed_aggregators(num_partitions, nprocs):
+    """The strawman: first-k ranks aggregate."""
+    return list(range(num_partitions))
+
+
+def test_abl_placement_spread(report, benchmark):
+    table = Table(
+        ["nprocs", "partitions", "groups used (uniform)", "groups used (packed)"],
+        title="Ablation — node groups hit by aggregators (4 ranks/group)",
+    )
+    for nprocs, parts in ((16, 4), (32, 8), (64, 8), (64, 16)):
+        uniform = select_aggregators(parts, nprocs)
+        packed = packed_aggregators(parts, nprocs)
+        gu = node_groups_used(uniform, nprocs)
+        gp = node_groups_used(packed, nprocs)
+        table.add_row([nprocs, parts, gu, gp])
+        assert gu >= gp
+        # Uniform placement engages every group it can.
+        assert gu == min(parts, nprocs // RANKS_PER_NODE_GROUP)
+    report("abl_aggregator_placement", table)
+    benchmark(lambda: select_aggregators(16, 64))
+
+
+def test_abl_placement_cost_on_mira(report, benchmark):
+    """On Mira, clustering aggregators into a fraction of the rank space
+    costs a proportional share of the dedicated-ION bandwidth.  We price it
+    via the ION-fraction term (the same mechanism Fig. 11's non-adaptive
+    penalty uses)."""
+    from repro.perf.machine import MB
+
+    nprocs, parts = 4096, 512
+    uniform = select_aggregators(parts, nprocs)
+    packed = packed_aggregators(parts, nprocs)
+
+    def ion_fraction(aggs):
+        # Fraction of the allocation's rank space that holds aggregators.
+        span = (max(aggs) - min(aggs) + 1) / nprocs
+        return max(span, parts / nprocs)
+
+    frac_u = ion_fraction(uniform)
+    frac_p = ion_fraction(packed)
+    bw_u = MIRA.storage.write_bandwidth(
+        parts, MIRA.machine_fraction(nprocs) * frac_u, 32 * MB
+    )
+    bw_p = MIRA.storage.write_bandwidth(
+        parts, MIRA.machine_fraction(nprocs) * frac_p, 32 * MB
+    )
+
+    table = Table(
+        ["placement", "rank-space span", "modelled write BW (GB/s)"],
+        title="Ablation — aggregator placement on Mira (4,096 procs, 512 files)",
+    )
+    table.add_row(["uniform (paper)", f"{frac_u:.3f}", f"{bw_u / 1e9:.2f}"])
+    table.add_row(["packed (strawman)", f"{frac_p:.3f}", f"{bw_p / 1e9:.2f}"])
+    report("abl_placement_mira", table)
+
+    assert bw_u > 2 * bw_p
+    benchmark(lambda: select_aggregators(parts, nprocs))

@@ -1,0 +1,100 @@
+"""Ablation — aligned vs non-aligned aggregation grids.
+
+§3.1/§3.3: aligning the aggregation-grid with the simulation decomposition
+avoids the per-particle scan (each rank ships its whole batch to one
+aggregator).  We measure both paths at simulator scale: wall time of the
+routing step, aggregators contacted per rank, and messages on the wire.
+"""
+
+import pytest
+
+from repro.core.aggregation import AggregationGrid, FreeAggregationGrid
+from repro.core.exchange import exchange_particles
+from repro.domain import Box, CellGrid, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import World, run_mpi
+from repro.particles import uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.utils import Table
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+NPROCS = 16
+PER_RANK = 20_000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    decomp = PatchDecomposition.for_nprocs(DOMAIN, NPROCS)
+    batches = [
+        uniform_particles(
+            decomp.patch_of_rank(r), PER_RANK, dtype=MINIMAL_DTYPE, seed=2, rank=r
+        )
+        for r in range(NPROCS)
+    ]
+    aligned = AggregationGrid.aligned(decomp, (2, 2, 2))
+    # Deliberately misaligned: 3 partitions per axis over 4 patches.
+    free = FreeAggregationGrid(decomp, CellGrid(DOMAIN, (3, 3, 1)))
+    return decomp, batches, aligned, free
+
+
+def run_grid(grid, batches):
+    world = World(NPROCS)
+    results = run_mpi(
+        NPROCS, lambda c: exchange_particles(c, grid, batches[c.rank]), world=world
+    )
+    return results, world
+
+
+def test_abl_alignment_exchange_structure(setup, report, benchmark):
+    decomp, batches, aligned, free = setup
+    res_a, world_a = run_grid(aligned, batches)
+    res_f, world_f = run_grid(free, batches)
+
+    max_contacts_a = max(r.aggregators_contacted for r in res_a)
+    max_contacts_f = max(r.aggregators_contacted for r in res_f)
+    table = Table(
+        ["grid", "partitions", "max aggregators/rank", "messages", "bytes moved"],
+        title="Ablation — aligned vs non-aligned exchange (16 ranks, 20K particles each)",
+    )
+    table.add_row(
+        ["aligned 2x2x2", aligned.num_partitions, max_contacts_a,
+         world_a.stats.total_messages(), world_a.stats.total_bytes()]
+    )
+    table.add_row(
+        ["free 3x3x1", free.num_partitions, max_contacts_f,
+         world_f.stats.total_messages(), world_f.stats.total_bytes()]
+    )
+    report("abl_alignment", table)
+
+    # Aligned: exactly one aggregator per rank; non-aligned: several.
+    assert max_contacts_a == 1
+    assert max_contacts_f > 1
+    assert world_f.stats.total_messages() > world_a.stats.total_messages()
+    # Both conserve particles.
+    assert (
+        sum(len(b) for r in res_a for b in r.aggregated.values())
+        == sum(len(b) for r in res_f for b in r.aggregated.values())
+        == NPROCS * PER_RANK
+    )
+    benchmark(lambda: run_grid(aligned, batches))
+
+
+def test_abl_alignment_routing_cost(setup, benchmark):
+    """The per-particle binning scan is what alignment avoids; time it."""
+    decomp, batches, aligned, free = setup
+
+    def route_all(grid):
+        return [grid.route_particles(r, batches[r]) for r in range(NPROCS)]
+
+    routed = benchmark(lambda: route_all(free))
+    assert sum(len(sub) for per_rank in routed for _, sub in per_rank) == NPROCS * PER_RANK
+
+
+def test_abl_alignment_aligned_routing_cost(setup, benchmark):
+    decomp, batches, aligned, _ = setup
+
+    def route_all():
+        return [aligned.route_particles(r, batches[r]) for r in range(NPROCS)]
+
+    routed = benchmark(route_all)
+    assert all(len(per_rank) == 1 for per_rank in routed)

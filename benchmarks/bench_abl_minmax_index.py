@@ -1,0 +1,84 @@
+"""Ablation — the per-file attribute min/max index (§3.5's planned extension).
+
+Range queries over a clustered attribute with and without the index: the
+index prunes files whose [min, max] interval cannot overlap the query,
+cutting opens and bytes.  Uniform attributes (every file spans the same
+range) show the honest worst case: no pruning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialReader, SpatialWriter, WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles import ParticleBatch
+from repro.particles.dtype import make_particle_dtype
+from repro.query import range_query
+from repro.utils import Table
+
+DTYPE = make_particle_dtype(extra_scalars=("temperature",))
+NPROCS = 16
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Temperature rises along x: files get disjoint-ish temperature ranges."""
+    domain = Box([0, 0, 0], [1, 1, 1])
+    decomp = PatchDecomposition.for_nprocs(domain, NPROCS)
+    backend = VirtualBackend()
+    writer = SpatialWriter(
+        WriterConfig(partition_factor=(1, 2, 2), attr_index=("temperature",))
+    )
+
+    def main(comm):
+        patch = decomp.patch_of_rank(comm.rank)
+        rng = np.random.default_rng(comm.rank)
+        n = 2_000
+        arr = np.zeros(n, dtype=DTYPE)
+        arr["position"] = patch.lo + rng.random((n, 3)) * patch.extent
+        # Temperature tracks x tightly: distinct files -> distinct ranges.
+        arr["temperature"] = 100.0 * arr["position"][:, 0] + rng.normal(0, 1, n)
+        arr["id"] = comm.rank * n + np.arange(n)
+        return writer.write(comm, ParticleBatch(arr), decomp, backend)
+
+    run_mpi(NPROCS, main)
+    return backend, SpatialReader(backend)
+
+
+def query_cost(backend, reader, lo, hi, use_index):
+    backend.clear_ops()
+    hits = range_query(reader, "temperature", lo, hi, use_index=use_index)
+    opens = len(
+        {p for p in backend.files_touched("open") if p.startswith("data/")}
+    )
+    mb = sum(op.nbytes for op in backend.ops_of_kind("read")) / 1e6
+    return hits, opens, mb
+
+
+def test_abl_minmax_pruning(dataset, report, benchmark):
+    backend, reader = dataset
+    table = Table(
+        ["query", "mode", "files opened", "MB read", "hits"],
+        title="Ablation — range-query pruning via the min/max index",
+    )
+    for lo, hi in ((0.0, 20.0), (45.0, 55.0), (90.0, 100.0)):
+        with_idx, o_i, mb_i = query_cost(backend, reader, lo, hi, True)
+        without, o_n, mb_n = query_cost(backend, reader, lo, hi, False)
+        assert set(with_idx.data["id"].tolist()) == set(without.data["id"].tolist())
+        assert o_i < o_n
+        assert mb_i < mb_n
+        table.add_row([f"T in [{lo:.0f},{hi:.0f}]", "indexed", o_i, f"{mb_i:.2f}", len(with_idx)])
+        table.add_row([f"T in [{lo:.0f},{hi:.0f}]", "full scan", o_n, f"{mb_n:.2f}", len(without)])
+    report("abl_minmax_index", table)
+
+    benchmark(lambda: range_query(reader, "temperature", 45.0, 55.0, use_index=True))
+
+
+def test_abl_minmax_worst_case_no_pruning(dataset, benchmark):
+    """A range covering every file's interval prunes nothing — by design."""
+    backend, reader = dataset
+    _, opens, _ = query_cost(backend, reader, -1e9, 1e9, True)
+    assert opens == sum(1 for r in reader.metadata if r.particle_count > 0)
+    benchmark(lambda: range_query(reader, "temperature", -1e9, 1e9, use_index=True))

@@ -1,0 +1,80 @@
+"""Ablation — §7 future work: rebalancing adaptive cuts by particle count.
+
+The paper's adaptive grid (§6) partitions the populated region with uniform
+cuts, which still leaves aggregators unbalanced when density varies inside
+it ("For highly localized domain distributions our aggregation scheme
+starts to saturate ... This could be done by creating an adaptive grid on
+the fly, which can re-balance the grid partition size and placement based
+on the particle distribution").  We implement that re-balancing as
+quantile-based cut selection and measure the aggregator load imbalance it
+removes on a skewed workload.
+"""
+
+import pytest
+
+from repro.core.adaptive import build_adaptive_grid
+from repro.domain import Box, PatchDecomposition
+from repro.utils import Table
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+def skewed_counts(decomp, head_fraction=0.6):
+    """Most particles in the first x-slab of ranks, tapering off."""
+    nx = decomp.proc_dims[0]
+    counts = []
+    for r in range(decomp.nprocs):
+        i, _, _ = decomp.cell_of_rank(r)
+        weight = head_fraction ** i
+        counts.append(int(10_000 * weight) + 10)
+    return counts
+
+
+def partition_loads(grid, counts):
+    return [
+        sum(counts[r] for r in grid.senders_of_partition(p))
+        for p in range(grid.num_partitions)
+    ]
+
+
+def test_abl_quantile_rebalance(report, benchmark):
+    decomp = PatchDecomposition(DOMAIN, (16, 2, 2))
+    counts = skewed_counts(decomp)
+
+    uniform = build_adaptive_grid(decomp, counts, (4, 2, 2))
+    quantile = build_adaptive_grid(decomp, counts, (4, 2, 2), quantile_cuts=True)
+
+    lu, lq = partition_loads(uniform, counts), partition_loads(quantile, counts)
+    imbalance_u = max(lu) / (sum(lu) / len(lu))
+    imbalance_q = max(lq) / (sum(lq) / len(lq))
+
+    table = Table(
+        ["cut policy", "partitions", "max load", "mean load", "imbalance"],
+        title="Ablation — §7 quantile rebalancing on a skewed distribution",
+    )
+    for name, loads, imb in (
+        ("uniform (paper §6)", lu, imbalance_u),
+        ("quantile (§7 future work)", lq, imbalance_q),
+    ):
+        table.add_row(
+            [name, len(loads), max(loads), int(sum(loads) / len(loads)), f"{imb:.2f}x"]
+        )
+    report("abl_quantile_rebalance", table)
+
+    assert len(lu) == len(lq)
+    assert sum(lu) == sum(lq) == sum(counts)  # both cover everything
+    assert imbalance_q < imbalance_u          # rebalancing helps
+    benchmark(
+        lambda: build_adaptive_grid(decomp, counts, (4, 2, 2), quantile_cuts=True)
+    )
+
+
+def test_abl_quantile_no_worse_when_uniform(report, benchmark):
+    """On a uniform load the two policies coincide (no spurious cuts)."""
+    decomp = PatchDecomposition(DOMAIN, (8, 2, 2))
+    counts = [1000] * decomp.nprocs
+    uniform = build_adaptive_grid(decomp, counts, (2, 2, 2))
+    quantile = build_adaptive_grid(decomp, counts, (2, 2, 2), quantile_cuts=True)
+    lu, lq = partition_loads(uniform, counts), partition_loads(quantile, counts)
+    assert max(lq) <= max(lu) * 1.01
+    benchmark(lambda: build_adaptive_grid(decomp, counts, (2, 2, 2)))

@@ -1,0 +1,89 @@
+"""Figure 1 — spatially-aware vs unaware aggregation: read locality.
+
+The paper's motivating figure: 36 simulation ranks aggregate to 4 files.
+With spatial awareness each of 4 render nodes reads exactly one file; with
+rank-order (unaware) grouping every node must read every file.  We
+regenerate the per-node file/byte counts and benchmark the spatially-aware
+quadrant read.
+"""
+
+import pytest
+
+from repro.baselines import RankOrderSubfilingWriter, UnstructuredReader
+from repro.core import SpatialReader, SpatialWriter, WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles import uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.utils import Table
+
+NPROCS = 36
+PER_RANK = 1_000
+
+
+def build_datasets():
+    domain = Box([0, 0, 0], [1, 1, 0.25])
+    decomp = PatchDecomposition(domain, (6, 6, 1))
+
+    def batch(rank):
+        return uniform_particles(
+            decomp.patch_of_rank(rank), PER_RANK, dtype=MINIMAL_DTYPE,
+            seed=0, rank=rank,
+        )
+
+    aware_backend = VirtualBackend()
+    aware = SpatialWriter(WriterConfig(partition_factor=(3, 3, 1)))
+    run_mpi(NPROCS, lambda c: aware.write(c, batch(c.rank), decomp, aware_backend))
+
+    unaware_backend = VirtualBackend()
+    unaware = RankOrderSubfilingWriter(num_files=4)
+    run_mpi(NPROCS, lambda c: unaware.write(c, batch(c.rank), unaware_backend))
+
+    quadrants = []
+    cx, cy = domain.center[0], domain.center[1]
+    lo, hi = domain.lo, domain.hi
+    for qlo, qhi in (
+        ((lo[0], lo[1]), (cx, cy)),
+        ((cx, lo[1]), (hi[0], cy)),
+        ((lo[0], cy), (cx, hi[1])),
+        ((cx, cy), (hi[0], hi[1])),
+    ):
+        quadrants.append(Box([qlo[0], qlo[1], lo[2]], [qhi[0], qhi[1], hi[2]]))
+    return aware_backend, unaware_backend, quadrants
+
+
+def test_fig01_locality_table(report, benchmark):
+    aware_backend, unaware_backend, quadrants = build_datasets()
+    aware_reader = SpatialReader(aware_backend)
+    unaware_reader = UnstructuredReader(unaware_backend)
+
+    table = Table(
+        ["render node", "aware files", "aware MB", "unaware files", "unaware MB"],
+        title="Fig. 1 — files/bytes each render node reads (36 ranks -> 4 files)",
+    )
+    for node, box in enumerate(quadrants):
+        aware_backend.clear_ops()
+        hits_aware = aware_reader.read_box(box)
+        a_files = len(
+            {p for p in aware_backend.files_touched("open") if p.startswith("data/")}
+        )
+        a_mb = sum(op.nbytes for op in aware_backend.ops_of_kind("read")) / 1e6
+
+        unaware_backend.clear_ops()
+        hits_unaware = unaware_reader.read_box(box)
+        u_files = len(
+            {p for p in unaware_backend.files_touched("open") if p.startswith("data/")}
+        )
+        u_mb = sum(op.nbytes for op in unaware_backend.ops_of_kind("read")) / 1e6
+
+        assert len(hits_aware) == len(hits_unaware)
+        # The paper's claim: one file per node vs all files per node.
+        assert a_files == 1
+        assert u_files == 4
+        assert a_mb < u_mb / 3
+        table.add_row([node, a_files, f"{a_mb:.2f}", u_files, f"{u_mb:.2f}"])
+    report("fig01_locality", table)
+
+    # Benchmark the spatially-aware quadrant read.
+    benchmark(lambda: aware_reader.read_box(quadrants[0]))

@@ -1,0 +1,79 @@
+"""Figure 3 — partition factor vs file count and communication group size.
+
+The paper's Fig. 3 enumerates aggregation configurations on a 4x4 process
+grid: (2,4) -> 8 files ... whole-domain -> shared file.  We regenerate the
+table (extended with the communication group size each configuration
+implies) and benchmark aggregation-grid construction.
+"""
+
+import pytest
+
+from repro.core.aggregation import AggregationGrid
+from repro.domain import Box, PatchDecomposition
+from repro.utils import Table
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+FIG3_CASES = [
+    # (factor, expected files) on a 4 x 4 x 1 process grid, per Fig. 3b-f.
+    ((2, 4, 1), 2),   # Fig. 3b (2x4 partitions -> 8 files in 2D paper figure;
+                      # on 4x4 that factor leaves (4/2)*(4/4) = 2 files)
+    ((1, 4, 1), 4),   # Fig. 3c: 1x4 -> 4 files
+    ((1, 1, 1), 16),  # Fig. 3d: file per process
+    ((2, 2, 1), 4),   # Fig. 3e: 2x2 -> 4 files
+    ((4, 4, 1), 1),   # Fig. 3f: shared file
+]
+
+
+def test_fig03_partition_factor_table(report, benchmark):
+    decomp = PatchDecomposition(DOMAIN, (4, 4, 1))
+    table = Table(
+        ["factor", "files", "group size", "aggregators"],
+        title="Fig. 3 — aggregation configurations on a 4x4 process grid",
+    )
+    for factor, expected_files in FIG3_CASES:
+        grid = AggregationGrid.aligned(decomp, factor)
+        assert grid.num_files == expected_files
+        group = max(
+            len(grid.senders_of_partition(p)) for p in range(grid.num_partitions)
+        )
+        table.add_row(
+            [
+                f"{factor[0]}x{factor[1]}x{factor[2]}",
+                grid.num_files,
+                group,
+                ",".join(str(a) for a in grid.aggregators[:6])
+                + ("..." if len(grid.aggregators) > 6 else ""),
+            ]
+        )
+    report("fig03_partition_factor", table)
+
+    # Communication extent grows as files shrink (the paper's tradeoff).
+    grids = [AggregationGrid.aligned(decomp, f) for f, _ in FIG3_CASES]
+    files = [g.num_files for g in grids]
+    groups = [
+        max(len(g.senders_of_partition(p)) for p in range(g.num_partitions))
+        for g in grids
+    ]
+    for i in range(len(grids)):
+        for j in range(len(grids)):
+            if files[i] < files[j]:
+                assert groups[i] >= groups[j]
+
+    benchmark(lambda: AggregationGrid.aligned(decomp, (2, 2, 1)))
+
+
+def test_fig03_file_count_formula_at_paper_scales(report, benchmark):
+    """§4's worked example: 64K procs at (2,2,2) -> 8K files."""
+    decomp = PatchDecomposition(DOMAIN, (64, 32, 32))  # 65,536 ranks
+    grid = benchmark(lambda: AggregationGrid.aligned(decomp, (2, 2, 2)))
+    assert grid.num_files == 8192
+
+    table = Table(
+        ["nprocs", "factor", "files", "files @ 512 readers"],
+        title="File counts at paper scales (§4 example)",
+    )
+    table.add_row([65536, "1x1x1", 65536, 65536 // 512])
+    table.add_row([65536, "2x2x2", grid.num_files, grid.num_files // 512])
+    report("fig03_file_counts_at_scale", table)

@@ -1,0 +1,108 @@
+"""Figure 5 — parallel write weak scaling on Mira and Theta.
+
+Regenerates all four panels: throughput (GB/s) vs process count
+(512-262,144) for every aggregation configuration the paper ran, plus the
+IOR file-per-process, IOR collective and Parallel HDF5 baselines, at 32K
+and 64K particles per core.  Shapes asserted:
+
+* Mira: (2,2,4)/(2,4,4) scale to 262,144 and peak near 98 GB/s; FPP and
+  (1,1,1) saturate then collapse; collective/PHDF5 do not scale.
+* Theta: FPP near-best until 65,536 procs, where (1,2,2) overtakes and
+  reaches ~216 / ~243 GB/s (32K / 64K ppc).
+"""
+
+import pytest
+
+from repro.perf import MIRA, THETA, simulate_baseline_write, simulate_write
+from repro.utils import Table
+from repro.utils.units import GB
+from repro.workloads import PAPER_PROCESS_COUNTS
+
+MIRA_FACTORS = [(1, 1, 1), (2, 2, 2), (2, 2, 4), (2, 4, 4)]
+THETA_FACTORS = [(1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 4), (2, 4, 4), (4, 4, 4)]
+BASELINES = ["ior-fpp", "ior-shared", "phdf5"]
+
+
+def panel(machine, factors, ppc):
+    cols = ["procs"] + [f"{f[0]}x{f[1]}x{f[2]}" for f in factors] + [
+        "IOR FPP", "IOR coll", "PHDF5",
+    ]
+    table = Table(
+        cols,
+        title=f"Fig. 5 — {machine.name}, {ppc // 1024}K particles/core (GB/s)",
+    )
+    series = {}
+    for n in PAPER_PROCESS_COUNTS:
+        row = [n]
+        for f in factors:
+            e = simulate_write(machine, n, ppc, f)
+            series.setdefault(f, {})[n] = e.throughput
+            row.append(f"{e.throughput / GB:.2f}")
+        for s in BASELINES:
+            e = simulate_baseline_write(machine, n, ppc, s)
+            series.setdefault(s, {})[n] = e.throughput
+            row.append(f"{e.throughput / GB:.2f}")
+        table.add_row(row)
+    return table, series
+
+
+class TestMira:
+    @pytest.mark.parametrize("ppc", [32_768, 65_536])
+    def test_panel(self, ppc, report, benchmark):
+        table, series = panel(MIRA, MIRA_FACTORS, ppc)
+        report(f"fig05_mira_{ppc // 1024}k", table)
+
+        top = 262_144
+        # (2,4,4) and (2,2,4) scale to the full sweep; FPP collapses.
+        assert series[(2, 4, 4)][top] > series[(2, 2, 2)][top]
+        assert series[(2, 4, 4)][top] > 20 * series["ior-fpp"][top]
+        assert series["ior-fpp"][top] < series["ior-fpp"][65_536]
+        # §5.2: ~98 GB/s peak for the best configuration.
+        assert series[(2, 4, 4)][top] == pytest.approx(98 * GB, rel=0.15)
+        if ppc == 65_536:
+            # "... while writing a total of ~17 billion particles."
+            assert top * ppc == pytest.approx(17e9, rel=0.05)
+        benchmark(lambda: simulate_write(MIRA, top, ppc, (2, 4, 4)))
+
+
+class TestTheta:
+    @pytest.mark.parametrize("ppc", [32_768, 65_536])
+    def test_panel(self, ppc, report, benchmark):
+        table, series = panel(THETA, THETA_FACTORS, ppc)
+        report(f"fig05_theta_{ppc // 1024}k", table)
+
+        top = 262_144
+        # FPP leads at small scale, (1,2,2) wins at/after 65,536 (§5.2).
+        assert series["ior-fpp"][512] > series[(1, 2, 2)][512]
+        assert series["ior-fpp"][8192] > series[(1, 2, 2)][8192]
+        assert series[(1, 2, 2)][top] > series["ior-fpp"][top]
+        expected = 216 * GB if ppc == 32_768 else 243 * GB
+        assert series[(1, 2, 2)][top] == pytest.approx(expected, rel=0.15)
+        # Aggregating among smaller groups preferred on Theta.
+        assert series[(1, 2, 2)][top] > series[(2, 2, 4)][top] > series[(4, 4, 4)][top]
+        benchmark(lambda: simulate_write(THETA, top, ppc, (1, 2, 2)))
+
+
+def test_fig05_peak_fraction_summary(report, benchmark):
+    """§2.1/§7: 50% of peak on Mira, ~100% on Theta, at 256K cores."""
+    rows = []
+    mira = simulate_write(MIRA, 262_144, 32_768, (2, 4, 4))
+    theta = simulate_write(THETA, 262_144, 65_536, (1, 2, 2))
+    table = Table(
+        ["machine", "config", "GB/s", "% of peak", "% of machine"],
+        title="Peak-fraction summary (paper: 50% on Mira, ~100% on Theta)",
+    )
+    for m, e in ((MIRA, mira), (THETA, theta)):
+        table.add_row(
+            [
+                m.name,
+                e.strategy,
+                f"{e.throughput / GB:.1f}",
+                f"{100 * e.throughput / m.storage.peak_bw:.0f}",
+                f"{100 * 262_144 / m.total_cores:.0f}",
+            ]
+        )
+    report("fig05_peak_fractions", table)
+    assert 0.3 < mira.throughput / MIRA.storage.peak_bw < 0.6
+    assert theta.throughput / THETA.storage.peak_bw > 0.75
+    benchmark(lambda: simulate_write(MIRA, 262_144, 32_768, (2, 4, 4)))

@@ -1,0 +1,117 @@
+"""Figure 6 — time split between data aggregation and file I/O.
+
+Two reproductions:
+
+* the paper's actual experiment (32,768 procs, 32K & 64K ppc, both
+  machines) through the performance model, and
+* a functional measurement at simulator scale (32 ranks, real writer, real
+  timers), confirming the same qualitative trend — aggregation share grows
+  with the partition volume.
+"""
+
+import pytest
+
+from repro.core import SpatialWriter, WriterConfig
+from repro.core.writer import PHASE_AGGREGATION, PHASE_FILE_IO
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles import uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.perf import MIRA, THETA, simulate_write
+from repro.utils import Table
+
+MIRA_FACTORS = [(1, 1, 1), (2, 2, 2), (2, 2, 4), (2, 4, 4)]
+THETA_FACTORS = [(1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 4), (2, 4, 4), (4, 4, 4)]
+
+
+@pytest.mark.parametrize(
+    "machine, factors",
+    [(MIRA, MIRA_FACTORS), (THETA, THETA_FACTORS)],
+    ids=["mira", "theta"],
+)
+@pytest.mark.parametrize("ppc", [32_768, 65_536])
+def test_fig06_model_breakdown(machine, factors, ppc, report, benchmark):
+    table = Table(
+        ["config", "aggregation %", "file I/O %"],
+        title=f"Fig. 6 — {machine.name}, {ppc // 1024}K ppc @ 32,768 procs",
+    )
+    fracs = []
+    for f in factors:
+        e = simulate_write(machine, 32_768, ppc, f)
+        agg = 100 * e.aggregation_fraction
+        fracs.append(e.aggregation_fraction)
+        table.add_row([f"{f[0]}x{f[1]}x{f[2]}", f"{agg:.1f}", f"{100 - agg:.1f}"])
+    report(f"fig06_{machine.name.lower().split()[0]}_{ppc // 1024}k", table)
+
+    # Aggregation share grows with partition volume on both machines.
+    assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+    benchmark(lambda: simulate_write(machine, 32_768, ppc, factors[-1]))
+
+
+def test_fig06_theta_heavier_than_mira(report, benchmark):
+    table = Table(
+        ["config", "Mira agg %", "Theta agg %"],
+        title="Fig. 6 — aggregation share, Mira vs Theta (32,768 procs, 32K ppc)",
+    )
+    for f in [(2, 2, 2), (2, 2, 4), (2, 4, 4)]:
+        m = simulate_write(MIRA, 32_768, 32_768, f).aggregation_fraction
+        t = simulate_write(THETA, 32_768, 32_768, f).aggregation_fraction
+        assert t > m
+        table.add_row([f"{f[0]}x{f[1]}x{f[2]}", f"{100 * m:.1f}", f"{100 * t:.1f}"])
+    report("fig06_mira_vs_theta", table)
+    benchmark(lambda: simulate_write(THETA, 32_768, 32_768, (2, 4, 4)))
+
+
+def test_fig06_functional_breakdown(report, benchmark):
+    """Real writer timings at simulator scale show the same trend."""
+    domain = Box([0, 0, 0], [1, 1, 1])
+    decomp = PatchDecomposition.for_nprocs(domain, 32)
+
+    def run_config(factor):
+        from repro.mpi import World
+
+        backend = VirtualBackend()
+        world = World(32)
+        writer = SpatialWriter(WriterConfig(partition_factor=factor))
+
+        def main(comm):
+            batch = uniform_particles(
+                decomp.patch_of_rank(comm.rank), 3000, dtype=MINIMAL_DTYPE,
+                seed=1, rank=comm.rank,
+            )
+            return writer.write(comm, batch, decomp, backend)
+
+        results = run_mpi(32, main, world=world)
+        agg = sum(r.breakdown.phases.get(PHASE_AGGREGATION, 0) for r in results)
+        io = sum(r.breakdown.phases.get(PHASE_FILE_IO, 0) for r in results)
+        moved = world.stats.total_bytes(include_self=False)
+        return agg, io, moved
+
+    table = Table(
+        ["config", "agg seconds", "io seconds", "off-rank MB moved"],
+        title="Fig. 6 (functional) — measured writer phases at 32 simulated ranks",
+    )
+    samples = []
+    for factor in [(1, 1, 1), (2, 2, 2), (4, 2, 2)]:
+        agg, io, moved = run_config(factor)
+        samples.append((factor, agg, io, moved))
+        table.add_row(
+            [
+                f"{factor[0]}x{factor[1]}x{factor[2]}",
+                f"{agg:.4f}",
+                f"{io:.4f}",
+                f"{moved / 1e6:.2f}",
+            ]
+        )
+    report("fig06_functional", table)
+
+    # Larger partitions move more particle data over the network: (1,1,1)
+    # ships no particles (only the small metadata allgather); a group of g
+    # ranks ships at least (g-1)/g of its particle bytes off-rank.
+    moved_bytes = [s[3] for s in samples]
+    total_particle_bytes = 32 * 3000 * MINIMAL_DTYPE.itemsize
+    assert moved_bytes[0] < 0.1 * moved_bytes[1]
+    assert moved_bytes[1] >= (7 / 8) * total_particle_bytes      # g = 8
+    assert moved_bytes[2] >= (15 / 16) * total_particle_bytes    # g = 16
+    benchmark(lambda: run_config((2, 2, 2)))

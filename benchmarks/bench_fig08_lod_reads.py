@@ -1,0 +1,98 @@
+"""Figure 8 — level-of-detail read latency.
+
+64 readers load progressively more levels of the 2-billion-particle dataset
+(P=32, S=2 -> 20 levels).  The paper's shapes: on Theta the first ~8 levels
+cost about the same (file opens dominate) and later levels grow with the
+particle count; on the SSD workstation time tracks particle count much
+earlier.  The functional half measures real prefix reads at simulator
+scale and checks the bytes actually moved per level.
+"""
+
+import pytest
+
+from repro.core import ProgressiveReader, SpatialReader
+from repro.core.lod import cumulative_level_count, max_level
+from repro.perf import THETA, WORKSTATION, simulate_lod_read
+from repro.utils import Table
+
+from tests.conftest import write_dataset
+
+TOTAL = 2**31
+FILES = 8_192
+READERS = 64
+
+
+def test_fig08_paper_level_count(benchmark):
+    """§5.4: l = log2(2^31 / (64*32)) = 20 levels."""
+    assert benchmark(lambda: max_level(TOTAL, READERS, 32, 2)) == 20
+
+
+@pytest.mark.parametrize(
+    "machine", [THETA, WORKSTATION], ids=["theta", "workstation"]
+)
+def test_fig08_model_series(machine, report, benchmark):
+    table = Table(
+        ["levels read", "particles", "time (s)"],
+        title=f"Fig. 8 — LOD reads on {machine.name} (64 readers, 2B particles)",
+    )
+    times = {}
+    for upto in range(0, 21, 2):
+        e = simulate_lod_read(machine, READERS, FILES, TOTAL, 124, upto)
+        particles = min(TOTAL, cumulative_level_count(READERS, upto, 32, 2))
+        times[upto] = e.total_time
+        table.add_row([upto, particles, f"{e.total_time:.3f}"])
+    report(f"fig08_{machine.name.lower().split()[0]}", table)
+
+    assert all(
+        times[a] <= times[b] + 1e-12 for a, b in zip(sorted(times), sorted(times)[1:])
+    )
+    if machine is THETA:
+        # Flat early: levels 0-6 within 10% of each other (open-cost floor).
+        assert times[6] < 1.1 * times[0]
+        # Proportional late.
+        assert times[20] > 5 * times[12]
+    else:
+        # The workstation grows with particle volume well before level 12.
+        assert times[12] > 3 * times[6]
+    benchmark(lambda: simulate_lod_read(machine, READERS, FILES, TOTAL, 124, 10))
+
+
+def test_fig08_functional_lod_bytes(report, benchmark):
+    """Real prefix reads: bytes per level double (S=2), reads never repeat."""
+    backend, _, _ = write_dataset(
+        nprocs=16, partition_factor=(2, 2, 2), particles_per_rank=2048
+    )
+    reader = SpatialReader(backend)
+    prog = ProgressiveReader(reader, nreaders=1)
+
+    table = Table(
+        ["level", "new particles", "new MB", "cumulative %"],
+        title="Fig. 8 (functional) — per-level read volume, 32K-particle dataset",
+    )
+    new_counts = []
+    while not prog.done():
+        backend.clear_ops()
+        step = prog.refine()
+        mb = sum(op.nbytes for op in backend.ops_of_kind("read")) / 1e6
+        new_counts.append(len(step.new_particles))
+        table.add_row(
+            [
+                step.level,
+                len(step.new_particles),
+                f"{mb:.3f}",
+                f"{100 * step.fraction_loaded:.1f}",
+            ]
+        )
+    report("fig08_functional", table)
+
+    # Geometric growth with S = 2 until the tail.
+    for a, b in zip(new_counts[:-2], new_counts[1:-1]):
+        assert b == 2 * a
+    assert sum(new_counts) == reader.total_particles
+
+    def full_lod_cycle():
+        p = ProgressiveReader(reader, nreaders=1)
+        while not p.done():
+            p.refine()
+
+    benchmark(full_lod_cycle)

@@ -1,0 +1,130 @@
+"""Figure 10 — adaptive aggregation-grid layouts for non-uniform distributions.
+
+The paper's Fig. 10 illustrates (a-c) typical non-uniform particle
+distributions with the adaptive grid overlaid, and (d-f) how a non-adaptive
+grid assigns aggregators to empty space while the adaptive grid covers only
+populated regions.  We regenerate the structural facts behind each panel:
+for clustered, occupancy-confined and injection-jet distributions, the
+adaptive grid's partition count, the fraction of the domain it covers, the
+number of excluded (empty) ranks, and the empty files a static grid would
+have written.
+"""
+
+import pytest
+
+from repro.core import SpatialWriter, WriterConfig
+from repro.core.adaptive import build_adaptive_grid
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.utils import Table
+from repro.workloads import UintahWorkload
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+NPROCS = 32
+FACTOR = (2, 2, 2)
+
+
+def make_workload(kind):
+    if kind == "uniform":
+        return UintahWorkload(DECOMP, 800, seed=1, dtype=MINIMAL_DTYPE)
+    if kind == "clustered (Fig. 10a)":
+        return UintahWorkload(DECOMP, 800, distribution="clustered", seed=1,
+                              dtype=MINIMAL_DTYPE)
+    if kind == "confined 25% (Fig. 10b/d)":
+        return UintahWorkload(DECOMP, 800, distribution="occupancy",
+                              occupancy=0.25, seed=1, dtype=MINIMAL_DTYPE)
+    return UintahWorkload(DECOMP, 800, distribution="jet", progress=0.35,
+                          seed=1, dtype=MINIMAL_DTYPE)
+
+
+DECOMP = PatchDecomposition.for_nprocs(DOMAIN, NPROCS)
+DISTRIBUTIONS = (
+    "uniform",
+    "clustered (Fig. 10a)",
+    "confined 25% (Fig. 10b/d)",
+    "jet (Fig. 10c)",
+)
+
+
+def grid_facts(kind):
+    workload = make_workload(kind)
+    counts = [len(workload.generate_rank(r)) for r in range(NPROCS)]
+    grid = build_adaptive_grid(DECOMP, counts, FACTOR)
+    covered = sum(
+        grid.partition_box(p).volume for p in range(grid.num_partitions)
+    )
+    excluded = NPROCS - len(grid.participating_ranks())
+    static_partitions = max(1, NPROCS // (FACTOR[0] * FACTOR[1] * FACTOR[2]))
+    return grid, counts, covered, excluded, static_partitions
+
+
+def test_fig10_layout_table(report, benchmark):
+    table = Table(
+        ["distribution", "adaptive partitions", "static partitions",
+         "domain covered", "empty ranks excluded"],
+        title=f"Fig. 10 — adaptive grid layouts ({NPROCS} ranks, factor 2x2x2)",
+    )
+    facts = {}
+    for kind in DISTRIBUTIONS:
+        grid, counts, covered, excluded, static = grid_facts(kind)
+        facts[kind] = (grid, counts, covered, excluded, static)
+        table.add_row(
+            [kind, grid.num_partitions, static, f"{covered:.2f}", excluded]
+        )
+    report("fig10_layouts", table)
+
+    # Uniform data: adaptive degenerates to the static grid, excludes no one.
+    g, _, covered, excluded, static = facts["uniform"]
+    assert g.num_partitions == static and excluded == 0
+    assert covered == pytest.approx(DOMAIN.volume)
+
+    # Confined data: fewer partitions, smaller coverage, ranks excluded.
+    g, counts, covered, excluded, static = facts["confined 25% (Fig. 10b/d)"]
+    assert g.num_partitions < static
+    assert covered < 0.5 * DOMAIN.volume
+    assert excluded == sum(1 for c in counts if c == 0) > 0
+
+    # Every distribution: no partition without populated senders (Fig. 10f).
+    for kind in DISTRIBUTIONS:
+        g, counts, *_ = facts[kind]
+        for p in range(g.num_partitions):
+            senders = g.senders_of_partition(p)
+            assert senders and all(counts[r] > 0 for r in senders), kind
+
+    benchmark(lambda: grid_facts("confined 25% (Fig. 10b/d)"))
+
+
+def test_fig10_static_grid_wastes_aggregators(report, benchmark):
+    """Fig. 10e: the non-adaptive grid writes files for empty regions."""
+    workload = make_workload("confined 25% (Fig. 10b/d)")
+    batches = [workload.generate_rank(r) for r in range(NPROCS)]
+
+    def run(adaptive):
+        backend = VirtualBackend()
+        writer = SpatialWriter(
+            WriterConfig(partition_factor=FACTOR, adaptive=adaptive)
+        )
+        run_mpi(NPROCS, lambda c: writer.write(c, batches[c.rank], DECOMP, backend))
+        from repro.core import SpatialReader
+
+        reader = SpatialReader(backend)
+        empty = sum(1 for rec in reader.metadata if rec.particle_count == 0)
+        return reader.num_files, empty
+
+    static_files, static_empty = run(adaptive=False)
+    adaptive_files, adaptive_empty = run(adaptive=True)
+
+    table = Table(
+        ["grid", "files", "empty files"],
+        title="Fig. 10e/f — files written for a 25%-confined distribution",
+    )
+    table.add_row(["static (Fig. 10e)", static_files, static_empty])
+    table.add_row(["adaptive (Fig. 10f)", adaptive_files, adaptive_empty])
+    report("fig10_static_vs_adaptive", table)
+
+    assert static_empty > 0
+    assert adaptive_empty == 0
+    assert adaptive_files == static_files - static_empty
+    benchmark(lambda: run(adaptive=True))

@@ -1,0 +1,113 @@
+"""Figure 11 — adaptive vs non-adaptive aggregation under shrinking occupancy.
+
+The paper's §6.1 experiment: 4,096 cores, total particle count fixed,
+particles confined to 100%/50%/25%/12.5% of the domain.  The machine-scale
+series comes from the adaptive write model (Mira: adaptive improves
+significantly to 50% then saturates; Theta: ~constant; adaptive <=
+non-adaptive everywhere).  The functional half writes real occupancy
+workloads at 32 ranks and verifies the structural effects the model
+prices: fewer files, no empty files, and excluded empty ranks.
+"""
+
+import pytest
+
+from repro.core import SpatialReader, SpatialWriter, WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import World, run_mpi
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.perf import MIRA, THETA, simulate_adaptive_write
+from repro.utils import Table
+from repro.workloads import OCCUPANCY_LEVELS, UintahWorkload
+
+TOTAL_PARTICLES = 4096 * 32_768
+
+
+@pytest.mark.parametrize("machine", [MIRA, THETA], ids=["mira", "theta"])
+def test_fig11_model_series(machine, report, benchmark):
+    table = Table(
+        ["% of space with particles", "adaptive (s)", "non-adaptive (s)"],
+        title=f"Fig. 11 — {machine.name}, 4,096 cores, fixed total particles",
+    )
+    adaptive, nonadaptive = {}, {}
+    for occ in OCCUPANCY_LEVELS:
+        a = simulate_adaptive_write(machine, 4096, TOTAL_PARTICLES, occ, True)
+        n = simulate_adaptive_write(machine, 4096, TOTAL_PARTICLES, occ, False)
+        adaptive[occ], nonadaptive[occ] = a.total_time, n.total_time
+        table.add_row([f"{100 * occ:.1f}", f"{a.total_time:.2f}", f"{n.total_time:.2f}"])
+    report(f"fig11_{machine.name.lower().split()[0]}", table)
+
+    # Adaptive never loses.
+    for occ in OCCUPANCY_LEVELS:
+        assert adaptive[occ] <= nonadaptive[occ] + 1e-9
+    if machine is MIRA:
+        # Significant reduction 100 -> 50, saturating by 12.5% (§6.1).
+        assert adaptive[0.5] < 0.9 * adaptive[1.0]
+        assert (adaptive[0.25] - adaptive[0.125]) < (adaptive[1.0] - adaptive[0.5]) / 2
+        # Non-adaptive reduction 'not as significant'.
+        assert abs(nonadaptive[0.5] - nonadaptive[1.0]) < 0.15 * nonadaptive[1.0]
+    else:
+        # 'Almost constant performance on Theta.'
+        times = list(adaptive.values())
+        assert max(times) < 3 * min(times)
+    benchmark(
+        lambda: simulate_adaptive_write(machine, 4096, TOTAL_PARTICLES, 0.25, True)
+    )
+
+
+def test_fig11_functional_structure(report, benchmark):
+    """Real adaptive writes: file counts, empty files, excluded ranks."""
+    domain = Box([0, 0, 0], [1, 1, 1])
+    nprocs = 32
+    decomp = PatchDecomposition.for_nprocs(domain, nprocs)
+
+    def run_occupancy(occ, adaptive):
+        workload = UintahWorkload(
+            decomp, 1000, distribution="occupancy", occupancy=occ,
+            seed=5, dtype=MINIMAL_DTYPE,
+        )
+        batches = [workload.generate_rank(r) for r in range(nprocs)]
+        backend = VirtualBackend()
+        world = World(nprocs)
+        writer = SpatialWriter(
+            WriterConfig(partition_factor=(2, 2, 2), adaptive=adaptive)
+        )
+        run_mpi(
+            nprocs,
+            lambda c: writer.write(c, batches[c.rank], decomp, backend),
+            world=world,
+        )
+        reader = SpatialReader(backend)
+        empty = sum(1 for rec in reader.metadata if rec.particle_count == 0)
+        return reader, empty, world
+
+    table = Table(
+        ["occupancy", "mode", "files", "empty files", "total particles"],
+        title="Fig. 11 (functional) — adaptive vs static structure, 32 ranks",
+    )
+    for occ in OCCUPANCY_LEVELS:
+        for adaptive in (True, False):
+            reader, empty, _ = run_occupancy(occ, adaptive)
+            table.add_row(
+                [
+                    f"{100 * occ:.1f}%",
+                    "adaptive" if adaptive else "static",
+                    reader.num_files,
+                    empty,
+                    reader.total_particles,
+                ]
+            )
+            if adaptive:
+                assert empty == 0
+            # Total particles are occupancy-invariant (the §6.1 workload).
+            assert reader.total_particles == nprocs * 1000
+    report("fig11_functional", table)
+
+    # At 12.5% occupancy the static grid writes mostly empty files.
+    _, static_empty, _ = run_occupancy(0.125, False)
+    assert static_empty >= 2
+    adaptive_reader, _, _ = run_occupancy(0.125, True)
+    static_reader, _, _ = run_occupancy(0.125, False)
+    assert adaptive_reader.num_files < static_reader.num_files
+
+    benchmark(lambda: run_occupancy(0.25, True))

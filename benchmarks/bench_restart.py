@@ -1,0 +1,62 @@
+"""Checkpoint/restart readback: the write path's other customer.
+
+Not a paper figure, but the capability §2.1 contrasts against HDF5
+subfiling ("the number of reader processes and sub-filing factor must match
+the write configuration" — ours does not).  We benchmark restarting a
+16-rank checkpoint at several different rank counts and record the access
+pattern each restart pays.
+"""
+
+import pytest
+
+from repro.core import SpatialReader
+from repro.core.restart import read_for_decomposition
+from repro.domain import Box, PatchDecomposition
+from repro.mpi import run_mpi
+from repro.utils import Table
+
+from tests.conftest import write_dataset
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+@pytest.fixture(scope="module")
+def checkpoint():
+    backend, _, _ = write_dataset(
+        nprocs=16, partition_factor=(2, 2, 2), particles_per_rank=2_000
+    )
+    return backend
+
+
+def restart(backend, nprocs):
+    decomp = PatchDecomposition.for_nprocs(DOMAIN, nprocs)
+
+    def main(comm):
+        reader = SpatialReader(backend, actor=comm.rank)
+        return read_for_decomposition(comm, reader, decomp)
+
+    return run_mpi(nprocs, main)
+
+
+def test_restart_at_any_scale(checkpoint, report, benchmark):
+    table = Table(
+        ["restart ranks", "particles recovered", "data files opened", "MB read"],
+        title="Restart readback of a 16-rank / 2-file checkpoint",
+    )
+    for nprocs in (1, 2, 4, 8, 27):
+        checkpoint.clear_ops()
+        batches = restart(checkpoint, nprocs)
+        total = sum(len(b) for b in batches)
+        opens = len(
+            {
+                (op.actor, op.path)
+                for op in checkpoint.ops_of_kind("open")
+                if op.path.startswith("data/")
+            }
+        )
+        mb = sum(op.nbytes for op in checkpoint.ops_of_kind("read")) / 1e6
+        assert total == 16 * 2_000
+        table.add_row([nprocs, total, opens, f"{mb:.2f}"])
+    report("restart_scaling", table)
+
+    benchmark(lambda: restart(checkpoint, 4))

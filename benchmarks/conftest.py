@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_figNN_*.py`` regenerates one table/figure of the paper: it
+computes the same series the paper plots, prints them as an ASCII table,
+persists them under ``benchmarks/out/`` (so the artifact survives pytest's
+output capture), and asserts the qualitative shape.  The ``benchmark``
+fixture times a representative kernel of that experiment so
+``pytest benchmarks/ --benchmark-only`` exercises every figure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+# Make the test-suite helpers importable (write_dataset etc.).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+@pytest.fixture
+def report():
+    """Print a table and persist it under benchmarks/out/<name>.txt."""
+
+    def _report(name: str, table) -> None:
+        text = str(table)
+        print(f"\n{text}\n")
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(f"## {name}\n{text}\n")
+
+    return _report

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Distributed rendering readback — the paper's Figure 1 scenario.
+
+A simulation writes from 36 ranks.  Four render nodes then each load one
+quadrant of the domain.  With spatially-aware aggregation each render node
+opens exactly one file; with rank-ordered (spatially unaware) subfiling each
+node must open *every* file and discard most of what it reads.
+
+Run:  python examples/distributed_rendering.py
+"""
+
+from repro.baselines import RankOrderSubfilingWriter, UnstructuredReader
+from repro.core import SpatialReader, SpatialWriter, WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.io import VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles import uniform_particles
+from repro.utils import Table
+
+NPROCS = 36                  # 6 x 6 x 1 simulation ranks, as in Fig. 1
+PARTICLES_PER_RANK = 2_000
+NUM_RENDER_NODES = 4
+
+
+def render_quadrants(domain: Box) -> list[Box]:
+    """The four spatial regions assigned to render nodes (2 x 2 in x-y)."""
+    cx, cy = domain.center[0], domain.center[1]
+    lo, hi = domain.lo, domain.hi
+    return [
+        Box([lo[0], lo[1], lo[2]], [cx, cy, hi[2]]),
+        Box([cx, lo[1], lo[2]], [hi[0], cy, hi[2]]),
+        Box([lo[0], cy, lo[2]], [cx, hi[0], hi[2]]),
+        Box([cx, cy, lo[2]], [hi[0], hi[1], hi[2]]),
+    ]
+
+
+def main() -> None:
+    domain = Box([0, 0, 0], [1, 1, 0.2])
+    decomp = PatchDecomposition(domain, (6, 6, 1))
+
+    def make_batch(rank: int):
+        return uniform_particles(
+            decomp.patch_of_rank(rank), PARTICLES_PER_RANK, seed=1, rank=rank
+        )
+
+    # --- spatially-aware write: 36 ranks -> 4 files, one per quadrant ----
+    aware_backend = VirtualBackend()
+    aware = SpatialWriter(WriterConfig(partition_factor=(3, 3, 1)))
+    run_mpi(NPROCS, lambda c: aware.write(c, make_batch(c.rank), decomp, aware_backend))
+
+    # --- spatially-unaware write: same file count, rank-order grouping ----
+    unaware_backend = VirtualBackend()
+    unaware = RankOrderSubfilingWriter(num_files=4)
+    run_mpi(NPROCS, lambda c: unaware.write(c, make_batch(c.rank), unaware_backend))
+
+    # --- readback: each render node queries its quadrant -------------------
+    table = Table(
+        ["render node", "aware: files", "aware: bytes", "unaware: files", "unaware: bytes"],
+        title=f"Per-node readback cost ({NUM_RENDER_NODES} render nodes)",
+    )
+    aware_reader = SpatialReader(aware_backend)
+    unaware_reader = UnstructuredReader(unaware_backend)
+
+    for node, region in enumerate(render_quadrants(domain)):
+        aware_backend.clear_ops()
+        hits = aware_reader.read_box(region)
+        aware_files = len(aware_backend.files_touched("open"))
+        aware_bytes = sum(op.nbytes for op in aware_backend.ops_of_kind("read"))
+
+        unaware_backend.clear_ops()
+        hits_u = unaware_reader.read_box(region)
+        unaware_files = len(unaware_backend.files_touched("open"))
+        unaware_bytes = sum(op.nbytes for op in unaware_backend.ops_of_kind("read"))
+
+        assert len(hits) == len(hits_u), "both formats must return the same particles"
+        table.add_row([f"node {node}", aware_files, aware_bytes, unaware_files, unaware_bytes])
+
+    print(table)
+    print(
+        "\nSpatially-aware files hold disjoint regions, so each render node"
+        "\nreads one file; rank-ordered subfiles interleave the whole domain,"
+        "\nso every node reads (and mostly discards) every file."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships an older setuptools without wheel support,
+so ``pip install -e .`` falls back to this file (``--no-build-isolation
+--no-use-pep517``).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Spatially-aware parallel I/O for particle data (ICPP 2019 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

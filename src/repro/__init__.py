@@ -1,0 +1,19 @@
+"""repro — spatially-aware parallel I/O for particle data.
+
+A from-scratch Python reproduction of Kumar, Petruzza, Usher & Pascucci,
+*Spatially-aware Parallel I/O for Particle Data*, ICPP 2019.
+
+Public entry points:
+
+* :mod:`repro.core` — the paper's contribution: spatially-aware two-phase
+  I/O writer, LOD layout, spatial-metadata reader, adaptive aggregation.
+* :mod:`repro.mpi` — in-process simulated MPI runtime (substrate).
+* :mod:`repro.baselines` — file-per-process, shared-file and spatially
+  unaware subfiling baselines.
+* :mod:`repro.perf` — Mira/Theta/workstation performance models used by the
+  benchmark harnesses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Post-processing analysis consumers of the spatial format.
+
+§3 motivates the format with "a range of standard analysis and
+visualization tasks [that] are dependent on region-based queries, e.g.:
+nearest neighbour search, vector field integration, stencil operations,
+image processing".  This package implements representative members of that
+family on top of the reader:
+
+* :func:`density_grid` — deposit particle mass onto a uniform grid (the
+  first half of every stencil/image-processing pipeline);
+* :func:`attribute_histogram` — distribution of any scalar attribute,
+  optionally restricted to a region and/or an LOD budget;
+* :func:`radial_profile` — shell-averaged density about a point (the
+  classic cosmology/combustion diagnostic);
+* :func:`neighbor_statistics` — kNN-based local spacing statistics.
+
+Each function can run at reduced LOD: the estimates converge to the
+full-resolution answer as levels are added, which the tests verify.
+"""
+
+from repro.analysis.grids import density_grid
+from repro.analysis.histograms import attribute_histogram
+from repro.analysis.profiles import radial_profile
+from repro.analysis.neighbors import neighbor_statistics
+
+__all__ = [
+    "density_grid",
+    "attribute_histogram",
+    "radial_profile",
+    "neighbor_statistics",
+]

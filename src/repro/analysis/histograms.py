@@ -1,0 +1,52 @@
+"""Attribute histograms over (regions of) a dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reader import SpatialReader
+from repro.domain.box import Box
+from repro.errors import QueryError
+
+
+def attribute_histogram(
+    reader: SpatialReader,
+    attr: str,
+    bins: int = 32,
+    value_range: tuple[float, float] | None = None,
+    box: Box | None = None,
+    max_level: int | None = None,
+    nreaders: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of a scalar attribute; returns ``(counts, bin_edges)``.
+
+    With ``max_level`` the histogram is computed from an LOD sample and
+    scaled to estimate the full-population counts (the shuffle makes the
+    sample unbiased in both space and attribute value).
+    """
+    if attr not in (reader.dtype.names or ()):
+        raise QueryError(f"{attr!r} is not a field of {reader.dtype}")
+    if bins < 1:
+        raise QueryError(f"bins must be >= 1, got {bins}")
+    if box is None:
+        batch = reader.read_full(max_level=max_level, nreaders=nreaders)
+    else:
+        batch = reader.read_box(box, max_level=max_level, nreaders=nreaders)
+    values = np.asarray(batch.data[attr], dtype=np.float64).reshape(len(batch), -1)
+    if values.shape[1] != 1:
+        raise QueryError(f"{attr!r} is not a scalar attribute")
+    values = values[:, 0]
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    counts = counts.astype(np.float64)
+    if max_level is not None and len(batch):
+        total = (
+            reader.total_particles
+            if box is None
+            else sum(
+                rec.particle_count
+                for rec in reader.metadata.files_intersecting(box)
+            )
+        )
+        if total > len(batch):
+            counts *= total / len(batch)
+    return counts, edges

@@ -1,0 +1,69 @@
+"""Nearest-neighbour spacing statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reader import SpatialReader
+from repro.domain.box import Box
+from repro.errors import QueryError
+from repro.query.knn import GridKNN
+from repro.utils.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class NeighborStats:
+    """Summary of local particle spacing in a region."""
+
+    samples: int
+    k: int
+    mean_spacing: float
+    median_spacing: float
+    p95_spacing: float
+
+
+def neighbor_statistics(
+    reader: SpatialReader,
+    box: Box,
+    k: int = 4,
+    sample: int = 256,
+    seed: int | None = 0,
+    max_level: int | None = None,
+) -> NeighborStats:
+    """kth-nearest-neighbour distance statistics for particles in ``box``.
+
+    The query box is padded by an estimated spacing margin so neighbours
+    just outside the region boundary are available — the stencil-halo
+    pattern the paper's Figure-1 discussion calls out.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if sample < 1:
+        raise QueryError(f"sample must be >= 1, got {sample}")
+    inner = reader.read_box(box, max_level=max_level, exact=True)
+    if len(inner) < 2:
+        raise QueryError(f"region {box} holds {len(inner)} particles; need >= 2")
+    # Halo margin: ~2 mean inter-particle spacings, estimated from density.
+    density = len(inner) / max(box.volume, 1e-300)
+    margin = 2.0 * density ** (-1.0 / 3.0)
+    halo = reader.read_box(box.expanded(margin), max_level=max_level, exact=True)
+    index = GridKNN(halo)
+
+    rng = resolve_rng(seed)
+    n = min(sample, len(inner))
+    chosen = rng.choice(len(inner), size=n, replace=False)
+    spacings = np.empty(n)
+    for i, idx in enumerate(chosen):
+        point = inner.positions[idx]
+        # k+1 because the particle itself is its own 0-distance neighbour.
+        _, dist = index.query(point, k=k + 1)
+        spacings[i] = dist[-1]
+    return NeighborStats(
+        samples=n,
+        k=k,
+        mean_spacing=float(spacings.mean()),
+        median_spacing=float(np.median(spacings)),
+        p95_spacing=float(np.percentile(spacings, 95)),
+    )

@@ -1,0 +1,25 @@
+"""Baseline I/O strategies the paper compares against.
+
+* :class:`FilePerProcessWriter` — IOR-style file-per-process: every rank
+  writes its own file, no aggregation, no spatial metadata.
+* :class:`SharedFileWriter` — IOR-collective / single-shared-file: all data
+  funnels into one file in rank order.
+* :class:`RankOrderSubfilingWriter` — HDF5-subfiling-like two-phase I/O that
+  groups ranks *by rank id*, not by space (the "grouped by color" pathology
+  of the paper's Fig. 1): throughput-wise it aggregates like ours, but the
+  files it produces have no spatial locality and no spatial metadata.
+* :class:`UnstructuredReader` — the only read strategy these formats allow:
+  open every file, read everything, cherry-pick.
+"""
+
+from repro.baselines.fpp import FilePerProcessWriter
+from repro.baselines.shared import SharedFileWriter
+from repro.baselines.subfiling import RankOrderSubfilingWriter
+from repro.baselines.reader import UnstructuredReader
+
+__all__ = [
+    "FilePerProcessWriter",
+    "SharedFileWriter",
+    "RankOrderSubfilingWriter",
+    "UnstructuredReader",
+]

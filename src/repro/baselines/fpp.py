@@ -1,0 +1,62 @@
+"""File-per-process baseline (IOR FPP equivalent).
+
+Every rank dumps its local particles straight to its own file — maximal
+write parallelism, zero aggregation, zero spatial organisation.  The paper's
+Fig. 5 shows this saturating filesystems at scale (file-creation storms);
+Fig. 7 shows its read cost when a small visualization job must traverse the
+full file hierarchy.
+
+Rank 0 still writes a manifest (readers need the dtype from somewhere), but
+no spatial metadata exists: a reader cannot know which file holds which
+region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.format.datafile import data_file_name, write_data_file
+from repro.format.manifest import Manifest
+from repro.io.backend import FileBackend
+from repro.mpi.comm import SimComm
+from repro.particles.batch import ParticleBatch
+from repro.utils.timing import TimeBreakdown
+
+
+@dataclass
+class BaselineWriteResult:
+    """Per-rank outcome shared by all baseline writers."""
+
+    rank: int
+    num_files: int
+    files_written: list[str] = field(default_factory=list)
+    bytes_written: int = 0
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+
+class FilePerProcessWriter:
+    """One file per rank, written independently."""
+
+    def write(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        backend: FileBackend,
+    ) -> BaselineWriteResult:
+        result = BaselineWriteResult(rank=comm.rank, num_files=comm.size)
+        with result.breakdown.measure("file_io"):
+            path = data_file_name(comm.rank)
+            result.bytes_written = write_data_file(
+                backend, path, batch, actor=comm.rank
+            )
+            result.files_written.append(path)
+        with result.breakdown.measure("metadata"):
+            total = comm.allgather(len(batch))
+            if comm.rank == 0:
+                Manifest(
+                    dtype=batch.dtype,
+                    num_files=comm.size,
+                    total_particles=sum(total),
+                    writer={"strategy": "file-per-process", "nprocs": comm.size},
+                ).write(backend, actor=0)
+        return result

@@ -1,0 +1,54 @@
+"""Single-shared-file baseline (IOR collective / PHDF5-single-file style).
+
+All ranks' particles end up in one file, concatenated in rank order.  The
+aggregation is the degenerate all-to-one case of §3.1: the aggregation
+partition is the whole domain, rank 0 is the single aggregator.  The paper
+notes this "is not feasible [at scale] due to limitations in the available
+memory on a single core" and shows collective I/O collapsing in Fig. 5 —
+this implementation exists to make those comparisons runnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.fpp import BaselineWriteResult
+from repro.format.datafile import write_data_file
+from repro.format.manifest import Manifest
+from repro.io.backend import FileBackend
+from repro.mpi.comm import SimComm
+from repro.particles.batch import ParticleBatch
+
+SHARED_FILE_PATH = "data/shared.pbin"
+
+
+class SharedFileWriter:
+    """Gather everything to rank 0; write one file in rank order."""
+
+    def write(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        backend: FileBackend,
+    ) -> BaselineWriteResult:
+        result = BaselineWriteResult(rank=comm.rank, num_files=1)
+        with result.breakdown.measure("aggregation"):
+            gathered = comm.gather(batch.data, root=0)
+        with result.breakdown.measure("file_io"):
+            if comm.rank == 0:
+                assert gathered is not None
+                merged = ParticleBatch(
+                    np.concatenate([np.atleast_1d(g) for g in gathered])
+                )
+                result.bytes_written = write_data_file(
+                    backend, SHARED_FILE_PATH, merged, actor=0
+                )
+                result.files_written.append(SHARED_FILE_PATH)
+                Manifest(
+                    dtype=batch.dtype,
+                    num_files=1,
+                    total_particles=len(merged),
+                    writer={"strategy": "shared-file", "nprocs": comm.size},
+                ).write(backend, actor=0)
+        comm.barrier()
+        return result

@@ -1,0 +1,184 @@
+"""Command-line utilities over spio datasets.
+
+Four subcommands, mirroring what a user pokes at day to day::
+
+    python -m repro.cli info <dataset-dir>
+        Manifest, LOD parameters, per-file table.
+
+    python -m repro.cli query <dataset-dir> --box x0 y0 z0 x1 y1 z1 [--level L]
+        Spatial query: particles matched, files touched.
+
+    python -m repro.cli write <dataset-dir> --ranks 16 --particles 4096 ...
+        Generate and write a synthetic dataset (simulated MPI in-process).
+
+    python -m repro.cli estimate --machine Theta --procs 262144 ...
+        Performance-model estimate for a write at HPC scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.tables import Table
+from repro.utils.units import GB, format_bytes, format_seconds
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.reader import SpatialReader
+    from repro.io.posix import PosixBackend
+
+    reader = SpatialReader(PosixBackend(args.dataset))
+    m = reader.manifest
+    print(f"dataset         : {args.dataset}")
+    print(f"particles       : {reader.total_particles}")
+    print(f"files           : {reader.num_files}")
+    print(f"dtype           : {m.dtype}")
+    print(f"LOD             : P={m.lod_base} S={m.lod_scale} "
+          f"heuristic={m.lod_heuristic}")
+    print(f"domain          : {reader.domain()}")
+    if reader.metadata.attr_names:
+        print(f"indexed attrs   : {', '.join(reader.metadata.attr_names)}")
+    table = Table(["box id", "agg rank", "file", "particles", "lo", "hi"])
+    for rec in reader.metadata:
+        table.add_row(
+            [
+                rec.box_id,
+                rec.agg_rank,
+                rec.file_path,
+                rec.particle_count,
+                "[" + ", ".join(f"{v:.3g}" for v in rec.bounds.lo) + "]",
+                "[" + ", ".join(f"{v:.3g}" for v in rec.bounds.hi) + "]",
+            ]
+        )
+    print(table)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.reader import SpatialReader
+    from repro.domain.box import Box
+    from repro.io.posix import PosixBackend
+
+    reader = SpatialReader(PosixBackend(args.dataset))
+    box = Box(args.box[:3], args.box[3:])
+    plan = reader.plan_box_read(box, max_level=args.level, nreaders=args.readers)
+    hits = reader.execute(plan, exact=True)
+    print(f"query box       : {box}")
+    print(f"files touched   : {plan.num_files} / {reader.num_files}")
+    print(f"particles read  : {plan.total_particles}")
+    print(f"particles in box: {len(hits)}")
+    print(f"bytes read      : {format_bytes(plan.bytes_to_read(reader.dtype.itemsize))}")
+    return 0
+
+
+def _cmd_write(args: argparse.Namespace) -> int:
+    from repro.core import SpatialWriter, WriterConfig
+    from repro.domain.box import Box
+    from repro.domain.decomposition import PatchDecomposition
+    from repro.io.posix import PosixBackend
+    from repro.mpi import run_mpi
+    from repro.workloads import UintahWorkload
+
+    domain = Box([0, 0, 0], [1, 1, 1])
+    decomp = PatchDecomposition.for_nprocs(domain, args.ranks)
+    workload = UintahWorkload(
+        decomp,
+        particles_per_core=args.particles,
+        distribution=args.distribution,
+        seed=args.seed,
+    )
+    config = WriterConfig(
+        partition_factor=tuple(args.factor),
+        adaptive=args.adaptive,
+    )
+    backend = PosixBackend(args.dataset)
+    writer = SpatialWriter(config)
+
+    results = run_mpi(
+        args.ranks,
+        lambda comm: writer.write(
+            comm, workload.generate_rank(comm.rank), decomp, backend
+        ),
+    )
+    files = sum(len(r.files_written) for r in results)
+    total = sum(r.bytes_written for r in results)
+    print(
+        f"wrote {files} files ({format_bytes(total)}) from {args.ranks} "
+        f"simulated ranks into {args.dataset}"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.perf import MACHINES, simulate_baseline_write, simulate_write
+
+    machine = MACHINES.get(args.machine)
+    if machine is None:
+        print(f"unknown machine {args.machine!r}; known: {sorted(MACHINES)}",
+              file=sys.stderr)
+        return 2
+    if args.strategy in ("ior-fpp", "ior-shared", "phdf5"):
+        est = simulate_baseline_write(machine, args.procs, args.particles, args.strategy)
+    else:
+        factor = tuple(int(v) for v in args.strategy.split("x"))
+        est = simulate_write(machine, args.procs, args.particles, factor)  # type: ignore[arg-type]
+    print(f"machine         : {est.machine}")
+    print(f"strategy        : {est.strategy}")
+    print(f"processes       : {est.nprocs}")
+    print(f"files           : {est.n_files}")
+    print(f"data            : {format_bytes(est.total_bytes)}")
+    print(f"aggregation     : {format_seconds(est.aggregation_time)}")
+    print(f"file I/O        : {format_seconds(est.io_time)}")
+    print(f"total           : {format_seconds(est.total_time)}")
+    print(f"throughput      : {est.throughput / GB:.2f} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Spatially-aware particle I/O utilities (ICPP 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe a dataset")
+    p.add_argument("dataset")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("query", help="spatial box query")
+    p.add_argument("dataset")
+    p.add_argument("--box", nargs=6, type=float, required=True,
+                   metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"))
+    p.add_argument("--level", type=int, default=None, help="max LOD level")
+    p.add_argument("--readers", type=int, default=1)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("write", help="write a synthetic dataset")
+    p.add_argument("dataset")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--particles", type=int, default=4096)
+    p.add_argument("--factor", nargs=3, type=int, default=[2, 2, 2])
+    p.add_argument("--distribution", default="uniform",
+                   choices=["uniform", "clustered", "jet"])
+    p.add_argument("--adaptive", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_write)
+
+    p = sub.add_parser("estimate", help="performance-model write estimate")
+    p.add_argument("--machine", default="Theta")
+    p.add_argument("--procs", type=int, default=262_144)
+    p.add_argument("--particles", type=int, default=32_768)
+    p.add_argument("--strategy", default="1x2x2",
+                   help="PxQxR partition factor or ior-fpp/ior-shared/phdf5")
+    p.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""The paper's contribution: spatially-aware two-phase particle I/O.
+
+Write path (§3, the eight steps)::
+
+    from repro.core import SpatialWriter, WriterConfig
+
+    cfg = WriterConfig(partition_factor=(2, 2, 2))
+    writer = SpatialWriter(cfg)
+    result = writer.write(comm, batch, decomp, backend)   # SPMD, one call per rank
+
+Read path (§4)::
+
+    from repro.core import SpatialReader
+
+    reader = SpatialReader(backend)
+    hits = reader.read_box(query_box)                     # metadata-pruned
+    coarse = reader.read_box(query_box, max_level=3, nreaders=4)
+
+Adaptive aggregation for non-uniform distributions (§6) is switched on with
+``WriterConfig(adaptive=True)``.
+"""
+
+from repro.core.config import WriterConfig
+from repro.core.aggregation import AggregationGrid, select_aggregators
+from repro.core.adaptive import build_adaptive_grid
+from repro.core.lod import (
+    cumulative_level_count,
+    level_size,
+    lod_prefix_counts,
+    max_level,
+    random_lod_order,
+    stratified_lod_order,
+)
+from repro.core.writer import SpatialWriter, WriteResult
+from repro.core.reader import SpatialReader, ReadPlan
+from repro.core.progressive import ProgressiveReader
+
+__all__ = [
+    "WriterConfig",
+    "AggregationGrid",
+    "select_aggregators",
+    "build_adaptive_grid",
+    "level_size",
+    "cumulative_level_count",
+    "max_level",
+    "lod_prefix_counts",
+    "random_lod_order",
+    "stratified_lod_order",
+    "SpatialWriter",
+    "WriteResult",
+    "SpatialReader",
+    "ReadPlan",
+    "ProgressiveReader",
+]

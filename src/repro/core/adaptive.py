@@ -1,0 +1,192 @@
+"""Adaptive aggregation for non-uniform particle distributions (paper §6).
+
+Simulations balance particle *counts* per process, but the particles may
+occupy only part of the spatial domain (injection, moving fronts, material
+regions).  A layout-agnostic aggregation grid then assigns aggregators to
+empty space (Fig. 10e), wasting I/O and network resources.
+
+The adaptive scheme:
+
+1. every rank shares its patch extent and particle count
+   (the paper's all-to-all; one ``allgather`` here),
+2. the aggregation grid is rebuilt over just the populated patch-index
+   range, with the configured partition factor,
+3. partitions whose patches are all empty are dropped,
+4. aggregators for the surviving partitions are placed uniformly across the
+   *entire* rank space (even I/O-node utilisation, §6),
+5. ranks without particles do not participate in the exchange at all.
+
+An optional rebalancing mode (``quantile_cuts``) implements the paper's
+future-work idea (§7) of re-balancing partition sizes from the particle
+distribution: axis cut points are chosen from particle-count quantiles so
+each partition holds a comparable share of the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation import (
+    AggregationGrid,
+    BaseAggregationGrid,
+    select_aggregators,
+    uniform_axis_cuts,
+)
+from repro.domain.box import Box
+from repro.domain.decomposition import PatchDecomposition
+from repro.errors import ConfigError, DomainError
+
+
+class AdaptiveAggregationGrid(BaseAggregationGrid):
+    """An aligned grid restricted to populated partitions.
+
+    Partition ids are re-numbered ``0..m-1`` over the surviving (non-empty)
+    partitions of an underlying :class:`AggregationGrid` built on the
+    populated patch-index range.
+    """
+
+    def __init__(
+        self,
+        base: AggregationGrid,
+        counts_by_rank: list[int],
+    ):
+        if len(counts_by_rank) != base.decomp.nprocs:
+            raise ConfigError(
+                f"counts_by_rank has {len(counts_by_rank)} entries for "
+                f"{base.decomp.nprocs} ranks"
+            )
+        self.base = base
+        self.decomp = base.decomp
+        self.nprocs = base.nprocs
+        self.counts_by_rank = [int(c) for c in counts_by_rank]
+        self._populated_ranks = {
+            r for r, c in enumerate(self.counts_by_rank) if c > 0
+        }
+        if not self._populated_ranks:
+            raise DomainError("adaptive grid over a world with zero particles")
+        self.active: list[int] = [
+            p
+            for p in range(base.num_partitions)
+            if any(
+                r in self._populated_ranks for r in base.senders_of_partition(p)
+            )
+        ]
+        self.aggregators = select_aggregators(len(self.active), self.nprocs)
+        self._active_index = {p: i for i, p in enumerate(self.active)}
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.active)
+
+    def partition_box(self, flat: int) -> Box:
+        return self.base.partition_box(self.active[flat])
+
+    def senders_of_partition(self, flat: int) -> list[int]:
+        """Only populated ranks send; empty ranks sit the exchange out (§6)."""
+        return [
+            r
+            for r in self.base.senders_of_partition(self.active[flat])
+            if r in self._populated_ranks
+        ]
+
+    def route_particles(self, rank: int, batch) -> list[tuple[int, object]]:
+        if rank not in self._populated_ranks:
+            if len(batch):
+                raise DomainError(
+                    f"rank {rank} reported 0 particles during setup but now "
+                    f"holds {len(batch)}"
+                )
+            return []
+        for pid, sub in self.base.route_particles(rank, batch):
+            # Aligned base grid: exactly one (pid, batch) pair.
+            active_id = self._active_index.get(pid)
+            if active_id is None:
+                raise DomainError(
+                    f"rank {rank}'s particles map to dropped partition {pid}"
+                )
+            return [(active_id, sub)]
+        return []
+
+    def participating_ranks(self) -> set[int]:
+        return set(self._populated_ranks)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveAggregationGrid(active={len(self.active)}/"
+            f"{self.base.num_partitions}, nprocs={self.nprocs})"
+        )
+
+
+def _populated_index_range(
+    decomp: PatchDecomposition, counts_by_rank: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inclusive-exclusive patch-index bounds of the populated subregion."""
+    idx = np.array(
+        [decomp.cell_of_rank(r) for r, c in enumerate(counts_by_rank) if c > 0]
+    )
+    if len(idx) == 0:
+        raise DomainError("no rank holds any particles")
+    return idx.min(axis=0), idx.max(axis=0) + 1
+
+
+def build_adaptive_grid(
+    decomp: PatchDecomposition,
+    counts_by_rank: list[int],
+    partition_factor: tuple[int, int, int],
+    quantile_cuts: bool = False,
+) -> AdaptiveAggregationGrid:
+    """Build the §6 adaptive grid from globally known per-rank counts.
+
+    The SPMD writer calls this after an ``allgather`` of (patch, count); it
+    is deterministic, so every rank builds an identical grid with no further
+    communication.
+
+    With ``quantile_cuts=True`` the cut points inside the populated range are
+    chosen from per-axis particle-count quantiles (the §7 future-work
+    rebalancing) instead of equal patch runs; the number of partitions per
+    axis is the same, only the boundaries move.
+    """
+    lo, hi = _populated_index_range(decomp, counts_by_rank)
+    cuts: list[list[int]] = []
+    for axis in range(3):
+        span = int(hi[axis] - lo[axis])
+        factor = min(partition_factor[axis], span)
+        if quantile_cuts:
+            cuts.append(
+                _quantile_axis_cuts(
+                    decomp, counts_by_rank, axis, int(lo[axis]), int(hi[axis]), factor
+                )
+            )
+        else:
+            base_cuts = uniform_axis_cuts(span, factor)
+            cuts.append([int(lo[axis]) + c for c in base_cuts])
+    base = AggregationGrid(decomp, tuple(cuts))  # type: ignore[arg-type]
+    return AdaptiveAggregationGrid(base, counts_by_rank)
+
+
+def _quantile_axis_cuts(
+    decomp: PatchDecomposition,
+    counts_by_rank: list[int],
+    axis: int,
+    lo: int,
+    hi: int,
+    factor: int,
+) -> list[int]:
+    """Axis cuts putting ~equal particle counts in each partition slab."""
+    span = hi - lo
+    n_parts = max(1, -(-span // factor))  # ceil, same count as uniform cuts
+    per_slab = np.zeros(span, dtype=np.int64)
+    for rank, count in enumerate(counts_by_rank):
+        if count > 0:
+            ijk = decomp.cell_of_rank(rank)
+            per_slab[ijk[axis] - lo] += count
+    cum = np.concatenate(([0], np.cumsum(per_slab)))
+    total = cum[-1]
+    cuts = [lo]
+    for q in range(1, n_parts):
+        target = total * q / n_parts
+        pos = int(np.searchsorted(cum, target, side="left"))
+        pos = max(cuts[-1] - lo + 1, min(pos, span - (n_parts - q)))
+        cuts.append(lo + pos)
+    cuts.append(hi)
+    return cuts

@@ -1,0 +1,316 @@
+"""Aggregation-grid setup and aggregator selection (paper §3.1–§3.2).
+
+An :class:`AggregationGrid` partitions the simulation's *patch index space*
+into axis-aligned groups of patches.  Working in patch-index space (rather
+than raw coordinates) makes alignment with the simulation decomposition
+structural: a partition boundary is always a patch boundary, so each rank's
+patch lies in exactly one partition and no per-particle filtering is needed
+(§3.3's fast path).  Per-axis cut lists, rather than a uniform grid, let the
+same class represent:
+
+* the uniform grid of the aligned case — cuts every ``Px`` patches,
+* the ceil-division tail when ``Px`` does not divide the process grid,
+* the §6 adaptive grid — cuts spanning only the populated index range.
+
+Aggregator ranks are chosen uniformly from the rank space (§3.2): partition
+``p`` of ``m`` is owned by rank ``floor(p * nprocs / m)``, which for the
+paper's example (16 processes, 4 partitions) yields ranks 0, 4, 8, 12.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.domain.decomposition import PatchDecomposition
+from repro.errors import ConfigError, DomainError
+
+
+def uniform_axis_cuts(n_patches: int, factor: int) -> list[int]:
+    """Cut points grouping ``n_patches`` indices into runs of ``factor``.
+
+    The last run is shorter when ``factor`` does not divide ``n_patches``
+    (ceil division), so every patch is covered exactly once.
+    """
+    if n_patches < 1 or factor < 1:
+        raise ConfigError(f"invalid axis cut request ({n_patches=}, {factor=})")
+    cuts = list(range(0, n_patches, factor))
+    cuts.append(n_patches)
+    return cuts
+
+
+def select_aggregators(num_partitions: int, nprocs: int) -> list[int]:
+    """One aggregator rank per partition, spread uniformly over rank space."""
+    if num_partitions < 1:
+        raise ConfigError(f"need >= 1 partition, got {num_partitions}")
+    if num_partitions > nprocs:
+        raise ConfigError(
+            f"{num_partitions} partitions need {num_partitions} aggregators, "
+            f"but only {nprocs} ranks exist (partition factor too small?)"
+        )
+    return [p * nprocs // num_partitions for p in range(num_partitions)]
+
+
+class BaseAggregationGrid:
+    """Interface every aggregation grid flavour implements.
+
+    The exchange and writer code (:mod:`repro.core.exchange`,
+    :mod:`repro.core.writer`) is written against this protocol, so the
+    aligned grid (§3.1), the non-aligned general case (§3.3), and the §6
+    adaptive grid are interchangeable.
+    """
+
+    nprocs: int
+    aggregators: list[int]
+
+    @property
+    def num_partitions(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_files(self) -> int:
+        return self.num_partitions
+
+    def partition_box(self, flat: int) -> Box:
+        raise NotImplementedError
+
+    def aggregator_of_partition(self, flat: int) -> int:
+        return self.aggregators[flat]
+
+    def partitions_owned_by(self, rank: int) -> list[int]:
+        return [p for p, agg in enumerate(self.aggregators) if agg == rank]
+
+    def senders_of_partition(self, flat: int) -> list[int]:
+        """Ranks that will send (possibly empty) payloads to this partition."""
+        raise NotImplementedError
+
+    def route_particles(self, rank: int, batch) -> list[tuple[int, object]]:
+        """Split rank-local particles into (partition id, sub-batch) pairs."""
+        raise NotImplementedError
+
+    def participating_ranks(self) -> set[int]:
+        """Ranks that take part in the exchange as senders."""
+        out: set[int] = set()
+        for p in range(self.num_partitions):
+            out.update(self.senders_of_partition(p))
+        return out
+
+
+class AggregationGrid(BaseAggregationGrid):
+    """A partition of patch-index space into aggregation partitions."""
+
+    def __init__(
+        self,
+        decomp: PatchDecomposition,
+        axis_cuts: tuple[Sequence[int], Sequence[int], Sequence[int]],
+        nprocs: int | None = None,
+    ):
+        self.decomp = decomp
+        self.nprocs = decomp.nprocs if nprocs is None else int(nprocs)
+        self.axis_cuts = tuple(
+            np.asarray(sorted(int(c) for c in cuts), dtype=np.int64)
+            for cuts in axis_cuts
+        )
+        for axis, cuts in enumerate(self.axis_cuts):
+            if len(cuts) < 2:
+                raise DomainError(f"axis {axis}: need at least 2 cut points")
+            if len(np.unique(cuts)) != len(cuts):
+                raise DomainError(f"axis {axis}: duplicate cut points {cuts}")
+            if cuts[0] < 0 or cuts[-1] > decomp.proc_dims[axis]:
+                raise DomainError(
+                    f"axis {axis}: cuts {cuts} exceed patch range "
+                    f"[0, {decomp.proc_dims[axis]}]"
+                )
+        self.dims = tuple(len(c) - 1 for c in self.axis_cuts)
+        self.aggregators = select_aggregators(self.num_partitions, self.nprocs)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def aligned(
+        cls, decomp: PatchDecomposition, partition_factor: tuple[int, int, int]
+    ) -> "AggregationGrid":
+        """The §3.1 aligned grid: partitions of ``(Px, Py, Pz)`` patches."""
+        cuts = tuple(
+            uniform_axis_cuts(decomp.proc_dims[a], partition_factor[a])
+            for a in range(3)
+        )
+        return cls(decomp, cuts)  # type: ignore[arg-type]
+
+    # -- sizes ------------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return self.dims[0] * self.dims[1] * self.dims[2]
+
+    @property
+    def num_files(self) -> int:
+        """Output files = partitions: the paper's ``f = prod(n_axis/P_axis)``."""
+        return self.num_partitions
+
+    def flatten(self, pijk: Sequence[int]) -> int:
+        i, j, k = (int(v) for v in pijk)
+        return i + self.dims[0] * (j + self.dims[1] * k)
+
+    def unflatten(self, flat: int) -> tuple[int, int, int]:
+        if not 0 <= flat < self.num_partitions:
+            raise DomainError(
+                f"partition id {flat} out of range ({self.num_partitions})"
+            )
+        i = flat % self.dims[0]
+        j = (flat // self.dims[0]) % self.dims[1]
+        k = flat // (self.dims[0] * self.dims[1])
+        return (int(i), int(j), int(k))
+
+    # -- geometry -----------------------------------------------------------------
+
+    def partition_box(self, flat: int) -> Box:
+        """The spatial box of a partition (union of its patches)."""
+        i, j, k = self.unflatten(flat)
+        cx, cy, cz = self.axis_cuts
+        patch_grid = self.decomp.grid
+        lo_idx = np.array([cx[i], cy[j], cz[k]], dtype=np.float64)
+        hi_idx = np.array([cx[i + 1], cy[j + 1], cz[k + 1]], dtype=np.float64)
+        dims = np.asarray(patch_grid.dims, dtype=np.float64)
+        lo = patch_grid.domain.lo + (lo_idx / dims) * patch_grid.domain.extent
+        hi = patch_grid.domain.lo + (hi_idx / dims) * patch_grid.domain.extent
+        return Box(lo, hi)
+
+    def all_partition_boxes(self) -> list[Box]:
+        return [self.partition_box(f) for f in range(self.num_partitions)]
+
+    # -- ownership ---------------------------------------------------------------
+
+    def partition_of_patch(self, patch_ijk: Sequence[int]) -> int | None:
+        """Flat partition id of the patch, or None if outside every partition
+        (possible for adaptive grids that exclude empty regions)."""
+        pidx = []
+        for axis in range(3):
+            cuts = self.axis_cuts[axis]
+            v = int(patch_ijk[axis])
+            if v < cuts[0] or v >= cuts[-1]:
+                return None
+            pidx.append(int(np.searchsorted(cuts, v, side="right") - 1))
+        return self.flatten(pidx)
+
+    def partition_of_rank(self, rank: int) -> int | None:
+        """Which partition rank ``rank``'s patch belongs to (aligned case)."""
+        return self.partition_of_patch(self.decomp.cell_of_rank(rank))
+
+    def aggregator_of_partition(self, flat: int) -> int:
+        self.unflatten(flat)  # range check
+        return self.aggregators[flat]
+
+    def partitions_owned_by(self, rank: int) -> list[int]:
+        """Partition ids whose aggregator is ``rank`` (usually 0 or 1)."""
+        return [p for p, agg in enumerate(self.aggregators) if agg == rank]
+
+    def senders_of_partition(self, flat: int) -> list[int]:
+        """Ranks whose patches lie inside (or straddle into) the partition.
+
+        Deterministic from the decomposition, so aggregators can compute
+        their expected senders with no extra communication.
+        """
+        i, j, k = self.unflatten(flat)
+        cx, cy, cz = self.axis_cuts
+        ranks = []
+        for pk in range(cz[k], cz[k + 1]):
+            for pj in range(cy[j], cy[j + 1]):
+                for pi in range(cx[i], cx[i + 1]):
+                    ranks.append(self.decomp.rank_of_cell((pi, pj, pk)))
+        return ranks
+
+    def partitions_intersecting_box(self, box: Box) -> list[int]:
+        """Partitions overlapping an arbitrary box (non-aligned path)."""
+        return [
+            f
+            for f in range(self.num_partitions)
+            if self.partition_box(f).intersects(box)
+        ]
+
+    def route_particles(self, rank: int, batch) -> list[tuple[int, object]]:
+        """Aligned fast path: the whole batch goes to one partition (§3.3).
+
+        No per-particle scan happens here — alignment guarantees the rank's
+        patch (and hence all its particles) lies inside a single partition.
+        """
+        pid = self.partition_of_rank(rank)
+        if pid is None:
+            raise DomainError(
+                f"rank {rank}'s patch is outside every partition of {self!r}"
+            )
+        return [(pid, batch)]
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationGrid(dims={self.dims}, partitions={self.num_partitions}, "
+            f"nprocs={self.nprocs})"
+        )
+
+
+class FreeAggregationGrid(BaseAggregationGrid):
+    """A non-aligned aggregation grid: arbitrary cells over the domain.
+
+    This exercises the general path of §3.3: a rank's patch may straddle
+    several partitions, so the rank must scan its particles and bin them per
+    intersecting partition (``route_particles``).  The paper supports this
+    case but avoids it for uniform simulations; we keep it for adaptive-
+    resolution decompositions and for the alignment ablation.
+    """
+
+    def __init__(self, decomp: PatchDecomposition, cell_grid, nprocs: int | None = None):
+        from repro.domain.grid import CellGrid  # local import to avoid cycle noise
+
+        if not isinstance(cell_grid, CellGrid):
+            raise ConfigError(f"cell_grid must be a CellGrid, got {type(cell_grid)}")
+        if not cell_grid.domain.contains_box(decomp.domain):
+            raise DomainError(
+                "non-aligned aggregation grid must cover the simulation domain: "
+                f"{cell_grid.domain} does not contain {decomp.domain}"
+            )
+        self.decomp = decomp
+        self.cell_grid = cell_grid
+        self.nprocs = decomp.nprocs if nprocs is None else int(nprocs)
+        self.aggregators = select_aggregators(cell_grid.num_cells, self.nprocs)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.cell_grid.num_cells
+
+    def partition_box(self, flat: int) -> Box:
+        return self.cell_grid.cell_box_flat(flat)
+
+    def senders_of_partition(self, flat: int) -> list[int]:
+        box = self.partition_box(flat)
+        return self.decomp.ranks_intersecting(box)
+
+    def route_particles(self, rank: int, batch) -> list[tuple[int, object]]:
+        """General path: per-particle binning into intersecting partitions."""
+        patch = self.decomp.patch_of_rank(rank)
+        pids = [
+            f
+            for f in range(self.num_partitions)
+            if self.partition_box(f).intersects(patch)
+        ]
+        if len(batch) == 0:
+            return [(pid, batch) for pid in pids]
+        cells = self.cell_grid.flat_cell_of_points(batch.positions)
+        out = []
+        for pid in pids:
+            sub = batch[cells == pid] if (cells == pid).any() else batch[0:0]
+            out.append((pid, sub))
+        routed = sum(len(b) for _, b in out)
+        if routed != len(batch):
+            raise DomainError(
+                f"rank {rank}: routed {routed} of {len(batch)} particles — "
+                "particles outside the patch's intersecting partitions"
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FreeAggregationGrid(dims={self.cell_grid.dims}, "
+            f"partitions={self.num_partitions}, nprocs={self.nprocs})"
+        )

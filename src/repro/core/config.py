@@ -1,0 +1,103 @@
+"""Writer configuration.
+
+The paper exposes the aggregation partition factor ``(Px, Py, Pz)`` as the
+central tuning knob (§3.1): it sets both the extent of communication during
+aggregation and the number of output files
+``f = (nx/Px) * (ny/Py) * (nz/Pz)``.  The LOD parameters ``P`` (base level
+size) and ``S`` (resolution scale, default 2) come from §3.4.  ``adaptive``
+enables the §6 adaptive aggregation-grid for non-uniform distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Partition factors evaluated in the paper's Figure 5.
+PAPER_PARTITION_FACTORS: tuple[tuple[int, int, int], ...] = (
+    (1, 1, 1),
+    (1, 1, 2),
+    (1, 2, 2),
+    (2, 2, 2),
+    (2, 2, 4),
+    (2, 4, 4),
+    (4, 4, 4),
+)
+
+
+@dataclass(frozen=True)
+class WriterConfig:
+    """All knobs of the spatially-aware writer.
+
+    Parameters
+    ----------
+    partition_factor:
+        ``(Px, Py, Pz)`` — aggregation partition size as a multiple of the
+        per-process patch size.  ``(1, 1, 1)`` degenerates to file-per-process;
+        a factor covering the whole process grid degenerates to a single
+        shared file (§3.1).
+    lod_base, lod_scale:
+        ``P`` and ``S`` of the LOD formula ``x(n, l) = n * P * S**l`` (§3.4).
+    lod_heuristic:
+        ``"random"`` (the paper's default reshuffle) or ``"stratified"``
+        (the density-aware ordering the paper mentions as an alternative).
+    lod_seed:
+        Seed for the reshuffle; per-aggregator streams are derived from it.
+    adaptive:
+        Build the §6 adaptive aggregation-grid over the populated subdomain.
+    attr_index:
+        Scalar attribute names to min/max-index in the spatial metadata
+        (§3.5's planned extension; used for range-query pruning).
+    align_to_patches:
+        When True (default) the aggregation-grid is aligned with the
+        simulation decomposition so each rank sends to exactly one
+        aggregator.  False exercises the general non-aligned path, where
+        ranks bin particles per intersecting partition.
+    """
+
+    partition_factor: tuple[int, int, int] = (2, 2, 2)
+    lod_base: int = 32
+    lod_scale: int = 2
+    lod_heuristic: str = "random"
+    lod_seed: int | None = 0
+    adaptive: bool = False
+    attr_index: tuple[str, ...] = ()
+    align_to_patches: bool = True
+
+    def __post_init__(self) -> None:
+        pf = tuple(int(v) for v in self.partition_factor)
+        if len(pf) != 3 or any(v < 1 for v in pf):
+            raise ConfigError(
+                f"partition_factor must be three ints >= 1, got {self.partition_factor!r}"
+            )
+        object.__setattr__(self, "partition_factor", pf)
+        if self.lod_base < 1:
+            raise ConfigError(f"lod_base (P) must be >= 1, got {self.lod_base}")
+        if self.lod_scale < 2:
+            raise ConfigError(f"lod_scale (S) must be >= 2, got {self.lod_scale}")
+        if self.lod_heuristic not in ("random", "stratified"):
+            raise ConfigError(
+                f"lod_heuristic must be 'random' or 'stratified', got {self.lod_heuristic!r}"
+            )
+        object.__setattr__(self, "attr_index", tuple(self.attr_index))
+
+    @property
+    def partition_volume(self) -> int:
+        """Patches (and hence sender ranks) per aggregation partition."""
+        px, py, pz = self.partition_factor
+        return px * py * pz
+
+    def describe(self) -> dict:
+        return {
+            "partition_factor": list(self.partition_factor),
+            "lod": {
+                "base": self.lod_base,
+                "scale": self.lod_scale,
+                "heuristic": self.lod_heuristic,
+                "seed": self.lod_seed,
+            },
+            "adaptive": self.adaptive,
+            "attr_index": list(self.attr_index),
+            "align_to_patches": self.align_to_patches,
+        }

@@ -1,0 +1,212 @@
+"""The spatially-aware two-phase writer: the paper's eight-step pipeline (§3).
+
+    (1) set up the aggregation-grid          -> repro.core.aggregation / adaptive
+    (2) select aggregators                   -> repro.core.aggregation
+    (3) exchange metadata                    -> repro.core.exchange
+    (4) allocate the aggregation buffer      -> repro.core.exchange
+    (5) exchange particles                   -> repro.core.exchange
+    (6) shuffle particles into LOD order     -> repro.core.lod
+    (7) write one data file per aggregator   -> repro.format.datafile
+    (8) gather + write the spatial metadata  -> repro.format.metadata
+
+``SpatialWriter.write`` is SPMD: every rank of the communicator calls it
+with its local particles and the shared domain decomposition.  Output files
+land in the given backend: ``data/file_<aggrank>.pbin`` per aggregator, plus
+``spatial.meta`` and ``manifest.json`` from rank 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import build_adaptive_grid
+from repro.core.aggregation import AggregationGrid, BaseAggregationGrid, FreeAggregationGrid
+from repro.core.config import WriterConfig
+from repro.core.exchange import exchange_particles
+from repro.core.lod import order_for_heuristic
+from repro.domain.decomposition import PatchDecomposition
+from repro.domain.grid import CellGrid
+from repro.errors import ConfigError
+from repro.format.datafile import data_file_name, write_data_file
+from repro.format.manifest import Manifest
+from repro.format.metadata import MetadataRecord, SpatialMetadata
+from repro.io.backend import FileBackend
+from repro.mpi.comm import SimComm
+from repro.particles.batch import ParticleBatch
+from repro.utils.timing import TimeBreakdown
+
+#: Phase names used in per-rank breakdowns (Fig. 6's two bars are
+#: ``aggregation`` and ``file_io``).
+PHASE_SETUP = "setup"
+PHASE_AGGREGATION = "aggregation"
+PHASE_LOD = "lod"
+PHASE_FILE_IO = "file_io"
+PHASE_METADATA = "metadata"
+
+
+@dataclass
+class WriteResult:
+    """Per-rank outcome of a collective write."""
+
+    rank: int
+    num_files: int
+    files_written: list[str] = field(default_factory=list)
+    bytes_written: int = 0
+    particles_sent: int = 0
+    particles_received: int = 0
+    aggregators_contacted: int = 0
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    @property
+    def is_aggregator(self) -> bool:
+        return bool(self.files_written)
+
+
+class SpatialWriter:
+    """Writes particle datasets with spatially-aware two-phase I/O."""
+
+    def __init__(self, config: WriterConfig | None = None):
+        self.config = config or WriterConfig()
+
+    # -- grid construction (steps 1-2) ---------------------------------------
+
+    def build_grid(
+        self,
+        comm: SimComm,
+        decomp: PatchDecomposition,
+        local_count: int,
+    ) -> BaseAggregationGrid:
+        """Step 1+2: build the aggregation grid and pick aggregators.
+
+        Adaptive mode needs one collective (the extent/count allgather of
+        §6); the static modes are fully deterministic and communication-free.
+        """
+        cfg = self.config
+        if decomp.nprocs != comm.size:
+            raise ConfigError(
+                f"decomposition has {decomp.nprocs} patches, "
+                f"communicator has {comm.size} ranks"
+            )
+        if cfg.adaptive:
+            counts = comm.allgather(int(local_count))
+            return build_adaptive_grid(decomp, counts, cfg.partition_factor)
+        if cfg.align_to_patches:
+            return AggregationGrid.aligned(decomp, cfg.partition_factor)
+        dims = tuple(
+            max(1, -(-decomp.proc_dims[a] // cfg.partition_factor[a]))
+            for a in range(3)
+        )
+        return FreeAggregationGrid(decomp, CellGrid(decomp.domain, dims))
+
+    # -- the full pipeline -----------------------------------------------------
+
+    def write(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        decomp: PatchDecomposition,
+        backend: FileBackend,
+    ) -> WriteResult:
+        cfg = self.config
+        result = WriteResult(rank=comm.rank, num_files=0)
+        bd = result.breakdown
+
+        with bd.measure(PHASE_SETUP):
+            grid = self.build_grid(comm, decomp, len(batch))
+            result.num_files = grid.num_files
+
+        # Steps 3-5: metadata exchange, buffer allocation, particle exchange.
+        with bd.measure(PHASE_AGGREGATION):
+            exchange = exchange_particles(comm, grid, batch)
+        result.particles_sent = exchange.particles_sent
+        result.particles_received = exchange.particles_received
+        result.aggregators_contacted = exchange.aggregators_contacted
+
+        # Step 6: LOD reordering, per owned partition.
+        ordered: dict[int, ParticleBatch] = {}
+        with bd.measure(PHASE_LOD):
+            for pid, agg_batch in exchange.aggregated.items():
+                if len(agg_batch):
+                    order = order_for_heuristic(
+                        agg_batch,
+                        cfg.lod_heuristic,
+                        cfg.lod_seed,
+                        agg_rank=comm.rank,
+                        bounds=grid.partition_box(pid),
+                    )
+                    ordered[pid] = agg_batch.permuted(order)
+                else:
+                    ordered[pid] = agg_batch
+
+        # Step 7: one independent file per aggregator.
+        local_records: list[MetadataRecord] = []
+        with bd.measure(PHASE_FILE_IO):
+            for pid, agg_batch in ordered.items():
+                path = data_file_name(comm.rank)
+                result.bytes_written += write_data_file(
+                    backend, path, agg_batch, actor=comm.rank
+                )
+                result.files_written.append(path)
+                local_records.append(
+                    MetadataRecord(
+                        box_id=pid,
+                        agg_rank=comm.rank,
+                        particle_count=len(agg_batch),
+                        bounds=grid.partition_box(pid),
+                        attr_ranges=self._attr_ranges(agg_batch),
+                    )
+                )
+
+        # Step 8: gather bounding boxes to rank 0, write spatial metadata.
+        with bd.measure(PHASE_METADATA):
+            all_records = comm.allgather(local_records)
+            if comm.rank == 0:
+                records = sorted(
+                    (r for recs in all_records for r in recs),
+                    key=lambda r: r.box_id,
+                )
+                table = SpatialMetadata(records, attr_names=cfg.attr_index)
+                table.write(backend, actor=0)
+                manifest = Manifest(
+                    dtype=batch.dtype,
+                    num_files=len(records),
+                    total_particles=table.total_particles,
+                    lod_base=cfg.lod_base,
+                    lod_scale=cfg.lod_scale,
+                    lod_heuristic=cfg.lod_heuristic,
+                    lod_seed=cfg.lod_seed,
+                    writer={
+                        "config": cfg.describe(),
+                        "nprocs": comm.size,
+                        "proc_dims": list(decomp.proc_dims),
+                        "domain": {
+                            "lo": decomp.domain.lo.tolist(),
+                            "hi": decomp.domain.hi.tolist(),
+                        },
+                    },
+                )
+                manifest.write(backend, actor=0)
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _attr_ranges(self, batch: ParticleBatch) -> dict[str, tuple[float, float]]:
+        """Per-attribute (min, max) for the metadata index.
+
+        An empty file gets ``(+inf, -inf)`` so that no range query ever
+        matches it — the natural identity for a min/max interval.
+        """
+        out: dict[str, tuple[float, float]] = {}
+        for name in self.config.attr_index:
+            if name not in (batch.dtype.names or ()):
+                raise ConfigError(
+                    f"attr_index names {name!r}, not a field of {batch.dtype}"
+                )
+            if len(batch):
+                col = np.asarray(batch.data[name], dtype=np.float64)
+                out[name] = (float(col.min()), float(col.max()))
+            else:
+                out[name] = (float("inf"), float("-inf"))
+        return out

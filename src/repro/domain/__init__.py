@@ -1,0 +1,7 @@
+"""Geometry substrate: axis-aligned boxes, grids, and domain decompositions."""
+
+from repro.domain.box import Box
+from repro.domain.grid import CellGrid
+from repro.domain.decomposition import PatchDecomposition, factor_into_grid
+
+__all__ = ["Box", "CellGrid", "PatchDecomposition", "factor_into_grid"]

@@ -1,0 +1,93 @@
+"""Simulation-side domain decomposition.
+
+The paper's setting is a uniform-resolution simulation whose domain is split
+into one equal patch per process, rank-ordered x-fastest.
+:class:`PatchDecomposition` captures that: it is a
+:class:`~repro.domain.grid.CellGrid` whose cell (i, j, k) is the patch of
+rank ``flatten(i, j, k)``.  :func:`factor_into_grid` produces near-cubic
+process grids for a given rank count, mirroring what MPI_Dims_create would
+pick for the weak-scaling experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.domain.grid import CellGrid
+from repro.errors import DomainError
+
+
+def factor_into_grid(nprocs: int) -> tuple[int, int, int]:
+    """Factor ``nprocs`` into a near-cubic (nx, ny, nz), nx >= ny >= nz.
+
+    Greedy balanced factorization: repeatedly peel the largest prime factor
+    onto the currently smallest axis.  For powers of two this reproduces the
+    layouts the paper's experiments use (512 -> 8x8x8, 4096 -> 16x16x16,
+    262144 -> 64x64x64).
+    """
+    if nprocs < 1:
+        raise DomainError(f"nprocs must be >= 1, got {nprocs}")
+    dims = [1, 1, 1]
+    for p in _prime_factors_desc(nprocs):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))  # type: ignore[return-value]
+
+
+def _prime_factors_desc(n: int) -> list[int]:
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+class PatchDecomposition:
+    """One equal axis-aligned patch per rank over a shared domain."""
+
+    def __init__(self, domain: Box, proc_dims: Sequence[int]):
+        self.grid = CellGrid(domain, proc_dims)
+
+    @classmethod
+    def for_nprocs(cls, domain: Box, nprocs: int) -> "PatchDecomposition":
+        """Decomposition with an automatically factored process grid."""
+        return cls(domain, factor_into_grid(nprocs))
+
+    @property
+    def domain(self) -> Box:
+        return self.grid.domain
+
+    @property
+    def proc_dims(self) -> tuple[int, int, int]:
+        return self.grid.dims
+
+    @property
+    def nprocs(self) -> int:
+        return self.grid.num_cells
+
+    def patch_of_rank(self, rank: int) -> Box:
+        """The axis-aligned patch owned by ``rank``."""
+        return self.grid.cell_box_flat(rank)
+
+    def rank_of_cell(self, ijk: Sequence[int]) -> int:
+        return int(self.grid.flatten_index(np.asarray(ijk)))
+
+    def cell_of_rank(self, rank: int) -> tuple[int, int, int]:
+        return self.grid.unflatten_index(rank)
+
+    def all_patches(self) -> list[Box]:
+        return self.grid.boxes()
+
+    def ranks_intersecting(self, box: Box) -> list[int]:
+        """Ranks whose patches overlap ``box`` — used by read-side planning."""
+        return self.grid.cells_intersecting(box)
+
+    def __repr__(self) -> str:
+        return f"PatchDecomposition(domain={self.domain}, proc_dims={self.proc_dims})"

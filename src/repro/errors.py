@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Subsystems add narrower categories: the simulated
+MPI runtime, the file format, configuration validation, and query evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class DomainError(ReproError, ValueError):
+    """A geometric object (box, grid, decomposition) is malformed."""
+
+
+class MPIError(ReproError, RuntimeError):
+    """Base class for simulated-MPI failures."""
+
+
+class DeadlockError(MPIError):
+    """The deadlock watchdog determined that no rank can make progress."""
+
+
+class RankFailedError(MPIError):
+    """One or more simulated ranks raised; carries the per-rank exceptions."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"{len(self.failures)} rank(s) failed (ranks {ranks}); "
+            f"first failure: {first!r}"
+        )
+
+
+class CommMismatchError(MPIError):
+    """A collective was called with inconsistent arguments across ranks."""
+
+
+class FormatError(ReproError, ValueError):
+    """An on-disk structure (data file, metadata table, manifest) is corrupt."""
+
+
+class MetadataError(FormatError):
+    """The spatial metadata table is missing, truncated, or inconsistent."""
+
+
+class DataFileError(FormatError):
+    """A particle data file is missing, truncated, or inconsistent."""
+
+
+class QueryError(ReproError, ValueError):
+    """A spatial or attribute query is malformed."""
+
+
+class BackendError(ReproError, OSError):
+    """A storage backend operation failed."""

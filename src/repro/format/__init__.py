@@ -1,0 +1,42 @@
+"""On-disk format: data files, spatial metadata table, dataset manifest.
+
+A dataset written by the spatially-aware writer is a directory::
+
+    <dataset>/
+        manifest.json     # schema, LOD parameters, writer configuration
+        spatial.meta      # binary Fig.-4 table: per-file bounding boxes
+        data/
+            file_<rank>.pbin   # LOD-ordered particle records, one per aggregator
+
+The spatial metadata table is the paper's Figure 4 structure — box id,
+aggregator rank (from which the data file name derives), low corner, high
+corner — extended with the per-file particle count (needed by LOD prefix
+reads) and the optional per-file attribute min/max index the paper lists as
+planned future work (§3.5), which powers range-query file pruning.
+"""
+
+from repro.format.datafile import (
+    DATA_MAGIC,
+    data_file_name,
+    read_data_file,
+    read_data_prefix,
+    write_data_file,
+)
+from repro.format.metadata import (
+    META_MAGIC,
+    MetadataRecord,
+    SpatialMetadata,
+)
+from repro.format.manifest import Manifest
+
+__all__ = [
+    "DATA_MAGIC",
+    "META_MAGIC",
+    "data_file_name",
+    "write_data_file",
+    "read_data_file",
+    "read_data_prefix",
+    "MetadataRecord",
+    "SpatialMetadata",
+    "Manifest",
+]

@@ -1,0 +1,125 @@
+"""Particle data files.
+
+Each aggregator writes one data file holding its LOD-ordered particles.  The
+layout is a small fixed header followed by the raw little-endian structured
+records::
+
+    offset  size  field
+    0       8     magic  b"SPIODATA"
+    8       4     format version (u32)
+    12      4     record size in bytes (u32)  — guards dtype mismatches
+    16      8     particle count (u64)
+    24      ...   particle records
+
+The header stores only the record *size*; the full dtype lives in the
+dataset manifest.  Keeping it in both places lets a reader detect a manifest
+/ data-file mismatch without decoding garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import DataFileError
+from repro.io.backend import FileBackend
+from repro.particles.batch import ParticleBatch
+
+DATA_MAGIC = b"SPIODATA"
+DATA_VERSION = 1
+_HEADER = struct.Struct("<8sIIQ")
+HEADER_BYTES = _HEADER.size
+
+
+def data_file_name(agg_rank: int) -> str:
+    """Data files are named from the aggregator's rank, as in Fig. 4
+    ("Agg rank is used to derive the name of the data file")."""
+    if agg_rank < 0:
+        raise DataFileError(f"aggregator rank must be >= 0, got {agg_rank}")
+    return f"data/file_{agg_rank}.pbin"
+
+
+def write_data_file(
+    backend: FileBackend, path: str, batch: ParticleBatch, actor: int = -1
+) -> int:
+    """Write ``batch`` (already LOD-ordered) to ``path``; returns bytes written."""
+    payload = batch.tobytes()
+    header = _HEADER.pack(
+        DATA_MAGIC, DATA_VERSION, batch.dtype.itemsize, len(batch)
+    )
+    blob = header + payload
+    backend.write_file(path, blob, actor=actor)
+    return len(blob)
+
+
+def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> int:
+    if len(raw) < HEADER_BYTES:
+        raise DataFileError(f"{path}: truncated header ({len(raw)} bytes)")
+    magic, version, rec_size, count = _HEADER.unpack_from(raw)
+    if magic != DATA_MAGIC:
+        raise DataFileError(f"{path}: bad magic {magic!r}")
+    if version != DATA_VERSION:
+        raise DataFileError(f"{path}: unsupported version {version}")
+    if rec_size != dtype.itemsize:
+        raise DataFileError(
+            f"{path}: record size {rec_size} does not match dtype itemsize "
+            f"{dtype.itemsize} — manifest and data file disagree"
+        )
+    return int(count)
+
+
+def read_data_file(
+    backend: FileBackend, path: str, dtype: np.dtype, actor: int = -1
+) -> ParticleBatch:
+    """Read every particle in ``path``."""
+    raw = backend.read_file(path, actor=actor)
+    count = _parse_header(raw, path, dtype)
+    expected = HEADER_BYTES + count * dtype.itemsize
+    if len(raw) != expected:
+        raise DataFileError(
+            f"{path}: expected {expected} bytes for {count} particles, "
+            f"found {len(raw)}"
+        )
+    return ParticleBatch.frombuffer(raw[HEADER_BYTES:], dtype)
+
+
+def read_data_prefix(
+    backend: FileBackend,
+    path: str,
+    dtype: np.dtype,
+    count: int,
+    offset_particles: int = 0,
+    actor: int = -1,
+) -> ParticleBatch:
+    """Read ``count`` particles starting at ``offset_particles``.
+
+    This is the LOD read primitive: because files are written in level-of-
+    detail order, a prefix *is* a coarse representation, and progressive
+    refinement reads the next slice without re-reading the previous one.
+    """
+    if count < 0 or offset_particles < 0:
+        raise DataFileError(
+            f"negative count/offset ({count}, {offset_particles}) for {path}"
+        )
+    header = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
+    total = _parse_header(header, path, dtype)
+    if offset_particles + count > total:
+        raise DataFileError(
+            f"{path}: slice [{offset_particles}, {offset_particles + count}) "
+            f"exceeds particle count {total}"
+        )
+    if count == 0:
+        return ParticleBatch(np.empty(0, dtype=dtype))
+    start = HEADER_BYTES + offset_particles * dtype.itemsize
+    raw = backend.read_range(path, start, count * dtype.itemsize, actor=actor)
+    return ParticleBatch.frombuffer(raw, dtype)
+
+
+def peek_particle_count(backend: FileBackend, path: str, actor: int = -1) -> int:
+    """Particle count from the header alone (no payload read)."""
+    header = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
+    if len(header) < HEADER_BYTES or header[:8] != DATA_MAGIC:
+        raise DataFileError(f"{path}: not a particle data file")
+    _, _, _, count = _HEADER.unpack_from(header)
+    return int(count)

@@ -1,0 +1,134 @@
+"""The dataset manifest: everything a reader needs that isn't per-file.
+
+``manifest.json`` records the particle dtype (as a NumPy ``descr``), the LOD
+parameters the dataset was written with (base level size ``P``, resolution
+scale ``S``, ordering heuristic, shuffle seed), and the writer configuration
+(partition factor, process grid, adaptivity) for provenance.  The spatial
+table lives separately in binary (``spatial.meta``) because readers on many
+ranks parse it on their hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.io.backend import FileBackend
+
+MANIFEST_PATH = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def _dtype_to_descr(dtype: np.dtype) -> list:
+    descr = dtype.descr
+    # JSON has no tuples; normalise to lists for stable round-trips.
+    return json.loads(json.dumps(descr))
+
+
+def _descr_to_dtype(descr: Any) -> np.dtype:
+    def detuple(item):
+        if isinstance(item, list):
+            out = [detuple(x) for x in item]
+            if (
+                len(out) in (2, 3)
+                and isinstance(out[0], str)
+                and isinstance(out[1], (str, list))
+            ):
+                if len(out) == 3:
+                    return (out[0], out[1], tuple(out[2]))
+                return tuple(out)
+            return out
+        return item
+
+    try:
+        return np.dtype(detuple(descr))
+    except Exception as exc:
+        raise FormatError(f"manifest has an invalid dtype descr: {descr!r}") from exc
+
+
+@dataclass
+class Manifest:
+    """Dataset-level metadata, serialised as ``manifest.json``."""
+
+    dtype: np.dtype
+    num_files: int
+    total_particles: int
+    lod_base: int = 32          # P: particles per reading process in level 0
+    lod_scale: int = 2          # S: per-level multiplier
+    lod_heuristic: str = "random"
+    lod_seed: int | None = 0
+    writer: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.dtype = np.dtype(self.dtype)
+        if self.lod_base < 1:
+            raise FormatError(f"lod_base must be >= 1, got {self.lod_base}")
+        if self.lod_scale < 2:
+            raise FormatError(f"lod_scale must be >= 2, got {self.lod_scale}")
+        if self.num_files < 0 or self.total_particles < 0:
+            raise FormatError("num_files and total_particles must be >= 0")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "format": "spio-particles",
+            "version": MANIFEST_VERSION,
+            "dtype_descr": _dtype_to_descr(self.dtype),
+            "num_files": self.num_files,
+            "total_particles": self.total_particles,
+            "lod": {
+                "base": self.lod_base,
+                "scale": self.lod_scale,
+                "heuristic": self.lod_heuristic,
+                "seed": self.lod_seed,
+            },
+            "writer": self.writer,
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"manifest is not valid JSON: {exc}") from exc
+        if doc.get("format") != "spio-particles":
+            raise FormatError(f"not a particle dataset manifest: {doc.get('format')!r}")
+        if doc.get("version") != MANIFEST_VERSION:
+            raise FormatError(f"unsupported manifest version {doc.get('version')!r}")
+        try:
+            lod = doc["lod"]
+            return cls(
+                dtype=_descr_to_dtype(doc["dtype_descr"]),
+                num_files=int(doc["num_files"]),
+                total_particles=int(doc["total_particles"]),
+                lod_base=int(lod["base"]),
+                lod_scale=int(lod["scale"]),
+                lod_heuristic=str(lod["heuristic"]),
+                lod_seed=None if lod["seed"] is None else int(lod["seed"]),
+                writer=dict(doc.get("writer", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"manifest missing or malformed field: {exc}") from exc
+
+    def write(self, backend: FileBackend, path: str = MANIFEST_PATH, actor: int = -1) -> None:
+        backend.write_file(path, self.to_json().encode("utf-8"), actor=actor)
+
+    @classmethod
+    def read(cls, backend: FileBackend, path: str = MANIFEST_PATH, actor: int = -1) -> "Manifest":
+        try:
+            raw = backend.read_file(path, actor=actor)
+        except Exception as exc:
+            raise FormatError(f"cannot read manifest {path!r}: {exc}") from exc
+        return cls.from_json(raw.decode("utf-8"))
+
+    def summary(self) -> dict[str, Any]:
+        """A printable summary (used by examples)."""
+        d = asdict(self)
+        d["dtype"] = str(self.dtype)
+        return d

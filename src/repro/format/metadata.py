@@ -1,0 +1,219 @@
+"""The binary spatial metadata table (paper Fig. 4, plus extensions).
+
+Rank 0 writes one ``spatial.meta`` file per dataset.  Each record describes
+one data file: the id of its aggregation box, the aggregator rank (the data
+file name derives from it), and the bounding box of the particles inside.
+The boxes are unique and non-overlapping by construction of the aggregation
+grid — a reader answering a box query intersects its query against this
+table and opens only the matching files.
+
+Extensions over the paper's figure, both backwards-compatible:
+
+* per-record particle count — required to compute LOD prefix lengths, and a
+  cheap integrity check;
+* optional per-record, per-attribute (min, max) pairs — the future-work
+  index of §3.5 used by attribute-range queries to prune files.
+
+Layout (little-endian)::
+
+    header:  magic "SPIOMETA" | u32 version | u32 num_records
+             u32 num_attrs | u32 reserved
+             num_attrs x (u32 name_len | name utf-8)
+    records: u64 box_id | u64 agg_rank | u64 particle_count
+             f64 lo[3] | f64 hi[3]
+             num_attrs x (f64 min | f64 max)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.domain.box import Box
+from repro.errors import MetadataError
+from repro.format.datafile import data_file_name
+from repro.io.backend import FileBackend
+
+META_MAGIC = b"SPIOMETA"
+META_VERSION = 2
+META_PATH = "spatial.meta"
+
+_HEADER = struct.Struct("<8sIIII")
+_RECORD_FIXED = struct.Struct("<QQQ6d")
+
+
+@dataclass
+class MetadataRecord:
+    """One data file's entry in the spatial metadata table."""
+
+    box_id: int
+    agg_rank: int
+    particle_count: int
+    bounds: Box
+    attr_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def file_path(self) -> str:
+        return data_file_name(self.agg_rank)
+
+
+class SpatialMetadata:
+    """The full table: an ordered list of records plus attribute names."""
+
+    def __init__(self, records: list[MetadataRecord], attr_names: tuple[str, ...] = ()):
+        self.records = list(records)
+        self.attr_names = tuple(attr_names)
+        self._validate()
+
+    def _validate(self) -> None:
+        seen_ids: set[int] = set()
+        seen_ranks: set[int] = set()
+        for rec in self.records:
+            if rec.box_id in seen_ids:
+                raise MetadataError(f"duplicate box id {rec.box_id}")
+            if rec.agg_rank in seen_ranks:
+                raise MetadataError(
+                    f"duplicate aggregator rank {rec.agg_rank} — two records "
+                    "would map to the same data file"
+                )
+            seen_ids.add(rec.box_id)
+            seen_ranks.add(rec.agg_rank)
+            missing = set(self.attr_names) - set(rec.attr_ranges)
+            if missing:
+                raise MetadataError(
+                    f"record {rec.box_id} missing attr ranges for {sorted(missing)}"
+                )
+        # Pairwise overlap validation is quadratic; skip it for very large
+        # tables (functional datasets have at most a few hundred files).
+        if len(self.records) > 2048:
+            return
+        for i, a in enumerate(self.records):
+            for b in self.records[i + 1 :]:
+                if a.bounds.intersects(b.bounds):
+                    raise MetadataError(
+                        f"bounding boxes of files {a.agg_rank} and {b.agg_rank} "
+                        f"overlap ({a.bounds} vs {b.bounds}) — the aggregation "
+                        "grid guarantees disjoint regions"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def total_particles(self) -> int:
+        return sum(r.particle_count for r in self.records)
+
+    def domain(self) -> Box:
+        """Bounding box over all records (the populated domain)."""
+        if not self.records:
+            raise MetadataError("empty metadata table has no domain")
+        return Box.bounding(r.bounds for r in self.records)
+
+    # -- queries -----------------------------------------------------------
+
+    def files_intersecting(self, box: Box) -> list[MetadataRecord]:
+        """Records whose bounds overlap ``box`` — the read-side file pruner."""
+        return [r for r in self.records if r.bounds.intersects(box)]
+
+    def files_in_attr_range(
+        self, attr: str, lo: float, hi: float
+    ) -> list[MetadataRecord]:
+        """Records whose [min, max] for ``attr`` overlaps [lo, hi]."""
+        if attr not in self.attr_names:
+            raise MetadataError(
+                f"attribute {attr!r} not indexed; table has {self.attr_names}"
+            )
+        out = []
+        for rec in self.records:
+            amin, amax = rec.attr_ranges[attr]
+            if amax >= lo and amin <= hi:
+                out.append(rec)
+        return out
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            _HEADER.pack(
+                META_MAGIC, META_VERSION, len(self.records), len(self.attr_names), 0
+            )
+        ]
+        for name in self.attr_names:
+            encoded = name.encode("utf-8")
+            parts.append(struct.pack("<I", len(encoded)))
+            parts.append(encoded)
+        for rec in self.records:
+            parts.append(
+                _RECORD_FIXED.pack(
+                    rec.box_id,
+                    rec.agg_rank,
+                    rec.particle_count,
+                    *rec.bounds.lo,
+                    *rec.bounds.hi,
+                )
+            )
+            for name in self.attr_names:
+                amin, amax = rec.attr_ranges[name]
+                parts.append(struct.pack("<2d", amin, amax))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SpatialMetadata":
+        if len(raw) < _HEADER.size:
+            raise MetadataError(f"metadata truncated: {len(raw)} bytes")
+        magic, version, num_records, num_attrs, _ = _HEADER.unpack_from(raw)
+        if magic != META_MAGIC:
+            raise MetadataError(f"bad metadata magic {magic!r}")
+        if version != META_VERSION:
+            raise MetadataError(f"unsupported metadata version {version}")
+        pos = _HEADER.size
+        names: list[str] = []
+        for _ in range(num_attrs):
+            if pos + 4 > len(raw):
+                raise MetadataError("metadata truncated in attribute names")
+            (name_len,) = struct.unpack_from("<I", raw, pos)
+            pos += 4
+            if pos + name_len > len(raw):
+                raise MetadataError("metadata truncated in attribute names")
+            names.append(raw[pos : pos + name_len].decode("utf-8"))
+            pos += name_len
+        records: list[MetadataRecord] = []
+        rec_extra = 16 * num_attrs
+        for i in range(num_records):
+            if pos + _RECORD_FIXED.size + rec_extra > len(raw):
+                raise MetadataError(
+                    f"metadata truncated at record {i}/{num_records}"
+                )
+            vals = _RECORD_FIXED.unpack_from(raw, pos)
+            pos += _RECORD_FIXED.size
+            box_id, agg_rank, count = vals[0], vals[1], vals[2]
+            bounds = Box(vals[3:6], vals[6:9])
+            ranges: dict[str, tuple[float, float]] = {}
+            for name in names:
+                amin, amax = struct.unpack_from("<2d", raw, pos)
+                pos += 16
+                ranges[name] = (amin, amax)
+            records.append(
+                MetadataRecord(int(box_id), int(agg_rank), int(count), bounds, ranges)
+            )
+        if pos != len(raw):
+            raise MetadataError(
+                f"{len(raw) - pos} trailing bytes after {num_records} records"
+            )
+        return cls(records, tuple(names))
+
+    def write(self, backend: FileBackend, path: str = META_PATH, actor: int = -1) -> None:
+        backend.write_file(path, self.to_bytes(), actor=actor)
+
+    @classmethod
+    def read(
+        cls, backend: FileBackend, path: str = META_PATH, actor: int = -1
+    ) -> "SpatialMetadata":
+        try:
+            raw = backend.read_file(path, actor=actor)
+        except Exception as exc:
+            raise MetadataError(f"cannot read spatial metadata {path!r}: {exc}") from exc
+        return cls.from_bytes(raw)

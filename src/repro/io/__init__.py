@@ -1,0 +1,19 @@
+"""Storage backends: where datasets' bytes actually live.
+
+Two interchangeable backends implement the same small interface
+(:class:`FileBackend`):
+
+* :class:`PosixBackend` — a directory on the real filesystem; used by the
+  examples and the functional tests, so write→read cycles exercise real
+  bytes on a real FS.
+* :class:`VirtualBackend` — an in-memory filesystem that records every
+  operation (creates, opens, writes, reads with offsets).  The recorded op
+  stream is what the performance models replay against a machine's storage
+  model, and what tests assert on ("the reader opened exactly one file").
+"""
+
+from repro.io.backend import FileBackend, IoOp
+from repro.io.posix import PosixBackend
+from repro.io.virtual import VirtualBackend
+
+__all__ = ["FileBackend", "IoOp", "PosixBackend", "VirtualBackend"]

@@ -1,0 +1,70 @@
+"""The storage-backend interface and the I/O operation record.
+
+Backends are deliberately tiny: whole-file create/write, ranged reads, and
+directory listing are all the library needs.  Paths are POSIX-style strings
+relative to the backend root ("data/file_0.pbin"); backends own the mapping
+to whatever actually stores the bytes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IoOp:
+    """One recorded storage operation.
+
+    ``kind`` is one of ``create``, ``open``, ``read``, ``write``, ``list``.
+    ``nbytes`` is 0 for metadata-only operations.  ``offset`` is -1 when the
+    operation is not positional (whole-file write, open).  ``actor`` tags the
+    logical process that issued the op (reader rank / aggregator rank), which
+    lets the performance model attribute per-process costs.
+    """
+
+    kind: str
+    path: str
+    nbytes: int = 0
+    offset: int = -1
+    actor: int = -1
+
+
+class FileBackend(ABC):
+    """Minimal filesystem interface shared by POSIX and virtual storage."""
+
+    @abstractmethod
+    def write_file(self, path: str, data: bytes, actor: int = -1) -> None:
+        """Create (or replace) ``path`` with ``data`` in one shot."""
+
+    @abstractmethod
+    def read_file(self, path: str, actor: int = -1) -> bytes:
+        """Read the entire contents of ``path``."""
+
+    @abstractmethod
+    def read_range(
+        self, path: str, offset: int, length: int, actor: int = -1
+    ) -> bytes:
+        """Read ``length`` bytes at ``offset``.  Short reads are an error."""
+
+    @abstractmethod
+    def exists(self, path: str) -> bool: ...
+
+    @abstractmethod
+    def size(self, path: str) -> int: ...
+
+    @abstractmethod
+    def listdir(self, path: str) -> list[str]:
+        """Names (not paths) of entries directly under directory ``path``."""
+
+    @abstractmethod
+    def delete(self, path: str) -> None: ...
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        parts = [p for p in path.split("/") if p not in ("", ".")]
+        if any(p == ".." for p in parts):
+            raise ValueError(f"path may not contain '..': {path!r}")
+        return "/".join(parts)

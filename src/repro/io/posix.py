@@ -1,0 +1,81 @@
+"""Real-filesystem backend rooted at a directory."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import BackendError
+from repro.io.backend import FileBackend
+
+
+class PosixBackend(FileBackend):
+    """Stores backend paths as real files under ``root``.
+
+    ``root`` is created on construction if missing.  All library paths are
+    relative; escaping the root (via ``..``) is rejected by the base class.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _full(self, path: str) -> Path:
+        return self.root / self._normalize(path)
+
+    def write_file(self, path: str, data: bytes, actor: int = -1) -> None:
+        full = self._full(path)
+        full.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            full.write_bytes(data)
+        except OSError as exc:
+            raise BackendError(f"writing {full}: {exc}") from exc
+
+    def read_file(self, path: str, actor: int = -1) -> bytes:
+        full = self._full(path)
+        try:
+            return full.read_bytes()
+        except OSError as exc:
+            raise BackendError(f"reading {full}: {exc}") from exc
+
+    def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
+        if offset < 0 or length < 0:
+            raise BackendError(f"negative offset/length ({offset}, {length})")
+        full = self._full(path)
+        try:
+            with open(full, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read(length)
+        except OSError as exc:
+            raise BackendError(f"reading {full}: {exc}") from exc
+        if len(data) != length:
+            raise BackendError(
+                f"short read from {full}: wanted {length} bytes at {offset}, "
+                f"got {len(data)}"
+            )
+        return data
+
+    def exists(self, path: str) -> bool:
+        return self._full(path).exists()
+
+    def size(self, path: str) -> int:
+        try:
+            return self._full(path).stat().st_size
+        except OSError as exc:
+            raise BackendError(f"stat {path!r}: {exc}") from exc
+
+    def listdir(self, path: str) -> list[str]:
+        full = self._full(path)
+        try:
+            return sorted(os.listdir(full))
+        except OSError as exc:
+            raise BackendError(f"listing {full}: {exc}") from exc
+
+    def delete(self, path: str) -> None:
+        try:
+            self._full(path).unlink()
+        except OSError as exc:
+            raise BackendError(f"deleting {path!r}: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"PosixBackend({str(self.root)!r})"

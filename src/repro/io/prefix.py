@@ -1,0 +1,48 @@
+"""A backend view rooted at a sub-path of another backend.
+
+Lets one physical backend hold many datasets (e.g. one per timestep) while
+every dataset-level component keeps using its canonical relative paths
+("manifest.json", "data/file_0.pbin").
+"""
+
+from __future__ import annotations
+
+from repro.io.backend import FileBackend
+
+
+class PrefixBackend(FileBackend):
+    """Delegates every operation to ``base`` under ``prefix/``."""
+
+    def __init__(self, base: FileBackend, prefix: str):
+        self.base = base
+        self.prefix = self._normalize(prefix)
+        if not self.prefix:
+            raise ValueError("prefix must be non-empty; use the base backend directly")
+
+    def _full(self, path: str) -> str:
+        path = self._normalize(path)
+        return f"{self.prefix}/{path}" if path else self.prefix
+
+    def write_file(self, path: str, data: bytes, actor: int = -1) -> None:
+        self.base.write_file(self._full(path), data, actor=actor)
+
+    def read_file(self, path: str, actor: int = -1) -> bytes:
+        return self.base.read_file(self._full(path), actor=actor)
+
+    def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
+        return self.base.read_range(self._full(path), offset, length, actor=actor)
+
+    def exists(self, path: str) -> bool:
+        return self.base.exists(self._full(path))
+
+    def size(self, path: str) -> int:
+        return self.base.size(self._full(path))
+
+    def listdir(self, path: str) -> list[str]:
+        return self.base.listdir(self._full(path))
+
+    def delete(self, path: str) -> None:
+        self.base.delete(self._full(path))
+
+    def __repr__(self) -> str:
+        return f"PrefixBackend({self.base!r}, prefix={self.prefix!r})"

@@ -1,0 +1,43 @@
+"""An in-process simulated MPI runtime (substrate for the I/O library).
+
+The paper's algorithms are SPMD programs over MPI point-to-point and
+collective operations.  No MPI implementation is available in this
+environment, so this package provides a functional simulator: each rank runs
+in its own thread, messages flow through in-memory mailboxes, and collective
+operations are built on the same matching rules MPI uses (source + tag,
+FIFO per (source, tag) channel).
+
+The simulator is *functional*, not *temporal*: it executes the real
+communication pattern and moves the real bytes, and it records per-rank
+traffic statistics (message counts, byte counts, peer sets) that the
+performance models in :mod:`repro.perf` consume.  Wall-clock behaviour of
+Mira/Theta-scale machines is modelled there, not here.
+
+Typical use::
+
+    from repro.mpi import run_mpi
+
+    def main(comm):
+        data = comm.allgather(comm.rank ** 2)
+        return sum(data)
+
+    results = run_mpi(8, main)   # -> [140, 140, ..., 140]
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, SimComm
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.runtime import run_mpi
+from repro.mpi.stats import TrafficStats
+from repro.mpi.world import World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SimComm",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "run_mpi",
+    "TrafficStats",
+    "World",
+]

@@ -1,0 +1,156 @@
+"""Collective operations for the simulated communicator.
+
+Implemented over the internal collective channel with linear algorithms
+(root-based fan-in/fan-out).  Functional fidelity is what matters here: the
+paper's code paths use ``MPI_Allgather`` (spatial metadata, adaptive-grid
+extent exchange), gather/bcast, barrier, and alltoall(v)-style exchanges.
+Network *cost* of collectives at scale is modelled analytically in
+:mod:`repro.perf.network`, not measured from these loops.
+
+Every collective consumes one fresh tag from ``_coll_tag()`` (two for the
+fan-in + fan-out phases of the "all" variants), so back-to-back collectives
+and overlapping sub-communicators can never cross-match.
+"""
+
+from __future__ import annotations
+
+import operator
+from functools import reduce as _functools_reduce
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommMismatchError
+
+ReduceOp = "Callable[[Any, Any], Any] | str"
+
+_NAMED_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": operator.add,
+    "prod": operator.mul,
+    "max": max,
+    "min": min,
+    "land": lambda a, b: bool(a) and bool(b),
+    "lor": lambda a, b: bool(a) or bool(b),
+}
+
+
+def _resolve_op(op: "ReduceOp") -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    try:
+        return _NAMED_OPS[op]
+    except KeyError:
+        raise CommMismatchError(
+            f"unknown reduce op {op!r}; expected one of {sorted(_NAMED_OPS)} "
+            "or a callable"
+        ) from None
+
+
+class CollectivesMixin:
+    """Collectives over the point-to-point core; mixed into ``SimComm``."""
+
+    # The mixin relies on these members of SimComm:
+    rank: int
+    size: int
+    _coll_tag: Callable[[], int]
+    _coll_send: Callable[..., None]
+    _coll_recv: Callable[..., Any]
+
+    # -- one-to-all / all-to-one -------------------------------------------
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root``; returns it on every rank."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self._coll_send(payload, dest, tag)
+            return payload
+        return self._coll_recv(root, tag)
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one payload per rank to ``root`` (rank order); None elsewhere."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = payload
+            for source in range(self.size):
+                if source != root:
+                    out[source] = self._coll_recv(source, tag)
+            return out
+        self._coll_send(payload, root, tag)
+        return None
+
+    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one payload to each rank from ``root``."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                got = None if payloads is None else len(payloads)
+                raise CommMismatchError(
+                    f"scatter root needs exactly {self.size} payloads, got {got}"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self._coll_send(payloads[dest], dest, tag)
+            return payloads[root]
+        return self._coll_recv(root, tag)
+
+    def reduce(self, payload: Any, op: "ReduceOp" = "sum", root: int = 0) -> Any:
+        """Reduce payloads to ``root`` with ``op``; None on non-roots.
+
+        Reduction is applied in rank order (deterministic), matching MPI's
+        requirement that ops be associative.
+        """
+        gathered = self.gather(payload, root)
+        if gathered is None:
+            return None
+        return _functools_reduce(_resolve_op(op), gathered)
+
+    # -- all variants --------------------------------------------------------
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Gather to rank 0 then broadcast the full list (MPI_Allgather)."""
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, payload: Any, op: "ReduceOp" = "sum") -> Any:
+        reduced = self.reduce(payload, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all: ``payloads[d]`` goes to rank ``d``.
+
+        Returns a list where slot ``s`` is what rank ``s`` sent to us.
+        """
+        if len(payloads) != self.size:
+            raise CommMismatchError(
+                f"alltoall needs exactly {self.size} payloads, got {len(payloads)}"
+            )
+        tag = self._coll_tag()
+        for dest in range(self.size):
+            if dest != self.rank:
+                self._coll_send(payloads[dest], dest, tag)
+        out: list[Any] = [None] * self.size
+        out[self.rank] = payloads[self.rank]
+        for source in range(self.size):
+            if source != self.rank:
+                out[source] = self._coll_recv(source, tag)
+        return out
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (fan-in to 0, fan-out)."""
+        self.allgather(None)
+
+    def scan(self, payload: Any, op: "ReduceOp" = "sum") -> Any:
+        """Inclusive prefix reduction: rank r gets op(p_0, ..., p_r)."""
+        everything = self.allgather(payload)
+        return _functools_reduce(_resolve_op(op), everything[: self.rank + 1])
+
+    def exscan(self, payload: Any, op: "ReduceOp" = "sum") -> Any:
+        """Exclusive prefix reduction; ``None`` on rank 0 (like MPI_Exscan)."""
+        everything = self.allgather(payload)
+        if self.rank == 0:
+            return None
+        return _functools_reduce(_resolve_op(op), everything[: self.rank])

@@ -1,0 +1,199 @@
+"""The simulated communicator.
+
+:class:`SimComm` provides the mpi4py-flavoured API surface the library uses:
+``send``/``recv``/``isend``/``irecv`` (point-to-point, with tags and
+wildcards) plus the collectives mixin (:mod:`repro.mpi.collectives`).  A
+communicator is a *view*: sub-communicators created by :meth:`split` share
+the parent's :class:`~repro.mpi.world.World` and translate group-local ranks
+to world ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import MPIError
+from repro.mpi.collectives import CollectivesMixin
+from repro.mpi.message import CHANNEL_COLL, CHANNEL_P2P, Message, snapshot_payload
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.world import World
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Collective tags pack (context id, sequence number) so that traffic from
+# different communicators, and from successive collectives on the same
+# communicator, can never cross-match.
+_COLL_SEQ_BITS = 32
+_COLL_SEQ_MASK = (1 << _COLL_SEQ_BITS) - 1
+
+
+class SimComm(CollectivesMixin):
+    """One rank's handle on a communicator over a simulated world."""
+
+    def __init__(
+        self,
+        world: World,
+        world_rank: int,
+        group: Sequence[int] | None = None,
+        context_id: int = 0,
+    ):
+        self.world = world
+        self._world_rank = world_rank
+        if group is None:
+            group = range(world.size)
+        self._group: tuple[int, ...] = tuple(group)
+        if world_rank not in self._group:
+            raise MPIError(
+                f"world rank {world_rank} is not a member of group {self._group}"
+            )
+        self._rank = self._group.index(world_rank)
+        self._context_id = context_id
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator (0-based)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._group)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the underlying world (global rank)."""
+        return self._world_rank
+
+    def world_rank_of(self, rank: int) -> int:
+        """Translate a communicator-local rank to a world rank."""
+        return self._group[self._check_rank(rank)]
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range for size-{self.size} comm")
+        return rank
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send; the buffer is reusable on return."""
+        self.isend(payload, dest, tag).wait()
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send.  Eager: the payload is snapshotted now."""
+        if tag < 0:
+            raise MPIError(f"send tag must be >= 0, got {tag}")
+        data, nbytes = snapshot_payload(payload)
+        self.world.send(
+            Message(
+                source=self._world_rank,
+                dest=self._group[self._check_rank(dest)],
+                tag=tag,
+                channel=self._p2p_channel_tag(tag)[0],
+                payload=data,
+                nbytes=nbytes,
+            )
+        )
+        return SendRequest()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        return self.irecv(source, tag).wait()
+
+    def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Blocking receive returning ``(payload, actual_source, actual_tag)``."""
+        req = self.irecv(source, tag)
+        payload = req.wait()
+        src_world, actual_tag = req.status
+        return payload, self._group.index(src_world), actual_tag
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Non-blocking receive."""
+        if source != ANY_SOURCE:
+            source = self._group[self._check_rank(source)]
+        channel, _ = self._p2p_channel_tag(max(tag, 0))
+        return RecvRequest(
+            self.world.mailboxes[self._world_rank], source, tag, channel
+        )
+
+    @staticmethod
+    def _p2p_channel_tag(tag: int) -> tuple[int, int]:
+        return CHANNEL_P2P, tag
+
+    # -- internal transport for collectives ---------------------------------
+
+    def _coll_tag(self) -> int:
+        """A fresh tag for one collective call, identical on every member.
+
+        Correct because collectives are called in the same order on all
+        ranks of a communicator (an MPI requirement the simulator inherits).
+        """
+        tag = (self._context_id << _COLL_SEQ_BITS) | (self._coll_seq & _COLL_SEQ_MASK)
+        self._coll_seq += 1
+        return tag
+
+    def _coll_send(self, payload: Any, dest: int, tag: int) -> None:
+        data, nbytes = snapshot_payload(payload)
+        self.world.send(
+            Message(
+                source=self._world_rank,
+                dest=self._group[dest],
+                tag=tag,
+                channel=CHANNEL_COLL,
+                payload=data,
+                nbytes=nbytes,
+            )
+        )
+
+    def _coll_recv(self, source: int, tag: int) -> Any:
+        msg = self.world.mailboxes[self._world_rank].wait_match(
+            self._group[source], tag, CHANNEL_COLL
+        )
+        return msg.payload
+
+    # -- communicator management ---------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "SimComm | None":
+        """Partition the communicator by ``color`` (MPI_Comm_split).
+
+        Ranks passing the same color end up in the same child communicator,
+        ordered by ``key`` (default: current rank).  Passing a negative color
+        opts out and returns ``None``.
+        """
+        if key is None:
+            key = self._rank
+        entries = self.allgather((color, key, self._rank))
+        self._split_seq += 1
+        if color < 0:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        group = [self._group[r] for (_k, r) in members]
+        child_ctx = (
+            self._context_id * 1_000_003 + self._split_seq * 131 + color + 1
+        )
+        return SimComm(self.world, self._world_rank, group, context_id=child_ctx)
+
+    def dup(self) -> "SimComm":
+        """A new communicator with the same group but isolated tag space."""
+        self._split_seq += 1
+        child_ctx = self._context_id * 1_000_003 + self._split_seq * 131
+        # Keep call counts aligned across members (dup is collective in MPI).
+        self.barrier()
+        return SimComm(
+            self.world, self._world_rank, self._group, context_id=child_ctx
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimComm(rank={self._rank}/{self.size}, "
+            f"world_rank={self._world_rank}, ctx={self._context_id})"
+        )

@@ -1,0 +1,77 @@
+"""Non-blocking request objects (MPI_Request equivalents).
+
+The paper's exchange phase uses non-blocking point-to-point messages
+(``MPI_Isend``/``MPI_Irecv`` + waitall), so the simulator exposes the same
+shape.  Sends are eager/buffered — the payload is snapshotted and delivered
+at ``isend`` time — so a :class:`SendRequest` is complete on creation.
+A :class:`RecvRequest` completes when a matching message is matched out of
+the mailbox.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Request:
+    """Base class: ``wait()`` returns the received payload (None for sends)."""
+
+    def wait(self) -> Any:
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, payload_or_None)``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> list[Any]:
+        """Wait on every request, returning their payloads in order."""
+        return [req.wait() for req in requests]
+
+
+class SendRequest(Request):
+    """An eager send: already complete when constructed."""
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> tuple[bool, None]:
+        return True, None
+
+
+class RecvRequest(Request):
+    """A pending receive bound to (source, tag) on one rank's mailbox."""
+
+    def __init__(self, mailbox, source: int, tag: int, channel: int):
+        self._mailbox = mailbox
+        self._source = source
+        self._tag = tag
+        self._channel = channel
+        self._done = False
+        self._payload: Any = None
+        self._status: tuple[int, int] | None = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            msg = self._mailbox.wait_match(self._source, self._tag, self._channel)
+            self._payload = msg.payload
+            self._status = (msg.source, msg.tag)
+            self._done = True
+        return self._payload
+
+    def test(self) -> tuple[bool, Any]:
+        if not self._done:
+            msg = self._mailbox.try_match(self._source, self._tag, self._channel)
+            if msg is None:
+                return False, None
+            self._payload = msg.payload
+            self._status = (msg.source, msg.tag)
+            self._done = True
+        return True, self._payload
+
+    @property
+    def status(self) -> tuple[int, int]:
+        """(actual source, actual tag) — valid once the request completed."""
+        if self._status is None:
+            raise RuntimeError("request not complete; call wait() first")
+        return self._status

@@ -1,0 +1,80 @@
+"""Traffic accounting for the simulated MPI runtime.
+
+The performance models need the communication *pattern* of an algorithm —
+how many messages, how many bytes, between which ranks — rather than
+wall-clock timings.  The :class:`World` feeds every completed send into a
+:class:`TrafficStats` instance, which the benchmarks and tests read back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Thread-safe accumulator of point-to-point traffic.
+
+    ``by_pair`` maps ``(source, dest)`` to ``[messages, bytes]``.  Self-sends
+    (a rank delivering to itself, e.g. an aggregator keeping its own
+    particles) are recorded separately so network models can exclude them.
+    """
+
+    by_pair: dict[tuple[int, int], list[int]] = field(
+        default_factory=lambda: defaultdict(lambda: [0, 0])
+    )
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, source: int, dest: int, nbytes: int) -> None:
+        with self._lock:
+            cell = self.by_pair[(source, dest)]
+            cell[0] += 1
+            cell[1] += int(nbytes)
+
+    # -- aggregate views -------------------------------------------------
+
+    def total_messages(self, include_self: bool = True) -> int:
+        with self._lock:
+            return sum(
+                c[0]
+                for (s, d), c in self.by_pair.items()
+                if include_self or s != d
+            )
+
+    def total_bytes(self, include_self: bool = True) -> int:
+        with self._lock:
+            return sum(
+                c[1]
+                for (s, d), c in self.by_pair.items()
+                if include_self or s != d
+            )
+
+    def bytes_sent_by(self, rank: int) -> int:
+        with self._lock:
+            return sum(c[1] for (s, _d), c in self.by_pair.items() if s == rank)
+
+    def bytes_received_by(self, rank: int) -> int:
+        with self._lock:
+            return sum(c[1] for (_s, d), c in self.by_pair.items() if d == rank)
+
+    def peers_of(self, rank: int) -> set[int]:
+        """Ranks that ``rank`` exchanged at least one message with."""
+        with self._lock:
+            peers = {d for (s, d) in self.by_pair if s == rank and d != rank}
+            peers |= {s for (s, d) in self.by_pair if d == rank and s != rank}
+            return peers
+
+    def pair_bytes(self, source: int, dest: int) -> int:
+        with self._lock:
+            return self.by_pair.get((source, dest), [0, 0])[1]
+
+    def snapshot(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """An immutable copy of the (source, dest) -> (messages, bytes) map."""
+        with self._lock:
+            return {pair: (c[0], c[1]) for pair, c in self.by_pair.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self.by_pair.clear()

@@ -1,0 +1,37 @@
+"""Particle schema, batches, and synthetic workload generators.
+
+The paper's experiments use Uintah-style particles: 15 double-precision
+values (3-vector position, 9-component stress tensor, density, volume, id)
+plus one single-precision ``type`` — 124 bytes per particle.  This package
+defines that schema as a NumPy structured dtype, a :class:`ParticleBatch`
+wrapper with geometry helpers, and generators for the particle distributions
+the evaluation exercises (uniform, clustered, shrinking-occupancy,
+injection-jet).
+"""
+
+from repro.particles.dtype import (
+    UINTAH_DTYPE,
+    UINTAH_PARTICLE_BYTES,
+    make_particle_dtype,
+    particle_nbytes,
+)
+from repro.particles.batch import ParticleBatch, concatenate
+from repro.particles.generators import (
+    clustered_particles,
+    injection_jet_particles,
+    occupancy_particles,
+    uniform_particles,
+)
+
+__all__ = [
+    "UINTAH_DTYPE",
+    "UINTAH_PARTICLE_BYTES",
+    "make_particle_dtype",
+    "particle_nbytes",
+    "ParticleBatch",
+    "concatenate",
+    "uniform_particles",
+    "clustered_particles",
+    "occupancy_particles",
+    "injection_jet_particles",
+]

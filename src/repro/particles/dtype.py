@@ -1,0 +1,81 @@
+"""Particle record layouts.
+
+The experimental setup in the paper (§5.1): "Each particle is represented by
+15 double precision values (i.e., position vector with 3 components, stress
+tensor with 9 components, density, volume, ID), and 1 single precision
+variable (i.e., type)" — 15*8 + 4 = 124 bytes.  ``UINTAH_DTYPE`` encodes
+exactly that layout; :func:`make_particle_dtype` builds reduced variants for
+tests and lighter-weight examples.
+
+All on-disk data is little-endian; the dtypes here are explicitly
+little-endian so files are portable across hosts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fields every particle dtype must start with: a 3-component position.
+POSITION_FIELD = ("position", "<f8", (3,))
+
+#: The Uintah-style particle record from the paper's evaluation (124 bytes).
+UINTAH_DTYPE = np.dtype(
+    [
+        POSITION_FIELD,
+        ("stress", "<f8", (3, 3)),
+        ("density", "<f8"),
+        ("volume", "<f8"),
+        ("id", "<f8"),
+        ("type", "<f4"),
+    ]
+)
+
+UINTAH_PARTICLE_BYTES = UINTAH_DTYPE.itemsize
+assert UINTAH_PARTICLE_BYTES == 124, UINTAH_PARTICLE_BYTES
+
+
+def make_particle_dtype(
+    extra_scalars: tuple[str, ...] = (),
+    include_stress: bool = False,
+    include_id: bool = True,
+) -> np.dtype:
+    """Build a particle dtype with a position plus optional fields.
+
+    ``extra_scalars`` adds named float64 scalar attributes (e.g.
+    ``("temperature",)``).  The position field always comes first, which the
+    file format relies on when extracting coordinates without a full decode.
+    """
+    fields: list[tuple] = [POSITION_FIELD]
+    if include_stress:
+        fields.append(("stress", "<f8", (3, 3)))
+    for name in extra_scalars:
+        if name == "position":
+            raise ValueError("'position' is implicit and cannot be re-added")
+        fields.append((name, "<f8"))
+    if include_id:
+        fields.append(("id", "<f8"))
+    return np.dtype(fields)
+
+
+#: A compact dtype for unit tests: position + id (32 bytes).
+MINIMAL_DTYPE = make_particle_dtype()
+
+
+def particle_nbytes(dtype: np.dtype) -> int:
+    """Bytes per particle for ``dtype`` (itemsize, named for readability)."""
+    return int(np.dtype(dtype).itemsize)
+
+
+def validate_particle_dtype(dtype: np.dtype) -> np.dtype:
+    """Check that ``dtype`` is a structured dtype led by a (3,) position."""
+    dtype = np.dtype(dtype)
+    if dtype.names is None or "position" not in dtype.names:
+        raise ValueError(
+            f"particle dtype must be structured with a 'position' field, got {dtype}"
+        )
+    pos = dtype["position"]
+    if pos.shape != (3,) or pos.base.kind != "f":
+        raise ValueError(
+            f"'position' must be a float (3,)-vector field, got {pos}"
+        )
+    return dtype

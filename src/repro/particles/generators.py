@@ -1,0 +1,176 @@
+"""Synthetic particle distributions used across tests, examples and benches.
+
+The paper evaluates on Uintah-style workloads (uniform per-core particle
+counts) and on progressively non-uniform distributions (§6): regions of the
+domain with lower density or no particles at all, and a coal-particle
+injection jet (Fig. 9).  Each generator here produces positions inside a
+target :class:`~repro.domain.box.Box` using half-open sampling (``[lo, hi)``)
+so tiling boxes partition the output exactly.
+
+All generators fill the non-geometric fields with plausible values (ids are
+globally unique when a ``rank`` is supplied; density/volume positive) so the
+attribute-range query paths have something real to chew on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.particles.batch import ParticleBatch
+from repro.particles.dtype import UINTAH_DTYPE
+from repro.utils.rng import spawn_rng
+
+
+def _fill_fields(
+    positions: np.ndarray,
+    dtype: np.dtype,
+    rng: np.random.Generator,
+    rank: int,
+    id_base: int,
+) -> ParticleBatch:
+    out = np.zeros(len(positions), dtype=dtype)
+    out["position"] = positions
+    names = dtype.names or ()
+    n = len(positions)
+    if "id" in names:
+        out["id"] = np.arange(id_base, id_base + n, dtype=np.float64)
+    if "density" in names:
+        out["density"] = rng.lognormal(mean=0.0, sigma=0.4, size=n)
+    if "volume" in names:
+        out["volume"] = rng.uniform(0.5, 1.5, size=n)
+    if "stress" in names:
+        out["stress"] = rng.normal(0.0, 1.0, size=(n, 3, 3))
+    if "type" in names:
+        out["type"] = (rank % 4).__float__()
+    return ParticleBatch(out)
+
+
+def _sample_in_box(box: Box, n: int, rng: np.random.Generator) -> np.ndarray:
+    """n uniform samples in [lo, hi) of ``box``."""
+    u = rng.random((n, 3))  # in [0, 1)
+    return box.lo + u * box.extent
+
+
+def uniform_particles(
+    box: Box,
+    count: int,
+    dtype: np.dtype = UINTAH_DTYPE,
+    seed: int | None = 0,
+    rank: int = 0,
+) -> ParticleBatch:
+    """``count`` particles uniformly distributed in ``box``.
+
+    ``rank`` keys the RNG stream and the global id range, so per-rank calls
+    with the same seed produce disjoint, reproducible particle sets — the
+    weak-scaling workload of §5.
+    """
+    rng = spawn_rng(seed, rank)
+    pos = _sample_in_box(box, count, rng)
+    return _fill_fields(pos, dtype, rng, rank, id_base=rank * count)
+
+
+def clustered_particles(
+    box: Box,
+    count: int,
+    num_clusters: int = 4,
+    spread: float = 0.08,
+    dtype: np.dtype = UINTAH_DTYPE,
+    seed: int | None = 0,
+    rank: int = 0,
+) -> ParticleBatch:
+    """Gaussian-blob clusters inside ``box`` (Fig. 10a-style non-uniformity).
+
+    ``spread`` is the cluster standard deviation as a fraction of the box
+    extent.  Samples falling outside the box are reflected back inside, so
+    the count is exact and the half-open invariant holds.
+    """
+    rng = spawn_rng(seed, rank, 1)
+    centers = _sample_in_box(box, num_clusters, rng)
+    assignment = rng.integers(0, num_clusters, size=count)
+    pos = centers[assignment] + rng.normal(
+        0.0, spread, size=(count, 3)
+    ) * box.extent
+    pos = _reflect_into(pos, box)
+    return _fill_fields(pos, dtype, rng, rank, id_base=rank * count)
+
+
+def occupancy_particles(
+    domain: Box,
+    patch: Box,
+    count: int,
+    occupancy: float,
+    dtype: np.dtype = UINTAH_DTYPE,
+    seed: int | None = 0,
+    rank: int = 0,
+) -> ParticleBatch:
+    """The §6.1 shrinking-occupancy workload.
+
+    Particles are confined to the sub-box covering the first ``occupancy``
+    fraction of the domain along x (100% -> whole domain, 12.5% -> first
+    eighth).  A rank whose ``patch`` lies outside the populated slab gets an
+    empty batch; a rank straddling or inside it receives ``count`` particles
+    in the overlap — total particle count is preserved across occupancy
+    levels by boosting the per-populated-rank density, exactly as in the
+    paper ("the total number of particles are same across all
+    configurations").
+    """
+    if not 0.0 < occupancy <= 1.0:
+        raise ValueError(f"occupancy must be in (0, 1], got {occupancy}")
+    hi = domain.lo.copy()
+    hi = domain.lo + domain.extent * np.array([occupancy, 1.0, 1.0])
+    slab = Box(domain.lo, hi)
+    overlap = patch.intersection(slab)
+    if overlap is None:
+        return ParticleBatch(np.zeros(0, dtype=dtype))
+    # Scale the count so the *global* total stays constant: the populated
+    # fraction of ranks carries 1/occupancy times the per-rank base load.
+    frac = overlap.volume / patch.volume
+    boosted = int(round(count * frac / occupancy))
+    rng = spawn_rng(seed, rank, 2)
+    pos = _sample_in_box(overlap, boosted, rng)
+    return _fill_fields(pos, dtype, rng, rank, id_base=rank * 4 * count)
+
+
+def injection_jet_particles(
+    domain: Box,
+    count: int,
+    progress: float = 1.0,
+    cone_half_angle: float = 0.18,
+    dtype: np.dtype = UINTAH_DTYPE,
+    seed: int | None = 0,
+    rank: int = 0,
+) -> ParticleBatch:
+    """A coal-injection-style jet (Fig. 9): particles stream from an inlet.
+
+    The jet enters at the center of the low-x face and expands as a cone
+    along +x.  ``progress`` in (0, 1] is how far into the domain the front
+    has advanced — time-stepping a simulation is modelled by increasing it.
+    Density of particles decays along the jet, with turbulence-like jitter.
+    """
+    if not 0.0 < progress <= 1.0:
+        raise ValueError(f"progress must be in (0, 1], got {progress}")
+    rng = spawn_rng(seed, rank, 3)
+    # Depth along the jet: biased toward the inlet (injected over time).
+    depth = rng.beta(1.2, 2.2, size=count) * progress
+    radius = np.tan(cone_half_angle) * depth + 0.01
+    theta = rng.uniform(0.0, 2 * np.pi, size=count)
+    r = radius * np.sqrt(rng.random(count))
+    jitter = rng.normal(0.0, 0.01, size=(count, 3))
+    ext = domain.extent
+    x = domain.lo[0] + depth * ext[0]
+    y = domain.center[1] + r * np.cos(theta) * ext[1]
+    z = domain.center[2] + r * np.sin(theta) * ext[2]
+    pos = np.stack([x, y, z], axis=1) + jitter * ext
+    pos = _reflect_into(pos, domain)
+    return _fill_fields(pos, dtype, rng, rank, id_base=rank * count)
+
+
+def _reflect_into(pos: np.ndarray, box: Box) -> np.ndarray:
+    """Reflect stray samples back into [lo, hi) of ``box``."""
+    ext = box.extent
+    rel = (pos - box.lo) / ext
+    rel = np.abs(rel)
+    rel = np.where(rel > 1.0, 2.0 - rel, rel)
+    rel = np.clip(rel, 0.0, np.nextafter(1.0, 0.0))
+    return box.lo + rel * ext

@@ -1,0 +1,62 @@
+"""Performance models of the paper's evaluation platforms.
+
+The functional layer (:mod:`repro.core` over :mod:`repro.mpi`) executes the
+real algorithms and moves real bytes; this package estimates what those
+algorithms would *cost* on the paper's machines — Mira (BG/Q, 5D torus,
+GPFS with dedicated I/O nodes), Theta (Cray KNL, dragonfly, Lustre with 48
+OSTs) and the SSD workstation used for read experiments — at the paper's
+scales (512–262,144 processes), which no functional simulator could run.
+
+The models are deliberately simple, calibrated analytic forms.  Each
+captures one first-order mechanism the paper's analysis leans on:
+
+* aggregation cost grows with the partition volume (group size), and is
+  relatively more expensive on Theta than Mira (Fig. 6);
+* GPFS throughput scales with the machine fraction (dedicated IONs) and
+  collapses under file-per-process create storms at ≥64K files (Fig. 5 top);
+* Lustre loves independent files until metadata create costs catch up,
+  letting modest aggregation (1,2,2) overtake FPP at 65,536 procs (Fig. 5
+  bottom);
+* shared-file/collective I/O degrades with process count (lock/gather
+  contention);
+* read latency = per-file open costs + bytes/bandwidth, with open costs
+  dominating on Lustre and bytes dominating on SSDs (Figs. 7-8).
+
+Absolute numbers are model outputs, not measurements; EXPERIMENTS.md
+records how the *shapes* compare to the paper's.
+"""
+
+from repro.perf.machine import (
+    MACHINES,
+    MIRA,
+    THETA,
+    WORKSTATION,
+    Machine,
+    NetworkModel,
+    StorageModel,
+)
+from repro.perf.writesim import WriteEstimate, simulate_baseline_write, simulate_write
+from repro.perf.readsim import ReadEstimate, simulate_lod_read, simulate_parallel_read
+from repro.perf.adaptivesim import simulate_adaptive_write
+from repro.perf.replay import replay_ops
+from repro.perf.des import TimelineEstimate, replay_timeline
+
+__all__ = [
+    "MACHINES",
+    "Machine",
+    "NetworkModel",
+    "StorageModel",
+    "MIRA",
+    "THETA",
+    "WORKSTATION",
+    "WriteEstimate",
+    "simulate_write",
+    "simulate_baseline_write",
+    "ReadEstimate",
+    "simulate_parallel_read",
+    "simulate_lod_read",
+    "simulate_adaptive_write",
+    "replay_ops",
+    "replay_timeline",
+    "TimelineEstimate",
+]

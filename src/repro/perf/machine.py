@@ -1,0 +1,297 @@
+"""Machine descriptions: network + storage constants for the evaluation platforms.
+
+Constants were calibrated against the numbers the paper reports in §5:
+
+* Mira — peak ~98 GB/s for our scheme at 262,144 procs (1/3 of the machine),
+  FPP collapse at ≥65–131K files, collective I/O flat and low.
+* Theta — ~216/243 GB/s at 262,144 procs with (1,2,2) for 32K/64K
+  particles-per-core, FPP at 83/160 GB/s, FPP ≈ peak at small/mid scale.
+* SSD workstation — 4×18-core Xeon, 3 TB RAM, SSDs (§5.1): negligible
+  per-file open cost relative to Theta's Lustre metadata path.
+
+Every number is a model parameter with a physical reading (bandwidths in
+bytes/second, times in seconds); none is a measurement from this repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.units import GB, MB
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """First-order aggregation-network cost model.
+
+    ``aggregate_time`` models the two-phase exchange: each aggregator
+    ingests ``(g-1)`` peer payloads of ``msg_bytes`` at ``ingest_bw``,
+    slowed by a topology-contention factor ``1 + contention * (g - 1)``
+    (shared dragonfly links hurt more than the BG/Q torus), plus a per-peer
+    latency term.  All aggregators proceed in parallel, so this is also the
+    whole exchange's makespan, floored by a bisection term for the global
+    traffic volume.
+    """
+
+    ingest_bw: float          # bytes/s one aggregator can absorb (cross-node MPI)
+    contention: float         # per-extra-peer slowdown factor
+    latency: float            # seconds per peer message
+    bisection_bw_per_core: float  # bytes/s/core of global network capacity
+    fraction_congestion: float = 0.0  # ingest slowdown as the job fills the machine
+    node_local_ingest: float | None = None  # bytes/s for on-node gathers
+    ingest_msg_half: float = 0.0  # message size at which ingest reaches half peak
+
+    def effective_ingest(self, machine_fraction: float, msg_bytes: float = float("inf")) -> float:
+        """Aggregator ingest bandwidth once machine-scale congestion bites.
+
+        Two effects: (a) on a dragonfly (Theta) the aggregation traffic of a
+        near-full-machine job shares global links with everyone else's, so
+        per-flow bandwidth drops as the allocation grows — a BG/Q torus
+        partition (Mira) is electrically isolated, so the term is ~zero
+        there; (b) small messages do not amortise per-message protocol costs
+        (``ingest_msg_half`` is the classic half-bandwidth point), which on
+        KNL's slow cores is severe.
+        """
+        size_eff = 1.0
+        if self.ingest_msg_half > 0 and msg_bytes != float("inf"):
+            size_eff = msg_bytes / (msg_bytes + self.ingest_msg_half)
+        return (
+            self.ingest_bw
+            * size_eff
+            / (1.0 + self.fraction_congestion * machine_fraction)
+        )
+
+    def aggregation_time(
+        self,
+        group_size: int,
+        msg_bytes: float,
+        nprocs: int,
+        machine_fraction: float = 0.0,
+        node_local: bool = False,
+    ) -> float:
+        """Seconds to aggregate ``group_size`` ranks' payloads everywhere.
+
+        ``node_local=True`` models collective-buffering gathers whose senders
+        share the aggregator's node (no topology contention term).
+        """
+        if group_size < 1:
+            raise ConfigError(f"group_size must be >= 1, got {group_size}")
+        peers = group_size - 1
+        if peers == 0:
+            return 0.0
+        if node_local:
+            contention = 0.0
+            ingest = self.node_local_ingest or self.ingest_bw
+        else:
+            contention = self.contention
+            ingest = self.effective_ingest(machine_fraction, msg_bytes)
+        per_agg = (
+            peers * msg_bytes * (1.0 + contention * peers) / ingest
+            + self.latency * peers
+        )
+        total_moved = nprocs * msg_bytes * peers / group_size
+        bisection = total_moved / (self.bisection_bw_per_core * nprocs)
+        return max(per_agg, bisection)
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Filesystem cost model.
+
+    ``kind`` selects the scaling regime:
+
+    * ``"gpfs-ion"`` — bandwidth proportional to the compute allocation
+      (dedicated I/O nodes are allocated with the job), quadratic metadata
+      penalty past ``create_storm_threshold`` files;
+    * ``"lustre"`` — bandwidth shared machine-wide (OSTs are a global
+      resource), near-linear create costs with a softer storm penalty;
+    * ``"ssd"`` — local storage: flat bandwidth, microsecond opens.
+    """
+
+    kind: str
+    peak_bw: float                 # aggregate bytes/s at best
+    per_writer_bw: float           # bytes/s a single writing process can push
+    per_reader_bw: float           # bytes/s a single reading process can pull
+    create_rate: float             # file creates/s the metadata service sustains
+    create_storm_threshold: float  # files beyond which creates go superlinear
+    open_cost: float               # seconds per file open (read path)
+    node_write_bw: float = float("inf")  # bytes/s of storage traffic per compute node
+    ion_fraction_slack: float = 1.0  # gpfs-ion: ION share vs compute share
+    shared_lock_scale: float = 4096.0  # procs at which shared-file contention bites
+    shared_lock_exp: float = 0.8
+    burst_floor: float = 1.0   # bandwidth fraction reached by tiny files
+    burst_half: float = 0.0    # file size at which half the burst benefit is realised
+
+    def burst_efficiency(self, file_bytes: float) -> float:
+        """Fraction of streaming bandwidth realised for files of a given size.
+
+        GPFS over dedicated IONs strongly prefers few large bursts (the
+        paper's §5.2 explanation for why aggregated configurations win on
+        Mira); Lustre with 8 MB stripes is size-insensitive past a stripe.
+        """
+        if self.burst_half <= 0:
+            return 1.0
+        return self.burst_floor + (1.0 - self.burst_floor) * file_bytes / (
+            file_bytes + self.burst_half
+        )
+
+    # -- write path ------------------------------------------------------------
+
+    def write_bandwidth(
+        self,
+        n_writers: int,
+        machine_fraction: float,
+        file_bytes: float,
+        n_nodes: int | None = None,
+    ) -> float:
+        """Aggregate streaming write bandwidth for ``n_writers`` files."""
+        if n_writers < 1:
+            raise ConfigError(f"n_writers must be >= 1, got {n_writers}")
+        bw = min(self.peak_bw, n_writers * self.per_writer_bw)
+        if n_nodes is not None:
+            bw = min(bw, n_nodes * self.node_write_bw)
+        if self.kind == "gpfs-ion":
+            # Dedicated IONs: an allocation of f of the machine sees ~f of
+            # the filesystem, with a little slack from shared spine links.
+            bw = min(bw, self.peak_bw * min(1.0, machine_fraction * self.ion_fraction_slack))
+        bw *= self.burst_efficiency(file_bytes)
+        return max(bw, 1.0)
+
+    def create_time(self, n_files: int) -> float:
+        """Metadata cost of creating ``n_files`` (the FPP storm term)."""
+        if n_files < 0:
+            raise ConfigError(f"n_files must be >= 0, got {n_files}")
+        base = n_files / self.create_rate
+        storm = n_files / self.create_storm_threshold
+        if self.kind in ("gpfs-ion", "lustre"):
+            return base * (1.0 + storm * storm)
+        return base
+
+    def shared_file_bandwidth(self, nprocs: int, machine_fraction: float = 1.0) -> float:
+        """Single-shared-file effective bandwidth under lock contention.
+
+        On the ION-mediated GPFS the shared file is additionally limited to
+        the allocation's ION share, like every other write.
+        """
+        contention = 1.0 + (nprocs / self.shared_lock_scale) ** self.shared_lock_exp
+        bw = self.peak_bw / contention
+        if self.kind == "gpfs-ion":
+            bw = min(
+                bw,
+                self.peak_bw * min(1.0, machine_fraction * self.ion_fraction_slack),
+            )
+        return max(bw, 1.0)
+
+    # -- read path ---------------------------------------------------------------
+
+    def read_bandwidth(self, n_readers: int) -> float:
+        return min(self.peak_bw, max(1, n_readers) * self.per_reader_bw)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A named platform: core layout + network + storage."""
+
+    name: str
+    total_cores: int
+    cores_per_node: int
+    network: NetworkModel
+    storage: StorageModel
+
+    def nodes_for(self, nprocs: int) -> int:
+        return -(-nprocs // self.cores_per_node)
+
+    def machine_fraction(self, nprocs: int) -> float:
+        if nprocs < 1:
+            raise ConfigError(f"nprocs must be >= 1, got {nprocs}")
+        return min(1.0, nprocs / self.total_cores)
+
+
+#: IBM Blue Gene/Q at ALCF: 49,152 nodes x 16 cores, 5D torus, GPFS with
+#: dedicated I/O nodes at 1:128.  Calibrated to Fig. 5 (top row).
+MIRA = Machine(
+    name="Mira",
+    total_cores=786_432,
+    cores_per_node=16,
+    network=NetworkModel(
+        ingest_bw=2.0 * GB,
+        contention=0.10,
+        latency=4e-6,
+        bisection_bw_per_core=0.35 * GB,
+        fraction_congestion=0.5,
+        node_local_ingest=2.0 * GB,
+    ),
+    storage=StorageModel(
+        kind="gpfs-ion",
+        peak_bw=255.0 * GB,
+        per_writer_bw=0.8 * GB,
+        per_reader_bw=0.8 * GB,
+        create_rate=20_000.0,
+        create_storm_threshold=30_000.0,
+        open_cost=1.5e-3,
+        ion_fraction_slack=1.45,
+        burst_floor=0.2,
+        burst_half=32.0 * MB,
+    ),
+)
+
+#: Cray XC40 at ALCF: 4,392 KNL nodes x 64 cores, dragonfly, Lustre with 48
+#: OSTs (8 MB stripes per the ALCF guidance the paper follows).  Calibrated
+#: to Fig. 5 (bottom row), Fig. 7 and Fig. 8.
+THETA = Machine(
+    name="Theta",
+    total_cores=281_088,
+    cores_per_node=64,
+    network=NetworkModel(
+        # KNL serial performance is low (the paper remarks on it in §3.4);
+        # a single aggregator rank ingests few-MB payloads slowly — the
+        # half-bandwidth message size is large — which is what makes big
+        # aggregation groups expensive on Theta (Fig. 6c/d).
+        ingest_bw=0.6 * GB,
+        contention=0.08,
+        latency=6e-6,
+        bisection_bw_per_core=0.10 * GB,
+        fraction_congestion=0.0,
+        node_local_ingest=1.5 * GB,
+        ingest_msg_half=40.0 * MB,
+    ),
+    storage=StorageModel(
+        kind="lustre",
+        peak_bw=280.0 * GB,
+        per_writer_bw=0.45 * GB,
+        per_reader_bw=0.45 * GB,
+        create_rate=150_000.0,
+        create_storm_threshold=150_000.0,
+        open_cost=4.0e-3,
+        node_write_bw=5.0 * GB,
+    ),
+)
+
+#: The read-experiment workstation of §5.1: 4 x 18-core Xeons, 3 TB RAM,
+#: SSDs.  Single-box storage: flat bandwidth, cheap opens.
+WORKSTATION = Machine(
+    name="SSD workstation",
+    total_cores=72,
+    cores_per_node=72,
+    network=NetworkModel(
+        ingest_bw=8.0 * GB,
+        contention=0.0,
+        latency=5e-7,
+        bisection_bw_per_core=2.0 * GB,
+    ),
+    storage=StorageModel(
+        kind="ssd",
+        # With 3 TB of RAM, a 248 GB dataset is effectively page-cache
+        # resident after first touch; aggregate read bandwidth reflects
+        # cache-assisted SSD reads, not raw device speed.
+        peak_bw=20.0 * GB,
+        per_writer_bw=1.2 * GB,
+        per_reader_bw=0.9 * GB,
+        create_rate=150_000.0,
+        create_storm_threshold=10_000_000.0,
+        open_cost=5e-5,
+    ),
+)
+
+MACHINES = {m.name: m for m in (MIRA, THETA, WORKSTATION)}

@@ -1,0 +1,116 @@
+"""Read-path cost estimation (Figures 7 and 8).
+
+Visualization-style reads are dominated by two terms: per-file open costs
+(metadata round-trips — expensive on Lustre, nearly free on an SSD box) and
+byte-streaming time.  Readers proceed in parallel, so the makespan is the
+slowest reader's sum, bounded below by the aggregate-bandwidth floor.
+
+``simulate_parallel_read`` covers the three strong-scaling cases of Fig. 7:
+
+* ``with_metadata=True`` — each reader opens only its share of files and
+  pulls only its share of bytes: both terms shrink with more readers;
+* ``with_metadata=False`` — every reader must read *every* byte of every
+  file (nothing says where particles live): adding readers does not reduce
+  per-reader work, and extra opens make things worse.
+
+``simulate_lod_read`` covers Fig. 8: ``n`` readers read levels ``0..L``.
+Every file must be opened regardless of how few particles are taken from it
+(the prefix lives at the head of each file), so low levels cost ~the open
+floor — exactly the flat region the paper sees on Theta — while high levels
+approach the full-read time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lod import cumulative_level_count
+from repro.errors import ConfigError
+from repro.perf.machine import Machine
+
+
+@dataclass(frozen=True)
+class ReadEstimate:
+    """Cost estimate for one parallel read."""
+
+    machine: str
+    case: str
+    n_readers: int
+    files_per_reader: float
+    bytes_per_reader: float
+    open_time: float
+    stream_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.open_time + self.stream_time
+
+
+def simulate_parallel_read(
+    machine: Machine,
+    n_readers: int,
+    total_files: int,
+    total_bytes: float,
+    with_metadata: bool = True,
+    case: str | None = None,
+) -> ReadEstimate:
+    """Estimate a full-dataset read by ``n_readers`` processes."""
+    if n_readers < 1 or total_files < 1:
+        raise ConfigError(
+            f"need n_readers >= 1 and total_files >= 1, got {n_readers}, {total_files}"
+        )
+    storage = machine.storage
+    if with_metadata:
+        files_per_reader = -(-total_files // n_readers)
+        bytes_per_reader = total_bytes / n_readers
+    else:
+        # No spatial table: every reader scans the whole dataset.
+        files_per_reader = total_files
+        bytes_per_reader = total_bytes
+    open_time = files_per_reader * storage.open_cost
+    per_reader_stream = bytes_per_reader / storage.per_reader_bw
+    aggregate_floor = (bytes_per_reader * n_readers) / storage.read_bandwidth(n_readers)
+    stream_time = max(per_reader_stream, aggregate_floor)
+    return ReadEstimate(
+        machine=machine.name,
+        case=case or ("with metadata" if with_metadata else "without metadata"),
+        n_readers=n_readers,
+        files_per_reader=float(files_per_reader),
+        bytes_per_reader=float(bytes_per_reader),
+        open_time=open_time,
+        stream_time=stream_time,
+    )
+
+
+def simulate_lod_read(
+    machine: Machine,
+    n_readers: int,
+    total_files: int,
+    total_particles: int,
+    particle_bytes: int,
+    upto_level: int,
+    lod_base: int = 32,
+    lod_scale: int = 2,
+) -> ReadEstimate:
+    """Estimate reading LOD levels ``0..upto_level`` with ``n_readers``."""
+    if upto_level < 0:
+        raise ConfigError(f"upto_level must be >= 0, got {upto_level}")
+    target = min(
+        total_particles,
+        cumulative_level_count(n_readers, upto_level, lod_base, lod_scale),
+    )
+    bytes_total = float(target) * particle_bytes
+    storage = machine.storage
+    files_per_reader = -(-total_files // n_readers)
+    open_time = files_per_reader * storage.open_cost
+    per_reader_stream = (bytes_total / n_readers) / storage.per_reader_bw
+    aggregate_floor = bytes_total / storage.read_bandwidth(n_readers)
+    return ReadEstimate(
+        machine=machine.name,
+        case=f"LOD<= {upto_level}",
+        n_readers=n_readers,
+        files_per_reader=float(files_per_reader),
+        bytes_per_reader=bytes_total / n_readers,
+        open_time=open_time,
+        stream_time=max(per_reader_stream, aggregate_floor),
+    )

@@ -1,0 +1,94 @@
+"""Replay a recorded I/O operation stream against a storage model.
+
+The functional layer records every backend operation when run over a
+:class:`~repro.io.virtual.VirtualBackend`.  ``replay_ops`` attributes those
+operations to their actors (reader/aggregator ranks) and estimates the
+makespan on a given machine: actors proceed in parallel; each pays per-open
+metadata costs and streams its bytes; the whole ensemble is floored by
+aggregate storage bandwidth.
+
+This bridges the two layers: the *pattern* comes from really running the
+algorithm, only the *costs* come from the model.  It is how the benchmarks
+turn a functional small-scale run into a machine-level estimate without
+hand-deriving file counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.io.backend import IoOp
+from repro.perf.machine import Machine
+
+
+@dataclass(frozen=True)
+class ReplayEstimate:
+    """Estimated cost of an op stream on a machine."""
+
+    machine: str
+    n_actors: int
+    total_opens: int
+    total_read_bytes: int
+    total_write_bytes: int
+    makespan: float
+    per_actor_times: dict[int, float]
+
+
+def replay_ops(
+    machine: Machine, ops: list[IoOp], default_actor: int = 0
+) -> ReplayEstimate:
+    """Estimate the wall-clock of ``ops`` with per-actor parallelism."""
+    storage = machine.storage
+    opens: dict[int, int] = defaultdict(int)
+    creates: dict[int, int] = defaultdict(int)
+    read_bytes: dict[int, int] = defaultdict(int)
+    write_bytes: dict[int, int] = defaultdict(int)
+
+    for op in ops:
+        actor = op.actor if op.actor >= 0 else default_actor
+        if op.kind == "open":
+            opens[actor] += 1
+        elif op.kind == "create":
+            creates[actor] += 1
+        elif op.kind == "read":
+            read_bytes[actor] += op.nbytes
+        elif op.kind == "write":
+            write_bytes[actor] += op.nbytes
+        # "list" ops are treated as one open-equivalent metadata round-trip.
+        elif op.kind == "list":
+            opens[actor] += 1
+
+    actors = set(opens) | set(creates) | set(read_bytes) | set(write_bytes)
+    if not actors:
+        return ReplayEstimate(machine.name, 0, 0, 0, 0, 0.0, {})
+
+    per_actor: dict[int, float] = {}
+    for actor in actors:
+        t = opens[actor] * storage.open_cost
+        t += read_bytes[actor] / storage.per_reader_bw
+        t += write_bytes[actor] / storage.per_writer_bw
+        per_actor[actor] = t
+
+    total_reads = sum(read_bytes.values())
+    total_writes = sum(write_bytes.values())
+    total_creates = sum(creates.values())
+    n = len(actors)
+    floor = (
+        total_reads / storage.read_bandwidth(n)
+        + total_writes
+        / storage.write_bandwidth(
+            max(1, total_creates or n), machine.machine_fraction(n), 64 * 2**20
+        )
+        + storage.create_time(total_creates)
+    )
+    makespan = max(max(per_actor.values()), floor)
+    return ReplayEstimate(
+        machine=machine.name,
+        n_actors=n,
+        total_opens=sum(opens.values()),
+        total_read_bytes=total_reads,
+        total_write_bytes=total_writes,
+        makespan=makespan,
+        per_actor_times=per_actor,
+    )

@@ -1,0 +1,18 @@
+"""Read-side query engines over the spatial format.
+
+The paper motivates the format with region-dependent analysis tasks
+(§3: "nearest neighbour search, vector field integration, stencil
+operations, image processing").  This package supplies those consumers:
+
+* :func:`box_query` — spatial selection, metadata-pruned;
+* :func:`range_query` — attribute-range selection using the per-file
+  min/max index (the §3.5 extension);
+* :class:`GridKNN` — k-nearest-neighbour search over a uniform grid
+  acceleration structure built from query results.
+"""
+
+from repro.query.boxquery import box_query, count_files_touched
+from repro.query.rangequery import range_query
+from repro.query.knn import GridKNN
+
+__all__ = ["box_query", "count_files_touched", "range_query", "GridKNN"]

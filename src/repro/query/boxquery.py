@@ -1,0 +1,31 @@
+"""Spatial box queries and their access-pattern accounting."""
+
+from __future__ import annotations
+
+from repro.core.reader import SpatialReader
+from repro.domain.box import Box
+from repro.particles.batch import ParticleBatch
+
+
+def box_query(
+    reader: SpatialReader,
+    box: Box,
+    max_level: int | None = None,
+    nreaders: int = 1,
+) -> ParticleBatch:
+    """Exact spatial selection: metadata-pruned file reads, then filtering.
+
+    A thin, intention-revealing wrapper over
+    :meth:`~repro.core.reader.SpatialReader.read_box` for analysis code.
+    """
+    return reader.read_box(box, max_level=max_level, nreaders=nreaders, exact=True)
+
+
+def count_files_touched(reader: SpatialReader, box: Box) -> int:
+    """How many data files a box query must open — the Fig. 1 metric.
+
+    The whole point of spatially-aware aggregation is to make this small:
+    a reader process rendering one subdomain should touch one (or few)
+    files, where rank-ordered formats force it to touch many.
+    """
+    return reader.plan_box_read(box).num_files

@@ -1,0 +1,97 @@
+"""k-nearest-neighbour search over a uniform-grid acceleration structure.
+
+Nearest-neighbour search is one of the region-based analysis tasks the
+paper's format is designed to serve (§3): the query point's neighbourhood
+maps to a small box, which the spatial metadata resolves to few files.
+:class:`GridKNN` is the in-memory half — a cell grid over an already-loaded
+batch — with an expanding-ring search that visits cells in growing distance
+shells until the k-th best distance is provably final.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.domain.grid import CellGrid
+from repro.errors import QueryError
+from repro.particles.batch import ParticleBatch
+
+
+class GridKNN:
+    """Uniform-grid kNN index over one particle batch."""
+
+    def __init__(self, batch: ParticleBatch, target_per_cell: float = 8.0):
+        if len(batch) == 0:
+            raise QueryError("cannot build a kNN index over zero particles")
+        self.batch = batch
+        bounds = batch.bounding_box()
+        if bounds.is_empty():
+            bounds = bounds.expanded(max(1e-9, 1e-6 * float(np.abs(bounds.lo).max() + 1)))
+        self.bounds = bounds
+        n_cells = max(1, int(round((len(batch) / target_per_cell) ** (1 / 3))))
+        self.grid = CellGrid(bounds, (n_cells, n_cells, n_cells))
+        flat = self.grid.flat_cell_of_points(batch.positions)
+        order = np.argsort(flat, kind="stable")
+        self._sorted_idx = order
+        self._sorted_cells = flat[order]
+        # Per-cell [start, end) into the sorted index arrays.
+        self._starts = np.searchsorted(
+            self._sorted_cells, np.arange(self.grid.num_cells), side="left"
+        )
+        self._ends = np.searchsorted(
+            self._sorted_cells, np.arange(self.grid.num_cells), side="right"
+        )
+
+    def _cell_points(self, flat_cell: int) -> np.ndarray:
+        return self._sorted_idx[self._starts[flat_cell] : self._ends[flat_cell]]
+
+    def query(self, point, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the k nearest particles to ``point``.
+
+        Returns ``(indices, distances)`` sorted by distance.  ``k`` is capped
+        at the batch size.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(3)
+        k = min(int(k), len(self.batch))
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        dims = np.asarray(self.grid.dims)
+        # Center cell of the query (clamped: queries may fall outside bounds).
+        rel = (point - self.grid.domain.lo) / self.grid.cell_extent
+        center = np.clip(np.floor(rel).astype(int), 0, dims - 1)
+        positions = self.batch.positions
+
+        best_idx = np.empty(0, dtype=np.int64)
+        best_d = np.empty(0, dtype=np.float64)
+        max_ring = int(dims.max())
+        for ring in range(max_ring + 1):
+            candidates = self._ring_cells(center, ring)
+            if candidates.size:
+                pts = np.concatenate([self._cell_points(c) for c in candidates])
+                if pts.size:
+                    d = np.linalg.norm(positions[pts] - point, axis=1)
+                    all_idx = np.concatenate([best_idx, pts])
+                    all_d = np.concatenate([best_d, d])
+                    order = np.argsort(all_d, kind="stable")[:k]
+                    best_idx, best_d = all_idx[order], all_d[order]
+            # Stop when the kth distance cannot be beaten by farther rings:
+            # every cell in ring r+1 is at least r * min_cell_extent away.
+            if len(best_d) == k:
+                ring_floor = ring * float(self.grid.cell_extent.min())
+                if best_d[-1] <= ring_floor:
+                    break
+        return best_idx, best_d
+
+    def _ring_cells(self, center: np.ndarray, ring: int) -> np.ndarray:
+        """Flat ids of cells at Chebyshev distance exactly ``ring``."""
+        dims = np.asarray(self.grid.dims)
+        lo = np.maximum(center - ring, 0)
+        hi = np.minimum(center + ring, dims - 1)
+        cells = []
+        for k in range(lo[2], hi[2] + 1):
+            for j in range(lo[1], hi[1] + 1):
+                for i in range(lo[0], hi[0] + 1):
+                    if max(abs(i - center[0]), abs(j - center[1]), abs(k - center[2])) == ring:
+                        cells.append(i + dims[0] * (j + dims[1] * k))
+        return np.asarray(cells, dtype=np.int64)

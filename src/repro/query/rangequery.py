@@ -1,0 +1,63 @@
+"""Attribute-range queries using the per-file min/max index.
+
+The paper plans (§3.5) to extend the metadata with per-region scalar
+extrema "to narrow down range-queries on these non-spatial attributes
+(e.g., density, pressure or temperature)".  Our metadata format carries
+that index when the writer is configured with ``attr_index=(...)``;
+``range_query`` uses it to skip files whose [min, max] cannot overlap the
+requested interval, then filters exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reader import SpatialReader
+from repro.errors import QueryError
+from repro.format.datafile import read_data_file
+from repro.particles.batch import ParticleBatch, concatenate
+
+
+def range_query(
+    reader: SpatialReader,
+    attr: str,
+    lo: float,
+    hi: float,
+    use_index: bool = True,
+) -> ParticleBatch:
+    """Particles with ``lo <= attr <= hi``.
+
+    ``use_index=False`` forces the unpruned full scan — the ablation
+    baseline for measuring what the min/max index buys.
+    """
+    if hi < lo:
+        raise QueryError(f"range query needs lo <= hi, got [{lo}, {hi}]")
+    if attr not in (reader.dtype.names or ()):
+        raise QueryError(f"{attr!r} is not a field of {reader.dtype}")
+    if use_index:
+        records = reader.metadata.files_in_attr_range(attr, lo, hi)
+    else:
+        records = [r for r in reader.metadata.records if r.particle_count > 0]
+    batches = []
+    for rec in records:
+        if rec.particle_count == 0:
+            continue
+        batch = read_data_file(reader.backend, rec.file_path, reader.dtype, reader.actor)
+        col = np.asarray(batch.data[attr], dtype=np.float64)
+        mask = (col >= lo) & (col <= hi)
+        batches.append(ParticleBatch(batch.data[mask]))
+    if not batches:
+        return ParticleBatch(np.empty(0, dtype=reader.dtype))
+    return concatenate(batches)
+
+
+def files_pruned_by_index(reader: SpatialReader, attr: str, lo: float, hi: float) -> int:
+    """How many candidate files the index eliminated for this range."""
+    if attr not in reader.metadata.attr_names:
+        raise QueryError(
+            f"attribute {attr!r} is not indexed (index covers "
+            f"{reader.metadata.attr_names})"
+        )
+    candidates = sum(1 for r in reader.metadata.records if r.particle_count > 0)
+    kept = len(reader.metadata.files_in_attr_range(attr, lo, hi))
+    return candidates - kept

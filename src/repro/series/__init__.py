@@ -1,0 +1,15 @@
+"""Timestep series: simulations checkpoint repeatedly, not once.
+
+A :class:`SeriesWriter` places each timestep's dataset under its own prefix
+(``t<NNNNNN>/``) of a shared backend and maintains a JSON series index
+(simulation time per step, running totals).  :class:`SeriesReader` opens any
+step as a normal :class:`~repro.core.reader.SpatialReader` and supports
+time-window iteration — the access pattern of trajectory analysis and of
+"scrub through time" visualization.
+"""
+
+from repro.series.writer import SeriesWriter
+from repro.series.reader import SeriesReader
+from repro.series.index import SeriesIndex, StepInfo
+
+__all__ = ["SeriesWriter", "SeriesReader", "SeriesIndex", "StepInfo"]

@@ -1,0 +1,137 @@
+"""The series index: one JSON document describing every written timestep."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+from repro.io.backend import FileBackend
+
+SERIES_INDEX_PATH = "series.json"
+SERIES_VERSION = 1
+
+
+def step_prefix(step: int) -> str:
+    """Directory prefix for a timestep dataset (zero-padded, sortable)."""
+    if step < 0:
+        raise FormatError(f"timestep must be >= 0, got {step}")
+    return f"t{step:06d}"
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """One timestep's entry in the series index."""
+
+    step: int
+    time: float
+    total_particles: int
+    num_files: int
+
+    @property
+    def prefix(self) -> str:
+        return step_prefix(self.step)
+
+
+class SeriesIndex:
+    """Ordered collection of :class:`StepInfo`, serialised as JSON."""
+
+    def __init__(self, steps: list[StepInfo] | None = None):
+        self.steps: list[StepInfo] = list(steps or [])
+        seen = [s.step for s in self.steps]
+        if len(set(seen)) != len(seen):
+            raise FormatError(f"duplicate timesteps in series index: {seen}")
+        times = [s.time for s in self.steps]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise FormatError(f"series times must be non-decreasing: {times}")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def append(self, info: StepInfo) -> None:
+        if self.steps:
+            last = self.steps[-1]
+            if info.step <= last.step:
+                raise FormatError(
+                    f"timestep {info.step} is not after the last step {last.step}"
+                )
+            if info.time < last.time:
+                raise FormatError(
+                    f"time {info.time} regresses from {last.time} at step {info.step}"
+                )
+        self.steps.append(info)
+
+    def step_for(self, step: int) -> StepInfo:
+        for s in self.steps:
+            if s.step == step:
+                return s
+        raise FormatError(f"timestep {step} not in series ({[s.step for s in self.steps]})")
+
+    def steps_in_window(self, t0: float, t1: float) -> list[StepInfo]:
+        """Steps with simulation time in [t0, t1]."""
+        if t1 < t0:
+            raise FormatError(f"empty time window [{t0}, {t1}]")
+        return [s for s in self.steps if t0 <= s.time <= t1]
+
+    def latest(self) -> StepInfo:
+        if not self.steps:
+            raise FormatError("series is empty")
+        return self.steps[-1]
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "spio-series",
+                "version": SERIES_VERSION,
+                "steps": [
+                    {
+                        "step": s.step,
+                        "time": s.time,
+                        "total_particles": s.total_particles,
+                        "num_files": s.num_files,
+                    }
+                    for s in self.steps
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeriesIndex":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"series index is not valid JSON: {exc}") from exc
+        if doc.get("format") != "spio-series":
+            raise FormatError(f"not a series index: {doc.get('format')!r}")
+        if doc.get("version") != SERIES_VERSION:
+            raise FormatError(f"unsupported series version {doc.get('version')!r}")
+        try:
+            steps = [
+                StepInfo(
+                    step=int(s["step"]),
+                    time=float(s["time"]),
+                    total_particles=int(s["total_particles"]),
+                    num_files=int(s["num_files"]),
+                )
+                for s in doc["steps"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"malformed series step entry: {exc}") from exc
+        return cls(steps)
+
+    def write(self, backend: FileBackend, actor: int = -1) -> None:
+        backend.write_file(SERIES_INDEX_PATH, self.to_json().encode(), actor=actor)
+
+    @classmethod
+    def read(cls, backend: FileBackend, actor: int = -1) -> "SeriesIndex":
+        try:
+            raw = backend.read_file(SERIES_INDEX_PATH, actor=actor)
+        except Exception as exc:
+            raise FormatError(f"cannot read series index: {exc}") from exc
+        return cls.from_json(raw.decode("utf-8"))

@@ -1,0 +1,64 @@
+"""Reading a timestep series."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.reader import SpatialReader
+from repro.domain.box import Box
+from repro.io.backend import FileBackend
+from repro.io.prefix import PrefixBackend
+from repro.particles.batch import ParticleBatch
+from repro.series.index import SeriesIndex, StepInfo
+
+
+class SeriesReader:
+    """Opens timesteps of a series as ordinary spatial readers."""
+
+    def __init__(self, backend: FileBackend, actor: int = -1):
+        self.backend = backend
+        self.actor = actor
+        self.index = SeriesIndex.read(backend, actor=actor)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def steps(self) -> list[StepInfo]:
+        return list(self.index)
+
+    def open_step(self, step: int) -> SpatialReader:
+        info = self.index.step_for(step)
+        return SpatialReader(PrefixBackend(self.backend, info.prefix), actor=self.actor)
+
+    def open_latest(self) -> SpatialReader:
+        return self.open_step(self.index.latest().step)
+
+    # -- trajectory-style access ------------------------------------------------
+
+    def iter_steps(self) -> Iterator[tuple[StepInfo, SpatialReader]]:
+        for info in self.index:
+            yield info, self.open_step(info.step)
+
+    def read_box_over_time(
+        self,
+        box: Box,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+        max_level: int | None = None,
+    ) -> list[tuple[StepInfo, ParticleBatch]]:
+        """The same spatial query at every step in a time window.
+
+        The bread-and-butter pattern of region tracking: watch one region of
+        the domain evolve.  Each step pays only for the files its metadata
+        says the box touches.
+        """
+        out: list[tuple[StepInfo, ParticleBatch]] = []
+        for info in self.index.steps_in_window(t0, t1):
+            reader = self.open_step(info.step)
+            out.append((info, reader.read_box(box, max_level=max_level)))
+        return out
+
+    def particle_count_history(self) -> list[tuple[float, int]]:
+        """(time, total particles) per step, straight from the index."""
+        return [(s.time, s.total_particles) for s in self.index]

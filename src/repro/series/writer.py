@@ -1,0 +1,69 @@
+"""Writing a timestep series.
+
+``SeriesWriter`` owns the per-step prefixes and the index maintenance; the
+actual dataset write is the ordinary eight-step
+:class:`~repro.core.writer.SpatialWriter` pipeline against a
+:class:`~repro.io.prefix.PrefixBackend` view.  Only rank 0 touches the
+index, after a barrier, so a crashed step never leaves a dangling entry.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WriterConfig
+from repro.core.writer import SpatialWriter, WriteResult
+from repro.domain.decomposition import PatchDecomposition
+from repro.errors import FormatError
+from repro.format.manifest import Manifest
+from repro.io.backend import FileBackend
+from repro.io.prefix import PrefixBackend
+from repro.mpi.comm import SimComm
+from repro.particles.batch import ParticleBatch
+from repro.series.index import SeriesIndex, StepInfo, step_prefix
+
+
+class SeriesWriter:
+    """Appends timestep datasets to one backend and maintains the index."""
+
+    def __init__(self, config: WriterConfig | None = None):
+        self.writer = SpatialWriter(config)
+
+    @property
+    def config(self) -> WriterConfig:
+        return self.writer.config
+
+    def write_step(
+        self,
+        comm: SimComm,
+        step: int,
+        time: float,
+        batch: ParticleBatch,
+        decomp: PatchDecomposition,
+        backend: FileBackend,
+    ) -> WriteResult:
+        """SPMD: write one timestep and append it to the series index."""
+        prefix = step_prefix(step)
+        if comm.rank == 0 and backend.exists(f"{prefix}/manifest.json"):
+            raise FormatError(f"timestep {step} already written ({prefix}/)")
+        view = PrefixBackend(backend, prefix)
+        result = self.writer.write(comm, batch, decomp, view)
+
+        # All data files and the step's own metadata are durable before the
+        # series index points at the step.
+        comm.barrier()
+        if comm.rank == 0:
+            try:
+                index = SeriesIndex.read(backend)
+            except FormatError:
+                index = SeriesIndex()
+            manifest = Manifest.read(view)
+            index.append(
+                StepInfo(
+                    step=step,
+                    time=float(time),
+                    total_particles=manifest.total_particles,
+                    num_files=manifest.num_files,
+                )
+            )
+            index.write(backend, actor=0)
+        comm.barrier()
+        return result

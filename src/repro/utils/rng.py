@@ -1,0 +1,38 @@
+"""Deterministic random-number handling.
+
+Everything stochastic in the library (particle generators, the LOD random
+reshuffle) accepts a ``seed`` argument that may be ``None``, an ``int``, or a
+:class:`numpy.random.Generator`.  These helpers normalise that argument and
+derive independent child streams so that per-rank randomness is reproducible
+regardless of rank execution order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator for ``seed``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` a seeded one,
+    and an existing Generator is passed through untouched.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(seed: int | None, *keys: int) -> np.random.Generator:
+    """Derive an independent child generator from ``seed`` and integer keys.
+
+    The same ``(seed, keys)`` pair always yields the same stream, and distinct
+    key tuples yield statistically independent streams.  Used to give each
+    simulated rank (or each aggregator) its own reproducible stream.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in keys))
+    return np.random.default_rng(ss)

@@ -1,0 +1,74 @@
+"""Plain-text table rendering used by the benchmark harnesses.
+
+Each benchmark that regenerates a paper figure prints its series as an ASCII
+table so the "rows the paper reports" are visible in plain pytest output,
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """A simple left/right-aligned ASCII table.
+
+    >>> t = Table(["procs", "GB/s"])
+    >>> t.add_row([512, 1.25])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    procs | GB/s
+    ------+-----
+      512 | 1.25
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 0.01:
+                return f"{v:.3g}"
+            return f"{v:.2f}"
+        return str(v)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header.rstrip())
+        lines.append(rule)
+        for row in self.rows:
+            cells = []
+            for cell, w in zip(row, widths):
+                # Right-align anything that parses as a number.
+                try:
+                    float(cell)
+                    cells.append(cell.rjust(w))
+                except ValueError:
+                    cells.append(cell.ljust(w))
+            lines.append(" | ".join(cells).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,58 @@
+"""Byte/time unit constants and human-readable formatting.
+
+The paper reports decimal GB/s throughput (e.g. "98 GB/second"); file and
+stripe sizes on Lustre/GPFS are binary (8 MiB stripes).  Both families are
+provided and named unambiguously.
+"""
+
+from __future__ import annotations
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with a decimal unit suffix (B, KB, MB, GB, TB)."""
+    n = float(n)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def format_throughput(bytes_per_s: float) -> str:
+    """Format a throughput as GB/s (decimal), the unit used in the paper."""
+    return f"{bytes_per_s / GB:.2f} GB/s"
+
+
+def format_seconds(t: float) -> str:
+    """Format a duration, switching between s / ms / us as appropriate."""
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.2f} ms"
+    return f"{t * 1e6:.1f} us"
+
+
+def format_count(n: int) -> str:
+    """Format large counts with K/M/B suffixes (262144 -> '256K')."""
+    n = int(n)
+    if n >= 10**9 and n % 10**9 == 0:
+        return f"{n // 10**9}B"
+    if n >= 2**30 and n % 2**30 == 0:
+        return f"{n // 2**30}Gi"
+    if n >= 10**6 and n % 10**6 == 0:
+        return f"{n // 10**6}M"
+    if n >= 2**20 and n % 2**20 == 0:
+        return f"{n // 2**20}Mi"
+    if n >= 2**10 and n % 2**10 == 0:
+        return f"{n // 2**10}K"
+    if n >= 10**3 and n % 10**3 == 0:
+        return f"{n // 10**3}K"
+    return str(n)

@@ -1,0 +1,20 @@
+"""Visualization-side consumers: splat rendering and LOD quality metrics.
+
+Figure 9 of the paper shows progressive renders of a 55M-particle coal
+injection at 25/50/75/100% of the data, arguing that low LOD prefixes
+"still provide a good representation" when the particle radius is scaled
+up.  This package quantifies that claim: a density splat renderer, the
+radius-scaling rule, and image-space quality metrics (coverage and RMSE
+against the full-resolution render).
+"""
+
+from repro.viz.renderer import SplatRenderer, lod_radius_scale
+from repro.viz.metrics import coverage, normalized_rmse, quality_report
+
+__all__ = [
+    "SplatRenderer",
+    "lod_radius_scale",
+    "coverage",
+    "normalized_rmse",
+    "quality_report",
+]

@@ -1,0 +1,107 @@
+"""A small density splat renderer.
+
+Particles are orthographically projected along one axis onto a 2-D image;
+each contributes a Gaussian-ish splat of a given radius.  This is the
+simplest renderer that reproduces what matters for the paper's Fig. 9
+argument: whether a random LOD prefix, drawn with appropriately enlarged
+radii, produces an image close to the full-resolution one.
+
+Implementation notes: splats are accumulated with ``np.add.at`` over a
+precomputed kernel footprint — vectorised over particles per kernel offset,
+so rendering a million particles costs a few dozen array passes rather than
+a Python loop per particle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.errors import ConfigError
+from repro.particles.batch import ParticleBatch
+
+
+def lod_radius_scale(full_count: int, subset_count: int) -> float:
+    """Radius multiplier for a subset render (paper §5.4 / [19]).
+
+    Rendering ``subset_count`` of ``full_count`` particles, each splat
+    stands in for ``full/subset`` of them; scaling the radius by the cube
+    root of that ratio preserves total covered volume.
+    """
+    if full_count < 1 or subset_count < 1:
+        raise ConfigError(
+            f"counts must be >= 1, got full={full_count}, subset={subset_count}"
+        )
+    return float((full_count / subset_count) ** (1.0 / 3.0))
+
+
+class SplatRenderer:
+    """Orthographic density splatter onto a square image."""
+
+    def __init__(
+        self,
+        bounds: Box,
+        resolution: int = 256,
+        axis: int = 2,
+        base_radius_px: float = 1.0,
+    ):
+        if resolution < 8:
+            raise ConfigError(f"resolution must be >= 8, got {resolution}")
+        if axis not in (0, 1, 2):
+            raise ConfigError(f"axis must be 0, 1 or 2, got {axis}")
+        if base_radius_px <= 0:
+            raise ConfigError(f"base_radius_px must be > 0, got {base_radius_px}")
+        self.bounds = bounds
+        self.resolution = int(resolution)
+        self.axis = axis
+        self.base_radius_px = float(base_radius_px)
+        self._uv_axes = tuple(a for a in range(3) if a != axis)
+
+    def _project(self, positions: np.ndarray) -> np.ndarray:
+        """(N, 2) pixel coordinates of the particle centers."""
+        u_ax, v_ax = self._uv_axes
+        lo = self.bounds.lo
+        ext = np.where(self.bounds.extent > 0, self.bounds.extent, 1.0)
+        u = (positions[:, u_ax] - lo[u_ax]) / ext[u_ax]
+        v = (positions[:, v_ax] - lo[v_ax]) / ext[v_ax]
+        pix = np.stack([u, v], axis=1) * (self.resolution - 1)
+        return np.clip(pix, 0, self.resolution - 1)
+
+    def render(
+        self, batch: ParticleBatch, radius_scale: float = 1.0
+    ) -> np.ndarray:
+        """Density image (resolution x resolution, float64, >= 0)."""
+        img = np.zeros((self.resolution, self.resolution), dtype=np.float64)
+        if len(batch) == 0:
+            return img
+        pix = self._project(batch.positions)
+        radius = self.base_radius_px * float(radius_scale)
+        r_cells = max(0, int(np.ceil(radius)))
+        centers = np.round(pix).astype(np.int64)
+        sigma2 = max(radius, 0.5) ** 2
+        for du in range(-r_cells, r_cells + 1):
+            for dv in range(-r_cells, r_cells + 1):
+                d2 = du * du + dv * dv
+                if d2 > radius * radius + 1e-12:
+                    continue
+                weight = float(np.exp(-0.5 * d2 / sigma2))
+                uu = centers[:, 0] + du
+                vv = centers[:, 1] + dv
+                ok = (uu >= 0) & (uu < self.resolution) & (vv >= 0) & (vv < self.resolution)
+                np.add.at(img, (uu[ok], vv[ok]), weight)
+        return img
+
+    def render_fraction(
+        self, batch: ParticleBatch, fraction: float
+    ) -> np.ndarray:
+        """Render the first ``fraction`` of an LOD-ordered batch.
+
+        Because the file layout puts coarse levels first, a prefix of the
+        stored order *is* the progressive render state; radii are scaled by
+        the volume-preserving rule.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        subset = max(1, int(round(len(batch) * fraction)))
+        scale = lod_radius_scale(len(batch), subset)
+        return self.render(batch[0:subset], radius_scale=scale)

@@ -1,0 +1,25 @@
+"""Workload definitions matching the paper's experimental setup (§5.1, §6.1)."""
+
+from repro.workloads.uintah import (
+    UINTAH_PARTICLES_PER_CORE,
+    UintahWorkload,
+    per_core_bytes,
+)
+from repro.workloads.scaling import (
+    PAPER_PROCESS_COUNTS,
+    READ_PROCESS_COUNTS_THETA,
+    READ_PROCESS_COUNTS_WORKSTATION,
+    OCCUPANCY_LEVELS,
+    weak_scaling_points,
+)
+
+__all__ = [
+    "UintahWorkload",
+    "UINTAH_PARTICLES_PER_CORE",
+    "per_core_bytes",
+    "PAPER_PROCESS_COUNTS",
+    "READ_PROCESS_COUNTS_THETA",
+    "READ_PROCESS_COUNTS_WORKSTATION",
+    "OCCUPANCY_LEVELS",
+    "weak_scaling_points",
+]

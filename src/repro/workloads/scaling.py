@@ -1,0 +1,33 @@
+"""The paper's experiment grids: process counts, reader counts, occupancies."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Weak-scaling process counts of Fig. 5 (512 to 262,144, powers of two).
+PAPER_PROCESS_COUNTS: tuple[int, ...] = tuple(512 * 2**i for i in range(10))
+
+#: Reader counts for the Fig. 7 strong-scaling reads.
+READ_PROCESS_COUNTS_THETA: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+READ_PROCESS_COUNTS_WORKSTATION: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: §6.1 occupancy sweep: whole domain down to one eighth.
+OCCUPANCY_LEVELS: tuple[float, ...] = (1.0, 0.5, 0.25, 0.125)
+
+
+def weak_scaling_points(
+    min_procs: int = 512, max_procs: int = 262_144
+) -> list[int]:
+    """Power-of-two process counts in [min, max], like the paper's sweep."""
+    if min_procs < 1 or max_procs < min_procs:
+        raise ConfigError(
+            f"invalid weak-scaling range [{min_procs}, {max_procs}]"
+        )
+    out = []
+    n = 1
+    while n < min_procs:
+        n *= 2
+    while n <= max_procs:
+        out.append(n)
+        n *= 2
+    return out

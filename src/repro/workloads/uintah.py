@@ -1,0 +1,112 @@
+"""Uintah-style workloads (paper §5.1).
+
+"In our experiments we used two workloads with 32,768 and 65,536 particles
+per core.  Each particle is represented by 15 double precision values
+(position, stress tensor, density, volume, ID) and 1 single precision
+variable (type).  For the two workloads this configuration corresponds to 4
+and 8 MB respectively, data per core for each timestep."
+
+:class:`UintahWorkload` bundles a decomposition with a per-rank generator so
+SPMD writer code stays one line per rank; distributions beyond uniform map
+to the §6 / Fig. 9 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.domain.box import Box
+from repro.domain.decomposition import PatchDecomposition
+from repro.errors import ConfigError
+from repro.particles.batch import ParticleBatch
+from repro.particles.dtype import UINTAH_DTYPE, UINTAH_PARTICLE_BYTES
+from repro.particles.generators import (
+    clustered_particles,
+    injection_jet_particles,
+    occupancy_particles,
+    uniform_particles,
+)
+
+#: The two per-core loads evaluated in the paper.
+UINTAH_PARTICLES_PER_CORE = (32_768, 65_536)
+
+
+def per_core_bytes(particles_per_core: int) -> int:
+    """Bytes per core per timestep (4 MB / 8 MB for the paper's workloads)."""
+    return particles_per_core * UINTAH_PARTICLE_BYTES
+
+
+@dataclass
+class UintahWorkload:
+    """A reproducible particle workload over a decomposed domain.
+
+    ``distribution`` selects the generator:
+
+    * ``"uniform"`` — the §5 weak-scaling workload;
+    * ``"clustered"`` — Gaussian blobs (Fig. 10a-style density variation);
+    * ``"occupancy"`` — particles confined to a fraction of the domain
+      (§6.1; requires ``occupancy``);
+    * ``"jet"`` — the coal-injection cone of Fig. 9 (optional ``progress``).
+    """
+
+    decomp: PatchDecomposition
+    particles_per_core: int = 32_768
+    distribution: str = "uniform"
+    seed: int = 0
+    occupancy: float = 1.0
+    progress: float = 1.0
+    dtype: object = field(default=UINTAH_DTYPE)
+
+    _DISTRIBUTIONS = ("uniform", "clustered", "occupancy", "jet")
+
+    def __post_init__(self) -> None:
+        if self.distribution not in self._DISTRIBUTIONS:
+            raise ConfigError(
+                f"distribution must be one of {self._DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.particles_per_core < 1:
+            raise ConfigError(
+                f"particles_per_core must be >= 1, got {self.particles_per_core}"
+            )
+
+    @property
+    def domain(self) -> Box:
+        return self.decomp.domain
+
+    @property
+    def nprocs(self) -> int:
+        return self.decomp.nprocs
+
+    def generate_rank(self, rank: int) -> ParticleBatch:
+        """The particles held by ``rank`` at this timestep."""
+        patch = self.decomp.patch_of_rank(rank)
+        if self.distribution == "uniform":
+            return uniform_particles(
+                patch, self.particles_per_core, self.dtype, self.seed, rank
+            )
+        if self.distribution == "clustered":
+            return clustered_particles(
+                patch, self.particles_per_core, dtype=self.dtype,
+                seed=self.seed, rank=rank,
+            )
+        if self.distribution == "occupancy":
+            return occupancy_particles(
+                self.domain, patch, self.particles_per_core, self.occupancy,
+                self.dtype, self.seed, rank,
+            )
+        # "jet": particles live along the injection cone; each rank keeps
+        # the part of the global jet that falls inside its patch.
+        jet = injection_jet_particles(
+            self.domain,
+            self.particles_per_core,
+            progress=self.progress,
+            dtype=self.dtype,
+            seed=self.seed,
+            rank=rank,
+        )
+        return jet.select_in_box(patch)
+
+    def total_particles(self) -> int:
+        """Exact global particle count (sums per-rank generator output)."""
+        return sum(len(self.generate_rank(r)) for r in range(self.nprocs))

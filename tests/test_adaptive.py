@@ -1,0 +1,157 @@
+"""Adaptive aggregation-grid tests (paper §6)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveAggregationGrid, build_adaptive_grid
+from repro.core.aggregation import AggregationGrid
+from repro.domain import Box, PatchDecomposition
+from repro.errors import ConfigError, DomainError
+from repro.particles import ParticleBatch, occupancy_particles, uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+def counts_for_occupancy(decomp, occupancy, per_rank=100):
+    return [
+        len(
+            occupancy_particles(
+                DOMAIN, decomp.patch_of_rank(r), per_rank, occupancy, rank=r
+            )
+        )
+        for r in range(decomp.nprocs)
+    ]
+
+
+class TestBuildAdaptiveGrid:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition(DOMAIN, (4, 2, 2))  # 16 ranks
+
+    def test_full_occupancy_matches_static(self, decomp):
+        counts = [100] * 16
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        static = AggregationGrid.aligned(decomp, (2, 2, 2))
+        assert grid.num_partitions == static.num_partitions
+        assert [grid.partition_box(p) for p in range(grid.num_partitions)] == [
+            static.partition_box(p) for p in range(static.num_partitions)
+        ]
+
+    def test_half_occupancy_halves_partitions(self, decomp):
+        counts = counts_for_occupancy(decomp, 0.5)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        full = build_adaptive_grid(decomp, [100] * 16, (2, 2, 2))
+        assert full.num_partitions == 2
+        assert grid.num_partitions == 1  # populated x-range halved
+
+    def test_no_aggregator_for_empty_space(self, decomp):
+        """§6: 'ensures that no aggregator is assigned to empty simulation domain'."""
+        counts = counts_for_occupancy(decomp, 0.25)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        for pid in range(grid.num_partitions):
+            senders = grid.senders_of_partition(pid)
+            assert senders, f"partition {pid} has no populated senders"
+            assert all(counts[r] > 0 for r in senders)
+
+    def test_empty_ranks_do_not_participate(self, decomp):
+        counts = counts_for_occupancy(decomp, 0.25)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        participating = grid.participating_ranks()
+        for rank, c in enumerate(counts):
+            assert (rank in participating) == (c > 0)
+
+    def test_aggregators_spread_over_full_rank_space(self, decomp):
+        """§6: aggregators uniform across the *entire* rank space."""
+        counts = counts_for_occupancy(decomp, 0.5)
+        # (1, 2, 2) keeps two partitions along x inside the populated half.
+        grid = build_adaptive_grid(decomp, counts, (1, 2, 2))
+        assert grid.num_partitions == 2
+        # Even with all particles in the first x-half, aggregator ranks span
+        # the whole 0..15 range rather than clustering at the start.
+        assert grid.aggregators == [0, 8]
+
+    def test_partition_boxes_cover_populated_region_only(self, decomp):
+        counts = counts_for_occupancy(decomp, 0.25)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        union_hi_x = max(grid.partition_box(p).hi[0] for p in range(grid.num_partitions))
+        assert union_hi_x <= 0.25 + 1e-12
+
+    def test_partition_boxes_disjoint(self, decomp):
+        counts = counts_for_occupancy(decomp, 0.5)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        boxes = [grid.partition_box(p) for p in range(grid.num_partitions)]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_single_populated_rank(self, decomp):
+        counts = [0] * 16
+        counts[5] = 100
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        assert grid.num_partitions == 1
+        assert grid.senders_of_partition(0) == [5]
+
+    def test_all_empty_raises(self, decomp):
+        with pytest.raises(DomainError):
+            build_adaptive_grid(decomp, [0] * 16, (2, 2, 2))
+
+    def test_counts_length_checked(self, decomp):
+        with pytest.raises(ConfigError):
+            AdaptiveAggregationGrid(
+                AggregationGrid.aligned(decomp, (2, 2, 2)), [1, 2, 3]
+            )
+
+    def test_routing_consistent(self, decomp):
+        counts = counts_for_occupancy(decomp, 0.5)
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        for rank in range(16):
+            batch = occupancy_particles(
+                DOMAIN, decomp.patch_of_rank(rank), 100, 0.5, rank=rank
+            )
+            routed = grid.route_particles(rank, batch)
+            if counts[rank] == 0:
+                assert routed == []
+            else:
+                assert len(routed) == 1
+                pid, sub = routed[0]
+                assert len(sub) == counts[rank]
+                assert grid.partition_box(pid).contains_points(sub.positions).all()
+
+    def test_liar_rank_detected(self, decomp):
+        """A rank that reported 0 during setup but shows up with particles."""
+        counts = [100] * 16
+        counts[3] = 0
+        grid = build_adaptive_grid(decomp, counts, (2, 2, 2))
+        batch = uniform_particles(decomp.patch_of_rank(3), 10, dtype=MINIMAL_DTYPE)
+        with pytest.raises(DomainError, match="reported 0"):
+            grid.route_particles(3, batch)
+        assert grid.route_particles(3, ParticleBatch.empty(MINIMAL_DTYPE)) == []
+
+
+class TestQuantileCuts:
+    def test_balances_skewed_loads(self):
+        decomp = PatchDecomposition(DOMAIN, (8, 1, 1))
+        # Heavy head: rank 0 has most particles.
+        counts = [800, 100, 100, 100, 100, 100, 100, 100]
+        uniform = build_adaptive_grid(decomp, counts, (4, 1, 1))
+        quantile = build_adaptive_grid(decomp, counts, (4, 1, 1), quantile_cuts=True)
+        assert uniform.num_partitions == quantile.num_partitions
+
+        def partition_loads(grid):
+            return [
+                sum(counts[r] for r in grid.senders_of_partition(p))
+                for p in range(grid.num_partitions)
+            ]
+
+        u_loads = partition_loads(uniform)
+        q_loads = partition_loads(quantile)
+        assert max(q_loads) <= max(u_loads)
+
+    def test_quantile_covers_everything(self):
+        decomp = PatchDecomposition(DOMAIN, (8, 1, 1))
+        counts = [10, 20, 30, 500, 500, 30, 20, 10]
+        grid = build_adaptive_grid(decomp, counts, (2, 1, 1), quantile_cuts=True)
+        covered = sorted(
+            r for p in range(grid.num_partitions) for r in grid.senders_of_partition(p)
+        )
+        assert covered == list(range(8))

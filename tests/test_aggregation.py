@@ -1,0 +1,199 @@
+"""Aggregation-grid setup and aggregator selection (paper §3.1-§3.2)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    AggregationGrid,
+    FreeAggregationGrid,
+    select_aggregators,
+    uniform_axis_cuts,
+)
+from repro.domain import Box, CellGrid, PatchDecomposition
+from repro.errors import ConfigError, DomainError
+from repro.particles import uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+class TestAxisCuts:
+    def test_even_division(self):
+        assert uniform_axis_cuts(8, 2) == [0, 2, 4, 6, 8]
+
+    def test_factor_one(self):
+        assert uniform_axis_cuts(3, 1) == [0, 1, 2, 3]
+
+    def test_uneven_tail(self):
+        assert uniform_axis_cuts(7, 3) == [0, 3, 6, 7]
+
+    def test_factor_larger_than_axis(self):
+        assert uniform_axis_cuts(2, 5) == [0, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            uniform_axis_cuts(0, 1)
+
+
+class TestSelectAggregators:
+    def test_paper_example(self):
+        # §3.2: 16 processes, 4 partitions -> ranks 0, 4, 8, 12.
+        assert select_aggregators(4, 16) == [0, 4, 8, 12]
+
+    def test_one_partition(self):
+        assert select_aggregators(1, 64) == [0]
+
+    def test_all_partitions(self):
+        assert select_aggregators(8, 8) == list(range(8))
+
+    def test_unique_even_when_uneven(self):
+        aggs = select_aggregators(3, 8)
+        assert len(set(aggs)) == 3
+
+    def test_uniform_spread(self):
+        aggs = select_aggregators(4, 64)
+        gaps = [b - a for a, b in zip(aggs, aggs[1:])]
+        assert gaps == [16, 16, 16]
+
+    def test_too_many_partitions(self):
+        with pytest.raises(ConfigError):
+            select_aggregators(10, 4)
+
+    def test_zero_partitions(self):
+        with pytest.raises(ConfigError):
+            select_aggregators(0, 4)
+
+
+class TestAlignedGrid:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition(DOMAIN, (4, 4, 1))  # 16 ranks
+
+    def test_file_count_formula(self, decomp):
+        # §3.1: f = (nx/Px) * (ny/Py) * (nz/Pz).
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        assert grid.num_files == (4 // 2) * (4 // 2) * 1 == 4
+
+    @pytest.mark.parametrize(
+        "factor, files",
+        [((1, 1, 1), 16), ((2, 1, 1), 8), ((2, 2, 1), 4), ((4, 4, 1), 1), ((1, 4, 1), 4)],
+    )
+    def test_fig3_configurations(self, decomp, factor, files):
+        assert AggregationGrid.aligned(decomp, factor).num_files == files
+
+    def test_file_per_process_degenerate(self, decomp):
+        # (1,1,1) == file-per-process (§3.1).
+        grid = AggregationGrid.aligned(decomp, (1, 1, 1))
+        assert grid.num_partitions == decomp.nprocs
+        assert grid.aggregators == list(range(16))
+
+    def test_shared_file_degenerate(self, decomp):
+        # Whole-domain partition == single shared file (§3.1).
+        grid = AggregationGrid.aligned(decomp, (4, 4, 1))
+        assert grid.num_partitions == 1
+        assert grid.aggregators == [0]
+
+    def test_partition_boxes_tile_domain(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        boxes = grid.all_partition_boxes()
+        assert sum(b.volume for b in boxes) == pytest.approx(DOMAIN.volume)
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_partition_of_rank_consistent_with_boxes(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        for rank in range(decomp.nprocs):
+            pid = grid.partition_of_rank(rank)
+            assert grid.partition_box(pid).contains_box(decomp.patch_of_rank(rank))
+
+    def test_senders_cover_all_ranks_exactly_once(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        seen = []
+        for pid in range(grid.num_partitions):
+            seen.extend(grid.senders_of_partition(pid))
+        assert sorted(seen) == list(range(16))
+
+    def test_senders_match_partition_of_rank(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 1, 1))
+        for pid in range(grid.num_partitions):
+            for rank in grid.senders_of_partition(pid):
+                assert grid.partition_of_rank(rank) == pid
+
+    def test_partitions_owned_by(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        owned = [grid.partitions_owned_by(r) for r in range(16)]
+        # Aggregators 0, 4, 8, 12 own one partition each; others none.
+        assert owned[0] == [0] and owned[4] == [1] and owned[8] == [2] and owned[12] == [3]
+        assert owned[1] == []
+
+    def test_route_particles_single_target(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        batch = uniform_particles(decomp.patch_of_rank(5), 50, dtype=MINIMAL_DTYPE, seed=0)
+        routed = grid.route_particles(5, batch)
+        assert len(routed) == 1
+        pid, sub = routed[0]
+        assert len(sub) == 50
+        assert pid == grid.partition_of_rank(5)
+
+    def test_uneven_axis_cuts(self):
+        decomp = PatchDecomposition(DOMAIN, (3, 1, 1))
+        grid = AggregationGrid.aligned(decomp, (2, 1, 1))
+        assert grid.num_partitions == 2
+        # partition 0 holds patches 0-1, partition 1 holds patch 2.
+        assert grid.senders_of_partition(0) == [0, 1]
+        assert grid.senders_of_partition(1) == [2]
+
+    def test_partitions_intersecting_box(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        hits = grid.partitions_intersecting_box(Box([0.1, 0.1, 0], [0.3, 0.3, 1]))
+        assert hits == [0]
+
+    def test_invalid_cuts_rejected(self, decomp):
+        with pytest.raises(DomainError):
+            AggregationGrid(decomp, ([0], [0, 4], [0, 1]))
+        with pytest.raises(DomainError):
+            AggregationGrid(decomp, ([0, 5], [0, 4], [0, 1]))
+        with pytest.raises(DomainError):
+            AggregationGrid(decomp, ([0, 2, 2, 4], [0, 4], [0, 1]))
+
+    def test_unflatten_range_check(self, decomp):
+        grid = AggregationGrid.aligned(decomp, (2, 2, 1))
+        with pytest.raises(DomainError):
+            grid.partition_box(4)
+
+
+class TestFreeGrid:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition(DOMAIN, (4, 1, 1))
+
+    def test_non_aligned_routing_bins_particles(self, decomp):
+        # 3 partitions over 4 patches: patch boundaries don't align.
+        grid = FreeAggregationGrid(decomp, CellGrid(DOMAIN, (3, 1, 1)))
+        batch = uniform_particles(decomp.patch_of_rank(1), 300, dtype=MINIMAL_DTYPE, seed=1)
+        routed = grid.route_particles(1, batch)
+        # Patch 1 = x in [0.25, 0.5); partitions are thirds -> spans 2 of them.
+        assert len(routed) == 2
+        assert sum(len(b) for _, b in routed) == 300
+        for pid, sub in routed:
+            box = grid.partition_box(pid)
+            assert box.contains_points(sub.positions).all()
+
+    def test_senders_are_intersecting_ranks(self, decomp):
+        grid = FreeAggregationGrid(decomp, CellGrid(DOMAIN, (3, 1, 1)))
+        # middle third [1/3, 2/3) intersects patches 1 and 2.
+        assert grid.senders_of_partition(1) == [1, 2]
+
+    def test_participating_ranks(self, decomp):
+        grid = FreeAggregationGrid(decomp, CellGrid(DOMAIN, (3, 1, 1)))
+        assert grid.participating_ranks() == {0, 1, 2, 3}
+
+    def test_grid_must_cover_domain(self, decomp):
+        small = CellGrid(Box([0, 0, 0], [0.5, 1, 1]), (1, 1, 1))
+        with pytest.raises(DomainError):
+            FreeAggregationGrid(decomp, small)
+
+    def test_grid_type_checked(self, decomp):
+        with pytest.raises(ConfigError):
+            FreeAggregationGrid(decomp, "not a grid")

@@ -1,0 +1,157 @@
+"""Analysis-module tests: grids, histograms, profiles, neighbour stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attribute_histogram,
+    density_grid,
+    neighbor_statistics,
+    radial_profile,
+)
+from repro.core import SpatialReader, WriterConfig
+from repro.domain import Box
+from repro.errors import QueryError
+from repro.particles.dtype import UINTAH_DTYPE
+
+from tests.conftest import write_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    backend, _, _ = write_dataset(
+        nprocs=8,
+        partition_factor=(2, 2, 2),
+        particles_per_rank=4_000,
+        dtype=UINTAH_DTYPE,
+        config=WriterConfig(partition_factor=(2, 2, 2), lod_base=64),
+    )
+    return SpatialReader(backend)
+
+
+class TestDensityGrid:
+    def test_mass_conserved(self, dataset):
+        grid = density_grid(dataset, dims=(8, 8, 8))
+        assert grid.shape == (8, 8, 8)
+        assert grid.sum() == pytest.approx(dataset.total_particles)
+
+    def test_weighted_deposit(self, dataset):
+        grid = density_grid(dataset, dims=(4, 4, 4), weight_attr="volume")
+        everything = dataset.read_full()
+        assert grid.sum() == pytest.approx(float(everything.data["volume"].sum()))
+
+    def test_region_restricted(self, dataset):
+        box = Box([0, 0, 0], [0.5, 0.5, 0.5])
+        grid = density_grid(dataset, dims=(4, 4, 4), box=box)
+        everything = dataset.read_full()
+        inside = box.contains_points(everything.positions, closed=True).sum()
+        assert grid.sum() == pytest.approx(float(inside))
+
+    def test_lod_estimate_unbiased(self, dataset):
+        full = density_grid(dataset, dims=(2, 2, 2))
+        coarse = density_grid(dataset, dims=(2, 2, 2), max_level=3)
+        # LOD estimate is scaled to the full population and lands close.
+        assert coarse.sum() == pytest.approx(full.sum(), rel=0.02)
+        assert np.abs(coarse - full).max() < 0.25 * full.max()
+
+    def test_lod_convergence(self, dataset):
+        """Deeper LOD reads converge to the exact grid."""
+        exact = density_grid(dataset, dims=(2, 2, 2))
+        errs = []
+        for level in (1, 4, 8):
+            approx = density_grid(dataset, dims=(2, 2, 2), max_level=level)
+            errs.append(np.abs(approx - exact).sum())
+        assert errs[-1] <= errs[0]
+        assert errs[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_unknown_weight_attr(self, dataset):
+        with pytest.raises(QueryError):
+            density_grid(dataset, weight_attr="nope")
+
+
+class TestAttributeHistogram:
+    def test_counts_match_numpy(self, dataset):
+        counts, edges = attribute_histogram(dataset, "density", bins=16)
+        everything = dataset.read_full()
+        expected, _ = np.histogram(everything.data["density"], bins=16)
+        assert counts.sum() == pytest.approx(expected.sum())
+        assert np.allclose(counts, expected)
+
+    def test_value_range(self, dataset):
+        counts, edges = attribute_histogram(
+            dataset, "density", bins=4, value_range=(0.5, 1.5)
+        )
+        assert edges[0] == 0.5 and edges[-1] == 1.5
+
+    def test_lod_estimate_close(self, dataset):
+        full, edges = attribute_histogram(dataset, "density", bins=8)
+        est, _ = attribute_histogram(dataset, "density", bins=8, max_level=4)
+        assert est.sum() == pytest.approx(full.sum(), rel=0.02)
+        # Shape agreement: same argmax bin.
+        assert np.argmax(est) == np.argmax(full)
+
+    def test_non_scalar_rejected(self, dataset):
+        with pytest.raises(QueryError):
+            attribute_histogram(dataset, "stress")
+
+    def test_unknown_attr(self, dataset):
+        with pytest.raises(QueryError):
+            attribute_histogram(dataset, "pressure")
+
+    def test_bad_bins(self, dataset):
+        with pytest.raises(QueryError):
+            attribute_histogram(dataset, "density", bins=0)
+
+
+class TestRadialProfile:
+    def test_uniform_density_flat_profile(self, dataset):
+        density, edges = radial_profile(dataset, [0.5, 0.5, 0.5], 0.3, bins=4)
+        assert len(density) == 4
+        # Uniform data: shell densities within ~3x of each other (counting noise).
+        positive = density[density > 0]
+        assert len(positive) == 4
+        assert positive.max() < 3 * positive.min()
+
+    def test_counts_match_brute_force(self, dataset):
+        center = np.array([0.5, 0.5, 0.5])
+        radius = 0.25
+        density, edges = radial_profile(dataset, center, radius, bins=1)
+        everything = dataset.read_full()
+        dist = np.linalg.norm(everything.positions - center, axis=1)
+        count = int((dist < radius).sum())
+        volume = (4 / 3) * np.pi * radius**3
+        assert density[0] == pytest.approx(count / volume, rel=0.01)
+
+    def test_invalid_radius(self, dataset):
+        with pytest.raises(QueryError):
+            radial_profile(dataset, [0.5, 0.5, 0.5], 0.0)
+
+
+class TestNeighborStatistics:
+    def test_spacing_matches_density(self, dataset):
+        box = Box([0.2, 0.2, 0.2], [0.8, 0.8, 0.8])
+        stats = neighbor_statistics(dataset, box, k=1, sample=64, seed=1)
+        # Mean nearest-neighbour distance for a Poisson process of density
+        # rho is ~0.554 * rho^(-1/3); allow a generous band.
+        rho = dataset.total_particles / dataset.domain().volume
+        expected = 0.554 * rho ** (-1 / 3)
+        assert 0.5 * expected < stats.mean_spacing < 2.0 * expected
+        assert stats.median_spacing <= stats.p95_spacing
+
+    def test_k_ordering(self, dataset):
+        box = Box([0.3, 0.3, 0.3], [0.7, 0.7, 0.7])
+        s1 = neighbor_statistics(dataset, box, k=1, sample=32, seed=2)
+        s4 = neighbor_statistics(dataset, box, k=4, sample=32, seed=2)
+        assert s4.mean_spacing > s1.mean_spacing
+
+    def test_too_few_particles(self, dataset):
+        tiny = Box([0.0, 0.0, 0.0], [1e-6, 1e-6, 1e-6])
+        with pytest.raises(QueryError):
+            neighbor_statistics(dataset, tiny)
+
+    def test_invalid_args(self, dataset):
+        box = Box([0.2, 0.2, 0.2], [0.8, 0.8, 0.8])
+        with pytest.raises(QueryError):
+            neighbor_statistics(dataset, box, k=0)
+        with pytest.raises(QueryError):
+            neighbor_statistics(dataset, box, sample=0)

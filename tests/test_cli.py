@@ -1,0 +1,109 @@
+"""CLI tests (python -m repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    path = tmp_path / "ds"
+    rc = main(
+        [
+            "write", str(path),
+            "--ranks", "8",
+            "--particles", "500",
+            "--factor", "2", "2", "1",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestWrite:
+    def test_creates_dataset(self, dataset_dir):
+        assert (dataset_dir / "manifest.json").exists()
+        assert (dataset_dir / "spatial.meta").exists()
+        assert list((dataset_dir / "data").glob("*.pbin"))
+
+    def test_distributions(self, tmp_path):
+        for dist in ("clustered", "jet"):
+            rc = main(
+                ["write", str(tmp_path / dist), "--ranks", "4",
+                 "--particles", "200", "--distribution", dist]
+            )
+            assert rc == 0
+
+    def test_adaptive_flag(self, tmp_path):
+        rc = main(
+            ["write", str(tmp_path / "ad"), "--ranks", "8",
+             "--particles", "200", "--adaptive"]
+        )
+        assert rc == 0
+
+
+class TestInfo:
+    def test_prints_summary(self, dataset_dir, capsys):
+        assert main(["info", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "particles       : 4000" in out
+        assert "data/file_0.pbin" in out
+        assert "LOD" in out
+
+
+class TestQuery:
+    def test_box_query(self, dataset_dir, capsys):
+        rc = main(
+            ["query", str(dataset_dir), "--box", "0", "0", "0", ".5", ".5", ".5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "files touched" in out
+        assert "particles in box" in out
+
+    def test_lod_query_reads_less(self, dataset_dir, capsys):
+        main(["query", str(dataset_dir), "--box", "0", "0", "0", "1", "1", "1"])
+        full = capsys.readouterr().out
+        main(
+            ["query", str(dataset_dir), "--box", "0", "0", "0", "1", "1", "1",
+             "--level", "0"]
+        )
+        coarse = capsys.readouterr().out
+
+        def read_count(text):
+            for line in text.splitlines():
+                if line.startswith("particles read"):
+                    return int(line.split(":")[1])
+            raise AssertionError(text)
+
+        assert read_count(coarse) < read_count(full)
+
+
+class TestEstimate:
+    def test_factor_strategy(self, capsys):
+        assert main(
+            ["estimate", "--machine", "Theta", "--procs", "262144",
+             "--strategy", "1x2x2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "GB/s" in out
+
+    def test_baseline_strategy(self, capsys):
+        assert main(
+            ["estimate", "--machine", "Mira", "--procs", "65536",
+             "--strategy", "ior-fpp"]
+        ) == 0
+        assert "IOR FPP" in capsys.readouterr().out
+
+    def test_unknown_machine(self, capsys):
+        assert main(["estimate", "--machine", "Summit"]) == 2
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_box(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "ds"])

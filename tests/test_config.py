@@ -1,0 +1,60 @@
+"""WriterConfig validation tests."""
+
+import pytest
+
+from repro.core import WriterConfig
+from repro.core.config import PAPER_PARTITION_FACTORS
+from repro.errors import ConfigError
+
+
+class TestWriterConfig:
+    def test_defaults_match_paper(self):
+        cfg = WriterConfig()
+        assert cfg.lod_base == 32      # P = 32 in §5.4
+        assert cfg.lod_scale == 2      # "S defaults to 2" (§3.4)
+        assert cfg.lod_heuristic == "random"
+        assert not cfg.adaptive
+
+    def test_paper_factors_all_valid(self):
+        for pf in PAPER_PARTITION_FACTORS:
+            WriterConfig(partition_factor=pf)
+        assert (1, 1, 1) in PAPER_PARTITION_FACTORS
+        assert (4, 4, 4) in PAPER_PARTITION_FACTORS
+
+    def test_partition_volume(self):
+        assert WriterConfig(partition_factor=(2, 4, 4)).partition_volume == 32
+
+    def test_frozen(self):
+        cfg = WriterConfig()
+        with pytest.raises(AttributeError):
+            cfg.lod_base = 5
+
+    @pytest.mark.parametrize(
+        "bad", [(0, 1, 1), (1, 1), (1, 1, 1, 1), (-2, 2, 2)]
+    )
+    def test_bad_partition_factor(self, bad):
+        with pytest.raises(ConfigError):
+            WriterConfig(partition_factor=bad)
+
+    def test_bad_lod_base(self):
+        with pytest.raises(ConfigError):
+            WriterConfig(lod_base=0)
+
+    def test_bad_lod_scale(self):
+        with pytest.raises(ConfigError):
+            WriterConfig(lod_scale=1)
+
+    def test_bad_heuristic(self):
+        with pytest.raises(ConfigError):
+            WriterConfig(lod_heuristic="sorted")
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        cfg = WriterConfig(partition_factor=(2, 2, 4), attr_index=("density",))
+        doc = json.dumps(cfg.describe())
+        assert "2" in doc and "density" in doc
+
+    def test_attr_index_normalised_to_tuple(self):
+        cfg = WriterConfig(attr_index=["a", "b"])
+        assert cfg.attr_index == ("a", "b")

@@ -1,0 +1,126 @@
+"""Data-file format tests."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Box
+from repro.errors import DataFileError
+from repro.format.datafile import (
+    HEADER_BYTES,
+    data_file_name,
+    peek_particle_count,
+    read_data_file,
+    read_data_prefix,
+    write_data_file,
+)
+from repro.io import VirtualBackend
+from repro.particles import ParticleBatch, uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE, UINTAH_DTYPE
+
+
+@pytest.fixture
+def backend():
+    return VirtualBackend()
+
+
+@pytest.fixture
+def batch():
+    return uniform_particles(Box([0, 0, 0], [1, 1, 1]), 100, dtype=MINIMAL_DTYPE, seed=9)
+
+
+class TestNaming:
+    def test_name_from_agg_rank(self):
+        # Fig. 4: "Agg rank is used to derive the name of the data file".
+        assert data_file_name(0) == "data/file_0.pbin"
+        assert data_file_name(12) == "data/file_12.pbin"
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(DataFileError):
+            data_file_name(-1)
+
+
+class TestRoundTrip:
+    def test_write_read(self, backend, batch):
+        nbytes = write_data_file(backend, "data/f.pbin", batch)
+        assert nbytes == HEADER_BYTES + batch.nbytes
+        again = read_data_file(backend, "data/f.pbin", MINIMAL_DTYPE)
+        assert again == batch
+
+    def test_empty_batch(self, backend):
+        empty = ParticleBatch.empty(MINIMAL_DTYPE)
+        write_data_file(backend, "data/e.pbin", empty)
+        assert len(read_data_file(backend, "data/e.pbin", MINIMAL_DTYPE)) == 0
+
+    def test_uintah_dtype(self, backend):
+        b = uniform_particles(Box([0, 0, 0], [1, 1, 1]), 50, dtype=UINTAH_DTYPE, seed=1)
+        write_data_file(backend, "data/u.pbin", b)
+        assert read_data_file(backend, "data/u.pbin", UINTAH_DTYPE) == b
+
+    def test_peek_count(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        assert peek_particle_count(backend, "data/f.pbin") == 100
+
+
+class TestPrefixReads:
+    def test_prefix_is_head_of_file(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        prefix = read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, 30)
+        assert prefix == batch[0:30]
+
+    def test_offset_slice(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        mid = read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, 20, offset_particles=50)
+        assert mid == batch[50:70]
+
+    def test_zero_count(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        assert len(read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, 0)) == 0
+
+    def test_slice_past_end_raises(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        with pytest.raises(DataFileError):
+            read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, 101)
+        with pytest.raises(DataFileError):
+            read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, 50, offset_particles=60)
+
+    def test_negative_rejected(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        with pytest.raises(DataFileError):
+            read_data_prefix(backend, "data/f.pbin", MINIMAL_DTYPE, -1)
+
+    def test_prefix_reads_only_needed_bytes(self, batch):
+        vb = VirtualBackend()
+        write_data_file(vb, "data/f.pbin", batch)
+        vb.clear_ops()
+        read_data_prefix(vb, "data/f.pbin", MINIMAL_DTYPE, 10)
+        read_bytes = sum(op.nbytes for op in vb.ops_of_kind("read"))
+        assert read_bytes == HEADER_BYTES + 10 * MINIMAL_DTYPE.itemsize
+
+
+class TestCorruption:
+    def test_bad_magic(self, backend):
+        backend.write_file("data/bad.pbin", b"NOTMAGIC" + bytes(16))
+        with pytest.raises(DataFileError, match="magic"):
+            read_data_file(backend, "data/bad.pbin", MINIMAL_DTYPE)
+
+    def test_truncated_header(self, backend):
+        backend.write_file("data/short.pbin", b"SPIO")
+        with pytest.raises(DataFileError, match="truncated"):
+            read_data_file(backend, "data/short.pbin", MINIMAL_DTYPE)
+
+    def test_truncated_payload(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        raw = backend.read_file("data/f.pbin")
+        backend.write_file("data/f.pbin", raw[:-8])
+        with pytest.raises(DataFileError, match="expected"):
+            read_data_file(backend, "data/f.pbin", MINIMAL_DTYPE)
+
+    def test_dtype_mismatch_detected(self, backend, batch):
+        write_data_file(backend, "data/f.pbin", batch)
+        with pytest.raises(DataFileError, match="record size"):
+            read_data_file(backend, "data/f.pbin", UINTAH_DTYPE)
+
+    def test_peek_on_non_datafile(self, backend):
+        backend.write_file("data/x.pbin", b"garbage-garbage-garbage-")
+        with pytest.raises(DataFileError):
+            peek_particle_count(backend, "data/x.pbin")

@@ -1,0 +1,77 @@
+"""Unit tests for repro.domain.decomposition."""
+
+import pytest
+
+from repro.domain import Box, PatchDecomposition, factor_into_grid
+from repro.errors import DomainError
+
+
+class TestFactorIntoGrid:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (1, (1, 1, 1)),
+            (2, (2, 1, 1)),
+            (4, (2, 2, 1)),
+            (8, (2, 2, 2)),
+            (512, (8, 8, 8)),
+            (4096, (16, 16, 16)),
+            (262144, (64, 64, 64)),
+            (36, (4, 3, 3)),
+            (6, (3, 2, 1)),
+        ],
+    )
+    def test_known_factorizations(self, n, expected):
+        assert factor_into_grid(n) == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 12, 36, 100, 512, 1000, 4096])
+    def test_product_is_n(self, n):
+        dims = factor_into_grid(n)
+        assert dims[0] * dims[1] * dims[2] == n
+
+    def test_sorted_descending(self):
+        for n in (12, 24, 90, 1024):
+            dims = factor_into_grid(n)
+            assert dims[0] >= dims[1] >= dims[2]
+
+    def test_near_cubic_for_powers_of_two(self):
+        for exp in range(3, 19):
+            dims = factor_into_grid(2**exp)
+            assert dims[0] / dims[2] <= 2
+
+    def test_invalid(self):
+        with pytest.raises(DomainError):
+            factor_into_grid(0)
+
+
+class TestPatchDecomposition:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition(Box([0, 0, 0], [4, 2, 2]), (4, 2, 2))
+
+    def test_nprocs(self, decomp):
+        assert decomp.nprocs == 16
+        assert decomp.proc_dims == (4, 2, 2)
+
+    def test_patch_of_rank_zero(self, decomp):
+        assert decomp.patch_of_rank(0) == Box([0, 0, 0], [1, 1, 1])
+
+    def test_patches_tile_domain(self, decomp):
+        patches = decomp.all_patches()
+        assert len(patches) == 16
+        assert sum(p.volume for p in patches) == pytest.approx(decomp.domain.volume)
+
+    def test_rank_cell_roundtrip(self, decomp):
+        for rank in range(decomp.nprocs):
+            assert decomp.rank_of_cell(decomp.cell_of_rank(rank)) == rank
+
+    def test_for_nprocs(self):
+        d = PatchDecomposition.for_nprocs(Box([0, 0, 0], [1, 1, 1]), 8)
+        assert d.nprocs == 8
+        assert d.proc_dims == (2, 2, 2)
+
+    def test_ranks_intersecting(self, decomp):
+        ranks = decomp.ranks_intersecting(Box([0.1, 0.1, 0.1], [0.9, 0.9, 0.9]))
+        assert ranks == [0]
+        everything = decomp.ranks_intersecting(decomp.domain)
+        assert everything == list(range(16))

@@ -1,0 +1,166 @@
+"""Failure injection: corrupted datasets, lying peers, broken backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialReader
+from repro.domain import Box
+from repro.errors import (
+    BackendError,
+    DataFileError,
+    FormatError,
+    MetadataError,
+    RankFailedError,
+)
+from repro.io import VirtualBackend
+
+from tests.conftest import write_dataset
+
+
+@pytest.fixture
+def dataset():
+    backend, _, _ = write_dataset(nprocs=8, partition_factor=(2, 2, 2))
+    return backend
+
+
+class TestCorruptMetadata:
+    def test_truncated_metadata(self, dataset):
+        raw = dataset.read_file("spatial.meta")
+        dataset.write_file("spatial.meta", raw[: len(raw) // 2])
+        with pytest.raises(MetadataError):
+            SpatialReader(dataset)
+
+    def test_garbage_metadata(self, dataset):
+        dataset.write_file("spatial.meta", b"\xff" * 64)
+        with pytest.raises(MetadataError):
+            SpatialReader(dataset)
+
+    def test_deleted_metadata(self, dataset):
+        dataset.delete("spatial.meta")
+        with pytest.raises(MetadataError):
+            SpatialReader(dataset)
+
+    def test_empty_metadata_file(self, dataset):
+        dataset.write_file("spatial.meta", b"")
+        with pytest.raises(MetadataError):
+            SpatialReader(dataset)
+
+
+class TestCorruptManifest:
+    def test_truncated_manifest(self, dataset):
+        raw = dataset.read_file("manifest.json")
+        dataset.write_file("manifest.json", raw[:20])
+        with pytest.raises(FormatError):
+            SpatialReader(dataset)
+
+    def test_wrong_dtype_in_manifest(self, dataset):
+        """A manifest whose dtype disagrees with the data files is caught at
+        read time by the record-size check."""
+        import json
+
+        doc = json.loads(dataset.read_file("manifest.json"))
+        doc["dtype_descr"] = [["position", "<f8", [3]], ["extra", "<f8"], ["id", "<f8"]]
+        dataset.write_file("manifest.json", json.dumps(doc).encode())
+        reader = SpatialReader(dataset)
+        with pytest.raises(DataFileError, match="record size"):
+            reader.read_full()
+
+
+class TestCorruptDataFiles:
+    def test_missing_data_file(self, dataset):
+        reader = SpatialReader(dataset)
+        victim = reader.metadata.records[0].file_path
+        dataset.delete(victim)
+        with pytest.raises(BackendError):
+            reader.read_full()
+
+    def test_truncated_data_file(self, dataset):
+        reader = SpatialReader(dataset)
+        victim = reader.metadata.records[0].file_path
+        raw = dataset.read_file(victim)
+        dataset.write_file(victim, raw[:-40])
+        with pytest.raises(DataFileError):
+            reader.read_full()
+
+    def test_count_mismatch_header_vs_metadata(self, dataset):
+        """Metadata says N particles; the data file header says otherwise.
+
+        The LOD prefix reader trusts the metadata for planning, so the
+        mismatch surfaces as a DataFileError when the slice runs past the
+        header's count."""
+        reader = SpatialReader(dataset)
+        rec = reader.metadata.records[0]
+        raw = bytearray(dataset.read_file(rec.file_path))
+        import struct
+
+        struct.pack_into("<Q", raw, 16, 5)  # header now claims 5 particles
+        dataset.write_file(rec.file_path, bytes(raw))
+        with pytest.raises(DataFileError):
+            reader.read_full()
+
+
+class TestFailingBackend:
+    class ExplodingBackend(VirtualBackend):
+        """Fails every read after the first N."""
+
+        def __init__(self, allowed_reads: int):
+            super().__init__()
+            self.allowed = allowed_reads
+
+        def read_range(self, path, offset, length, actor=-1):
+            if path.startswith("data/"):
+                if self.allowed <= 0:
+                    raise BackendError("injected I/O failure")
+                self.allowed -= 1
+            return super().read_range(path, offset, length, actor)
+
+        def read_file(self, path, actor=-1):
+            if path.startswith("data/"):
+                if self.allowed <= 0:
+                    raise BackendError("injected I/O failure")
+                self.allowed -= 1
+            return super().read_file(path, actor)
+
+    def test_mid_read_failure_propagates(self):
+        backend, _, _ = write_dataset(nprocs=8, partition_factor=(1, 1, 1))
+        exploding = self.ExplodingBackend(allowed_reads=3)
+        # Copy dataset into the exploding backend.
+        for name in ("manifest.json", "spatial.meta"):
+            exploding.write_file(name, backend.read_file(name))
+        for name in backend.listdir("data"):
+            exploding.write_file(f"data/{name}", backend.read_file(f"data/{name}"))
+        exploding.allowed = 3
+        reader = SpatialReader(exploding)
+        with pytest.raises(BackendError, match="injected"):
+            reader.read_full()
+
+
+class TestWriterFailures:
+    def test_rank_with_wrong_dtype_fails_cleanly(self):
+        """One rank shipping a mismatched dtype aborts the write."""
+        from repro.particles.dtype import MINIMAL_DTYPE, UINTAH_DTYPE
+        from repro.particles import uniform_particles
+
+        def batches(rank, patch):
+            dtype = UINTAH_DTYPE if rank == 3 else MINIMAL_DTYPE
+            return uniform_particles(patch, 10, dtype=dtype, rank=rank)
+
+        with pytest.raises(RankFailedError):
+            write_dataset(nprocs=8, batch_fn=batches)
+
+    def test_particles_outside_patch_fail_aligned_write(self):
+        """Aligned writes trust patch containment; a particle leaking out of
+        the domain is caught by the partition-box invariantcheck on read, or
+        by the grid when binning is involved."""
+        from repro.particles import ParticleBatch
+        from repro.particles.dtype import MINIMAL_DTYPE
+        from repro.core import WriterConfig
+
+        def batches(rank, patch):
+            arr = np.zeros(4, dtype=MINIMAL_DTYPE)
+            arr["position"] = 5.0  # way outside the unit domain
+            return ParticleBatch(arr)
+
+        cfg = WriterConfig(partition_factor=(2, 2, 2), align_to_patches=False)
+        with pytest.raises(RankFailedError):
+            write_dataset(nprocs=8, config=cfg, batch_fn=batches)

@@ -1,0 +1,137 @@
+"""Unit tests for the particle distribution generators."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Box, PatchDecomposition
+from repro.particles import (
+    clustered_particles,
+    injection_jet_particles,
+    occupancy_particles,
+    uniform_particles,
+)
+from repro.particles.dtype import MINIMAL_DTYPE, UINTAH_DTYPE
+
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        b = uniform_particles(DOMAIN, 1000, seed=0)
+        assert len(b) == 1000
+        assert DOMAIN.contains_points(b.positions).all()  # half-open
+
+    def test_deterministic_per_seed(self):
+        a = uniform_particles(DOMAIN, 100, seed=1, rank=3)
+        b = uniform_particles(DOMAIN, 100, seed=1, rank=3)
+        assert a == b
+
+    def test_rank_streams_differ(self):
+        a = uniform_particles(DOMAIN, 100, seed=1, rank=0)
+        b = uniform_particles(DOMAIN, 100, seed=1, rank=1)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_ids_globally_unique_across_ranks(self):
+        ids = np.concatenate(
+            [uniform_particles(DOMAIN, 50, seed=1, rank=r).data["id"] for r in range(4)]
+        )
+        assert len(np.unique(ids)) == 200
+
+    def test_fills_attributes(self):
+        b = uniform_particles(DOMAIN, 10, dtype=UINTAH_DTYPE, seed=0)
+        assert (b.data["density"] > 0).all()
+        assert (b.data["volume"] > 0).all()
+
+    def test_offset_box(self):
+        box = Box([5, 5, 5], [6, 7, 8])
+        b = uniform_particles(box, 500, seed=2)
+        assert box.contains_points(b.positions).all()
+
+
+class TestClustered:
+    def test_count_and_bounds(self):
+        b = clustered_particles(DOMAIN, 2000, seed=0)
+        assert len(b) == 2000
+        assert DOMAIN.contains_points(b.positions).all()
+
+    def test_is_actually_clustered(self):
+        # Clustered positions should have lower spatial entropy than uniform:
+        # compare occupancy of a coarse grid.
+        from repro.domain import CellGrid
+
+        grid = CellGrid(DOMAIN, (8, 8, 8))
+        cl = clustered_particles(DOMAIN, 4000, num_clusters=2, spread=0.03, seed=1)
+        un = uniform_particles(DOMAIN, 4000, seed=1)
+        cl_cells = len(np.unique(grid.flat_cell_of_points(cl.positions)))
+        un_cells = len(np.unique(grid.flat_cell_of_points(un.positions)))
+        assert cl_cells < un_cells / 2
+
+    def test_deterministic(self):
+        assert clustered_particles(DOMAIN, 100, seed=4) == clustered_particles(
+            DOMAIN, 100, seed=4
+        )
+
+
+class TestOccupancy:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition(DOMAIN, (4, 1, 1))
+
+    def test_full_occupancy_everywhere(self, decomp):
+        for rank in range(4):
+            b = occupancy_particles(DOMAIN, decomp.patch_of_rank(rank), 100, 1.0, rank=rank)
+            assert len(b) == 100
+
+    def test_empty_ranks_outside_slab(self, decomp):
+        # occupancy 0.25 -> only the first x-quarter is populated.
+        counts = [
+            len(occupancy_particles(DOMAIN, decomp.patch_of_rank(r), 100, 0.25, rank=r))
+            for r in range(4)
+        ]
+        assert counts[0] > 0
+        assert counts[1] == counts[2] == counts[3] == 0
+
+    def test_total_is_occupancy_invariant(self, decomp):
+        base = 100
+        for occ in (1.0, 0.5, 0.25):
+            total = sum(
+                len(occupancy_particles(DOMAIN, decomp.patch_of_rank(r), base, occ, rank=r))
+                for r in range(4)
+            )
+            assert total == 4 * base
+
+    def test_particles_confined_to_slab(self, decomp):
+        b = occupancy_particles(DOMAIN, decomp.patch_of_rank(0), 200, 0.125, rank=0)
+        assert (b.positions[:, 0] < 0.125 + 1e-12).all()
+
+    def test_invalid_occupancy(self, decomp):
+        with pytest.raises(ValueError):
+            occupancy_particles(DOMAIN, decomp.patch_of_rank(0), 10, 0.0)
+        with pytest.raises(ValueError):
+            occupancy_particles(DOMAIN, decomp.patch_of_rank(0), 10, 1.5)
+
+
+class TestInjectionJet:
+    def test_bounds(self):
+        b = injection_jet_particles(DOMAIN, 5000, seed=0)
+        assert DOMAIN.contains_points(b.positions).all()
+
+    def test_progress_limits_depth(self):
+        early = injection_jet_particles(DOMAIN, 3000, progress=0.2, seed=1)
+        late = injection_jet_particles(DOMAIN, 3000, progress=1.0, seed=1)
+        assert early.positions[:, 0].max() < 0.45
+        assert late.positions[:, 0].max() > early.positions[:, 0].max()
+
+    def test_concentrated_near_axis(self):
+        b = injection_jet_particles(DOMAIN, 5000, seed=2)
+        radial = np.linalg.norm(b.positions[:, 1:] - 0.5, axis=1)
+        assert np.median(radial) < 0.15
+
+    def test_invalid_progress(self):
+        with pytest.raises(ValueError):
+            injection_jet_particles(DOMAIN, 10, progress=0.0)
+
+    def test_minimal_dtype_supported(self):
+        b = injection_jet_particles(DOMAIN, 10, dtype=MINIMAL_DTYPE)
+        assert b.dtype == MINIMAL_DTYPE

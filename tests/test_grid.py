@@ -1,0 +1,156 @@
+"""Unit tests for repro.domain.grid.CellGrid."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Box, CellGrid
+from repro.errors import DomainError
+
+
+@pytest.fixture
+def unit_grid():
+    return CellGrid(Box([0, 0, 0], [1, 1, 1]), (4, 2, 2))
+
+
+class TestConstruction:
+    def test_dims_and_counts(self, unit_grid):
+        assert unit_grid.dims == (4, 2, 2)
+        assert unit_grid.num_cells == 16
+        assert len(unit_grid) == 16
+
+    def test_cell_extent(self, unit_grid):
+        assert np.allclose(unit_grid.cell_extent, [0.25, 0.5, 0.5])
+
+    def test_bad_dims(self):
+        dom = Box([0, 0, 0], [1, 1, 1])
+        with pytest.raises(DomainError):
+            CellGrid(dom, (0, 1, 1))
+        with pytest.raises(DomainError):
+            CellGrid(dom, (2, 2))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            CellGrid(Box([0, 0, 0], [0, 1, 1]), (1, 1, 1))
+
+
+class TestIndexing:
+    def test_flatten_unflatten_roundtrip(self, unit_grid):
+        for flat in range(unit_grid.num_cells):
+            ijk = unit_grid.unflatten_index(flat)
+            assert unit_grid.flatten_index(np.array(ijk)) == flat
+
+    def test_x_fastest_order(self, unit_grid):
+        assert unit_grid.unflatten_index(0) == (0, 0, 0)
+        assert unit_grid.unflatten_index(1) == (1, 0, 0)
+        assert unit_grid.unflatten_index(4) == (0, 1, 0)
+        assert unit_grid.unflatten_index(8) == (0, 0, 1)
+
+    def test_unflatten_out_of_range(self, unit_grid):
+        with pytest.raises(DomainError):
+            unit_grid.unflatten_index(16)
+        with pytest.raises(DomainError):
+            unit_grid.unflatten_index(-1)
+
+
+class TestPointAssignment:
+    def test_interior_points(self, unit_grid):
+        idx = unit_grid.cell_of_points(np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]]))
+        assert idx.tolist() == [[0, 0, 0], [3, 1, 1]]
+
+    def test_interior_face_goes_to_upper_cell(self, unit_grid):
+        # x = 0.25 is the boundary between cells 0 and 1 along x.
+        idx = unit_grid.cell_of_points(np.array([[0.25, 0.0, 0.0]]))
+        assert idx.tolist() == [[1, 0, 0]]
+
+    def test_domain_top_face_clips_to_last_cell(self, unit_grid):
+        idx = unit_grid.cell_of_points(np.array([[1.0, 1.0, 1.0]]))
+        assert idx.tolist() == [[3, 1, 1]]
+
+    def test_outside_point_raises(self, unit_grid):
+        with pytest.raises(DomainError):
+            unit_grid.cell_of_points(np.array([[1.5, 0.5, 0.5]]))
+
+    def test_each_point_in_its_cell_box(self, unit_grid):
+        rng = np.random.default_rng(0)
+        pts = rng.random((500, 3))
+        idx = unit_grid.cell_of_points(pts)
+        for p, ijk in zip(pts, idx):
+            assert unit_grid.cell_box(ijk).contains_point(p)
+
+    def test_flat_cell_of_points(self, unit_grid):
+        pts = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        assert unit_grid.flat_cell_of_points(pts).tolist() == [0, 15]
+
+    def test_empty_points_ok(self, unit_grid):
+        assert unit_grid.cell_of_points(np.zeros((0, 3))).shape == (0, 3)
+
+
+class TestGeometry:
+    def test_cell_boxes_tile_domain(self, unit_grid):
+        boxes = unit_grid.boxes()
+        assert len(boxes) == 16
+        total = sum(b.volume for b in boxes)
+        assert total == pytest.approx(unit_grid.domain.volume)
+        # Pairwise disjoint under open intersection.
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_adjacent_cells_share_exact_faces(self, unit_grid):
+        a = unit_grid.cell_box((0, 0, 0))
+        b = unit_grid.cell_box((1, 0, 0))
+        assert a.hi[0] == b.lo[0]
+
+    def test_last_cell_touches_domain_top(self, unit_grid):
+        last = unit_grid.cell_box((3, 1, 1))
+        assert np.array_equal(last.hi, unit_grid.domain.hi)
+
+    def test_cell_box_out_of_range(self, unit_grid):
+        with pytest.raises(DomainError):
+            unit_grid.cell_box((4, 0, 0))
+
+    def test_offset_domain(self):
+        grid = CellGrid(Box([-2, 1, 0], [2, 3, 4]), (2, 2, 2))
+        assert grid.cell_box((0, 0, 0)) == Box([-2, 1, 0], [0, 2, 2])
+        assert grid.cell_box((1, 1, 1)) == Box([0, 2, 2], [2, 3, 4])
+
+
+class TestCellsIntersecting:
+    def test_query_inside_one_cell(self, unit_grid):
+        hits = unit_grid.cells_intersecting(Box([0.01, 0.01, 0.01], [0.2, 0.2, 0.2]))
+        assert hits == [0]
+
+    def test_query_spanning_all(self, unit_grid):
+        hits = unit_grid.cells_intersecting(unit_grid.domain)
+        assert hits == list(range(16))
+
+    def test_query_on_face_touches_neither_side_exclusively(self, unit_grid):
+        # A zero-thickness box on an interior face intersects no cell (open test).
+        hits = unit_grid.cells_intersecting(Box([0.25, 0, 0], [0.25, 1, 1]))
+        assert hits == []
+
+    def test_query_outside(self, unit_grid):
+        hits = unit_grid.cells_intersecting(Box([2, 2, 2], [3, 3, 3]))
+        assert hits == []
+
+    def test_matches_brute_force(self, unit_grid):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            lo = rng.random(3) * 0.8
+            hi = lo + rng.random(3) * 0.4
+            q = Box(lo, np.minimum(hi, 1.0))
+            fast = set(unit_grid.cells_intersecting(q))
+            slow = {
+                f
+                for f in range(unit_grid.num_cells)
+                if unit_grid.cell_box_flat(f).intersects(q)
+            }
+            assert fast == slow
+
+
+class TestValueSemantics:
+    def test_eq_hash(self):
+        dom = Box([0, 0, 0], [1, 1, 1])
+        a, b = CellGrid(dom, (2, 2, 2)), CellGrid(dom, (2, 2, 2))
+        c = CellGrid(dom, (4, 2, 2))
+        assert a == b and hash(a) == hash(b) and a != c

@@ -1,0 +1,180 @@
+"""Integration tests: full write -> read cycles across the configuration matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgressiveReader, SpatialReader, SpatialWriter, WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.io import PosixBackend, VirtualBackend
+from repro.mpi import run_mpi
+from repro.particles.dtype import MINIMAL_DTYPE, UINTAH_DTYPE
+from repro.query import box_query
+from repro.workloads import UintahWorkload
+
+from tests.conftest import write_dataset
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("nprocs", [1, 4, 8, 27])
+    @pytest.mark.parametrize("factor", [(1, 1, 1), (2, 2, 2), (3, 1, 2)])
+    def test_write_read_roundtrip(self, nprocs, factor):
+        backend, _, _ = write_dataset(
+            nprocs=nprocs, partition_factor=factor, particles_per_rank=120
+        )
+        reader = SpatialReader(backend)
+        assert reader.total_particles == nprocs * 120
+        everything = reader.read_full()
+        assert len(set(everything.data["id"].tolist())) == nprocs * 120
+
+    @pytest.mark.parametrize("distribution", ["uniform", "clustered", "jet"])
+    def test_distributions_roundtrip(self, distribution):
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+        workload = UintahWorkload(
+            decomp, 300, distribution=distribution, seed=1, dtype=MINIMAL_DTYPE
+        )
+        backend = VirtualBackend()
+        writer = SpatialWriter(WriterConfig(partition_factor=(2, 2, 2)))
+        run_mpi(
+            8, lambda c: writer.write(c, workload.generate_rank(c.rank), decomp, backend)
+        )
+        reader = SpatialReader(backend)
+        expected = sum(len(workload.generate_rank(r)) for r in range(8))
+        assert reader.total_particles == expected
+
+    def test_posix_backend_full_cycle(self, tmp_path):
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+        backend = PosixBackend(tmp_path / "dataset")
+        writer = SpatialWriter(
+            WriterConfig(partition_factor=(2, 2, 1), attr_index=("density",))
+        )
+        workload = UintahWorkload(decomp, 200, seed=9)
+
+        run_mpi(
+            8, lambda c: writer.write(c, workload.generate_rank(c.rank), decomp, backend)
+        )
+        assert (tmp_path / "dataset" / "manifest.json").exists()
+        assert (tmp_path / "dataset" / "spatial.meta").exists()
+
+        reader = SpatialReader(backend)
+        assert reader.total_particles == 1600
+        assert reader.dtype == UINTAH_DTYPE
+        hits = box_query(reader, Box([0.2, 0.2, 0.2], [0.8, 0.8, 0.8]))
+        everything = reader.read_full()
+        brute = Box([0.2, 0.2, 0.2], [0.8, 0.8, 0.8]).contains_points(
+            everything.positions, closed=True
+        )
+        assert len(hits) == int(brute.sum())
+
+    def test_write_read_different_parallelism(self):
+        """Write at 16 'cores', read at 1..8: the paper's headline ability."""
+        backend, _, _ = write_dataset(nprocs=16, partition_factor=(2, 2, 2))
+        reader = SpatialReader(backend)
+        for nreaders in (1, 2, 4, 8):
+            pieces = [
+                reader.read_assigned(nreaders, r) for r in range(nreaders)
+            ]
+            assert sum(len(p) for p in pieces) == reader.total_particles
+
+    def test_multi_timestep_overwrite(self):
+        """Writing a second timestep into a fresh prefix works cleanly."""
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+        writer = SpatialWriter(WriterConfig(partition_factor=(2, 2, 2)))
+        for ts in range(2):
+            backend = VirtualBackend()
+            wl = UintahWorkload(decomp, 100, seed=ts, dtype=MINIMAL_DTYPE)
+            run_mpi(
+                8, lambda c: writer.write(c, wl.generate_rank(c.rank), decomp, backend)
+            )
+            assert SpatialReader(backend).total_particles == 800
+
+
+class TestEndToEndScenario:
+    def test_simulation_to_visualization_pipeline(self):
+        """The paper's full workflow: simulate -> write -> LOD-visualize."""
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 16)
+        workload = UintahWorkload(decomp, 500, distribution="jet", seed=2,
+                                  dtype=MINIMAL_DTYPE)
+        backend = VirtualBackend()
+        writer = SpatialWriter(WriterConfig(partition_factor=(2, 2, 2), lod_base=16))
+        run_mpi(
+            16,
+            lambda c: writer.write(c, workload.generate_rank(c.rank), decomp, backend),
+        )
+
+        reader = SpatialReader(backend)
+        prog = ProgressiveReader(reader, nreaders=1)
+        from repro.viz import SplatRenderer, coverage
+
+        renderer = SplatRenderer(DOMAIN, resolution=64)
+        full_img = renderer.render(reader.read_full())
+        from repro.particles import concatenate
+
+        loaded = []
+        coverages = []
+        while not prog.done():
+            loaded.append(prog.refine().new_particles)
+            coverages.append(coverage(renderer.render(concatenate(loaded)), full_img))
+        # Coverage approaches 1 monotonically-ish and ends exact.
+        assert coverages[-1] == 1.0
+        assert coverages[0] < 1.0
+
+    def test_adaptive_jet_cycle(self):
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 16)
+        workload = UintahWorkload(decomp, 400, distribution="jet", seed=4,
+                                  progress=0.3, dtype=MINIMAL_DTYPE)
+        batches = [workload.generate_rank(r) for r in range(16)]
+        backend = VirtualBackend()
+        writer = SpatialWriter(WriterConfig(partition_factor=(2, 2, 2), adaptive=True))
+        run_mpi(16, lambda c: writer.write(c, batches[c.rank], decomp, backend))
+        reader = SpatialReader(backend)
+        assert reader.total_particles == sum(len(b) for b in batches)
+        # No file holds zero particles; boxes cover only the jet's region.
+        assert all(rec.particle_count > 0 for rec in reader.metadata)
+        assert reader.domain().hi[0] < 1.0  # jet at 30% progress
+
+
+class TestCrossFormatConsistency:
+    def test_spatial_and_baseline_hold_same_particles(self):
+        from repro.baselines import RankOrderSubfilingWriter, UnstructuredReader
+
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+        wl = UintahWorkload(decomp, 150, seed=3, dtype=MINIMAL_DTYPE)
+        batches = [wl.generate_rank(r) for r in range(8)]
+
+        spatial_backend = VirtualBackend()
+        spatial = SpatialWriter(WriterConfig(partition_factor=(2, 2, 1)))
+        run_mpi(8, lambda c: spatial.write(c, batches[c.rank], decomp, spatial_backend))
+
+        sub_backend = VirtualBackend()
+        sub = RankOrderSubfilingWriter(num_files=2)
+        run_mpi(8, lambda c: sub.write(c, batches[c.rank], sub_backend))
+
+        a = SpatialReader(spatial_backend).read_full()
+        b = UnstructuredReader(sub_backend).read_all()
+        assert set(a.data["id"].tolist()) == set(b.data["id"].tolist())
+
+    def test_spatial_format_reads_fewer_bytes_for_box_query(self):
+        from repro.baselines import RankOrderSubfilingWriter, UnstructuredReader
+
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+        wl = UintahWorkload(decomp, 150, seed=3, dtype=MINIMAL_DTYPE)
+        batches = [wl.generate_rank(r) for r in range(8)]
+        q = Box([0.0, 0.0, 0.0], [0.4, 0.4, 0.4])
+
+        spatial_backend = VirtualBackend()
+        spatial = SpatialWriter(WriterConfig(partition_factor=(2, 2, 1)))
+        run_mpi(8, lambda c: spatial.write(c, batches[c.rank], decomp, spatial_backend))
+        spatial_backend.clear_ops()
+        SpatialReader(spatial_backend).read_box(q)
+        spatial_bytes = sum(op.nbytes for op in spatial_backend.ops_of_kind("read"))
+
+        sub_backend = VirtualBackend()
+        sub = RankOrderSubfilingWriter(num_files=2)
+        run_mpi(8, lambda c: sub.write(c, batches[c.rank], sub_backend))
+        sub_backend.clear_ops()
+        UnstructuredReader(sub_backend).read_box(q)
+        sub_bytes = sum(op.nbytes for op in sub_backend.ops_of_kind("read"))
+
+        assert spatial_bytes < sub_bytes

@@ -1,0 +1,144 @@
+"""Storage backend tests (POSIX and virtual)."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.io import PosixBackend, VirtualBackend
+
+
+@pytest.fixture(params=["posix", "virtual"])
+def backend(request, tmp_path):
+    if request.param == "posix":
+        return PosixBackend(tmp_path / "data")
+    return VirtualBackend()
+
+
+class TestCommonBehaviour:
+    def test_write_read_roundtrip(self, backend):
+        backend.write_file("a/b/file.bin", b"hello world")
+        assert backend.read_file("a/b/file.bin") == b"hello world"
+
+    def test_overwrite(self, backend):
+        backend.write_file("f", b"one")
+        backend.write_file("f", b"two")
+        assert backend.read_file("f") == b"two"
+
+    def test_exists_and_size(self, backend):
+        assert not backend.exists("nope")
+        backend.write_file("yes", b"1234")
+        assert backend.exists("yes")
+        assert backend.size("yes") == 4
+
+    def test_read_range(self, backend):
+        backend.write_file("r", bytes(range(100)))
+        assert backend.read_range("r", 10, 5) == bytes([10, 11, 12, 13, 14])
+        assert backend.read_range("r", 0, 0) == b""
+
+    def test_read_range_past_end_raises(self, backend):
+        backend.write_file("r", b"abc")
+        with pytest.raises(BackendError):
+            backend.read_range("r", 2, 10)
+
+    def test_read_range_negative_rejected(self, backend):
+        backend.write_file("r", b"abc")
+        with pytest.raises(BackendError):
+            backend.read_range("r", -1, 2)
+
+    def test_read_missing_raises(self, backend):
+        with pytest.raises(BackendError):
+            backend.read_file("missing")
+
+    def test_size_missing_raises(self, backend):
+        with pytest.raises(BackendError):
+            backend.size("missing")
+
+    def test_listdir(self, backend):
+        backend.write_file("d/x.bin", b"1")
+        backend.write_file("d/y.bin", b"2")
+        backend.write_file("other/z.bin", b"3")
+        assert backend.listdir("d") == ["x.bin", "y.bin"]
+
+    def test_delete(self, backend):
+        backend.write_file("gone", b"1")
+        backend.delete("gone")
+        assert not backend.exists("gone")
+        with pytest.raises(BackendError):
+            backend.delete("gone")
+
+    def test_path_traversal_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.write_file("../escape", b"x")
+
+    def test_path_normalization(self, backend):
+        backend.write_file("./a//b.bin", b"x")
+        assert backend.exists("a/b.bin")
+
+
+class TestVirtualRecording:
+    def test_ops_recorded_in_order(self):
+        vb = VirtualBackend()
+        vb.write_file("f", b"abcd", actor=3)
+        vb.read_file("f", actor=5)
+        kinds = [op.kind for op in vb.ops]
+        assert kinds == ["create", "write", "open", "read"]
+        assert vb.ops[0].actor == 3
+        assert vb.ops[3].nbytes == 4
+
+    def test_overwrite_does_not_recreate(self):
+        vb = VirtualBackend()
+        vb.write_file("f", b"1")
+        vb.write_file("f", b"2")
+        assert len(vb.ops_of_kind("create")) == 1
+        assert len(vb.ops_of_kind("write")) == 2
+
+    def test_read_range_records_offset(self):
+        vb = VirtualBackend()
+        vb.write_file("f", bytes(100))
+        vb.read_range("f", 40, 10, actor=1)
+        read_op = vb.ops_of_kind("read")[0]
+        assert read_op.offset == 40 and read_op.nbytes == 10
+
+    def test_files_touched_by_actor(self):
+        vb = VirtualBackend()
+        vb.write_file("a", b"1")
+        vb.write_file("b", b"2")
+        vb.read_file("a", actor=0)
+        vb.read_file("b", actor=1)
+        assert vb.files_touched("open", actor=0) == {"a"}
+        assert vb.files_touched("open") == {"a", "b"}
+
+    def test_counters(self):
+        vb = VirtualBackend()
+        vb.write_file("a", b"123")
+        vb.write_file("b", b"4567")
+        assert vb.file_count() == 2
+        assert vb.total_stored_bytes() == 7
+
+    def test_clear_ops_keeps_files(self):
+        vb = VirtualBackend()
+        vb.write_file("a", b"1")
+        vb.clear_ops()
+        assert vb.ops == []
+        assert vb.exists("a")
+
+    def test_listdir_records_list_op(self):
+        vb = VirtualBackend()
+        vb.write_file("d/x", b"1")
+        vb.listdir("d")
+        assert len(vb.ops_of_kind("list")) == 1
+
+
+class TestPosixSpecific:
+    def test_root_created(self, tmp_path):
+        root = tmp_path / "deep" / "root"
+        PosixBackend(root)
+        assert root.is_dir()
+
+    def test_real_bytes_on_disk(self, tmp_path):
+        b = PosixBackend(tmp_path)
+        b.write_file("data/f.bin", b"\x00\x01\x02")
+        assert (tmp_path / "data" / "f.bin").read_bytes() == b"\x00\x01\x02"
+
+    def test_listdir_missing_raises(self, tmp_path):
+        with pytest.raises(BackendError):
+            PosixBackend(tmp_path).listdir("missing")

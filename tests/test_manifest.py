@@ -1,0 +1,94 @@
+"""Dataset manifest tests."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.format.manifest import Manifest
+from repro.io import VirtualBackend
+from repro.particles.dtype import MINIMAL_DTYPE, UINTAH_DTYPE
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_minimal(self):
+        m = Manifest(dtype=MINIMAL_DTYPE, num_files=4, total_particles=1000)
+        again = Manifest.from_json(m.to_json())
+        assert again.dtype == MINIMAL_DTYPE
+        assert again.num_files == 4
+        assert again.total_particles == 1000
+        assert again.lod_base == 32 and again.lod_scale == 2
+
+    def test_json_roundtrip_uintah(self):
+        m = Manifest(
+            dtype=UINTAH_DTYPE,
+            num_files=8192,
+            total_particles=2**31,
+            lod_base=64,
+            lod_scale=4,
+            lod_heuristic="stratified",
+            lod_seed=None,
+            writer={"config": {"partition_factor": [2, 2, 2]}, "nprocs": 65536},
+        )
+        again = Manifest.from_json(m.to_json())
+        assert again.dtype == UINTAH_DTYPE
+        assert again.dtype["stress"].shape == (3, 3)
+        assert again.lod_base == 64 and again.lod_scale == 4
+        assert again.lod_heuristic == "stratified"
+        assert again.lod_seed is None
+        assert again.writer["nprocs"] == 65536
+
+    def test_backend_roundtrip(self):
+        vb = VirtualBackend()
+        Manifest(dtype=MINIMAL_DTYPE, num_files=1, total_particles=5).write(vb)
+        assert Manifest.read(vb).total_particles == 5
+
+
+class TestValidation:
+    def test_bad_lod_base(self):
+        with pytest.raises(FormatError):
+            Manifest(dtype=MINIMAL_DTYPE, num_files=1, total_particles=0, lod_base=0)
+
+    def test_bad_lod_scale(self):
+        with pytest.raises(FormatError):
+            Manifest(dtype=MINIMAL_DTYPE, num_files=1, total_particles=0, lod_scale=1)
+
+    def test_negative_counts(self):
+        with pytest.raises(FormatError):
+            Manifest(dtype=MINIMAL_DTYPE, num_files=-1, total_particles=0)
+
+    def test_not_json(self):
+        with pytest.raises(FormatError, match="not valid JSON"):
+            Manifest.from_json("{oops")
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(FormatError, match="not a particle dataset"):
+            Manifest.from_json('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version(self):
+        with pytest.raises(FormatError, match="version"):
+            Manifest.from_json('{"format": "spio-particles", "version": 99}')
+
+    def test_missing_field(self):
+        doc = Manifest(dtype=MINIMAL_DTYPE, num_files=1, total_particles=1).to_json()
+        broken = doc.replace('"num_files"', '"nope"')
+        with pytest.raises(FormatError):
+            Manifest.from_json(broken)
+
+    def test_invalid_dtype_descr(self):
+        doc = (
+            '{"format": "spio-particles", "version": 1, '
+            '"dtype_descr": [["position", 7]], "num_files": 1, '
+            '"total_particles": 1, '
+            '"lod": {"base": 32, "scale": 2, "heuristic": "random", "seed": 0}, '
+            '"writer": {}}'
+        )
+        with pytest.raises(FormatError, match="dtype"):
+            Manifest.from_json(doc)
+
+    def test_missing_file(self):
+        with pytest.raises(FormatError, match="cannot read"):
+            Manifest.read(VirtualBackend())
+
+    def test_summary_printable(self):
+        m = Manifest(dtype=MINIMAL_DTYPE, num_files=1, total_particles=1)
+        s = m.summary()
+        assert "dtype" in s and isinstance(s["dtype"], str)

@@ -1,0 +1,160 @@
+"""Spatial metadata table tests (the Fig. 4 structure)."""
+
+import pytest
+
+from repro.domain import Box
+from repro.errors import MetadataError
+from repro.format.metadata import MetadataRecord, SpatialMetadata
+from repro.io import VirtualBackend
+
+
+def quad_records(with_attrs=False):
+    """The paper's Fig. 4 example: 4 partitions of the unit square slab."""
+    boxes = [
+        Box([0.0, 0.0, 0.0], [0.5, 0.5, 1.0]),
+        Box([0.5, 0.0, 0.0], [1.0, 0.5, 1.0]),
+        Box([0.0, 0.5, 0.0], [0.5, 1.0, 1.0]),
+        Box([0.5, 0.5, 0.0], [1.0, 1.0, 1.0]),
+    ]
+    attrs = {"density": (0.5, 2.0)} if with_attrs else {}
+    return [
+        MetadataRecord(i, i * 4, 100 + i, boxes[i], dict(attrs))
+        for i in range(4)
+    ]
+
+
+class TestFig4Structure:
+    def test_agg_ranks_match_paper_example(self):
+        # 16 processes, 4 partitions -> aggregators 0, 4, 8, 12 (Fig. 4).
+        table = SpatialMetadata(quad_records())
+        assert [r.agg_rank for r in table] == [0, 4, 8, 12]
+
+    def test_file_names_derive_from_agg_rank(self):
+        table = SpatialMetadata(quad_records())
+        assert [r.file_path for r in table] == [
+            "data/file_0.pbin",
+            "data/file_4.pbin",
+            "data/file_8.pbin",
+            "data/file_12.pbin",
+        ]
+
+    def test_total_particles(self):
+        assert SpatialMetadata(quad_records()).total_particles == 406
+
+    def test_domain_is_bounding_box(self):
+        table = SpatialMetadata(quad_records())
+        assert table.domain() == Box([0, 0, 0], [1, 1, 1])
+
+
+class TestValidation:
+    def test_duplicate_box_id_rejected(self):
+        recs = quad_records()
+        recs[1].box_id = 0
+        with pytest.raises(MetadataError, match="duplicate box id"):
+            SpatialMetadata(recs)
+
+    def test_duplicate_agg_rank_rejected(self):
+        recs = quad_records()
+        recs[1].agg_rank = 0
+        with pytest.raises(MetadataError, match="duplicate aggregator"):
+            SpatialMetadata(recs)
+
+    def test_overlapping_bounds_rejected(self):
+        recs = quad_records()
+        recs[1].bounds = Box([0.25, 0.0, 0.0], [1.0, 0.5, 1.0])
+        with pytest.raises(MetadataError, match="overlap"):
+            SpatialMetadata(recs)
+
+    def test_face_touching_bounds_allowed(self):
+        SpatialMetadata(quad_records())  # shared faces everywhere
+
+    def test_missing_attr_range_rejected(self):
+        recs = quad_records(with_attrs=True)
+        del recs[2].attr_ranges["density"]
+        with pytest.raises(MetadataError, match="missing attr"):
+            SpatialMetadata(recs, attr_names=("density",))
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(MetadataError):
+            SpatialMetadata([]).domain()
+
+
+class TestQueries:
+    def test_files_intersecting_single_quadrant(self):
+        table = SpatialMetadata(quad_records())
+        hits = table.files_intersecting(Box([0.1, 0.1, 0.1], [0.4, 0.4, 0.9]))
+        assert [r.box_id for r in hits] == [0]
+
+    def test_files_intersecting_spanning(self):
+        table = SpatialMetadata(quad_records())
+        hits = table.files_intersecting(Box([0.25, 0.25, 0], [0.75, 0.75, 1]))
+        assert len(hits) == 4
+
+    def test_files_intersecting_outside(self):
+        table = SpatialMetadata(quad_records())
+        assert table.files_intersecting(Box([2, 2, 2], [3, 3, 3])) == []
+
+    def test_attr_range_query(self):
+        recs = quad_records(with_attrs=True)
+        recs[0].attr_ranges["density"] = (5.0, 9.0)
+        table = SpatialMetadata(recs, attr_names=("density",))
+        hits = table.files_in_attr_range("density", 4.0, 6.0)
+        assert [r.box_id for r in hits] == [0]
+
+    def test_attr_range_unindexed_raises(self):
+        table = SpatialMetadata(quad_records())
+        with pytest.raises(MetadataError):
+            table.files_in_attr_range("pressure", 0, 1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        table = SpatialMetadata(quad_records())
+        again = SpatialMetadata.from_bytes(table.to_bytes())
+        assert len(again) == 4
+        for a, b in zip(table, again):
+            assert a.box_id == b.box_id
+            assert a.agg_rank == b.agg_rank
+            assert a.particle_count == b.particle_count
+            assert a.bounds == b.bounds
+
+    def test_roundtrip_with_attrs(self):
+        table = SpatialMetadata(quad_records(with_attrs=True), attr_names=("density",))
+        again = SpatialMetadata.from_bytes(table.to_bytes())
+        assert again.attr_names == ("density",)
+        assert again.records[0].attr_ranges["density"] == (0.5, 2.0)
+
+    def test_backend_roundtrip(self):
+        vb = VirtualBackend()
+        table = SpatialMetadata(quad_records())
+        table.write(vb)
+        assert len(SpatialMetadata.read(vb)) == 4
+
+    def test_missing_file(self):
+        with pytest.raises(MetadataError, match="cannot read"):
+            SpatialMetadata.read(VirtualBackend())
+
+    def test_bad_magic(self):
+        with pytest.raises(MetadataError, match="magic"):
+            SpatialMetadata.from_bytes(b"WRONGMAG" + bytes(20))
+
+    def test_truncated_header(self):
+        with pytest.raises(MetadataError, match="truncated"):
+            SpatialMetadata.from_bytes(b"SPIO")
+
+    def test_truncated_records(self):
+        blob = SpatialMetadata(quad_records()).to_bytes()
+        with pytest.raises(MetadataError, match="truncated at record"):
+            SpatialMetadata.from_bytes(blob[:-10])
+
+    def test_trailing_garbage(self):
+        blob = SpatialMetadata(quad_records()).to_bytes()
+        with pytest.raises(MetadataError, match="trailing"):
+            SpatialMetadata.from_bytes(blob + b"xx")
+
+    def test_truncated_attr_names(self):
+        blob = SpatialMetadata(
+            quad_records(with_attrs=True), attr_names=("density",)
+        ).to_bytes()
+        with pytest.raises(MetadataError):
+            SpatialMetadata.from_bytes(blob[:24])

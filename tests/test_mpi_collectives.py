@@ -1,0 +1,223 @@
+"""Collective operations on the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommMismatchError, RankFailedError
+from repro.mpi import World, run_mpi
+
+
+class TestBcast:
+    def test_from_rank0(self):
+        out = run_mpi(4, lambda c: c.bcast({"v": 7} if c.rank == 0 else None))
+        assert out == [{"v": 7}] * 4
+
+    def test_from_nonzero_root(self):
+        out = run_mpi(4, lambda c: c.bcast(c.rank if c.rank == 2 else None, root=2))
+        assert out == [2, 2, 2, 2]
+
+    def test_numpy_array(self):
+        def main(comm):
+            data = np.arange(10) if comm.rank == 0 else None
+            return comm.bcast(data).sum()
+
+        assert run_mpi(3, main) == [45, 45, 45]
+
+    def test_invalid_root(self):
+        with pytest.raises(RankFailedError):
+            run_mpi(2, lambda c: c.bcast(1, root=5))
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        out = run_mpi(4, lambda c: c.gather(c.rank * c.rank))
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None and out[2] is None and out[3] is None
+
+    def test_gather_to_nonzero_root(self):
+        out = run_mpi(3, lambda c: c.gather(c.rank, root=1))
+        assert out[1] == [0, 1, 2]
+        assert out[0] is None
+
+    def test_scatter(self):
+        def main(comm):
+            payloads = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(payloads)
+
+        assert run_mpi(4, main) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            payloads = [1] if comm.rank == 0 else None
+            return comm.scatter(payloads)
+
+        with pytest.raises(RankFailedError) as ei:
+            run_mpi(2, main)
+        assert any(
+            isinstance(e, CommMismatchError) for e in ei.value.failures.values()
+        )
+
+
+class TestAllVariants:
+    def test_allgather_order(self):
+        out = run_mpi(5, lambda c: c.allgather(chr(ord("a") + c.rank)))
+        assert out == [["a", "b", "c", "d", "e"]] * 5
+
+    def test_allreduce_sum(self):
+        assert run_mpi(4, lambda c: c.allreduce(c.rank + 1)) == [10] * 4
+
+    def test_allreduce_max_min(self):
+        assert run_mpi(4, lambda c: c.allreduce(c.rank, op="max")) == [3] * 4
+        assert run_mpi(4, lambda c: c.allreduce(c.rank, op="min")) == [0] * 4
+
+    def test_allreduce_custom_op(self):
+        out = run_mpi(3, lambda c: c.allreduce([c.rank], op=lambda a, b: a + b))
+        assert out == [[0, 1, 2]] * 3
+
+    def test_reduce_unknown_op(self):
+        with pytest.raises(RankFailedError):
+            run_mpi(2, lambda c: c.allreduce(1, op="median"))
+
+    def test_alltoall(self):
+        def main(comm):
+            return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+        out = run_mpi(3, main)
+        assert out[0] == ["0->0", "1->0", "2->0"]
+        assert out[2] == ["0->2", "1->2", "2->2"]
+
+    def test_alltoall_wrong_length(self):
+        with pytest.raises(RankFailedError):
+            run_mpi(2, lambda c: c.alltoall([1]))
+
+    def test_barrier_completes(self):
+        assert run_mpi(8, lambda c: c.barrier() or c.rank) == list(range(8))
+
+    def test_scan_exscan(self):
+        assert run_mpi(4, lambda c: c.scan(c.rank + 1)) == [1, 3, 6, 10]
+        assert run_mpi(4, lambda c: c.exscan(c.rank + 1)) == [None, 1, 3, 6]
+
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        def main(comm):
+            a = comm.allgather(("first", comm.rank))
+            b = comm.allgather(("second", comm.rank))
+            assert all(x[0] == "first" for x in a)
+            assert all(x[0] == "second" for x in b)
+            return True
+
+        assert all(run_mpi(6, main))
+
+
+class TestSplitDup:
+    def test_split_even_odd(self):
+        def main(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank))
+
+        out = run_mpi(6, main)
+        evens = [out[r] for r in (0, 2, 4)]
+        odds = [out[r] for r in (1, 3, 5)]
+        assert [e[0] for e in evens] == [0, 1, 2]
+        assert all(e[1] == 3 and e[2] == 0 + 2 + 4 for e in evens)
+        assert all(o[1] == 3 and o[2] == 1 + 3 + 5 for o in odds)
+
+    def test_split_negative_color_opts_out(self):
+        def main(comm):
+            sub = comm.split(0 if comm.rank == 0 else -1)
+            if sub is None:
+                return "out"
+            return sub.size
+
+        assert run_mpi(3, main) == [1, "out", "out"]
+
+    def test_split_key_reorders(self):
+        def main(comm):
+            sub = comm.split(0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        assert run_mpi(4, main) == [3, 2, 1, 0]
+
+    def test_nested_split(self):
+        def main(comm):
+            half = comm.split(comm.rank // 2)
+            quarter = half.split(half.rank % 2)
+            return quarter.size
+
+        assert run_mpi(4, main) == [1, 1, 1, 1]
+
+    def test_parent_and_child_comm_interleaved(self):
+        def main(comm):
+            sub = comm.split(comm.rank % 2)
+            total_parent = comm.allreduce(1)
+            total_child = sub.allreduce(1)
+            return (total_parent, total_child)
+
+        assert run_mpi(4, main) == [(4, 2)] * 4
+
+    def test_dup_isolates_tag_space(self):
+        def main(comm):
+            dup = comm.dup()
+            a = comm.allgather(comm.rank)
+            b = dup.allgather(-comm.rank)
+            return (a, b)
+
+        out = run_mpi(3, main)
+        assert out[0] == ([0, 1, 2], [0, -1, -2])
+
+    def test_world_rank_mapping(self):
+        def main(comm):
+            sub = comm.split(0 if comm.rank >= 2 else 1)
+            if comm.rank >= 2:
+                return sub.world_rank_of(0)
+            return None
+
+        out = run_mpi(4, main)
+        assert out[2] == out[3] == 2
+
+
+class TestTrafficStats:
+    def test_bytes_recorded(self):
+        world = World(4)
+
+        def main(comm):
+            comm.send(np.zeros(100), (comm.rank + 1) % 4)
+            comm.recv(source=(comm.rank - 1) % 4)
+
+        run_mpi(4, main, world=world)
+        assert world.stats.total_messages() == 4
+        assert world.stats.total_bytes() == 4 * 800
+
+    def test_self_traffic_excluded_from_offnode(self):
+        world = World(2)
+
+        def main(comm):
+            comm.send(np.zeros(10), comm.rank)  # self-send
+            comm.recv(source=comm.rank)
+
+        run_mpi(2, main, world=world)
+        assert world.stats.total_bytes(include_self=True) == 160
+        assert world.stats.total_bytes(include_self=False) == 0
+
+    def test_peers_of(self):
+        world = World(3)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 1)
+                comm.send(1, 2)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            else:
+                comm.recv(source=0)
+
+        run_mpi(3, main, world=world)
+        assert world.stats.peers_of(0) == {1, 2}
+        assert world.stats.peers_of(1) == {0}
+
+    def test_snapshot_and_clear(self):
+        world = World(2)
+        run_mpi(2, lambda c: c.send(1, 1 - c.rank) or c.recv(), world=world)
+        snap = world.stats.snapshot()
+        assert sum(v[0] for v in snap.values()) == 2
+        world.stats.clear()
+        assert world.stats.total_messages() == 0

@@ -1,0 +1,263 @@
+"""Shape assertions: every headline claim of the paper's evaluation.
+
+These tests lock in the *qualitative* results the benchmarks regenerate —
+who wins, where the crossovers fall, what saturates — so a model change
+that silently breaks a reproduced figure fails the suite.
+"""
+
+import pytest
+
+from repro.perf import (
+    MIRA,
+    THETA,
+    WORKSTATION,
+    simulate_adaptive_write,
+    simulate_baseline_write,
+    simulate_lod_read,
+    simulate_parallel_read,
+    simulate_write,
+)
+from repro.utils.units import GB
+
+
+class TestFig5Mira:
+    def test_peak_throughput_98gbs(self):
+        """§5.2: 'maximum throughput of 98 GB/second' at 262,144 procs."""
+        e = simulate_write(MIRA, 262_144, 32_768, (2, 4, 4))
+        assert e.throughput == pytest.approx(98 * GB, rel=0.15)
+
+    def test_large_factors_scale_to_full_sweep(self):
+        for pf in ((2, 2, 4), (2, 4, 4)):
+            curve = [
+                simulate_write(MIRA, n, 32_768, pf).throughput
+                for n in (512, 4096, 32768, 262144)
+            ]
+            assert all(a < b for a, b in zip(curve, curve[1:]))
+
+    def test_fpp_saturates_then_collapses(self):
+        """§5.2: FPP 'starts to saturate at very high process counts'."""
+        fpp = {
+            n: simulate_baseline_write(MIRA, n, 32_768, "ior-fpp").throughput
+            for n in (32768, 65536, 131072, 262144)
+        }
+        assert fpp[131072] < fpp[65536]
+        assert fpp[262144] < fpp[131072]
+
+    def test_one_one_one_tracks_ior_fpp(self):
+        for n in (4096, 65536, 262144):
+            ours = simulate_write(MIRA, n, 32_768, (1, 1, 1)).throughput
+            ior = simulate_baseline_write(MIRA, n, 32_768, "ior-fpp").throughput
+            assert ours == pytest.approx(ior, rel=0.1)
+
+    def test_collective_and_phdf5_do_not_scale(self):
+        """§5.2: 'IOR's shared file I/O and PHDF5 also do not scale'."""
+        for strategy in ("ior-shared", "phdf5"):
+            peak_small = simulate_baseline_write(MIRA, 32768, 32_768, strategy)
+            at_scale = simulate_baseline_write(MIRA, 262_144, 32_768, strategy)
+            assert at_scale.throughput < peak_small.throughput
+
+    def test_aggregated_beats_everything_at_scale(self):
+        best_agg = simulate_write(MIRA, 262_144, 32_768, (2, 4, 4)).throughput
+        rivals = [
+            simulate_write(MIRA, 262_144, 32_768, (1, 1, 1)).throughput,
+            simulate_baseline_write(MIRA, 262_144, 32_768, "ior-fpp").throughput,
+            simulate_baseline_write(MIRA, 262_144, 32_768, "ior-shared").throughput,
+            simulate_baseline_write(MIRA, 262_144, 32_768, "phdf5").throughput,
+        ]
+        assert best_agg > 5 * max(rivals)
+
+
+class TestFig5Theta:
+    def test_peak_throughput_216gbs(self):
+        """§5.2: 216 GB/s at 262,144 procs, 32K ppc, config (1,2,2)."""
+        e = simulate_write(THETA, 262_144, 32_768, (1, 2, 2))
+        assert e.throughput == pytest.approx(216 * GB, rel=0.15)
+
+    def test_peak_throughput_243gbs_64k(self):
+        """§5.2: 243 GB/s at 262,144 procs, 64K ppc."""
+        e = simulate_write(THETA, 262_144, 65_536, (1, 2, 2))
+        assert e.throughput == pytest.approx(243 * GB, rel=0.15)
+
+    def test_fpp_throughput_at_scale(self):
+        """§5.2: FPP yields 83 / 160 GB/s at 262,144 procs."""
+        f32 = simulate_baseline_write(THETA, 262_144, 32_768, "ior-fpp")
+        f64 = simulate_baseline_write(THETA, 262_144, 65_536, "ior-fpp")
+        assert f32.throughput == pytest.approx(83 * GB, rel=0.3)
+        assert f64.throughput == pytest.approx(160 * GB, rel=0.3)
+
+    def test_fpp_wins_at_low_scale(self):
+        """§5.2: (1,2,2) 'is outperformed by file per process at lower
+        process counts'."""
+        for n in (512, 2048, 8192, 32768):
+            fpp = simulate_baseline_write(THETA, n, 32_768, "ior-fpp").throughput
+            agg = simulate_write(THETA, n, 32_768, (1, 2, 2)).throughput
+            assert fpp > agg
+
+    def test_crossover_at_65536(self):
+        """§5.2: (1,2,2) 'finally outperforming file-per-process I/O at
+        65,536 processes'."""
+        for n in (65536, 131072, 262144):
+            fpp = simulate_baseline_write(THETA, n, 32_768, "ior-fpp").throughput
+            agg = simulate_write(THETA, n, 32_768, (1, 2, 2)).throughput
+            assert agg > 0.95 * fpp  # at/after the crossover
+
+    def test_small_factors_beat_large_on_theta(self):
+        """§5.2: 'better performance when aggregating among smaller groups
+        of processes on Theta'."""
+        at = lambda pf: simulate_write(THETA, 262_144, 32_768, pf).throughput
+        assert at((1, 2, 2)) > at((2, 2, 4)) > at((2, 4, 4)) > at((4, 4, 4))
+
+    def test_shared_file_suboptimal(self):
+        """§5.2: 'Shared file I/O on Theta yields sub-optimal performance'."""
+        shared = simulate_baseline_write(THETA, 65536, 32_768, "ior-shared")
+        ours = simulate_write(THETA, 65536, 32_768, (1, 2, 2))
+        assert shared.throughput < ours.throughput / 3
+
+
+class TestFig6Breakdown:
+    def test_aggregation_fraction_grows_with_partition_volume(self):
+        for machine in (MIRA, THETA):
+            fracs = [
+                simulate_write(machine, 32768, 32_768, pf).aggregation_fraction
+                for pf in ((1, 1, 1), (2, 2, 2), (2, 4, 4))
+            ]
+            assert fracs[0] <= fracs[1] <= fracs[2]
+
+    def test_theta_aggregation_heavier_than_mira(self):
+        """Fig. 6: 'on Theta more time is spent in aggregation ... for the
+        same configurations'."""
+        for pf in ((2, 2, 2), (2, 2, 4), (2, 4, 4)):
+            mira = simulate_write(MIRA, 32768, 32_768, pf).aggregation_fraction
+            theta = simulate_write(THETA, 32768, 32_768, pf).aggregation_fraction
+            assert theta > 3 * mira
+
+    def test_mira_aggregation_small(self):
+        """Fig. 6a/b: aggregation 'remains small compared to file I/O'."""
+        for pf in ((2, 2, 2), (2, 2, 4), (2, 4, 4)):
+            e = simulate_write(MIRA, 32768, 32_768, pf)
+            assert e.aggregation_fraction < 0.25
+
+
+class TestFig7Reads:
+    TOTAL_BYTES = 2**31 * 124.0  # 2 billion particles
+
+    def test_metadata_case_fastest_everywhere(self):
+        for m, readers in ((THETA, (64, 512, 2048)), (WORKSTATION, (2, 16, 64))):
+            for n in readers:
+                meta = simulate_parallel_read(m, n, 8192, self.TOTAL_BYTES, True)
+                nometa = simulate_parallel_read(m, n, 8192, self.TOTAL_BYTES, False)
+                fpp = simulate_parallel_read(m, n, 65536, self.TOTAL_BYTES, True)
+                assert meta.total_time <= nometa.total_time
+                assert meta.total_time <= fpp.total_time
+
+    def test_no_metadata_degrades_with_more_readers(self):
+        """Fig. 7: 'adding more processes does not reduce the per-process
+        I/O load' without spatial metadata."""
+        t = [
+            simulate_parallel_read(THETA, n, 8192, self.TOTAL_BYTES, False).total_time
+            for n in (64, 512, 2048)
+        ]
+        assert t[2] >= t[1] >= t[0]
+
+    def test_file_count_hurts_theta_more_than_ssd(self):
+        """Fig. 7: the 64K-file case 'has a stronger impact on Theta as
+        compared to the SSD based workstation'."""
+        theta_penalty = (
+            simulate_parallel_read(THETA, 64, 65536, self.TOTAL_BYTES).total_time
+            / simulate_parallel_read(THETA, 64, 8192, self.TOTAL_BYTES).total_time
+        )
+        ssd_penalty = (
+            simulate_parallel_read(WORKSTATION, 64, 65536, self.TOTAL_BYTES).total_time
+            / simulate_parallel_read(WORKSTATION, 64, 8192, self.TOTAL_BYTES).total_time
+        )
+        assert theta_penalty > ssd_penalty
+        assert ssd_penalty < 1.1  # 'almost comparable' on SSDs
+
+    def test_fpp_with_metadata_still_scales(self):
+        """Fig. 7 third case: many files hurt, but metadata still scales."""
+        t = [
+            simulate_parallel_read(THETA, n, 65536, self.TOTAL_BYTES).total_time
+            for n in (64, 256, 1024)
+        ]
+        assert t[0] > t[1] > t[2]
+
+
+class TestFig8Lod:
+    def test_theta_flat_then_proportional(self):
+        t = {
+            L: simulate_lod_read(THETA, 64, 8192, 2**31, 124, L).total_time
+            for L in (0, 4, 8, 14, 20)
+        }
+        assert t[4] < 1.15 * t[0]        # flat early (open-cost floor)
+        assert t[20] > 5 * t[8]          # proportional late
+
+    def test_last_level_matches_full_read(self):
+        """§5.4: level 20 'is equivalent to reading the entire dataset
+        using 64 cores (as seen in Figure 7)'."""
+        lod = simulate_lod_read(THETA, 64, 8192, 2**31, 124, 20).total_time
+        full = simulate_parallel_read(THETA, 64, 8192, 2**31 * 124.0).total_time
+        assert lod == pytest.approx(full, rel=0.05)
+
+    def test_20_levels_for_2b_particles(self):
+        from repro.core.lod import max_level
+
+        assert max_level(2**31, 64, 32, 2) == 20
+
+
+class TestFig11Adaptive:
+    TOTAL = 4096 * 32_768
+
+    def test_mira_adaptive_improves_as_occupancy_drops(self):
+        """§6.1: 'as the domain occupied ... decreases from 100% to 50%,
+        I/O time reduces significantly with adaptive aggregation'."""
+        t100 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 1.0, True).total_time
+        t50 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 0.5, True).total_time
+        assert t50 < 0.9 * t100
+
+    def test_mira_nonadaptive_reduction_not_significant(self):
+        t100 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 1.0, False).total_time
+        t50 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 0.5, False).total_time
+        assert abs(t50 - t100) < 0.15 * t100
+
+    def test_theta_roughly_constant(self):
+        """§6.1: 'we observe almost constant performance on Theta'."""
+        times = [
+            simulate_adaptive_write(THETA, 4096, self.TOTAL, occ, True).total_time
+            for occ in (1.0, 0.5, 0.25, 0.125)
+        ]
+        assert max(times) < 3 * min(times)
+
+    def test_adaptive_saturates_at_low_occupancy(self):
+        """§6.1: 'for highly localized distributions (12.5%) our scheme
+        starts to saturate'."""
+        t25 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 0.25, True).total_time
+        t12 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 0.125, True).total_time
+        gain_25_to_12 = t25 - t12
+        t100 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 1.0, True).total_time
+        t50 = simulate_adaptive_write(MIRA, 4096, self.TOTAL, 0.5, True).total_time
+        gain_100_to_50 = t100 - t50
+        assert gain_25_to_12 < gain_100_to_50 / 2
+
+    def test_adaptive_beats_nonadaptive_on_both_machines(self):
+        """§6.1: 'On both Mira and Theta we find our adaptive approach
+        improves performance.'"""
+        for machine in (MIRA, THETA):
+            for occ in (0.5, 0.25, 0.125):
+                a = simulate_adaptive_write(machine, 4096, self.TOTAL, occ, True)
+                n = simulate_adaptive_write(machine, 4096, self.TOTAL, occ, False)
+                assert a.total_time < n.total_time
+
+
+class TestPeakFractions:
+    def test_mira_half_of_peak_at_third_of_machine(self):
+        """Abstract: '50% of the maximum throughput on Mira using 1/3 of
+        the system'."""
+        e = simulate_write(MIRA, 262_144, 32_768, (2, 4, 4))
+        frac_of_machine = 262_144 / MIRA.total_cores
+        assert frac_of_machine == pytest.approx(1 / 3, rel=0.01)
+        assert 0.3 * MIRA.storage.peak_bw < e.throughput < 0.6 * MIRA.storage.peak_bw
+
+    def test_theta_near_peak(self):
+        """Abstract: 'maximum achievable throughput on Theta'."""
+        e = simulate_write(THETA, 262_144, 65_536, (1, 2, 2))
+        assert e.throughput > 0.75 * THETA.storage.peak_bw

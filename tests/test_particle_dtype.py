@@ -1,0 +1,79 @@
+"""Unit tests for the particle record layouts."""
+
+import numpy as np
+import pytest
+
+from repro.particles import UINTAH_DTYPE, UINTAH_PARTICLE_BYTES, make_particle_dtype
+from repro.particles.dtype import MINIMAL_DTYPE, particle_nbytes, validate_particle_dtype
+
+
+class TestUintahDtype:
+    def test_paper_size(self):
+        # §5.1: 15 doubles + 1 float = 124 bytes per particle.
+        assert UINTAH_PARTICLE_BYTES == 124
+
+    def test_fields(self):
+        assert UINTAH_DTYPE.names == ("position", "stress", "density", "volume", "id", "type")
+        assert UINTAH_DTYPE["position"].shape == (3,)
+        assert UINTAH_DTYPE["stress"].shape == (3, 3)
+        assert UINTAH_DTYPE["type"].base == np.dtype("<f4")
+
+    def test_little_endian(self):
+        for name in UINTAH_DTYPE.names:
+            base = UINTAH_DTYPE[name].base
+            assert base.byteorder in ("<", "|", "="), name
+
+    def test_double_count(self):
+        doubles = 3 + 9 + 1 + 1 + 1
+        assert doubles * 8 + 4 == UINTAH_PARTICLE_BYTES
+
+
+class TestMakeParticleDtype:
+    def test_minimal(self):
+        assert MINIMAL_DTYPE.names == ("position", "id")
+        assert MINIMAL_DTYPE.itemsize == 32
+
+    def test_extra_scalars(self):
+        dt = make_particle_dtype(extra_scalars=("temperature", "pressure"))
+        assert "temperature" in dt.names and "pressure" in dt.names
+
+    def test_with_stress(self):
+        dt = make_particle_dtype(include_stress=True)
+        assert dt["stress"].shape == (3, 3)
+
+    def test_without_id(self):
+        dt = make_particle_dtype(include_id=False)
+        assert "id" not in dt.names
+
+    def test_position_always_first(self):
+        dt = make_particle_dtype(extra_scalars=("a",), include_stress=True)
+        assert dt.names[0] == "position"
+
+    def test_position_cannot_be_duplicated(self):
+        with pytest.raises(ValueError):
+            make_particle_dtype(extra_scalars=("position",))
+
+
+class TestValidation:
+    def test_valid_passes(self):
+        assert validate_particle_dtype(UINTAH_DTYPE) == UINTAH_DTYPE
+
+    def test_plain_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            validate_particle_dtype(np.dtype("f8"))
+
+    def test_missing_position_rejected(self):
+        with pytest.raises(ValueError):
+            validate_particle_dtype(np.dtype([("x", "f8")]))
+
+    def test_bad_position_shape_rejected(self):
+        with pytest.raises(ValueError):
+            validate_particle_dtype(np.dtype([("position", "f8", (2,))]))
+
+    def test_integer_position_rejected(self):
+        with pytest.raises(ValueError):
+            validate_particle_dtype(np.dtype([("position", "i8", (3,))]))
+
+    def test_particle_nbytes(self):
+        assert particle_nbytes(UINTAH_DTYPE) == 124
+        assert particle_nbytes(MINIMAL_DTYPE) == 32

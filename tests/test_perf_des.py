@@ -1,0 +1,94 @@
+"""Timeline (discrete-event) replay tests."""
+
+import pytest
+
+from repro.core import SpatialReader
+from repro.errors import ConfigError
+from repro.io.backend import IoOp
+from repro.perf import THETA, WORKSTATION, replay_ops, replay_timeline
+
+from tests.conftest import write_dataset
+
+
+class TestTimelineBasics:
+    def test_empty(self):
+        est = replay_timeline(THETA, [])
+        assert est.makespan == 0.0 and est.n_actors == 0
+
+    def test_single_open(self):
+        est = replay_timeline(THETA, [IoOp("open", "f", actor=0)])
+        assert est.makespan == pytest.approx(THETA.storage.open_cost)
+
+    def test_sequential_opens_add_up(self):
+        ops = [IoOp("open", f"f{i}", actor=0) for i in range(10)]
+        est = replay_timeline(THETA, ops)
+        assert est.makespan == pytest.approx(10 * THETA.storage.open_cost)
+
+    def test_single_stream(self):
+        ops = [IoOp("read", "f", nbytes=10**9, offset=0, actor=0)]
+        est = replay_timeline(THETA, ops)
+        assert est.makespan == pytest.approx(10**9 / THETA.storage.per_reader_bw)
+
+    def test_parallel_actors_share_time(self):
+        serial = [IoOp("read", "f", nbytes=10**8, offset=0, actor=0) for _ in range(8)]
+        parallel = [
+            IoOp("read", f"f{i}", nbytes=10**8, offset=0, actor=i) for i in range(8)
+        ]
+        t_serial = replay_timeline(THETA, serial).makespan
+        t_parallel = replay_timeline(THETA, parallel).makespan
+        # 8 actors at per-reader bw don't saturate Theta's pool -> ~8x faster.
+        assert t_parallel < t_serial / 6
+
+    def test_bandwidth_pool_binds_at_many_actors(self):
+        n = 2000
+        ops = [IoOp("read", f"f{i}", nbytes=10**9, offset=0, actor=i) for i in range(n)]
+        est = replay_timeline(THETA, ops)
+        floor = n * 10**9 / THETA.storage.peak_bw
+        assert est.makespan == pytest.approx(floor, rel=0.01)
+
+    def test_mixed_phases_interleave(self):
+        """A metadata-bound actor doesn't slow a streaming-bound actor."""
+        ops = (
+            [IoOp("open", f"m{i}", actor=0) for i in range(100)]
+            + [IoOp("read", "big", nbytes=10**9, offset=0, actor=1)]
+        )
+        est = replay_timeline(THETA, ops)
+        expected = max(
+            100 * THETA.storage.open_cost, 10**9 / THETA.storage.per_reader_bw
+        )
+        assert est.makespan == pytest.approx(expected, rel=0.05)
+
+    def test_event_budget(self):
+        ops = [IoOp("open", f"f{i}", actor=0) for i in range(100)]
+        with pytest.raises(ConfigError):
+            replay_timeline(THETA, ops, max_events=10)
+
+
+class TestTimelineVsAnalytic:
+    def test_bounded_by_analytic_models(self):
+        """Timeline >= the analytic per-actor makespan (it adds contention)
+        and <= the serial sum of all work."""
+        backend, _, _ = write_dataset(nprocs=16, partition_factor=(1, 1, 1))
+        reader = SpatialReader(backend)
+        backend.clear_ops()
+        for r in range(4):
+            reader.actor = r
+            reader.read_assigned(4, r)
+        ops = list(backend.ops)
+
+        analytic = replay_ops(THETA, ops)
+        timeline = replay_timeline(THETA, ops)
+        serial_sum = sum(analytic.per_actor_times.values())
+        assert analytic.makespan <= timeline.makespan * 1.05
+        assert timeline.makespan <= serial_sum * 1.05
+
+    def test_machines_rank_consistently(self):
+        backend, _, _ = write_dataset(nprocs=8, partition_factor=(1, 1, 1))
+        reader = SpatialReader(backend)
+        backend.clear_ops()
+        reader.read_full()
+        ops = list(backend.ops)
+        assert (
+            replay_timeline(WORKSTATION, ops).makespan
+            < replay_timeline(THETA, ops).makespan
+        )

@@ -1,0 +1,126 @@
+"""Machine/network/storage model unit tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import MIRA, THETA, WORKSTATION
+from repro.perf.machine import MACHINES, NetworkModel, StorageModel
+from repro.utils.units import GB, MB
+
+
+class TestMachineBasics:
+    def test_presets_registered(self):
+        assert set(MACHINES) == {"Mira", "Theta", "SSD workstation"}
+
+    def test_core_counts(self):
+        # Mira: 49,152 nodes x 16; Theta: 4,392 nodes x 64.
+        assert MIRA.total_cores == 49_152 * 16
+        assert THETA.total_cores == 4_392 * 64
+
+    def test_nodes_for(self):
+        assert MIRA.nodes_for(16) == 1
+        assert MIRA.nodes_for(17) == 2
+        assert THETA.nodes_for(262_144) == 4096
+
+    def test_machine_fraction(self):
+        assert MIRA.machine_fraction(MIRA.total_cores) == 1.0
+        assert MIRA.machine_fraction(MIRA.total_cores * 2) == 1.0
+        assert 0 < THETA.machine_fraction(512) < 0.01
+        with pytest.raises(ConfigError):
+            MIRA.machine_fraction(0)
+
+
+class TestNetworkModel:
+    def test_group_of_one_is_free(self):
+        assert MIRA.network.aggregation_time(1, 4 * MB, 512) == 0.0
+
+    def test_monotone_in_group_size(self):
+        times = [
+            THETA.network.aggregation_time(g, 4 * MB, 32768, 0.1)
+            for g in (2, 4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_monotone_in_message_size(self):
+        small = MIRA.network.aggregation_time(8, 1 * MB, 512)
+        big = MIRA.network.aggregation_time(8, 8 * MB, 512)
+        assert big > small
+
+    def test_theta_congests_with_small_messages(self):
+        """Theta's half-bandwidth message size penalises few-MB payloads."""
+        eff_small = THETA.network.effective_ingest(0.5, 4 * MB)
+        eff_big = THETA.network.effective_ingest(0.5, 400 * MB)
+        assert eff_small < eff_big / 3
+
+    def test_node_local_cheaper_on_theta(self):
+        remote = THETA.network.aggregation_time(64, 4 * MB, 32768, 0.1)
+        local = THETA.network.aggregation_time(64, 4 * MB, 32768, 0.1, node_local=True)
+        assert local < remote / 5
+
+    def test_invalid_group(self):
+        with pytest.raises(ConfigError):
+            MIRA.network.aggregation_time(0, 1, 1)
+
+
+class TestStorageModel:
+    def test_write_bandwidth_capped_by_peak(self):
+        bw = THETA.storage.write_bandwidth(10**6, 1.0, 128 * MB)
+        assert bw <= THETA.storage.peak_bw
+
+    def test_write_bandwidth_capped_by_writers(self):
+        bw = THETA.storage.write_bandwidth(2, 1.0, 128 * MB)
+        assert bw <= 2 * THETA.storage.per_writer_bw
+
+    def test_node_cap(self):
+        capped = THETA.storage.write_bandwidth(1000, 1.0, 128 * MB, n_nodes=2)
+        assert capped <= 2 * THETA.storage.node_write_bw
+
+    def test_gpfs_fraction_cap(self):
+        tiny = MIRA.storage.write_bandwidth(10**5, 0.01, 128 * MB)
+        big = MIRA.storage.write_bandwidth(10**5, 0.5, 128 * MB)
+        assert tiny < big
+
+    def test_gpfs_burst_preference(self):
+        small_files = MIRA.storage.write_bandwidth(1000, 0.5, 4 * MB)
+        big_files = MIRA.storage.write_bandwidth(1000, 0.5, 256 * MB)
+        assert big_files > 1.5 * small_files
+
+    def test_lustre_burst_insensitive(self):
+        a = THETA.storage.write_bandwidth(1000, 0.5, 4 * MB)
+        b = THETA.storage.write_bandwidth(1000, 0.5, 256 * MB)
+        assert a == pytest.approx(b)
+
+    def test_create_time_superlinear_past_threshold(self):
+        below = MIRA.storage.create_time(10_000) / 10_000
+        above = MIRA.storage.create_time(300_000) / 300_000
+        assert above > 10 * below
+
+    def test_create_time_zero_files(self):
+        assert THETA.storage.create_time(0) == 0.0
+        with pytest.raises(ConfigError):
+            THETA.storage.create_time(-1)
+
+    def test_shared_file_contention_grows(self):
+        fast = THETA.storage.shared_file_bandwidth(512)
+        slow = THETA.storage.shared_file_bandwidth(262_144)
+        assert slow < fast / 5
+
+    def test_mira_shared_file_ion_capped(self):
+        bw = MIRA.storage.shared_file_bandwidth(512, machine_fraction=0.001)
+        assert bw < 0.01 * MIRA.storage.peak_bw
+
+    def test_ssd_open_cost_tiny_vs_lustre(self):
+        assert WORKSTATION.storage.open_cost < THETA.storage.open_cost / 10
+
+    def test_invalid_writers(self):
+        with pytest.raises(ConfigError):
+            THETA.storage.write_bandwidth(0, 1.0, 1 * MB)
+
+    def test_burst_efficiency_bounds(self):
+        s = MIRA.storage
+        assert s.burst_floor <= s.burst_efficiency(1) <= 1.0
+        assert s.burst_efficiency(10 * GB) > 0.95
+        assert StorageModel(
+            kind="ssd", peak_bw=1, per_writer_bw=1, per_reader_bw=1,
+            create_rate=1, create_storm_threshold=1, open_cost=0,
+        ).burst_efficiency(1) == 1.0

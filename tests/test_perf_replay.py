@@ -1,0 +1,67 @@
+"""Op-stream replay tests: functional access patterns -> machine estimates."""
+
+import pytest
+
+from repro.core import SpatialReader
+from repro.domain import Box
+from repro.io.backend import IoOp
+from repro.perf import THETA, WORKSTATION, replay_ops
+
+from tests.conftest import write_dataset
+
+
+class TestReplayBasics:
+    def test_empty_stream(self):
+        est = replay_ops(THETA, [])
+        assert est.makespan == 0.0 and est.n_actors == 0
+
+    def test_open_costs_accumulate(self):
+        ops = [IoOp("open", f"f{i}", actor=0) for i in range(100)]
+        est = replay_ops(THETA, ops)
+        assert est.makespan == pytest.approx(100 * THETA.storage.open_cost)
+        assert est.total_opens == 100
+
+    def test_parallel_actors_take_makespan_not_sum(self):
+        one = [IoOp("open", "f", actor=0) for _ in range(50)]
+        spread = [IoOp("open", f"f{i}", actor=i % 10) for i in range(50)]
+        assert replay_ops(THETA, spread).makespan < replay_ops(THETA, one).makespan
+
+    def test_read_bytes_cost(self):
+        ops = [IoOp("read", "f", nbytes=10**9, offset=0, actor=0)]
+        est = replay_ops(THETA, ops)
+        assert est.total_read_bytes == 10**9
+        assert est.makespan >= 10**9 / THETA.storage.per_reader_bw
+
+    def test_default_actor_used(self):
+        ops = [IoOp("open", "f")]  # actor -1
+        est = replay_ops(THETA, ops, default_actor=7)
+        assert 7 in est.per_actor_times
+
+
+class TestReplayOnRealPatterns:
+    def test_metadata_query_cheaper_than_full_scan(self):
+        backend, _, _ = write_dataset(nprocs=16, partition_factor=(2, 2, 2))
+        reader = SpatialReader(backend)
+        q = Box([0.01, 0.01, 0.01], [0.2, 0.9, 0.9])
+
+        backend.clear_ops()
+        reader.read_box(q)
+        pruned = replay_ops(THETA, list(backend.ops))
+
+        backend.clear_ops()
+        reader.read_box_without_metadata(q)
+        scan = replay_ops(THETA, list(backend.ops))
+
+        assert pruned.makespan < scan.makespan
+        assert pruned.total_read_bytes < scan.total_read_bytes
+
+    def test_same_pattern_faster_on_faster_opens(self):
+        backend, _, _ = write_dataset(nprocs=16, partition_factor=(1, 1, 1))
+        reader = SpatialReader(backend)
+        backend.clear_ops()
+        for r in range(4):
+            reader.actor = r
+            reader.read_assigned(4, r)
+        ops = list(backend.ops)
+        # Cheaper opens and faster per-reader streaming on the workstation.
+        assert replay_ops(WORKSTATION, ops).makespan < replay_ops(THETA, ops).makespan

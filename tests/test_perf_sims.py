@@ -1,0 +1,162 @@
+"""Write/read/adaptive simulator unit tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import (
+    MIRA,
+    THETA,
+    WORKSTATION,
+    simulate_adaptive_write,
+    simulate_baseline_write,
+    simulate_lod_read,
+    simulate_parallel_read,
+    simulate_write,
+)
+
+
+class TestWriteSim:
+    def test_estimate_fields_consistent(self):
+        e = simulate_write(THETA, 4096, 32_768, (2, 2, 2))
+        assert e.n_files == 512
+        assert e.total_bytes == 4096 * 32_768 * 124
+        assert e.file_bytes * e.n_files == pytest.approx(e.total_bytes)
+        assert e.total_time == pytest.approx(
+            e.aggregation_time + e.io_time + e.metadata_time
+        )
+        assert 0 <= e.aggregation_fraction <= 1
+
+    def test_file_count_formula(self):
+        # f = nprocs / (Px * Py * Pz).
+        e = simulate_write(MIRA, 32768, 32_768, (2, 4, 4))
+        assert e.n_files == 1024
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_write(MIRA, 100, 32_768, (2, 2, 2))
+
+    def test_fpp_config_has_no_aggregation(self):
+        e = simulate_write(THETA, 4096, 32_768, (1, 1, 1))
+        assert e.aggregation_time == 0.0
+
+    def test_throughput_positive(self):
+        for n in (512, 32768, 262144):
+            assert simulate_write(THETA, n, 32_768, (1, 2, 2)).throughput > 0
+
+    def test_doubling_load_roughly_doubles_bytes(self):
+        a = simulate_write(THETA, 4096, 32_768, (2, 2, 2))
+        b = simulate_write(THETA, 4096, 65_536, (2, 2, 2))
+        assert b.total_bytes == 2 * a.total_bytes
+
+
+class TestBaselineSim:
+    def test_strategies(self):
+        for s, label in (
+            ("ior-fpp", "IOR FPP"),
+            ("ior-shared", "IOR collective"),
+            ("phdf5", "Parallel HDF5"),
+        ):
+            e = simulate_baseline_write(THETA, 4096, 32_768, s)
+            assert e.strategy == label
+
+    def test_fpp_file_count(self):
+        e = simulate_baseline_write(MIRA, 8192, 32_768, "ior-fpp")
+        assert e.n_files == 8192
+
+    def test_shared_single_file(self):
+        e = simulate_baseline_write(MIRA, 8192, 32_768, "ior-shared")
+        assert e.n_files == 1
+
+    def test_phdf5_slower_than_ior_shared(self):
+        a = simulate_baseline_write(THETA, 8192, 32_768, "ior-shared")
+        b = simulate_baseline_write(THETA, 8192, 32_768, "phdf5")
+        assert b.throughput < a.throughput
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError):
+            simulate_baseline_write(THETA, 512, 32_768, "mpiio")
+
+
+class TestReadSim:
+    def test_metadata_reads_strong_scale(self):
+        t64 = simulate_parallel_read(THETA, 64, 8192, 2e11).total_time
+        t512 = simulate_parallel_read(THETA, 512, 8192, 2e11).total_time
+        assert t512 < t64 / 4
+
+    def test_no_metadata_does_not_scale(self):
+        t64 = simulate_parallel_read(THETA, 64, 8192, 2e11, with_metadata=False)
+        t512 = simulate_parallel_read(THETA, 512, 8192, 2e11, with_metadata=False)
+        assert t512.total_time >= t64.total_time
+
+    def test_more_files_cost_more_on_theta(self):
+        few = simulate_parallel_read(THETA, 64, 8192, 2e11)
+        many = simulate_parallel_read(THETA, 64, 65536, 2e11)
+        assert many.total_time > few.total_time
+
+    def test_file_count_matters_less_on_ssd(self):
+        few = simulate_parallel_read(WORKSTATION, 64, 8192, 2e11)
+        many = simulate_parallel_read(WORKSTATION, 64, 65536, 2e11)
+        theta_ratio = (
+            simulate_parallel_read(THETA, 64, 65536, 2e11).total_time
+            / simulate_parallel_read(THETA, 64, 8192, 2e11).total_time
+        )
+        ssd_ratio = many.total_time / few.total_time
+        assert ssd_ratio < theta_ratio
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            simulate_parallel_read(THETA, 0, 10, 1e9)
+        with pytest.raises(ConfigError):
+            simulate_parallel_read(THETA, 4, 0, 1e9)
+
+
+class TestLodReadSim:
+    def test_monotone_in_level(self):
+        times = [
+            simulate_lod_read(THETA, 64, 8192, 2**31, 124, L).total_time
+            for L in range(0, 21, 2)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_last_level_equals_full_read(self):
+        lod = simulate_lod_read(THETA, 64, 8192, 2**31, 124, 20)
+        full = simulate_parallel_read(THETA, 64, 8192, 2**31 * 124.0)
+        assert lod.total_time == pytest.approx(full.total_time, rel=0.05)
+
+    def test_theta_open_floor_dominates_low_levels(self):
+        """Fig. 8: the first levels cost about the same on Theta."""
+        t0 = simulate_lod_read(THETA, 64, 8192, 2**31, 124, 0).total_time
+        t6 = simulate_lod_read(THETA, 64, 8192, 2**31, 124, 6).total_time
+        assert t6 < 1.1 * t0
+
+    def test_ssd_proportional_early(self):
+        """Fig. 8: the workstation grows with particle count early."""
+        t4 = simulate_lod_read(WORKSTATION, 64, 8192, 2**31, 124, 4).total_time
+        t10 = simulate_lod_read(WORKSTATION, 64, 8192, 2**31, 124, 10).total_time
+        assert t10 > 3 * t4
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigError):
+            simulate_lod_read(THETA, 64, 10, 100, 124, -1)
+
+
+class TestAdaptiveSim:
+    def test_adaptive_never_worse(self):
+        for m in (MIRA, THETA):
+            for occ in (1.0, 0.5, 0.25, 0.125):
+                a = simulate_adaptive_write(m, 4096, 4096 * 32768, occ, True)
+                n = simulate_adaptive_write(m, 4096, 4096 * 32768, occ, False)
+                assert a.total_time <= n.total_time + 1e-9
+
+    def test_coincide_at_full_occupancy(self):
+        a = simulate_adaptive_write(MIRA, 4096, 4096 * 32768, 1.0, True)
+        n = simulate_adaptive_write(MIRA, 4096, 4096 * 32768, 1.0, False)
+        assert a.total_time == pytest.approx(n.total_time, rel=0.01)
+
+    def test_file_counts(self):
+        a = simulate_adaptive_write(MIRA, 4096, 10**8, 0.25, True)
+        assert a.n_files == 4096 // 8 // 4
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ConfigError):
+            simulate_adaptive_write(MIRA, 4096, 10**8, 0.0, True)

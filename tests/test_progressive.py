@@ -1,0 +1,100 @@
+"""Progressive refinement tests (paper §4)."""
+
+import pytest
+
+from repro.core import ProgressiveReader, SpatialReader
+from repro.domain import Box
+from repro.errors import QueryError
+from repro.particles import concatenate
+
+from tests.conftest import write_dataset
+
+
+@pytest.fixture(scope="module")
+def reader():
+    backend, _, _ = write_dataset(
+        nprocs=16, partition_factor=(2, 2, 2), particles_per_rank=300
+    )
+    return SpatialReader(backend)
+
+
+class TestFullProgressive:
+    def test_loads_everything_exactly_once(self, reader):
+        prog = ProgressiveReader(reader, nreaders=1)
+        pieces = []
+        while not prog.done():
+            pieces.append(prog.refine().new_particles)
+        combined = concatenate(pieces)
+        assert len(combined) == reader.total_particles
+        assert len(set(combined.data["id"].tolist())) == reader.total_particles
+
+    def test_level_sizes_follow_geometric_growth(self, reader):
+        prog = ProgressiveReader(reader, nreaders=1)
+        sizes = []
+        while not prog.done():
+            sizes.append(len(prog.refine().new_particles))
+        base = reader.manifest.lod_base
+        # First level = P, then doubling until the tail runs out.
+        assert sizes[0] == base
+        for i in range(1, len(sizes) - 1):
+            assert sizes[i] == base * 2**i
+
+    def test_incremental_matches_direct_lod_read(self, reader):
+        prog = ProgressiveReader(reader, nreaders=2)
+        got = prog.refine_to(3)
+        direct = reader.read_full(max_level=3, nreaders=2)
+        assert set(got.data["id"].tolist()) == set(direct.data["id"].tolist())
+
+    def test_no_rereads(self, reader):
+        """Each refine reads only new bytes (offsets advance monotonically)."""
+        backend = reader.backend
+        prog = ProgressiveReader(reader, nreaders=1)
+        seen_ranges: dict[str, int] = {}
+        while not prog.done():
+            backend.clear_ops()
+            prog.refine()
+            for op in backend.ops_of_kind("read"):
+                if not op.path.startswith("data/"):
+                    continue
+                if op.offset > 0 and op.nbytes > 0:
+                    # Reads must start at or after the previous high-water mark.
+                    assert op.offset >= seen_ranges.get(op.path, 0)
+                    seen_ranges[op.path] = op.offset + op.nbytes
+
+    def test_refine_after_done_raises(self, reader):
+        prog = ProgressiveReader(reader, nreaders=1)
+        prog.refine_to(100)
+        assert prog.done()
+        with pytest.raises(QueryError):
+            prog.refine()
+
+    def test_fraction_loaded_monotone(self, reader):
+        prog = ProgressiveReader(reader, nreaders=1)
+        prev = 0.0
+        while not prog.done():
+            step = prog.refine()
+            assert step.fraction_loaded >= prev
+            prev = step.fraction_loaded
+        assert prev == pytest.approx(1.0)
+
+    def test_final_level_bound(self, reader):
+        prog = ProgressiveReader(reader, nreaders=1)
+        while not prog.done():
+            step = prog.refine()
+        assert step.level <= prog.final_level + 1
+
+
+class TestBoxProgressive:
+    def test_restricted_to_box_files(self, reader):
+        box = Box([0.0, 0.0, 0.0], [0.45, 0.9, 0.9])
+        prog = ProgressiveReader(reader, nreaders=1, box=box)
+        assert len(prog.records) < reader.num_files
+        total = prog.total_particles
+        pieces = []
+        while not prog.done():
+            pieces.append(prog.refine().new_particles)
+        assert sum(len(p) for p in pieces) == total
+
+    def test_invalid_nreaders(self, reader):
+        with pytest.raises(QueryError):
+            ProgressiveReader(reader, nreaders=0)

@@ -1,0 +1,134 @@
+"""Query-engine tests: box queries, range queries with min/max pruning, kNN."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialReader, WriterConfig
+from repro.domain import Box
+from repro.errors import QueryError
+from repro.particles import clustered_particles, uniform_particles
+from repro.particles.dtype import UINTAH_DTYPE
+from repro.query import GridKNN, box_query, count_files_touched, range_query
+from repro.query.rangequery import files_pruned_by_index
+
+from tests.conftest import write_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = WriterConfig(partition_factor=(2, 2, 2), attr_index=("density", "volume"))
+    backend, _, _ = write_dataset(
+        nprocs=16, config=cfg, particles_per_rank=300, dtype=UINTAH_DTYPE
+    )
+    return SpatialReader(backend)
+
+
+class TestBoxQuery:
+    def test_exactness(self, dataset):
+        q = Box([0.2, 0.1, 0.3], [0.7, 0.8, 0.9])
+        hits = box_query(dataset, q)
+        everything = dataset.read_full()
+        expect = int(q.contains_points(everything.positions, closed=True).sum())
+        assert len(hits) == expect
+
+    def test_files_touched_small_query(self, dataset):
+        q = Box([0.01, 0.01, 0.01], [0.2, 0.2, 0.2])
+        assert count_files_touched(dataset, q) == 1
+
+    def test_files_touched_domain_query(self, dataset):
+        assert count_files_touched(dataset, dataset.domain()) == dataset.num_files
+
+    def test_lod_box_query(self, dataset):
+        q = Box([0, 0, 0], [1, 1, 1])
+        coarse = box_query(dataset, q, max_level=1, nreaders=1)
+        assert 0 < len(coarse) < dataset.total_particles
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, dataset):
+        everything = dataset.read_full()
+        lo, hi = 0.8, 1.2
+        hits = range_query(dataset, "density", lo, hi)
+        col = everything.data["density"]
+        assert len(hits) == int(((col >= lo) & (col <= hi)).sum())
+
+    def test_index_and_scan_agree(self, dataset):
+        for lo, hi in ((0.0, 0.5), (0.9, 1.1), (3.0, 9.0)):
+            a = range_query(dataset, "density", lo, hi, use_index=True)
+            b = range_query(dataset, "density", lo, hi, use_index=False)
+            assert set(a.data["id"].tolist()) == set(b.data["id"].tolist())
+
+    def test_out_of_range_prunes_everything(self, dataset):
+        hits = range_query(dataset, "density", 1e6, 2e6)
+        assert len(hits) == 0
+        pruned = files_pruned_by_index(dataset, "density", 1e6, 2e6)
+        assert pruned == dataset.num_files
+
+    def test_invalid_interval(self, dataset):
+        with pytest.raises(QueryError):
+            range_query(dataset, "density", 2.0, 1.0)
+
+    def test_unknown_attr(self, dataset):
+        with pytest.raises(QueryError):
+            range_query(dataset, "pressure", 0, 1)
+
+    def test_pruning_requires_index(self, dataset):
+        with pytest.raises(QueryError):
+            files_pruned_by_index(dataset, "id", 0, 1)
+
+
+class TestGridKNN:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return uniform_particles(Box([0, 0, 0], [1, 1, 1]), 2000, seed=3)
+
+    def test_matches_brute_force(self, batch):
+        knn = GridKNN(batch)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = rng.random(3)
+            idx, dist = knn.query(p, k=5)
+            brute = np.linalg.norm(batch.positions - p, axis=1)
+            assert np.allclose(np.sort(dist), np.sort(brute)[:5])
+
+    def test_k1_nearest(self, batch):
+        knn = GridKNN(batch)
+        target = batch.positions[42]
+        idx, dist = knn.query(target, k=1)
+        assert idx[0] == 42
+        assert dist[0] == 0.0
+
+    def test_k_capped_at_batch_size(self):
+        small = uniform_particles(Box([0, 0, 0], [1, 1, 1]), 3, seed=1)
+        knn = GridKNN(small)
+        idx, _ = knn.query([0.5, 0.5, 0.5], k=10)
+        assert len(idx) == 3
+
+    def test_query_outside_bounds(self, batch):
+        knn = GridKNN(batch)
+        idx, dist = knn.query([2.0, 2.0, 2.0], k=3)
+        brute = np.linalg.norm(batch.positions - np.array([2.0, 2.0, 2.0]), axis=1)
+        assert np.allclose(np.sort(dist), np.sort(brute)[:3])
+
+    def test_clustered_data(self):
+        b = clustered_particles(Box([0, 0, 0], [1, 1, 1]), 1500, seed=5)
+        knn = GridKNN(b)
+        p = b.positions[7]
+        idx, dist = knn.query(p, k=8)
+        brute = np.linalg.norm(b.positions - p, axis=1)
+        assert np.allclose(np.sort(dist), np.sort(brute)[:8])
+
+    def test_distances_sorted(self, batch):
+        _, dist = GridKNN(batch).query([0.3, 0.3, 0.3], k=10)
+        assert (np.diff(dist) >= 0).all()
+
+    def test_empty_batch_rejected(self):
+        from repro.particles import ParticleBatch
+        from repro.particles.dtype import MINIMAL_DTYPE
+
+        with pytest.raises(QueryError):
+            GridKNN(ParticleBatch.empty(MINIMAL_DTYPE))
+
+    def test_invalid_k(self, batch):
+        with pytest.raises(QueryError):
+            GridKNN(batch).query([0, 0, 0], k=0)

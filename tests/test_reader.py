@@ -1,0 +1,197 @@
+"""Reader tests: metadata-driven box queries, LOD reads, file assignment (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialReader, WriterConfig
+from repro.core.lod import cumulative_level_count
+from repro.domain import Box
+from repro.errors import QueryError
+from repro.io import VirtualBackend
+
+from tests.conftest import write_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    backend, decomp, _ = write_dataset(
+        nprocs=16, partition_factor=(2, 2, 2), particles_per_rank=400
+    )
+    return backend, SpatialReader(backend)
+
+
+class TestFullReads:
+    def test_read_full(self, dataset):
+        _, reader = dataset
+        assert len(reader.read_full()) == 16 * 400
+
+    def test_domain(self, dataset):
+        _, reader = dataset
+        assert reader.domain().almost_equal(Box([0, 0, 0], [1, 1, 1]))
+
+    def test_num_files(self, dataset):
+        _, reader = dataset
+        assert reader.num_files == 2  # (4,2,2) patches / (2,2,2)
+
+
+class TestBoxQueries:
+    def test_matches_brute_force(self, dataset):
+        _, reader = dataset
+        everything = reader.read_full()
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            lo = rng.random(3) * 0.7
+            hi = lo + rng.random(3) * 0.3
+            q = Box(lo, np.minimum(hi, 1.0))
+            hits = reader.read_box(q)
+            mask = q.contains_points(everything.positions, closed=True)
+            assert len(hits) == int(mask.sum())
+
+    def test_query_prunes_files(self, dataset):
+        backend, reader = dataset
+        backend.clear_ops()
+        q = Box([0.01, 0.01, 0.01], [0.2, 0.9, 0.9])  # one x-half only
+        reader.read_box(q)
+        opened = {
+            p for p in backend.files_touched("open") if p.startswith("data/")
+        }
+        assert len(opened) == 1
+
+    def test_inexact_returns_file_contents(self, dataset):
+        _, reader = dataset
+        q = Box([0.01, 0.01, 0.01], [0.2, 0.2, 0.2])
+        loose = reader.read_box(q, exact=False)
+        tight = reader.read_box(q, exact=True)
+        assert len(loose) >= len(tight)
+
+    def test_empty_query(self, dataset):
+        _, reader = dataset
+        assert len(reader.read_box(Box([5, 5, 5], [6, 6, 6]))) == 0
+
+    def test_query_touching_domain_top_face(self, dataset):
+        _, reader = dataset
+        q = Box([0.9, 0.9, 0.9], [1.0, 1.0, 1.0])
+        hits = reader.read_box(q)
+        everything = reader.read_full()
+        mask = q.contains_points(everything.positions, closed=True)
+        assert len(hits) == int(mask.sum()) > 0
+
+
+class TestLodReads:
+    def test_level_counts_follow_formula(self, dataset):
+        _, reader = dataset
+        base = reader.manifest.lod_base
+        for level in range(4):
+            got = len(reader.read_full(max_level=level, nreaders=2))
+            expected = min(16 * 400, cumulative_level_count(2, level, base, 2))
+            assert got == expected
+
+    def test_lod_prefix_nested(self, dataset):
+        """Level L's particle set is a superset of level L-1's (same files)."""
+        _, reader = dataset
+        small = reader.read_full(max_level=1, nreaders=1)
+        big = reader.read_full(max_level=3, nreaders=1)
+        small_ids = set(small.data["id"].tolist())
+        big_ids = set(big.data["id"].tolist())
+        assert small_ids < big_ids
+
+    def test_lod_prefix_spatially_representative(self, dataset):
+        _, reader = dataset
+        coarse = reader.read_box(
+            Box([0, 0, 0], [1, 1, 1]), max_level=3, nreaders=4, exact=False
+        )
+        # Every file contributed (spread across the domain).
+        from repro.domain import CellGrid
+
+        grid = CellGrid(reader.domain(), (2, 1, 1))
+        cells = np.unique(grid.flat_cell_of_points(coarse.positions))
+        assert len(cells) == 2
+
+    def test_max_level_reads_everything(self, dataset):
+        _, reader = dataset
+        got = reader.read_full(max_level=30, nreaders=1)
+        assert len(got) == 16 * 400
+
+    def test_negative_level_rejected(self, dataset):
+        _, reader = dataset
+        with pytest.raises(QueryError):
+            reader.read_full(max_level=-1)
+
+    def test_lod_read_fewer_bytes(self, dataset):
+        backend, reader = dataset
+        backend.clear_ops()
+        reader.read_full(max_level=0, nreaders=1)
+        coarse_bytes = sum(op.nbytes for op in backend.ops_of_kind("read"))
+        backend.clear_ops()
+        reader.read_full()
+        full_bytes = sum(op.nbytes for op in backend.ops_of_kind("read"))
+        assert coarse_bytes < full_bytes / 10
+
+
+class TestAssignedReads:
+    def test_union_of_assignments_is_everything(self, dataset):
+        _, reader = dataset
+        ids = set()
+        total = 0
+        for r in range(4):
+            part = reader.read_assigned(nreaders=4, reader_rank=r)
+            total += len(part)
+            ids |= set(part.data["id"].tolist())
+        assert total == 16 * 400
+        assert len(ids) == len(set(reader.read_full().data["id"].tolist()))
+
+    def test_assignments_disjoint(self, dataset):
+        _, reader = dataset
+        seen: set = set()
+        for r in range(2):
+            files = {rec.file_path for rec in reader.assign_files(2, r)}
+            assert not (files & seen)
+            seen |= files
+
+    def test_more_readers_than_files(self, dataset):
+        _, reader = dataset
+        parts = [reader.read_assigned(8, r) for r in range(8)]
+        assert sum(len(p) for p in parts) == 16 * 400
+        assert sum(1 for p in parts if len(p)) == reader.num_files
+
+    def test_bad_reader_rank(self, dataset):
+        _, reader = dataset
+        with pytest.raises(QueryError):
+            reader.assign_files(4, 4)
+
+
+class TestWithoutMetadata:
+    def test_degraded_read_correct_but_touches_everything(self, dataset):
+        backend, reader = dataset
+        q = Box([0.01, 0.01, 0.01], [0.2, 0.9, 0.9])
+        fast = reader.read_box(q)
+        backend.clear_ops()
+        slow = reader.read_box_without_metadata(q)
+        assert len(slow) == len(fast)
+        opened = {p for p in backend.files_touched("open") if p.startswith("data/")}
+        assert len(opened) == reader.num_files  # every file touched
+
+    def test_degraded_read_bytes(self, dataset):
+        """Without metadata the read volume is the whole dataset."""
+        backend, reader = dataset
+        backend.clear_ops()
+        reader.read_box_without_metadata(Box([0, 0, 0], [0.1, 0.1, 0.1]))
+        read_bytes = sum(op.nbytes for op in backend.ops_of_kind("read"))
+        assert read_bytes >= reader.total_particles * reader.dtype.itemsize
+
+
+class TestReaderErrors:
+    def test_missing_manifest(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            SpatialReader(VirtualBackend())
+
+    def test_missing_data_file(self):
+        backend, _, _ = write_dataset(nprocs=4, partition_factor=(1, 1, 1))
+        reader = SpatialReader(backend)
+        backend.delete("data/file_0.pbin")
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError):
+            reader.read_full()

@@ -1,0 +1,91 @@
+"""Restart reads: checkpoint at N ranks, restart at M."""
+
+import pytest
+
+from repro.core import SpatialReader
+from repro.core.restart import read_for_decomposition
+from repro.domain import Box, PatchDecomposition
+from repro.errors import RankFailedError
+from repro.mpi import run_mpi
+
+from tests.conftest import write_dataset
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+@pytest.fixture(scope="module")
+def checkpoint():
+    backend, decomp, _ = write_dataset(
+        nprocs=16, partition_factor=(2, 2, 2), particles_per_rank=400
+    )
+    return backend, decomp
+
+
+def restart_at(backend, nprocs):
+    decomp = PatchDecomposition.for_nprocs(DOMAIN, nprocs)
+
+    def main(comm):
+        reader = SpatialReader(backend, actor=comm.rank)
+        return read_for_decomposition(comm, reader, decomp)
+
+    return run_mpi(nprocs, main), decomp
+
+
+class TestRestart:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8, 16, 27])
+    def test_conservation_at_any_scale(self, checkpoint, nprocs):
+        backend, _ = checkpoint
+        batches, _ = restart_at(backend, nprocs)
+        total = sum(len(b) for b in batches)
+        assert total == 16 * 400
+        ids = set()
+        for b in batches:
+            ids |= set(b.data["id"].tolist())
+        assert len(ids) == 16 * 400
+
+    def test_each_rank_owns_only_its_patch(self, checkpoint):
+        backend, _ = checkpoint
+        batches, decomp = restart_at(backend, 8)
+        for rank, batch in enumerate(batches):
+            patch = decomp.patch_of_rank(rank)
+            assert patch.contains_points(batch.positions, closed=True).all()
+
+    def test_restart_prunes_files(self, checkpoint):
+        """Each restarting rank should touch only overlapping files."""
+        backend, _ = checkpoint
+        backend.clear_ops()
+        restart_at(backend, 8)
+        # 2 data files; each of 8 ranks' patches overlaps exactly one file.
+        data_opens = [
+            op for op in backend.ops_of_kind("open") if op.path.startswith("data/")
+        ]
+        per_actor = {}
+        for op in data_opens:
+            per_actor.setdefault(op.actor, set()).add(op.path)
+        assert all(len(files) == 1 for files in per_actor.values())
+
+    def test_size_mismatch_rejected(self, checkpoint):
+        backend, _ = checkpoint
+        decomp = PatchDecomposition.for_nprocs(DOMAIN, 8)
+
+        def main(comm):
+            reader = SpatialReader(backend)
+            return read_for_decomposition(comm, reader, decomp)
+
+        with pytest.raises(RankFailedError):
+            run_mpi(4, main)
+
+    def test_same_scale_restart_matches_original(self, checkpoint):
+        backend, decomp = checkpoint
+        batches, _ = restart_at(backend, 16)
+        from repro.particles import uniform_particles
+        from repro.particles.dtype import MINIMAL_DTYPE
+
+        for rank, batch in enumerate(batches):
+            original = uniform_particles(
+                decomp.patch_of_rank(rank), 400, dtype=MINIMAL_DTYPE,
+                seed=7, rank=rank,
+            )
+            assert set(batch.data["id"].tolist()) == set(
+                original.data["id"].tolist()
+            )

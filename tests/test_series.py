@@ -1,0 +1,174 @@
+"""Timestep-series tests."""
+
+import pytest
+
+from repro.core import WriterConfig
+from repro.domain import Box, PatchDecomposition
+from repro.errors import FormatError, RankFailedError
+from repro.io import VirtualBackend
+from repro.io.prefix import PrefixBackend
+from repro.mpi import run_mpi
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.series import SeriesIndex, SeriesReader, SeriesWriter, StepInfo
+from repro.series.index import step_prefix
+from repro.workloads import UintahWorkload
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+NPROCS = 8
+
+
+def write_series(backend, steps=3):
+    decomp = PatchDecomposition.for_nprocs(DOMAIN, NPROCS)
+    writer = SeriesWriter(WriterConfig(partition_factor=(2, 2, 2)))
+    for step in range(steps):
+        workload = UintahWorkload(
+            decomp, 200, distribution="jet", seed=step,
+            progress=min(1.0, 0.2 + 0.3 * step), dtype=MINIMAL_DTYPE,
+        )
+        run_mpi(
+            NPROCS,
+            lambda c, s=step, wl=workload: writer.write_step(
+                c, s, 0.1 * s, wl.generate_rank(c.rank), decomp, backend
+            ),
+        )
+    return decomp
+
+
+class TestSeriesIndex:
+    def test_roundtrip(self):
+        idx = SeriesIndex(
+            [StepInfo(0, 0.0, 100, 2), StepInfo(5, 0.5, 120, 2)]
+        )
+        again = SeriesIndex.from_json(idx.to_json())
+        assert len(again) == 2
+        assert again.step_for(5).total_particles == 120
+
+    def test_step_prefix_sortable(self):
+        assert step_prefix(0) == "t000000"
+        assert step_prefix(42) == "t000042"
+        assert step_prefix(5) < step_prefix(10)
+        with pytest.raises(FormatError):
+            step_prefix(-1)
+
+    def test_duplicate_steps_rejected(self):
+        with pytest.raises(FormatError):
+            SeriesIndex([StepInfo(1, 0.0, 1, 1), StepInfo(1, 0.1, 1, 1)])
+
+    def test_time_regression_rejected(self):
+        with pytest.raises(FormatError):
+            SeriesIndex([StepInfo(0, 1.0, 1, 1), StepInfo(1, 0.5, 1, 1)])
+        idx = SeriesIndex([StepInfo(0, 1.0, 1, 1)])
+        with pytest.raises(FormatError):
+            idx.append(StepInfo(1, 0.5, 1, 1))
+
+    def test_append_requires_increasing_step(self):
+        idx = SeriesIndex([StepInfo(3, 0.0, 1, 1)])
+        with pytest.raises(FormatError):
+            idx.append(StepInfo(3, 0.1, 1, 1))
+
+    def test_window_and_latest(self):
+        idx = SeriesIndex(
+            [StepInfo(i, 0.1 * i, 10, 1) for i in range(5)]
+        )
+        window = idx.steps_in_window(0.1, 0.35)  # 0.1*3 rounds above 0.3
+        assert [s.step for s in window] == [1, 2, 3]
+        assert idx.latest().step == 4
+        with pytest.raises(FormatError):
+            idx.steps_in_window(1.0, 0.0)
+        with pytest.raises(FormatError):
+            SeriesIndex().latest()
+
+    def test_missing_step(self):
+        with pytest.raises(FormatError):
+            SeriesIndex().step_for(7)
+
+    def test_bad_json(self):
+        with pytest.raises(FormatError):
+            SeriesIndex.from_json("{not json")
+        with pytest.raises(FormatError):
+            SeriesIndex.from_json('{"format": "wrong", "version": 1, "steps": []}')
+
+
+class TestSeriesWriteRead:
+    def test_write_and_open_steps(self):
+        backend = VirtualBackend()
+        write_series(backend, steps=3)
+        series = SeriesReader(backend)
+        assert len(series) == 3
+        for info, reader in series.iter_steps():
+            assert reader.total_particles == info.total_particles
+            assert reader.num_files == info.num_files
+
+    def test_latest(self):
+        backend = VirtualBackend()
+        write_series(backend, steps=2)
+        series = SeriesReader(backend)
+        assert series.open_latest().total_particles == series.steps[-1].total_particles
+
+    def test_duplicate_step_rejected(self):
+        backend = VirtualBackend()
+        decomp = write_series(backend, steps=1)
+        writer = SeriesWriter(WriterConfig(partition_factor=(2, 2, 2)))
+        workload = UintahWorkload(decomp, 100, dtype=MINIMAL_DTYPE)
+        with pytest.raises(RankFailedError):
+            run_mpi(
+                NPROCS,
+                lambda c: writer.write_step(
+                    c, 0, 0.0, workload.generate_rank(c.rank), decomp, backend
+                ),
+            )
+
+    def test_box_over_time_tracks_jet_front(self):
+        backend = VirtualBackend()
+        write_series(backend, steps=3)
+        series = SeriesReader(backend)
+        # A region deep along the jet axis fills up as the front advances.
+        deep = Box([0.4, 0.3, 0.3], [0.9, 0.7, 0.7])
+        history = series.read_box_over_time(deep)
+        counts = [len(batch) for _, batch in history]
+        assert len(counts) == 3
+        assert counts[-1] > counts[0]
+
+    def test_time_window_restriction(self):
+        backend = VirtualBackend()
+        write_series(backend, steps=3)
+        series = SeriesReader(backend)
+        history = series.read_box_over_time(DOMAIN, t0=0.05, t1=0.15)
+        assert [info.step for info, _ in history] == [1]
+
+    def test_particle_count_history(self):
+        backend = VirtualBackend()
+        write_series(backend, steps=2)
+        series = SeriesReader(backend)
+        hist = series.particle_count_history()
+        assert len(hist) == 2
+        assert hist[0][0] == 0.0 and hist[1][0] == pytest.approx(0.1)
+
+    def test_no_index_raises(self):
+        with pytest.raises(FormatError):
+            SeriesReader(VirtualBackend())
+
+
+class TestPrefixBackend:
+    def test_roundtrip_under_prefix(self):
+        base = VirtualBackend()
+        view = PrefixBackend(base, "t000001")
+        view.write_file("data/f.bin", b"abc")
+        assert base.exists("t000001/data/f.bin")
+        assert view.read_file("data/f.bin") == b"abc"
+        assert view.read_range("data/f.bin", 1, 2) == b"bc"
+        assert view.size("data/f.bin") == 3
+        assert view.listdir("data") == ["f.bin"]
+        view.delete("data/f.bin")
+        assert not base.exists("t000001/data/f.bin")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixBackend(VirtualBackend(), "")
+
+    def test_isolation_between_prefixes(self):
+        base = VirtualBackend()
+        a = PrefixBackend(base, "a")
+        b = PrefixBackend(base, "b")
+        a.write_file("x", b"1")
+        assert not b.exists("x")

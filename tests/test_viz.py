@@ -1,0 +1,137 @@
+"""Renderer and quality-metric tests (Fig. 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Box
+from repro.errors import ConfigError
+from repro.particles import ParticleBatch, injection_jet_particles, uniform_particles
+from repro.particles.dtype import MINIMAL_DTYPE
+from repro.viz import (
+    SplatRenderer,
+    coverage,
+    lod_radius_scale,
+    normalized_rmse,
+    quality_report,
+)
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+class TestRadiusScale:
+    def test_volume_preserving_cube_root(self):
+        assert lod_radius_scale(1000, 1000) == pytest.approx(1.0)
+        assert lod_radius_scale(8000, 1000) == pytest.approx(2.0)
+        assert lod_radius_scale(1000, 125) == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            lod_radius_scale(0, 1)
+
+
+class TestSplatRenderer:
+    def test_image_shape_and_nonneg(self):
+        r = SplatRenderer(DOMAIN, resolution=64)
+        b = uniform_particles(DOMAIN, 500, dtype=MINIMAL_DTYPE, seed=0)
+        img = r.render(b)
+        assert img.shape == (64, 64)
+        assert (img >= 0).all()
+        assert img.sum() > 0
+
+    def test_empty_batch_blank_image(self):
+        r = SplatRenderer(DOMAIN, resolution=32)
+        img = r.render(ParticleBatch.empty(MINIMAL_DTYPE))
+        assert img.sum() == 0.0
+
+    def test_mass_scales_with_particles(self):
+        r = SplatRenderer(DOMAIN, resolution=64)
+        b = uniform_particles(DOMAIN, 1000, dtype=MINIMAL_DTYPE, seed=1)
+        m_half = r.render(b[0:500]).sum()
+        m_full = r.render(b).sum()
+        assert m_full == pytest.approx(2 * m_half, rel=0.05)
+
+    def test_splat_lands_at_projected_position(self):
+        r = SplatRenderer(DOMAIN, resolution=100, axis=2, base_radius_px=1.0)
+        b = ParticleBatch.from_positions(np.array([[0.5, 0.5, 0.1]]), MINIMAL_DTYPE)
+        img = r.render(b)
+        peak = np.unravel_index(np.argmax(img), img.shape)
+        assert peak == (50, 50)  # u = x, v = y at the image center
+
+    def test_projection_axis(self):
+        r = SplatRenderer(DOMAIN, resolution=100, axis=0)
+        b = ParticleBatch.from_positions(np.array([[0.9, 0.25, 0.75]]), MINIMAL_DTYPE)
+        img = r.render(b)
+        peak = np.unravel_index(np.argmax(img), img.shape)
+        # axis=0 projects (y, z): u = y, v = z.
+        assert abs(peak[0] - 25) <= 1 and abs(peak[1] - 74) <= 1
+
+    def test_radius_scale_widens_footprint(self):
+        r = SplatRenderer(DOMAIN, resolution=64, base_radius_px=1.0)
+        b = ParticleBatch.from_positions(np.array([[0.5, 0.5, 0.5]]), MINIMAL_DTYPE)
+        narrow = (r.render(b, radius_scale=1.0) > 0).sum()
+        wide = (r.render(b, radius_scale=3.0) > 0).sum()
+        assert wide > narrow
+
+    def test_render_fraction_validates(self):
+        r = SplatRenderer(DOMAIN, resolution=32)
+        b = uniform_particles(DOMAIN, 100, dtype=MINIMAL_DTYPE, seed=0)
+        with pytest.raises(ConfigError):
+            r.render_fraction(b, 0.0)
+        with pytest.raises(ConfigError):
+            r.render_fraction(b, 1.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            SplatRenderer(DOMAIN, resolution=4)
+        with pytest.raises(ConfigError):
+            SplatRenderer(DOMAIN, axis=3)
+        with pytest.raises(ConfigError):
+            SplatRenderer(DOMAIN, base_radius_px=0)
+
+
+class TestMetrics:
+    def test_identity(self):
+        img = np.random.default_rng(0).random((32, 32))
+        assert coverage(img, img) == 1.0
+        assert normalized_rmse(img, img) == pytest.approx(0.0)
+
+    def test_blank_vs_full(self):
+        full = np.ones((16, 16))
+        blank = np.zeros((16, 16))
+        assert coverage(blank, full) == 0.0
+        assert normalized_rmse(blank, full) > 0
+
+    def test_blank_vs_blank(self):
+        blank = np.zeros((8, 8))
+        assert coverage(blank, blank) == 1.0
+        assert normalized_rmse(blank, blank) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            coverage(np.zeros((4, 4)), np.zeros((8, 8)))
+
+    def test_rmse_mass_invariant(self):
+        """Scaling intensities uniformly must not change the NRMSE."""
+        rng = np.random.default_rng(1)
+        a, b = rng.random((16, 16)), rng.random((16, 16))
+        assert normalized_rmse(a, b) == pytest.approx(normalized_rmse(3 * a, b))
+
+
+class TestFig9Claim:
+    def test_quarter_data_good_representation(self):
+        """Fig. 9: 25% of an LOD-shuffled jet still covers the features."""
+        jet = injection_jet_particles(DOMAIN, 20_000, seed=4)
+        # Shuffle into LOD order (what the writer does before writing).
+        from repro.core.lod import random_lod_order
+
+        jet = jet.permuted(random_lod_order(jet, seed=0))
+        renderer = SplatRenderer(DOMAIN, resolution=96, base_radius_px=1.5)
+        report = quality_report(renderer, jet)
+        by_frac = {r["fraction"]: r for r in report}
+        assert by_frac[0.25]["coverage"] > 0.75
+        assert by_frac[1.0]["coverage"] == 1.0
+        assert by_frac[1.0]["nrmse"] == pytest.approx(0.0)
+        # Quality improves monotonically with the loaded fraction.
+        fracs = sorted(by_frac)
+        nrmses = [by_frac[f]["nrmse"] for f in fracs]
+        assert all(a >= b for a, b in zip(nrmses, nrmses[1:]))

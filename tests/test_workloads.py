@@ -1,0 +1,91 @@
+"""Workload definition tests (§5.1 setup)."""
+
+import pytest
+
+from repro.domain import Box, PatchDecomposition
+from repro.errors import ConfigError
+from repro.workloads import (
+    OCCUPANCY_LEVELS,
+    PAPER_PROCESS_COUNTS,
+    UINTAH_PARTICLES_PER_CORE,
+    UintahWorkload,
+    per_core_bytes,
+    weak_scaling_points,
+)
+
+DOMAIN = Box([0, 0, 0], [1, 1, 1])
+
+
+class TestPaperConstants:
+    def test_process_counts(self):
+        assert PAPER_PROCESS_COUNTS[0] == 512
+        assert PAPER_PROCESS_COUNTS[-1] == 262_144
+        assert len(PAPER_PROCESS_COUNTS) == 10
+
+    def test_per_core_bytes_match_paper(self):
+        # §5.1: 4 MB and 8 MB per core for the two workloads.
+        assert per_core_bytes(32_768) == 32_768 * 124
+        # "approximately 4 MB per core": within 5% of 4 MiB.
+        assert abs(per_core_bytes(32_768) - 4 * 2**20) < 0.05 * 4 * 2**20
+        assert per_core_bytes(65_536) == 2 * per_core_bytes(32_768)
+
+    def test_workload_sizes(self):
+        assert UINTAH_PARTICLES_PER_CORE == (32_768, 65_536)
+
+    def test_occupancy_levels(self):
+        assert OCCUPANCY_LEVELS == (1.0, 0.5, 0.25, 0.125)
+
+    def test_weak_scaling_points(self):
+        assert weak_scaling_points(512, 4096) == [512, 1024, 2048, 4096]
+        assert weak_scaling_points(500, 4096)[0] == 512
+        with pytest.raises(ConfigError):
+            weak_scaling_points(100, 50)
+
+
+class TestUintahWorkload:
+    @pytest.fixture
+    def decomp(self):
+        return PatchDecomposition.for_nprocs(DOMAIN, 8)
+
+    def test_uniform_counts(self, decomp):
+        wl = UintahWorkload(decomp, particles_per_core=500)
+        for r in range(8):
+            batch = wl.generate_rank(r)
+            assert len(batch) == 500
+            assert decomp.patch_of_rank(r).contains_points(batch.positions).all()
+
+    def test_deterministic(self, decomp):
+        a = UintahWorkload(decomp, 100, seed=3).generate_rank(2)
+        b = UintahWorkload(decomp, 100, seed=3).generate_rank(2)
+        assert a == b
+
+    def test_clustered(self, decomp):
+        wl = UintahWorkload(decomp, 400, distribution="clustered")
+        batch = wl.generate_rank(0)
+        assert len(batch) == 400
+
+    def test_occupancy_total_invariant(self, decomp):
+        base = UintahWorkload(decomp, 100, distribution="occupancy", occupancy=1.0)
+        quarter = UintahWorkload(decomp, 100, distribution="occupancy", occupancy=0.25)
+        assert base.total_particles() == quarter.total_particles()
+
+    def test_occupancy_empties_ranks(self, decomp):
+        wl = UintahWorkload(decomp, 100, distribution="occupancy", occupancy=0.125)
+        counts = [len(wl.generate_rank(r)) for r in range(8)]
+        assert any(c == 0 for c in counts)
+        assert any(c > 0 for c in counts)
+
+    def test_jet_confined_to_patches(self, decomp):
+        wl = UintahWorkload(decomp, 1000, distribution="jet", progress=0.5)
+        for r in range(8):
+            batch = wl.generate_rank(r)
+            if len(batch):
+                assert decomp.patch_of_rank(r).contains_points(batch.positions).all()
+
+    def test_invalid_distribution(self, decomp):
+        with pytest.raises(ConfigError):
+            UintahWorkload(decomp, 10, distribution="spiral")
+
+    def test_invalid_count(self, decomp):
+        with pytest.raises(ConfigError):
+            UintahWorkload(decomp, 0)
