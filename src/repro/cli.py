@@ -1,6 +1,6 @@
 """Command-line utilities over spio datasets.
 
-Four subcommands, mirroring what a user pokes at day to day::
+Five subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli info <dataset-dir>
         Manifest, LOD parameters, per-file table.
@@ -11,8 +11,14 @@ Four subcommands, mirroring what a user pokes at day to day::
     python -m repro.cli write <dataset-dir> --ranks 16 --particles 4096 ...
         Generate and write a synthetic dataset (simulated MPI in-process).
 
+    python -m repro.cli scrub <dataset-dir>
+        Verify every checksum/header/count invariant; exit 1 on damage.
+
     python -m repro.cli estimate --machine Theta --procs 262144 ...
         Performance-model estimate for a write at HPC scale.
+
+Library errors (:class:`~repro.errors.ReproError`) surface as a one-line
+message on stderr and exit code 2; tracebacks are reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
 from repro.utils.tables import Table
 from repro.utils.units import GB, format_bytes, format_seconds
 
@@ -28,7 +35,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.core.reader import SpatialReader
     from repro.io.posix import PosixBackend
 
-    reader = SpatialReader(PosixBackend(args.dataset))
+    reader = SpatialReader(PosixBackend(args.dataset, create=False))
     m = reader.manifest
     print(f"dataset         : {args.dataset}")
     print(f"particles       : {reader.total_particles}")
@@ -60,7 +67,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.domain.box import Box
     from repro.io.posix import PosixBackend
 
-    reader = SpatialReader(PosixBackend(args.dataset))
+    reader = SpatialReader(PosixBackend(args.dataset, create=False))
     box = Box(args.box[:3], args.box[3:])
     plan = reader.plan_box_read(box, max_level=args.level, nreaders=args.readers)
     hits = reader.execute(plan, exact=True)
@@ -108,6 +115,16 @@ def _cmd_write(args: argparse.Namespace) -> int:
         f"simulated ranks into {args.dataset}"
     )
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.core.scrub import scrub_dataset
+    from repro.io.posix import PosixBackend
+
+    report = scrub_dataset(PosixBackend(args.dataset, create=False))
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -165,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_write)
 
+    p = sub.add_parser("scrub", help="verify a dataset's integrity invariants")
+    p.add_argument("dataset")
+    p.set_defaults(func=_cmd_scrub)
+
     p = sub.add_parser("estimate", help="performance-model write estimate")
     p.add_argument("--machine", default="Theta")
     p.add_argument("--procs", type=int, default=262_144)
@@ -177,7 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -32,8 +32,9 @@ from repro.core.lod import (
     stratified_lod_order,
 )
 from repro.core.writer import SpatialWriter, WriteResult
-from repro.core.reader import SpatialReader, ReadPlan
+from repro.core.reader import ReadPlan, ReadReport, SkippedPartition, SpatialReader
 from repro.core.progressive import ProgressiveReader
+from repro.core.scrub import ScrubIssue, ScrubReport, dataset_is_complete, scrub_dataset
 
 __all__ = [
     "WriterConfig",
@@ -50,5 +51,11 @@ __all__ = [
     "WriteResult",
     "SpatialReader",
     "ReadPlan",
+    "ReadReport",
+    "SkippedPartition",
     "ProgressiveReader",
+    "ScrubIssue",
+    "ScrubReport",
+    "dataset_is_complete",
+    "scrub_dataset",
 ]

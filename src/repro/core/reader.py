@@ -17,21 +17,38 @@ The three read styles of the paper's evaluation are all here:
   where particles live,
 * ``read_assigned`` — full-dataset strong-scaling reads, where ``nreaders``
   processes split the file list (Fig. 7's per-process file counts).
+
+Fault tolerance: per-file reads go through a
+:class:`~repro.io.retry.RetryPolicy` (transient backend faults absorbed
+with deterministic backoff), and a reader constructed with ``strict=False``
+*degrades* instead of raising — corrupt or missing partitions are skipped,
+and :attr:`SpatialReader.last_report` (a :class:`ReadReport`) records
+exactly which partitions were read, which were skipped and why, and how
+many retries were spent.  Strict mode (the default) raises on the first
+unrecoverable error, as before.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.lod import lod_prefix_counts
 from repro.domain.box import Box
-from repro.errors import QueryError
+from repro.errors import (
+    BackendError,
+    DataChecksumError,
+    FormatError,
+    QueryError,
+    TransientBackendError,
+)
 from repro.format.datafile import read_data_file, read_data_prefix
 from repro.format.manifest import Manifest
 from repro.format.metadata import MetadataRecord, SpatialMetadata
 from repro.io.backend import FileBackend
+from repro.io.retry import RetryPolicy, RetryStats
 from repro.particles.batch import ParticleBatch, concatenate
 
 
@@ -58,12 +75,79 @@ class ReadPlan:
         return self.total_particles * particle_bytes
 
 
-class SpatialReader:
-    """Reader over one dataset directory (a backend rooted at the dataset)."""
+@dataclass(frozen=True)
+class SkippedPartition:
+    """One partition a degraded read could not deliver."""
 
-    def __init__(self, backend: FileBackend, actor: int = -1):
+    path: str
+    box_id: int
+    reason: str      # "missing" | "transient-exhausted" | "checksum" | "corrupt"
+    error: str       # the stringified underlying exception
+
+
+@dataclass
+class ReadReport:
+    """What one plan execution actually did — the degraded-read ledger."""
+
+    partitions_read: int = 0
+    particles_read: int = 0
+    skipped: list[SkippedPartition] = field(default_factory=list)
+    retries: int = 0
+    #: prefix reads verified against the manifest's per-LOD checksums.
+    prefixes_verified: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+    @property
+    def partitions_skipped(self) -> int:
+        return len(self.skipped)
+
+    def skipped_boxes(self) -> list[int]:
+        return [s.box_id for s in self.skipped]
+
+    def merge(self, other: "ReadReport") -> None:
+        self.partitions_read += other.partitions_read
+        self.particles_read += other.particles_read
+        self.skipped.extend(other.skipped)
+        self.retries += other.retries
+        self.prefixes_verified += other.prefixes_verified
+
+
+def _skip_reason(exc: Exception) -> str:
+    if isinstance(exc, DataChecksumError):
+        return "checksum"
+    if isinstance(exc, TransientBackendError):
+        return "transient-exhausted"
+    if isinstance(exc, BackendError):
+        return "missing"
+    return "corrupt"
+
+
+class SpatialReader:
+    """Reader over one dataset directory (a backend rooted at the dataset).
+
+    ``strict=True`` (default): any unrecoverable per-file error aborts the
+    read, exactly as before.  ``strict=False``: the read degrades — bad
+    partitions are skipped, the partial result is returned, and
+    :attr:`last_report` says what is missing.  Transient backend faults are
+    retried under ``retry`` in both modes.
+    """
+
+    def __init__(
+        self,
+        backend: FileBackend,
+        actor: int = -1,
+        strict: bool = True,
+        retry: RetryPolicy | None = None,
+    ):
         self.backend = backend
         self.actor = actor
+        self.strict = strict
+        self.retry = retry or RetryPolicy()
+        #: report of the most recent plan execution (None before any read).
+        self.last_report: ReadReport | None = None
         self.manifest = Manifest.read(backend, actor=actor)
         self.metadata = SpatialMetadata.read(backend, actor=actor)
 
@@ -145,22 +229,92 @@ class SpatialReader:
 
     # -- execution --------------------------------------------------------------
 
-    def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
-        """Run a plan.  ``exact=True`` filters particles to the plan's box."""
-        batches: list[ParticleBatch] = []
-        for rec, count in plan.entries:
-            if count == 0:
-                continue
+    def _read_entry(
+        self, rec: MetadataRecord, count: int, report: ReadReport
+    ) -> ParticleBatch:
+        """Read one plan entry with retries and prefix verification."""
+        stats = RetryStats()
+        try:
             if count == rec.particle_count:
-                batches.append(
-                    read_data_file(self.backend, rec.file_path, self.dtype, self.actor)
+                batch = self.retry.call(
+                    read_data_file,
+                    self.backend,
+                    rec.file_path,
+                    self.dtype,
+                    self.actor,
+                    stats=stats,
                 )
             else:
-                batches.append(
-                    read_data_prefix(
-                        self.backend, rec.file_path, self.dtype, count, actor=self.actor
-                    )
+                batch = self.retry.call(
+                    read_data_prefix,
+                    self.backend,
+                    rec.file_path,
+                    self.dtype,
+                    count,
+                    actor=self.actor,
+                    stats=stats,
                 )
+                self._verify_prefix(rec.file_path, batch, report)
+        finally:
+            report.retries += stats.retries
+        return batch
+
+    def _verify_prefix(
+        self, path: str, batch: ParticleBatch, report: ReadReport
+    ) -> None:
+        """Check a prefix read against the manifest's per-LOD checksums.
+
+        Ranged reads never see the v2 file footer, so this is the only
+        integrity check they get.  Verification happens when the read count
+        lands exactly on a recorded LOD boundary (checksums are prefix CRCs
+        — they cannot verify arbitrary lengths).
+        """
+        entry = self.manifest.checksums.get(path)
+        if not entry:
+            return
+        for rec_count, rec_crc in entry.get("prefixes", ()):
+            if rec_count == len(batch):
+                actual = zlib.crc32(batch.tobytes())
+                if actual != int(rec_crc):
+                    raise DataChecksumError(
+                        f"{path}: prefix of {len(batch)} particles has "
+                        f"CRC32 {actual:#010x}, manifest records "
+                        f"{int(rec_crc):#010x}"
+                    )
+                report.prefixes_verified += 1
+                return
+
+    def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
+        """Run a plan.  ``exact=True`` filters particles to the plan's box.
+
+        Strict readers raise on the first unrecoverable error; non-strict
+        readers skip the partition and log it in :attr:`last_report`.
+        """
+        report = ReadReport()
+        batches: list[ParticleBatch] = []
+        try:
+            for rec, count in plan.entries:
+                if count == 0:
+                    continue
+                try:
+                    batch = self._read_entry(rec, count, report)
+                except (BackendError, FormatError) as exc:
+                    if self.strict:
+                        raise
+                    report.skipped.append(
+                        SkippedPartition(
+                            path=rec.file_path,
+                            box_id=rec.box_id,
+                            reason=_skip_reason(exc),
+                            error=str(exc),
+                        )
+                    )
+                    continue
+                report.partitions_read += 1
+                report.particles_read += len(batch)
+                batches.append(batch)
+        finally:
+            self.last_report = report
         if not batches:
             return ParticleBatch(np.empty(0, dtype=self.dtype))
         out = concatenate(batches)
@@ -203,15 +357,8 @@ class SpatialReader:
         volume does not shrink as readers are added, which is why it cannot
         strong-scale.
         """
-        batches = []
-        for rec in self.metadata.records:
-            if rec.particle_count == 0:
-                continue
-            batches.append(
-                read_data_file(self.backend, rec.file_path, self.dtype, self.actor)
-            )
-        if not batches:
-            return ParticleBatch(np.empty(0, dtype=self.dtype))
-        out = concatenate(batches)
-        mask = box.contains_points(out.positions, closed=True)
-        return ParticleBatch(out.data[mask])
+        plan = ReadPlan(
+            [(rec, rec.particle_count) for rec in self.metadata.records],
+            box=box,
+        )
+        return self.execute(plan, exact=True)

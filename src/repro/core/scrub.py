@@ -1,0 +1,272 @@
+"""Dataset scrubbing: verify every on-disk invariant and report damage.
+
+A scrub walks one dataset bottom-up and checks everything the format
+guarantees:
+
+* the manifest parses and its version is supported;
+* the spatial metadata table parses, its whole-table CRC matches, and the
+  manifest's recorded ``spatial_meta_crc32`` agrees with the bytes on disk;
+* every data file the table references exists, has a valid header, the
+  header's particle count matches the table's, the byte length is exact,
+  the v2 footer CRC matches, and the manifest's per-LOD prefix checksums
+  recompute correctly;
+* no orphan data files sit in ``data/`` (leftovers of an aborted write).
+
+The outcome is a :class:`ScrubReport` of typed :class:`ScrubIssue` entries.
+Each issue is tagged **repairable** when rerunning the original write would
+fix it (missing or torn pieces of an uncommitted dataset), as opposed to
+silent corruption of committed data, which needs another replica.
+
+:func:`dataset_is_complete` is the cheap commit-marker probe used by the
+writer's two-phase protocol: ``manifest.json`` is written last, so a
+dataset without a parseable manifest (or with manifest-referenced pieces
+missing) is an aborted write, never a valid dataset.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    BackendError,
+    ChecksumError,
+    DataFileError,
+    FormatError,
+    MetadataError,
+)
+from repro.format.datafile import (
+    compute_file_checksums,
+    peek_particle_count,
+    read_data_file,
+)
+from repro.format.manifest import MANIFEST_PATH, Manifest
+from repro.format.metadata import META_PATH, SpatialMetadata
+from repro.io.backend import FileBackend
+
+__all__ = ["ScrubIssue", "ScrubReport", "scrub_dataset", "dataset_is_complete"]
+
+
+@dataclass(frozen=True)
+class ScrubIssue:
+    """One verified-invariant violation found by a scrub."""
+
+    path: str
+    code: str
+    detail: str
+    #: True when rerunning the write repairs it (missing/torn uncommitted
+    #: state); False for silent corruption of committed data.
+    repairable: bool = False
+
+
+@dataclass
+class ScrubReport:
+    """Everything a scrub learned about one dataset."""
+
+    issues: list[ScrubIssue] = field(default_factory=list)
+    files_checked: int = 0
+    bytes_verified: int = 0
+    #: The dataset carries its commit marker and all referenced pieces.
+    complete: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def codes(self) -> set[str]:
+        return {issue.code for issue in self.issues}
+
+    def add(self, path: str, code: str, detail: str, repairable: bool = False) -> None:
+        self.issues.append(ScrubIssue(path, code, detail, repairable))
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report (the ``repro scrub`` output body)."""
+        lines = [
+            f"files checked   : {self.files_checked}",
+            f"bytes verified  : {self.bytes_verified}",
+            f"complete        : {'yes' if self.complete else 'no'}",
+            f"issues          : {len(self.issues)}",
+        ]
+        for issue in self.issues:
+            tag = "repairable" if issue.repairable else "CORRUPT"
+            lines.append(f"  [{tag}] {issue.code} {issue.path}: {issue.detail}")
+        if self.ok:
+            lines.append("dataset is clean")
+        elif all(i.repairable for i in self.issues):
+            lines.append("dataset is repairable: rerun the write to converge")
+        else:
+            lines.append("dataset has unrecoverable corruption; restore from a replica")
+        return lines
+
+
+def dataset_is_complete(backend: FileBackend) -> bool:
+    """Whether the dataset committed: manifest present, parseable, and every
+    piece it references on disk.
+
+    The two-phase writer orders ``data/*`` → ``spatial.meta`` →
+    ``manifest.json``, so an interrupted write at *any* point leaves this
+    returning False — either the marker is missing/torn, or it never covers
+    missing pieces (the marker is written only after everything else).
+    """
+    if not backend.exists(MANIFEST_PATH) or not backend.exists(META_PATH):
+        return False
+    try:
+        manifest = Manifest.read(backend)
+        metadata = SpatialMetadata.read(backend)
+    except FormatError:
+        return False
+    if manifest.num_files != len(metadata.records):
+        return False
+    return all(backend.exists(rec.file_path) for rec in metadata.records)
+
+
+def _scrub_data_file(
+    backend: FileBackend, manifest: Manifest, rec, report: ScrubReport
+) -> None:
+    path = rec.file_path
+    try:
+        size = backend.size(path) if backend.exists(path) else None
+    except BackendError:
+        size = None
+    if size is None:
+        report.add(path, "data-missing", "referenced by spatial.meta but absent",
+                   repairable=True)
+        return
+    report.files_checked += 1
+
+    try:
+        header_count = peek_particle_count(backend, path)
+    except (BackendError, DataFileError) as exc:
+        report.add(path, "data-header", str(exc), repairable=True)
+        return
+    if header_count != rec.particle_count:
+        report.add(
+            path,
+            "count-mismatch",
+            f"header says {header_count} particles, "
+            f"spatial.meta says {rec.particle_count}",
+        )
+        return
+
+    try:
+        batch = read_data_file(backend, path, manifest.dtype)
+    except ChecksumError as exc:
+        report.add(path, "data-checksum", str(exc))
+        return
+    except DataFileError as exc:
+        msg = str(exc)
+        if "expected" in msg and "bytes" in msg:
+            code = "data-truncated"
+        elif "record size" in msg:
+            code = "dtype-mismatch"
+        else:
+            code = "data-corrupt"
+        report.add(path, code, msg, repairable=code == "data-truncated")
+        return
+    except BackendError as exc:
+        report.add(path, "data-unreadable", str(exc), repairable=True)
+        return
+    report.bytes_verified += size
+
+    recorded = manifest.checksums.get(path)
+    if recorded is not None:
+        actual = compute_file_checksums(
+            batch, manifest.lod_base, manifest.lod_scale
+        )
+        if int(recorded.get("payload_crc32", -1)) != actual["payload_crc32"]:
+            report.add(
+                path,
+                "manifest-checksum-mismatch",
+                "manifest payload_crc32 disagrees with the data file",
+            )
+        elif [list(p) for p in recorded.get("prefixes", [])] != actual["prefixes"]:
+            report.add(
+                path,
+                "prefix-checksum-mismatch",
+                "per-LOD prefix checksums disagree with the data file",
+            )
+
+
+def scrub_dataset(backend: FileBackend) -> ScrubReport:
+    """Verify every checksum/header/count invariant of one dataset."""
+    report = ScrubReport()
+    report.complete = dataset_is_complete(backend)
+
+    # 1. Manifest — without it there is no committed dataset and no dtype.
+    manifest = None
+    if not backend.exists(MANIFEST_PATH):
+        report.add(MANIFEST_PATH, "manifest-missing",
+                   "no commit marker: write never completed", repairable=True)
+    else:
+        try:
+            manifest = Manifest.read(backend)
+        except FormatError as exc:
+            report.add(MANIFEST_PATH, "manifest-corrupt", str(exc), repairable=True)
+
+    # 2. Spatial metadata table.
+    metadata = None
+    raw_meta = None
+    if not backend.exists(META_PATH):
+        report.add(META_PATH, "metadata-missing",
+                   "spatial metadata table absent", repairable=True)
+    else:
+        try:
+            raw_meta = backend.read_file(META_PATH)
+        except BackendError as exc:
+            report.add(META_PATH, "metadata-unreadable", str(exc), repairable=True)
+        if raw_meta is not None:
+            try:
+                metadata = SpatialMetadata.from_bytes(raw_meta)
+                report.bytes_verified += len(raw_meta)
+            except ChecksumError as exc:
+                report.add(META_PATH, "metadata-checksum", str(exc))
+            except MetadataError as exc:
+                report.add(META_PATH, "metadata-corrupt", str(exc), repairable=True)
+
+    # 3. Manifest <-> metadata cross-checks.
+    if manifest is not None and metadata is not None:
+        if manifest.num_files != len(metadata.records):
+            report.add(
+                META_PATH,
+                "file-count-mismatch",
+                f"manifest says {manifest.num_files} files, "
+                f"table has {len(metadata.records)}",
+            )
+        if manifest.total_particles != metadata.total_particles:
+            report.add(
+                META_PATH,
+                "particle-count-mismatch",
+                f"manifest says {manifest.total_particles} particles, "
+                f"table sums to {metadata.total_particles}",
+            )
+        if (
+            manifest.spatial_meta_crc32 is not None
+            and raw_meta is not None
+            and zlib.crc32(raw_meta) != manifest.spatial_meta_crc32
+        ):
+            report.add(
+                META_PATH,
+                "metadata-crc-mismatch",
+                "manifest's spatial_meta_crc32 disagrees with spatial.meta "
+                "on disk",
+            )
+
+    # 4. Every referenced data file.
+    if manifest is not None and metadata is not None:
+        for rec in metadata.records:
+            _scrub_data_file(backend, manifest, rec, report)
+
+        # 5. Orphans: files in data/ the table does not reference.
+        referenced = {rec.file_path for rec in metadata.records}
+        try:
+            names = backend.listdir("data")
+        except BackendError:
+            names = []
+        for name in names:
+            path = f"data/{name}"
+            if path not in referenced:
+                report.add(path, "data-orphan",
+                           "not referenced by spatial.meta", repairable=True)
+
+    return report

@@ -17,6 +17,7 @@ land in the given backend: ``data/file_<aggrank>.pbin`` per aggregator, plus
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,11 +29,12 @@ from repro.core.exchange import exchange_particles
 from repro.core.lod import order_for_heuristic
 from repro.domain.decomposition import PatchDecomposition
 from repro.domain.grid import CellGrid
-from repro.errors import ConfigError
-from repro.format.datafile import data_file_name, write_data_file
-from repro.format.manifest import Manifest
-from repro.format.metadata import MetadataRecord, SpatialMetadata
+from repro.errors import BackendError, ConfigError
+from repro.format.datafile import compute_file_checksums, data_file_name, write_data_file
+from repro.format.manifest import MANIFEST_PATH, Manifest
+from repro.format.metadata import META_PATH, MetadataRecord, SpatialMetadata
 from repro.io.backend import FileBackend
+from repro.io.retry import RetryPolicy, RetryStats
 from repro.mpi.comm import SimComm
 from repro.particles.batch import ParticleBatch
 from repro.utils.timing import TimeBreakdown
@@ -57,6 +59,8 @@ class WriteResult:
     particles_sent: int = 0
     particles_received: int = 0
     aggregators_contacted: int = 0
+    #: backend writes that had to be retried (transient faults absorbed).
+    retries: int = 0
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
 
     @property
@@ -65,10 +69,25 @@ class WriteResult:
 
 
 class SpatialWriter:
-    """Writes particle datasets with spatially-aware two-phase I/O."""
+    """Writes particle datasets with spatially-aware two-phase I/O.
 
-    def __init__(self, config: WriterConfig | None = None):
+    Fault tolerance (beyond the paper): every backend write goes through a
+    :class:`~repro.io.retry.RetryPolicy` (transient faults absorbed with
+    deterministic backoff), output is committed in two phases — data files,
+    then ``spatial.meta``, then ``manifest.json`` as the commit marker — and
+    an aborted write cleans up its own partial data files, so an interrupted
+    dataset is always detectable via
+    :func:`~repro.core.scrub.dataset_is_complete` and never masquerades as a
+    valid one.
+    """
+
+    def __init__(
+        self,
+        config: WriterConfig | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.config = config or WriterConfig()
+        self.retry = retry or RetryPolicy()
 
     # -- grid construction (steps 1-2) ---------------------------------------
 
@@ -117,6 +136,14 @@ class SpatialWriter:
             grid = self.build_grid(comm, decomp, len(batch))
             result.num_files = grid.num_files
 
+        # Two-phase commit, phase 0: invalidate any previous commit marker
+        # before the first data byte moves, so a failed overwrite of an
+        # existing dataset can never be read as either the old or a
+        # Franken-mix of old and new.
+        if comm.rank == 0:
+            backend.delete(MANIFEST_PATH, missing_ok=True)
+        comm.barrier()
+
         # Steps 3-5: metadata exchange, buffer allocation, particle exchange.
         with bd.measure(PHASE_AGGREGATION):
             exchange = exchange_particles(comm, grid, batch)
@@ -140,55 +167,103 @@ class SpatialWriter:
                 else:
                     ordered[pid] = agg_batch
 
-        # Step 7: one independent file per aggregator.
-        local_records: list[MetadataRecord] = []
-        with bd.measure(PHASE_FILE_IO):
-            for pid, agg_batch in ordered.items():
-                path = data_file_name(comm.rank)
-                result.bytes_written += write_data_file(
-                    backend, path, agg_batch, actor=comm.rank
-                )
-                result.files_written.append(path)
-                local_records.append(
-                    MetadataRecord(
-                        box_id=pid,
-                        agg_rank=comm.rank,
-                        particle_count=len(agg_batch),
-                        bounds=grid.partition_box(pid),
-                        attr_ranges=self._attr_ranges(agg_batch),
+        retry_stats = RetryStats()
+        try:
+            # Step 7 (commit phase 1): one independent file per aggregator.
+            local_records: list[MetadataRecord] = []
+            local_checksums: dict[str, dict] = {}
+            with bd.measure(PHASE_FILE_IO):
+                for pid, agg_batch in ordered.items():
+                    path = data_file_name(comm.rank)
+                    result.bytes_written += self.retry.call(
+                        write_data_file,
+                        backend,
+                        path,
+                        agg_batch,
+                        actor=comm.rank,
+                        stats=retry_stats,
                     )
-                )
+                    result.files_written.append(path)
+                    local_checksums[path] = compute_file_checksums(
+                        agg_batch, cfg.lod_base, cfg.lod_scale
+                    )
+                    local_records.append(
+                        MetadataRecord(
+                            box_id=pid,
+                            agg_rank=comm.rank,
+                            particle_count=len(agg_batch),
+                            bounds=grid.partition_box(pid),
+                            attr_ranges=self._attr_ranges(agg_batch),
+                        )
+                    )
 
-        # Step 8: gather bounding boxes to rank 0, write spatial metadata.
-        with bd.measure(PHASE_METADATA):
-            all_records = comm.allgather(local_records)
-            if comm.rank == 0:
-                records = sorted(
-                    (r for recs in all_records for r in recs),
-                    key=lambda r: r.box_id,
-                )
-                table = SpatialMetadata(records, attr_names=cfg.attr_index)
-                table.write(backend, actor=0)
-                manifest = Manifest(
-                    dtype=batch.dtype,
-                    num_files=len(records),
-                    total_particles=table.total_particles,
-                    lod_base=cfg.lod_base,
-                    lod_scale=cfg.lod_scale,
-                    lod_heuristic=cfg.lod_heuristic,
-                    lod_seed=cfg.lod_seed,
-                    writer={
-                        "config": cfg.describe(),
-                        "nprocs": comm.size,
-                        "proc_dims": list(decomp.proc_dims),
-                        "domain": {
-                            "lo": decomp.domain.lo.tolist(),
-                            "hi": decomp.domain.hi.tolist(),
+            # Step 8 (commit phases 2+3): gather bounding boxes to rank 0,
+            # write the spatial metadata, then the manifest as the marker.
+            with bd.measure(PHASE_METADATA):
+                gathered = comm.allgather((local_records, local_checksums))
+                if comm.rank == 0:
+                    records = sorted(
+                        (r for recs, _sums in gathered for r in recs),
+                        key=lambda r: r.box_id,
+                    )
+                    checksums: dict[str, dict] = {}
+                    for _recs, sums in gathered:
+                        checksums.update(sums)
+                    table = SpatialMetadata(records, attr_names=cfg.attr_index)
+                    meta_blob = table.to_bytes()
+                    self.retry.call(
+                        backend.write_file,
+                        META_PATH,
+                        meta_blob,
+                        actor=0,
+                        stats=retry_stats,
+                    )
+                    manifest = Manifest(
+                        dtype=batch.dtype,
+                        num_files=len(records),
+                        total_particles=table.total_particles,
+                        lod_base=cfg.lod_base,
+                        lod_scale=cfg.lod_scale,
+                        lod_heuristic=cfg.lod_heuristic,
+                        lod_seed=cfg.lod_seed,
+                        writer={
+                            "config": cfg.describe(),
+                            "nprocs": comm.size,
+                            "proc_dims": list(decomp.proc_dims),
+                            "domain": {
+                                "lo": decomp.domain.lo.tolist(),
+                                "hi": decomp.domain.hi.tolist(),
+                            },
                         },
-                    },
-                )
-                manifest.write(backend, actor=0)
+                        checksums=checksums,
+                        spatial_meta_crc32=zlib.crc32(meta_blob),
+                    )
+                    self.retry.call(
+                        backend.write_file,
+                        MANIFEST_PATH,
+                        manifest.to_json().encode("utf-8"),
+                        actor=0,
+                        stats=retry_stats,
+                    )
+        except BaseException:
+            self._abort(backend, result)
+            raise
+        finally:
+            result.retries = retry_stats.retries
         return result
+
+    def _abort(self, backend: FileBackend, result: WriteResult) -> None:
+        """Best-effort removal of this rank's partial output.
+
+        Idempotent (``missing_ok``) and tolerant of a dead backend — after a
+        real crash there is nobody left to clean up, and the two-phase
+        ordering already guarantees the dataset reads as incomplete.
+        """
+        for path in result.files_written:
+            try:
+                backend.delete(path, missing_ok=True)
+            except BackendError:
+                pass
 
     # -- helpers ------------------------------------------------------------------
 

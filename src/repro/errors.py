@@ -49,6 +49,17 @@ class FormatError(ReproError, ValueError):
     """An on-disk structure (data file, metadata table, manifest) is corrupt."""
 
 
+class ChecksumError(FormatError):
+    """A stored checksum does not match the bytes it covers.
+
+    Distinguished from the structural :class:`FormatError` cases because the
+    *structure* parsed fine — the payload was silently corrupted (bit-flip,
+    torn write that preserved the header, media error).  Scrubbing reports
+    these separately: a checksum failure means the data is unrecoverable from
+    this replica, not merely incomplete.
+    """
+
+
 class MetadataError(FormatError):
     """The spatial metadata table is missing, truncated, or inconsistent."""
 
@@ -57,9 +68,36 @@ class DataFileError(FormatError):
     """A particle data file is missing, truncated, or inconsistent."""
 
 
+class MetadataChecksumError(MetadataError, ChecksumError):
+    """The spatial metadata table's stored checksum does not match."""
+
+
+class DataChecksumError(DataFileError, ChecksumError):
+    """A particle data file's stored checksum does not match."""
+
+
 class QueryError(ReproError, ValueError):
     """A spatial or attribute query is malformed."""
 
 
 class BackendError(ReproError, OSError):
     """A storage backend operation failed."""
+
+
+class TransientBackendError(BackendError):
+    """A backend operation failed in a way that is expected to heal.
+
+    Raised (or wrapped) for conditions a retry can fix: a flaky network
+    mount, a storage target briefly over capacity, an injected test fault.
+    :class:`~repro.io.retry.RetryPolicy` retries exactly this class; plain
+    :class:`BackendError` is treated as permanent and propagates immediately.
+    """
+
+
+class IncompleteDatasetError(ReproError, RuntimeError):
+    """A dataset is missing its commit marker or parts of its payload.
+
+    The two-phase writer publishes ``manifest.json`` last; until it exists
+    (and parses), the dataset must be treated as an aborted write rather
+    than a corrupt one — rerunning the write repairs it in place.
+    """

@@ -17,13 +17,17 @@ planned future work (§3.5), which powers range-query file pruning.
 
 from repro.format.datafile import (
     DATA_MAGIC,
+    DATA_VERSION,
+    compute_file_checksums,
     data_file_name,
+    prefix_checksum_boundaries,
     read_data_file,
     read_data_prefix,
     write_data_file,
 )
 from repro.format.metadata import (
     META_MAGIC,
+    META_VERSION,
     MetadataRecord,
     SpatialMetadata,
 )
@@ -31,11 +35,15 @@ from repro.format.manifest import Manifest
 
 __all__ = [
     "DATA_MAGIC",
+    "DATA_VERSION",
     "META_MAGIC",
+    "META_VERSION",
     "data_file_name",
     "write_data_file",
     "read_data_file",
     "read_data_prefix",
+    "compute_file_checksums",
+    "prefix_checksum_boundaries",
     "MetadataRecord",
     "SpatialMetadata",
     "Manifest",

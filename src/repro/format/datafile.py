@@ -1,35 +1,55 @@
 """Particle data files.
 
 Each aggregator writes one data file holding its LOD-ordered particles.  The
-layout is a small fixed header followed by the raw little-endian structured
-records::
+layout (format version 2) is a small fixed header, the raw little-endian
+structured records, and a CRC32 footer::
 
     offset  size  field
     0       8     magic  b"SPIODATA"
-    8       4     format version (u32)
+    8       4     format version (u32, currently 2)
     12      4     record size in bytes (u32)  — guards dtype mismatches
     16      8     particle count (u64)
     24      ...   particle records
+    -8      4     footer magic b"FCRC"
+    -4      4     CRC32 of header + records (u32)
+
+Version-1 files (no footer) remain fully readable; they simply carry no
+whole-file checksum, so corruption in them is only caught by the structural
+checks (magic, version, record size, byte length).
 
 The header stores only the record *size*; the full dtype lives in the
 dataset manifest.  Keeping it in both places lets a reader detect a manifest
 / data-file mismatch without decoding garbage.
+
+Besides the footer, the writer records **per-LOD-level prefix checksums** in
+the manifest (see :func:`compute_file_checksums`): CRC32s of the payload up
+to each per-file level boundary.  Prefix reads — which never see the footer
+— verify against these when the requested count lands on a boundary, and the
+scrubber verifies all of them.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
-from repro.errors import DataFileError
+from repro.errors import DataChecksumError, DataFileError
 from repro.io.backend import FileBackend
 from repro.particles.batch import ParticleBatch
 
 DATA_MAGIC = b"SPIODATA"
-DATA_VERSION = 1
+DATA_VERSION = 2
 _HEADER = struct.Struct("<8sIIQ")
 HEADER_BYTES = _HEADER.size
+
+FOOTER_MAGIC = b"FCRC"
+_FOOTER = struct.Struct("<4sI")
+FOOTER_BYTES = _FOOTER.size
+
+#: Versions this reader understands.
+SUPPORTED_DATA_VERSIONS = (1, 2)
 
 
 def data_file_name(agg_rank: int) -> str:
@@ -48,40 +68,59 @@ def write_data_file(
     header = _HEADER.pack(
         DATA_MAGIC, DATA_VERSION, batch.dtype.itemsize, len(batch)
     )
-    blob = header + payload
+    footer = _FOOTER.pack(FOOTER_MAGIC, zlib.crc32(payload, zlib.crc32(header)))
+    blob = header + payload + footer
     backend.write_file(path, blob, actor=actor)
     return len(blob)
 
 
-def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> int:
+def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> tuple[int, int]:
+    """Validate the fixed header; returns ``(version, particle_count)``."""
     if len(raw) < HEADER_BYTES:
         raise DataFileError(f"{path}: truncated header ({len(raw)} bytes)")
     magic, version, rec_size, count = _HEADER.unpack_from(raw)
     if magic != DATA_MAGIC:
         raise DataFileError(f"{path}: bad magic {magic!r}")
-    if version != DATA_VERSION:
+    if version not in SUPPORTED_DATA_VERSIONS:
         raise DataFileError(f"{path}: unsupported version {version}")
     if rec_size != dtype.itemsize:
         raise DataFileError(
             f"{path}: record size {rec_size} does not match dtype itemsize "
             f"{dtype.itemsize} — manifest and data file disagree"
         )
-    return int(count)
+    return int(version), int(count)
+
+
+def _verify_footer(raw: bytes, path: str) -> None:
+    """Check the v2 CRC footer of a complete file image."""
+    body, footer = raw[:-FOOTER_BYTES], raw[-FOOTER_BYTES:]
+    magic, stored = _FOOTER.unpack(footer)
+    if magic != FOOTER_MAGIC:
+        raise DataChecksumError(f"{path}: bad footer magic {magic!r}")
+    actual = zlib.crc32(body)
+    if actual != stored:
+        raise DataChecksumError(
+            f"{path}: CRC32 mismatch — stored {stored:#010x}, "
+            f"computed {actual:#010x}"
+        )
 
 
 def read_data_file(
     backend: FileBackend, path: str, dtype: np.dtype, actor: int = -1
 ) -> ParticleBatch:
-    """Read every particle in ``path``."""
+    """Read every particle in ``path``, verifying the checksum footer (v2)."""
     raw = backend.read_file(path, actor=actor)
-    count = _parse_header(raw, path, dtype)
-    expected = HEADER_BYTES + count * dtype.itemsize
+    version, count = _parse_header(raw, path, dtype)
+    footer = FOOTER_BYTES if version >= 2 else 0
+    expected = HEADER_BYTES + count * dtype.itemsize + footer
     if len(raw) != expected:
         raise DataFileError(
             f"{path}: expected {expected} bytes for {count} particles, "
             f"found {len(raw)}"
         )
-    return ParticleBatch.frombuffer(raw[HEADER_BYTES:], dtype)
+    if version >= 2:
+        _verify_footer(raw, path)
+    return ParticleBatch.frombuffer(raw[HEADER_BYTES : expected - footer], dtype)
 
 
 def read_data_prefix(
@@ -97,13 +136,17 @@ def read_data_prefix(
     This is the LOD read primitive: because files are written in level-of-
     detail order, a prefix *is* a coarse representation, and progressive
     refinement reads the next slice without re-reading the previous one.
+
+    Ranged reads never touch the file footer, so they carry no whole-file
+    verification; callers holding the manifest's prefix checksums can verify
+    boundary-aligned prefixes (see :meth:`SpatialReader.execute`).
     """
     if count < 0 or offset_particles < 0:
         raise DataFileError(
             f"negative count/offset ({count}, {offset_particles}) for {path}"
         )
     header = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
-    total = _parse_header(header, path, dtype)
+    _version, total = _parse_header(header, path, dtype)
     if offset_particles + count > total:
         raise DataFileError(
             f"{path}: slice [{offset_particles}, {offset_particles + count}) "
@@ -123,3 +166,65 @@ def peek_particle_count(backend: FileBackend, path: str, actor: int = -1) -> int
         raise DataFileError(f"{path}: not a particle data file")
     _, _, _, count = _HEADER.unpack_from(header)
     return int(count)
+
+
+# -- prefix checksums ----------------------------------------------------------
+
+
+def prefix_checksum_boundaries(count: int, base: int, scale: int) -> list[int]:
+    """Particle counts at which prefix checksums are recorded.
+
+    Boundaries follow the per-file LOD ladder for a single reader: level
+    ``l`` contributes ``base * scale**l`` records, so boundaries are the
+    cumulative level counts clipped to the file's total.  The last boundary
+    always equals ``count`` (for non-empty files), so the full payload is
+    always covered.
+    """
+    if count < 0:
+        raise DataFileError(f"negative particle count {count}")
+    bounds: list[int] = []
+    cum, size = 0, base
+    while cum < count:
+        cum = min(count, cum + size)
+        bounds.append(cum)
+        size *= scale
+    return bounds
+
+
+def payload_prefix_checksums(
+    payload: bytes, itemsize: int, boundaries: list[int]
+) -> list[tuple[int, int]]:
+    """``(count, CRC32 of payload[:count*itemsize])`` per boundary.
+
+    Computed incrementally — one pass over the payload regardless of how
+    many boundaries there are.
+    """
+    out: list[tuple[int, int]] = []
+    crc, pos = 0, 0
+    for b in boundaries:
+        end = b * itemsize
+        if end > len(payload):
+            raise DataFileError(
+                f"checksum boundary {b} exceeds payload "
+                f"({len(payload) // max(itemsize, 1)} records)"
+            )
+        crc = zlib.crc32(payload[pos:end], crc)
+        pos = end
+        out.append((b, crc))
+    return out
+
+
+def compute_file_checksums(batch: ParticleBatch, base: int, scale: int) -> dict:
+    """The manifest checksum entry for one data file's payload.
+
+    ``payload_crc32`` covers the full payload (records only, no header);
+    ``prefixes`` holds ``[count, crc32]`` pairs at the per-file LOD
+    boundaries of :func:`prefix_checksum_boundaries`.
+    """
+    payload = batch.tobytes()
+    boundaries = prefix_checksum_boundaries(len(batch), base, scale)
+    prefixes = payload_prefix_checksums(payload, batch.dtype.itemsize, boundaries)
+    return {
+        "payload_crc32": zlib.crc32(payload),
+        "prefixes": [[c, crc] for c, crc in prefixes],
+    }

@@ -20,7 +20,10 @@ from repro.errors import FormatError
 from repro.io.backend import FileBackend
 
 MANIFEST_PATH = "manifest.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+
+#: Versions this reader understands (1 = pre-checksum legacy).
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def _dtype_to_descr(dtype: np.dtype) -> list:
@@ -62,6 +65,11 @@ class Manifest:
     lod_heuristic: str = "random"
     lod_seed: int | None = 0
     writer: dict[str, Any] = field(default_factory=dict)
+    #: per-data-file payload checksums: path -> {"payload_crc32": int,
+    #: "prefixes": [[count, crc32], ...]} (empty for v1 datasets).
+    checksums: dict[str, dict] = field(default_factory=dict)
+    #: CRC32 of the spatial.meta blob this manifest commits (None for v1).
+    spatial_meta_crc32: int | None = None
 
     def __post_init__(self) -> None:
         self.dtype = np.dtype(self.dtype)
@@ -88,6 +96,8 @@ class Manifest:
                 "seed": self.lod_seed,
             },
             "writer": self.writer,
+            "checksums": self.checksums,
+            "spatial_meta_crc32": self.spatial_meta_crc32,
         }
         return json.dumps(doc, indent=2, sort_keys=True)
 
@@ -99,10 +109,11 @@ class Manifest:
             raise FormatError(f"manifest is not valid JSON: {exc}") from exc
         if doc.get("format") != "spio-particles":
             raise FormatError(f"not a particle dataset manifest: {doc.get('format')!r}")
-        if doc.get("version") != MANIFEST_VERSION:
+        if doc.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
             raise FormatError(f"unsupported manifest version {doc.get('version')!r}")
         try:
             lod = doc["lod"]
+            meta_crc = doc.get("spatial_meta_crc32")
             return cls(
                 dtype=_descr_to_dtype(doc["dtype_descr"]),
                 num_files=int(doc["num_files"]),
@@ -112,6 +123,11 @@ class Manifest:
                 lod_heuristic=str(lod["heuristic"]),
                 lod_seed=None if lod["seed"] is None else int(lod["seed"]),
                 writer=dict(doc.get("writer", {})),
+                checksums={
+                    str(path): dict(entry)
+                    for path, entry in dict(doc.get("checksums", {})).items()
+                },
+                spatial_meta_crc32=None if meta_crc is None else int(meta_crc),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FormatError(f"manifest missing or malformed field: {exc}") from exc

@@ -22,24 +22,35 @@ Layout (little-endian)::
     records: u64 box_id | u64 agg_rank | u64 particle_count
              f64 lo[3] | f64 hi[3]
              num_attrs x (f64 min | f64 max)
+    footer:  magic "MCRC" | u32 CRC32 of header + records   (version >= 3)
+
+Version 2 tables (no footer) remain readable; version 3 adds the
+whole-table checksum so a flipped bit in any record is detected before a
+reader prunes files against garbage bounds.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 from repro.domain.box import Box
-from repro.errors import MetadataError
+from repro.errors import MetadataChecksumError, MetadataError
 from repro.format.datafile import data_file_name
 from repro.io.backend import FileBackend
 
 META_MAGIC = b"SPIOMETA"
-META_VERSION = 2
+META_VERSION = 3
 META_PATH = "spatial.meta"
+
+#: Versions this reader understands (2 = pre-checksum legacy).
+SUPPORTED_META_VERSIONS = (2, 3)
 
 _HEADER = struct.Struct("<8sIIII")
 _RECORD_FIXED = struct.Struct("<QQQ6d")
+_META_FOOTER = struct.Struct("<4sI")
+META_FOOTER_MAGIC = b"MCRC"
 
 
 @dataclass
@@ -158,7 +169,17 @@ class SpatialMetadata:
             for name in self.attr_names:
                 amin, amax = rec.attr_ranges[name]
                 parts.append(struct.pack("<2d", amin, amax))
-        return b"".join(parts)
+        body = b"".join(parts)
+        return body + _META_FOOTER.pack(META_FOOTER_MAGIC, zlib.crc32(body))
+
+    def checksum(self) -> int:
+        """CRC32 of the full serialised table (footer included).
+
+        Recorded in the manifest so the scrubber can detect a
+        ``spatial.meta`` that was swapped wholesale for a different (but
+        internally consistent) table.
+        """
+        return zlib.crc32(self.to_bytes())
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "SpatialMetadata":
@@ -167,8 +188,23 @@ class SpatialMetadata:
         magic, version, num_records, num_attrs, _ = _HEADER.unpack_from(raw)
         if magic != META_MAGIC:
             raise MetadataError(f"bad metadata magic {magic!r}")
-        if version != META_VERSION:
+        if version not in SUPPORTED_META_VERSIONS:
             raise MetadataError(f"unsupported metadata version {version}")
+        if version >= 3:
+            if len(raw) < _HEADER.size + _META_FOOTER.size:
+                raise MetadataError(f"metadata truncated: {len(raw)} bytes")
+            fmagic, stored = _META_FOOTER.unpack(raw[-_META_FOOTER.size :])
+            if fmagic != META_FOOTER_MAGIC:
+                raise MetadataChecksumError(
+                    f"bad metadata footer magic {fmagic!r}"
+                )
+            actual = zlib.crc32(raw[: -_META_FOOTER.size])
+            if actual != stored:
+                raise MetadataChecksumError(
+                    f"metadata table CRC32 mismatch — stored {stored:#010x}, "
+                    f"computed {actual:#010x}"
+                )
+            raw = raw[: -_META_FOOTER.size]
         pos = _HEADER.size
         names: list[str] = []
         for _ in range(num_attrs):

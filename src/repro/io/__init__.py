@@ -10,10 +10,33 @@ Two interchangeable backends implement the same small interface
   operation (creates, opens, writes, reads with offsets).  The recorded op
   stream is what the performance models replay against a machine's storage
   model, and what tests assert on ("the reader opened exactly one file").
+
+Fault tolerance lives alongside the backends:
+
+* :class:`FaultInjectingBackend` wraps any backend with a deterministic,
+  seedable :class:`FaultPlan` (transient faults, torn writes, bit-flips,
+  crash-after-K-writes) — the failure-matrix test harness;
+* :class:`RetryPolicy` retries transient failures with deterministic
+  exponential backoff; the writer and reader apply it on their hot paths.
 """
 
 from repro.io.backend import FileBackend, IoOp
+from repro.io.faults import FaultInjectingBackend, FaultPlan, FaultSpec, InjectedCrashError
 from repro.io.posix import PosixBackend
+from repro.io.prefix import PrefixBackend
+from repro.io.retry import RetryPolicy, RetryStats
 from repro.io.virtual import VirtualBackend
 
-__all__ = ["FileBackend", "IoOp", "PosixBackend", "VirtualBackend"]
+__all__ = [
+    "FileBackend",
+    "IoOp",
+    "PosixBackend",
+    "PrefixBackend",
+    "VirtualBackend",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "RetryPolicy",
+    "RetryStats",
+]

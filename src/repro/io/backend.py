@@ -58,7 +58,9 @@ class FileBackend(ABC):
         """Names (not paths) of entries directly under directory ``path``."""
 
     @abstractmethod
-    def delete(self, path: str) -> None: ...
+    def delete(self, path: str, missing_ok: bool = False) -> None:
+        """Remove ``path``.  With ``missing_ok`` a missing file is a no-op,
+        which makes cleanup-after-partial-write idempotent."""
 
     # -- shared helpers ----------------------------------------------------
 

@@ -2,23 +2,41 @@
 
 from __future__ import annotations
 
+import itertools
 import os
 from pathlib import Path
 
 from repro.errors import BackendError
 from repro.io.backend import FileBackend
 
+#: Process-wide counter so concurrent writers of the same path (simulated
+#: aggregator ranks are threads) never share a temp file.
+_TMP_IDS = itertools.count()
+
 
 class PosixBackend(FileBackend):
     """Stores backend paths as real files under ``root``.
 
-    ``root`` is created on construction if missing.  All library paths are
-    relative; escaping the root (via ``..``) is rejected by the base class.
+    ``root`` is created on construction if missing (pass ``create=False``
+    for read-only uses that must not leave directories behind).  All
+    library paths are relative; escaping the root (via ``..``) is rejected
+    by the base class.
+
+    Writes are atomic: data lands in a temp file in the target directory,
+    is fsynced, and is renamed into place with ``os.replace``.  A reader (or
+    a crash) can therefore never observe a torn file — only the old content
+    or the new content.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, create: bool = True):
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        if create:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise BackendError(f"cannot create root {self.root}: {exc}") from exc
+        elif self.root.exists() and not self.root.is_dir():
+            raise BackendError(f"backend root {self.root} is not a directory")
 
     def _full(self, path: str) -> Path:
         return self.root / self._normalize(path)
@@ -26,9 +44,18 @@ class PosixBackend(FileBackend):
     def write_file(self, path: str, data: bytes, actor: int = -1) -> None:
         full = self._full(path)
         full.parent.mkdir(parents=True, exist_ok=True)
+        tmp = full.with_name(f".{full.name}.tmp-{os.getpid()}-{next(_TMP_IDS)}")
         try:
-            full.write_bytes(data)
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, full)
         except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
             raise BackendError(f"writing {full}: {exc}") from exc
 
     def read_file(self, path: str, actor: int = -1) -> bytes:
@@ -71,9 +98,9 @@ class PosixBackend(FileBackend):
         except OSError as exc:
             raise BackendError(f"listing {full}: {exc}") from exc
 
-    def delete(self, path: str) -> None:
+    def delete(self, path: str, missing_ok: bool = False) -> None:
         try:
-            self._full(path).unlink()
+            self._full(path).unlink(missing_ok=missing_ok)
         except OSError as exc:
             raise BackendError(f"deleting {path!r}: {exc}") from exc
 

@@ -41,8 +41,8 @@ class PrefixBackend(FileBackend):
     def listdir(self, path: str) -> list[str]:
         return self.base.listdir(self._full(path))
 
-    def delete(self, path: str) -> None:
-        self.base.delete(self._full(path))
+    def delete(self, path: str, missing_ok: bool = False) -> None:
+        self.base.delete(self._full(path), missing_ok=missing_ok)
 
     def __repr__(self) -> str:
         return f"PrefixBackend({self.base!r}, prefix={self.prefix!r})"

@@ -1,0 +1,124 @@
+"""Retry policy for storage operations.
+
+Parallel filesystems fail transiently all the time — a brief network-mount
+hiccup, an OST briefly over capacity, a metadata server failing over.  The
+policy here retries exactly :class:`~repro.errors.TransientBackendError`;
+anything else is treated as permanent and propagates on the first attempt.
+
+Two properties matter for a reproducible test suite:
+
+* **deterministic jitter** — backoff delays are fully determined by
+  ``(seed, attempt)``, so two runs of the same fault plan sleep the same
+  amounts and produce the same op streams;
+* **injectable sleep** — tests pass ``sleep=lambda s: None`` and assert on
+  the *requested* delays instead of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import TransientBackendError
+
+__all__ = ["RetryPolicy", "RetryStats"]
+
+
+@dataclass
+class RetryStats:
+    """Mutable counters a policy fills in across one logical operation set."""
+
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+    slept: float = 0.0
+
+    def merge(self, other: "RetryStats") -> None:
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.giveups += other.giveups
+        self.slept += other.slept
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``a`` (0-based, i.e. the delay before
+    retry ``a + 1``) is::
+
+        backoff_base * backoff_factor**a * (1 + jitter * u(seed, a))
+
+    where ``u`` is a deterministic value in ``[0, 1)`` derived from the seed
+    and attempt with a Weyl-style integer hash — no global RNG state.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.jitter < 0:
+            raise ValueError(
+                "backoff_base must be >= 0, backoff_factor >= 1, jitter >= 0"
+            )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (single attempt)."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def immediate(cls, max_attempts: int = 3, seed: int = 0) -> "RetryPolicy":
+        """Retries without sleeping — the test-suite default."""
+        return cls(
+            max_attempts=max_attempts,
+            backoff_base=0.0,
+            seed=seed,
+            sleep=lambda _s: None,
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after 0-based failed ``attempt``."""
+        base = self.backoff_base * self.backoff_factor**attempt
+        # Knuth multiplicative hash of (seed, attempt) -> [0, 1).
+        h = ((self.seed * 40503 + attempt + 1) * 2654435761) & 0xFFFFFFFF
+        return base * (1.0 + self.jitter * (h / 2**32))
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        stats: RetryStats | None = None,
+        on_retry: Callable[[int, TransientBackendError], None] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)``, retrying transient backend failures.
+
+        ``stats`` (if given) accumulates attempt/retry counters; ``on_retry``
+        is invoked with ``(attempt, error)`` before each backoff sleep.
+        Non-transient exceptions propagate immediately; a transient failure
+        on the final attempt propagates as-is and counts as a giveup.
+        """
+        stats = stats if stats is not None else RetryStats()
+        for attempt in range(self.max_attempts):
+            stats.attempts += 1
+            try:
+                return fn(*args, **kwargs)
+            except TransientBackendError as exc:
+                if attempt + 1 >= self.max_attempts:
+                    stats.giveups += 1
+                    raise
+                stats.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.delay(attempt)
+                stats.slept += pause
+                self.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover

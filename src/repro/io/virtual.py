@@ -93,10 +93,12 @@ class VirtualBackend(FileBackend):
             }
         return sorted(names)
 
-    def delete(self, path: str) -> None:
+    def delete(self, path: str, missing_ok: bool = False) -> None:
         path = self._normalize(path)
         with self._lock:
             if path not in self._files:
+                if missing_ok:
+                    return
                 raise BackendError(f"no such virtual file: {path!r}")
             del self._files[path]
 

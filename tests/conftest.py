@@ -32,16 +32,20 @@ def write_dataset(
     batch_fn=None,
     dtype=MINIMAL_DTYPE,
     seed: int = 7,
+    backend=None,
+    retry=None,
 ):
     """Run a full SPMD write; returns (backend, decomp, per-rank results).
 
     ``batch_fn(rank, patch)`` overrides the default uniform generator.
+    ``backend`` substitutes the target backend (e.g. a fault-injecting
+    wrapper); ``retry`` substitutes the writer's RetryPolicy.
     """
     domain = domain or Box([0, 0, 0], [1, 1, 1])
     decomp = PatchDecomposition.for_nprocs(domain, nprocs)
-    backend = VirtualBackend()
+    backend = backend if backend is not None else VirtualBackend()
     cfg = config or WriterConfig(partition_factor=partition_factor)
-    writer = SpatialWriter(cfg)
+    writer = SpatialWriter(cfg, retry=retry)
 
     def main(comm):
         patch = decomp.patch_of_rank(comm.rank)

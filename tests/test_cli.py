@@ -99,6 +99,58 @@ class TestEstimate:
         assert main(["estimate", "--machine", "Summit"]) == 2
 
 
+class TestScrub:
+    def test_clean_dataset(self, dataset_dir, capsys):
+        assert main(["scrub", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset is clean" in out
+        assert "complete        : yes" in out
+
+    def test_corrupt_dataset(self, dataset_dir, capsys):
+        victim = next((dataset_dir / "data").glob("*.pbin"))
+        victim.write_bytes(victim.read_bytes()[:-20])
+        assert main(["scrub", str(dataset_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "issues" in out
+        assert "dataset is clean" not in out
+
+    def test_missing_manifest(self, dataset_dir, capsys):
+        (dataset_dir / "manifest.json").unlink()
+        assert main(["scrub", str(dataset_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "manifest-missing" in out
+        assert "complete        : no" in out
+
+
+class TestErrors:
+    def test_repro_error_exits_2(self, tmp_path, capsys):
+        """Library errors become a one-line stderr message, not a traceback."""
+        rc = main(["info", str(tmp_path / "no-such-dataset")])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_scrub_on_file_path_exits_2(self, dataset_dir, capsys):
+        """Pointing scrub at a file (not a dataset dir) is a one-line error."""
+        rc = main(["scrub", str(dataset_dir / "spatial.meta")])
+        assert rc == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_readonly_commands_do_not_create_directories(self, tmp_path, capsys):
+        target = tmp_path / "never-written"
+        assert main(["info", str(target)]) == 2
+        capsys.readouterr()
+        assert main(["scrub", str(target)]) == 1  # reports missing pieces
+        assert not target.exists()
+
+    def test_scrub_on_garbage_manifest_still_reports(self, dataset_dir, capsys):
+        """scrub itself never raises on damage — it reports and exits 1."""
+        (dataset_dir / "manifest.json").write_bytes(b"{not json")
+        assert main(["scrub", str(dataset_dir)]) == 1
+        assert "manifest-corrupt" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

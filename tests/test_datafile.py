@@ -6,6 +6,7 @@ import pytest
 from repro.domain import Box
 from repro.errors import DataFileError
 from repro.format.datafile import (
+    FOOTER_BYTES,
     HEADER_BYTES,
     data_file_name,
     peek_particle_count,
@@ -42,7 +43,7 @@ class TestNaming:
 class TestRoundTrip:
     def test_write_read(self, backend, batch):
         nbytes = write_data_file(backend, "data/f.pbin", batch)
-        assert nbytes == HEADER_BYTES + batch.nbytes
+        assert nbytes == HEADER_BYTES + batch.nbytes + FOOTER_BYTES
         again = read_data_file(backend, "data/f.pbin", MINIMAL_DTYPE)
         assert again == batch
 

@@ -1,25 +1,41 @@
-"""Failure injection: corrupted datasets, lying peers, broken backends."""
+"""Failure injection: corrupted datasets, lying peers, broken backends.
+
+The fault-plan seed is taken from ``REPRO_FAULT_SEED`` (default 0) so CI can
+sweep several deterministic schedules without editing the tests.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.core import SpatialReader
+from repro.core import SpatialReader, dataset_is_complete, scrub_dataset
 from repro.domain import Box
 from repro.errors import (
     BackendError,
+    DataChecksumError,
     DataFileError,
     FormatError,
     MetadataError,
     RankFailedError,
 )
-from repro.io import VirtualBackend
+from repro.io import FaultInjectingBackend, FaultPlan, RetryPolicy, VirtualBackend
 
 from tests.conftest import write_dataset
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
 
 @pytest.fixture
 def dataset():
     backend, _, _ = write_dataset(nprocs=8, partition_factor=(2, 2, 2))
+    return backend
+
+
+@pytest.fixture
+def dataset8():
+    """Eight data files (one per rank), for partial-damage scenarios."""
+    backend, _, _ = write_dataset(nprocs=8, partition_factor=(1, 1, 1))
     return backend
 
 
@@ -133,6 +149,244 @@ class TestFailingBackend:
         reader = SpatialReader(exploding)
         with pytest.raises(BackendError, match="injected"):
             reader.read_full()
+
+
+class TestScrubDetection:
+    """`scrub_dataset` must catch every corruption class of the acceptance
+    criteria: truncation, garbage, deletion, count mismatch, bit flip."""
+
+    def test_clean_dataset_scrubs_clean(self, dataset8):
+        report = scrub_dataset(dataset8)
+        assert report.ok
+        assert report.complete
+        assert report.files_checked == 8
+        assert report.bytes_verified > 0
+
+    def test_detects_truncation(self, dataset):
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        dataset.write_file(victim, dataset.read_file(victim)[:-40])
+        report = scrub_dataset(dataset)
+        assert not report.ok
+        assert "data-truncated" in report.codes
+
+    def test_detects_garbage(self, dataset):
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        dataset.write_file(victim, b"\xde\xad\xbe\xef" * 32)
+        assert "data-header" in scrub_dataset(dataset).codes
+
+    def test_detects_deletion(self, dataset):
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        dataset.delete(victim)
+        report = scrub_dataset(dataset)
+        assert "data-missing" in report.codes
+        assert not report.complete
+
+    def test_detects_count_mismatch(self, dataset):
+        import struct
+
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        raw = bytearray(dataset.read_file(victim))
+        struct.pack_into("<Q", raw, 16, 5)
+        dataset.write_file(victim, bytes(raw))
+        assert "count-mismatch" in scrub_dataset(dataset).codes
+
+    def test_detects_payload_bit_flip(self, dataset):
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        raw = bytearray(dataset.read_file(victim))
+        raw[100] ^= 0x04  # one bit, somewhere in the records
+        dataset.write_file(victim, bytes(raw))
+        report = scrub_dataset(dataset)
+        assert "data-checksum" in report.codes
+        assert not any(i.repairable for i in report.issues)
+
+    def test_detects_metadata_bit_flip(self, dataset):
+        raw = bytearray(dataset.read_file("spatial.meta"))
+        raw[40] ^= 0x10
+        dataset.write_file("spatial.meta", bytes(raw))
+        assert "metadata-checksum" in scrub_dataset(dataset).codes
+
+    def test_detects_orphan_file(self, dataset):
+        dataset.write_file("data/file_99.pbin", b"leftover")
+        report = scrub_dataset(dataset)
+        assert "data-orphan" in report.codes
+        assert all(i.repairable for i in report.issues)
+
+    def test_detects_manifest_metadata_disagreement(self, dataset):
+        """The manifest pins spatial.meta by CRC — a table swapped in from
+        elsewhere (internally valid, wrong dataset) is caught."""
+        import json
+
+        doc = json.loads(dataset.read_file("manifest.json"))
+        doc["spatial_meta_crc32"] = (doc["spatial_meta_crc32"] + 1) % 2**32
+        dataset.write_file("manifest.json", json.dumps(doc).encode())
+        assert "metadata-crc-mismatch" in scrub_dataset(dataset).codes
+
+
+class TestDegradedReads:
+    def _corrupt_one(self, dataset):
+        reader = SpatialReader(dataset)
+        victim = reader.metadata.records[0]
+        raw = bytearray(dataset.read_file(victim.file_path))
+        raw[-12] ^= 0x01  # payload byte (footer is the last 8)
+        dataset.write_file(victim.file_path, bytes(raw))
+        return victim
+
+    def test_strict_read_raises(self, dataset8):
+        self._corrupt_one(dataset8)
+        with pytest.raises(DataChecksumError):
+            SpatialReader(dataset8).read_full()
+
+    def test_degraded_read_skips_and_reports(self, dataset8):
+        victim = self._corrupt_one(dataset8)
+        reader = SpatialReader(dataset8, strict=False)
+        clean_total = reader.total_particles
+        batch = reader.read_full()
+        report = reader.last_report
+        assert not report.complete
+        assert report.partitions_skipped == 1
+        assert report.skipped[0].path == victim.file_path
+        assert report.skipped[0].reason == "checksum"
+        assert report.partitions_read == 7
+        assert len(batch) == report.particles_read
+        assert len(batch) == clean_total - victim.particle_count
+
+    def test_degraded_read_of_missing_file(self, dataset8):
+        reader = SpatialReader(dataset8, strict=False)
+        victim = reader.metadata.records[3]
+        dataset8.delete(victim.file_path)
+        batch = reader.read_full()
+        assert reader.last_report.skipped[0].reason == "missing"
+        assert reader.last_report.skipped_boxes() == [victim.box_id]
+        assert len(batch) == reader.total_particles - victim.particle_count
+
+    def test_degraded_clean_read_is_complete(self, dataset8):
+        reader = SpatialReader(dataset8, strict=False)
+        batch = reader.read_full()
+        assert reader.last_report.complete
+        assert reader.last_report.partitions_read == 8
+        assert len(batch) == reader.total_particles
+
+
+class TestTransientFaultHealing:
+    """Faults that heal within the retry budget must be invisible: results
+    byte-identical to a fault-free run."""
+
+    def test_write_through_transient_faults_is_byte_identical(self):
+        clean, _, _ = write_dataset(nprocs=8, partition_factor=(2, 2, 2))
+        inner = VirtualBackend()
+        faulty = FaultInjectingBackend(
+            inner, FaultPlan.transient_writes(heal_after=2, seed=FAULT_SEED)
+        )
+        _, _, results = write_dataset(
+            nprocs=8,
+            partition_factor=(2, 2, 2),
+            backend=faulty,
+            retry=RetryPolicy.immediate(max_attempts=5, seed=FAULT_SEED),
+        )
+        assert faulty.fault_counts["transient"] > 0
+        assert sum(r.retries for r in results) == faulty.fault_counts["transient"]
+        names = ["manifest.json", "spatial.meta"] + [
+            f"data/{n}" for n in sorted(clean.listdir("data"))
+        ]
+        assert sorted(clean.listdir("data")) == sorted(inner.listdir("data"))
+        for name in names:
+            assert inner.read_file(name) == clean.read_file(name), name
+        assert scrub_dataset(inner).ok
+
+    def test_read_through_transient_faults_is_byte_identical(self, dataset):
+        expected = SpatialReader(dataset).read_full()
+        faulty = FaultInjectingBackend(
+            dataset,
+            FaultPlan.transient_reads(
+                heal_after=2, path_glob="data/*", seed=FAULT_SEED
+            ),
+        )
+        reader = SpatialReader(
+            faulty, retry=RetryPolicy.immediate(max_attempts=5, seed=FAULT_SEED)
+        )
+        batch = reader.read_full()
+        assert faulty.fault_counts["transient"] > 0
+        assert reader.last_report.retries == faulty.fault_counts["transient"]
+        assert batch.tobytes() == expected.tobytes()
+
+    def test_retry_budget_too_small_gives_up(self, dataset):
+        faulty = FaultInjectingBackend(
+            dataset,
+            FaultPlan.transient_reads(
+                heal_after=5, path_glob="data/*", seed=FAULT_SEED
+            ),
+        )
+        reader = SpatialReader(
+            faulty, retry=RetryPolicy.immediate(max_attempts=2, seed=FAULT_SEED)
+        )
+        from repro.errors import TransientBackendError
+
+        with pytest.raises(TransientBackendError):
+            reader.read_full()
+
+    def test_exhausted_retries_degrade_gracefully(self, dataset):
+        """strict=False: unhealed transients skip the partition instead."""
+        faulty = FaultInjectingBackend(
+            dataset,
+            FaultPlan.transient_reads(
+                heal_after=50, path_glob="data/file_0.pbin", seed=FAULT_SEED
+            ),
+        )
+        reader = SpatialReader(
+            faulty,
+            strict=False,
+            retry=RetryPolicy.immediate(max_attempts=3, seed=FAULT_SEED),
+        )
+        batch = reader.read_full()
+        assert reader.last_report.partitions_skipped == 1
+        assert reader.last_report.skipped[0].reason == "transient-exhausted"
+        assert len(batch) == reader.last_report.particles_read
+
+
+class TestCrashRecoveryMatrix:
+    """Crash after K backend writes, for every K in the write schedule.
+
+    nprocs=8 with partition_factor (1, 1, 1) produces exactly 10 backend
+    writes: 8 data files, spatial.meta, manifest.json.  Whatever K, the
+    interrupted dataset must read as incomplete, and rerunning the write
+    over the same storage must converge to a scrub-clean dataset.
+    """
+
+    TOTAL_WRITES = 10
+
+    def _run(self, backend, retry=None):
+        return write_dataset(
+            nprocs=8, partition_factor=(1, 1, 1), backend=backend, retry=retry
+        )
+
+    @pytest.mark.parametrize("k", range(TOTAL_WRITES))
+    def test_crash_after_k_writes(self, k):
+        inner = VirtualBackend()
+        faulty = FaultInjectingBackend(
+            inner, FaultPlan.crash_after(k, seed=FAULT_SEED)
+        )
+        with pytest.raises(RankFailedError):
+            self._run(faulty)
+        assert faulty.fault_counts["crash"] >= 1
+
+        # The torn dataset is always detectable as incomplete...
+        assert not dataset_is_complete(inner)
+        with pytest.raises(FormatError):
+            SpatialReader(inner)
+
+        # ...and rerunning the write over the same storage converges.
+        self._run(inner)
+        assert dataset_is_complete(inner)
+        report = scrub_dataset(inner)
+        assert report.ok, [i.code for i in report.issues]
+        assert len(SpatialReader(inner).read_full()) == 8 * 500
+
+    def test_fault_free_run_makes_exactly_total_writes(self):
+        inner = VirtualBackend()
+        faulty = FaultInjectingBackend(inner, FaultPlan())
+        self._run(faulty)
+        assert faulty.writes_completed == self.TOTAL_WRITES
+        assert faulty.faults_injected == 0
 
 
 class TestWriterFailures:

@@ -1,0 +1,260 @@
+"""Units for the fault-tolerance layer: RetryPolicy, FaultInjectingBackend,
+and the POSIX backend's atomic-write / delete semantics."""
+
+import os
+
+import pytest
+
+from repro.errors import BackendError, TransientBackendError
+from repro.io import (
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    PosixBackend,
+    RetryPolicy,
+    RetryStats,
+    VirtualBackend,
+)
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+class TestRetryPolicy:
+    def test_no_fault_single_attempt(self):
+        stats = RetryStats()
+        policy = RetryPolicy.immediate(max_attempts=3)
+        assert policy.call(lambda: 42, stats=stats) == 42
+        assert stats.attempts == 1
+        assert stats.retries == 0
+
+    def test_transient_fault_retried(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientBackendError("flaky")
+            return "ok"
+
+        stats = RetryStats()
+        assert RetryPolicy.immediate(max_attempts=5).call(flaky, stats=stats) == "ok"
+        assert len(calls) == 3
+        assert stats.retries == 2
+        assert stats.giveups == 0
+
+    def test_gives_up_after_max_attempts(self):
+        calls = []
+
+        def hopeless():
+            calls.append(1)
+            raise TransientBackendError("never heals")
+
+        stats = RetryStats()
+        with pytest.raises(TransientBackendError):
+            RetryPolicy.immediate(max_attempts=3).call(hopeless, stats=stats)
+        assert len(calls) == 3
+        assert stats.giveups == 1
+
+    def test_permanent_fault_not_retried(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise BackendError("permanent")
+
+        with pytest.raises(BackendError):
+            RetryPolicy.immediate(max_attempts=5).call(broken)
+        assert len(calls) == 1
+
+    def test_backoff_deterministic_and_growing(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.01, seed=7)
+        delays = [policy.delay(a) for a in range(4)]
+        assert delays == [policy.delay(a) for a in range(4)]  # deterministic
+        assert all(d > 0 for d in delays)
+        # Exponential growth dominates the bounded jitter.
+        assert delays[3] > delays[0]
+
+    def test_different_seeds_different_jitter(self):
+        a = RetryPolicy(max_attempts=5, seed=1).delay(0)
+        b = RetryPolicy(max_attempts=5, seed=2).delay(0)
+        assert a != b
+
+    def test_sleep_injectable(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.5, sleep=slept.append
+        )
+
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientBackendError("once")
+            return 1
+
+        stats = RetryStats()
+        policy.call(flaky, stats=stats)
+        assert len(slept) == 1
+        assert slept[0] == pytest.approx(stats.slept)
+
+    def test_none_policy_never_retries(self):
+        def flaky():
+            raise TransientBackendError("x")
+
+        with pytest.raises(TransientBackendError):
+            RetryPolicy.none().call(flaky)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode")
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError, match="op must be"):
+            FaultSpec("transient", op="maybe")
+
+    def test_glob_matching(self):
+        spec = FaultSpec("transient", op="read", path_glob="data/*.pbin")
+        assert spec.matches("read", "data/file_0.pbin")
+        assert not spec.matches("read", "manifest.json")
+        assert not spec.matches("write", "data/file_0.pbin")
+
+
+class TestFaultInjectingBackend:
+    def _faulty(self, plan):
+        inner = VirtualBackend()
+        return inner, FaultInjectingBackend(inner, plan)
+
+    def test_transparent_without_faults(self):
+        inner, faulty = self._faulty(FaultPlan())
+        faulty.write_file("a.bin", b"hello")
+        assert faulty.read_file("a.bin") == b"hello"
+        assert inner.read_file("a.bin") == b"hello"
+        assert faulty.faults_injected == 0
+
+    def test_transient_read_heals(self):
+        inner, faulty = self._faulty(
+            FaultPlan.transient_reads(heal_after=2, seed=FAULT_SEED)
+        )
+        faulty.write_file("a.bin", b"data")
+        for _ in range(2):
+            with pytest.raises(TransientBackendError):
+                faulty.read_file("a.bin")
+        assert faulty.read_file("a.bin") == b"data"
+        assert faulty.fault_counts["transient"] == 2
+
+    def test_transient_is_per_path(self):
+        _, faulty = self._faulty(
+            FaultPlan.transient_reads(heal_after=1, seed=FAULT_SEED)
+        )
+        faulty.write_file("a.bin", b"a")
+        faulty.write_file("b.bin", b"b")
+        with pytest.raises(TransientBackendError):
+            faulty.read_file("a.bin")
+        with pytest.raises(TransientBackendError):
+            faulty.read_file("b.bin")
+        assert faulty.read_file("a.bin") == b"a"
+        assert faulty.read_file("b.bin") == b"b"
+
+    def test_permanent_fault_never_heals(self):
+        _, faulty = self._faulty(
+            FaultPlan((FaultSpec("permanent", op="read", path_glob="a.*"),))
+        )
+        faulty.write_file("a.bin", b"x")
+        for _ in range(4):
+            with pytest.raises(BackendError):
+                faulty.read_file("a.bin")
+
+    def test_bit_flip_changes_exactly_one_bit(self):
+        payload = bytes(range(256))
+        _, faulty = self._faulty(
+            FaultPlan(
+                (FaultSpec("bit_flip", op="read", max_triggers=1),),
+                seed=FAULT_SEED,
+            )
+        )
+        faulty.write_file("a.bin", payload)
+        flipped = faulty.read_file("a.bin")
+        diff = [
+            (i, a ^ b) for i, (a, b) in enumerate(zip(payload, flipped)) if a != b
+        ]
+        assert len(diff) == 1
+        assert bin(diff[0][1]).count("1") == 1
+        # max_triggers=1: the next read is clean.
+        assert faulty.read_file("a.bin") == payload
+
+    def test_torn_write_stores_prefix(self):
+        inner, faulty = self._faulty(
+            FaultPlan(
+                (FaultSpec("torn_write", path_glob="a.*", max_triggers=1),),
+                seed=FAULT_SEED,
+            )
+        )
+        faulty.write_file("a.bin", b"0123456789")
+        stored = inner.read_file("a.bin")
+        assert b"0123456789".startswith(stored)
+        assert len(stored) < 10
+
+    def test_crash_kills_all_subsequent_operations(self):
+        inner, faulty = self._faulty(FaultPlan.crash_after(2, seed=FAULT_SEED))
+        faulty.write_file("a.bin", b"a")
+        faulty.write_file("b.bin", b"b")
+        with pytest.raises(InjectedCrashError):
+            faulty.write_file("c.bin", b"cccc")
+        # The dead backend refuses everything, even cleanup.
+        with pytest.raises(InjectedCrashError):
+            faulty.read_file("a.bin")
+        with pytest.raises(InjectedCrashError):
+            faulty.exists("a.bin")
+        with pytest.raises(InjectedCrashError):
+            faulty.delete("a.bin", missing_ok=True)
+        # The survivors are intact in the underlying storage.
+        assert inner.read_file("a.bin") == b"a"
+        assert inner.read_file("b.bin") == b"b"
+
+    def test_fault_ops_recorded(self):
+        _, faulty = self._faulty(
+            FaultPlan.transient_reads(heal_after=1, seed=FAULT_SEED)
+        )
+        faulty.write_file("a.bin", b"x")
+        with pytest.raises(TransientBackendError):
+            faulty.read_file("a.bin")
+        assert [op.kind for op in faulty.ops] == ["fault"]
+        assert faulty.ops[0].path == "a.bin"
+
+
+class TestPosixAtomicity:
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        backend = PosixBackend(tmp_path)
+        backend.write_file("data/f.bin", b"payload")
+        names = {p.name for p in (tmp_path / "data").iterdir()}
+        assert names == {"f.bin"}
+
+    def test_overwrite_is_replace(self, tmp_path):
+        backend = PosixBackend(tmp_path)
+        backend.write_file("f.bin", b"old contents")
+        backend.write_file("f.bin", b"new")
+        assert backend.read_file("f.bin") == b"new"
+
+    def test_delete_missing_raises_by_default(self, tmp_path):
+        backend = PosixBackend(tmp_path)
+        with pytest.raises(BackendError):
+            backend.delete("nope.bin")
+
+    def test_delete_missing_ok(self, tmp_path):
+        backend = PosixBackend(tmp_path)
+        backend.delete("nope.bin", missing_ok=True)  # no error
+        backend.write_file("f.bin", b"x")
+        backend.delete("f.bin", missing_ok=True)
+        assert not backend.exists("f.bin")
+
+
+class TestVirtualDelete:
+    def test_delete_missing_ok(self):
+        backend = VirtualBackend()
+        with pytest.raises(BackendError):
+            backend.delete("nope.bin")
+        backend.delete("nope.bin", missing_ok=True)

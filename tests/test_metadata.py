@@ -143,14 +143,33 @@ class TestSerialization:
             SpatialMetadata.from_bytes(b"SPIO")
 
     def test_truncated_records(self):
+        # v3 tables catch truncation via the footer checksum before the
+        # structural record walk ever runs.
         blob = SpatialMetadata(quad_records()).to_bytes()
-        with pytest.raises(MetadataError, match="truncated at record"):
+        with pytest.raises(MetadataError, match="footer|CRC32"):
             SpatialMetadata.from_bytes(blob[:-10])
+
+    def test_truncated_records_legacy_v2(self):
+        # A version-2 table (no footer) still relies on the structural check.
+        import struct
+
+        blob = bytearray(SpatialMetadata(quad_records()).to_bytes()[:-8])
+        struct.pack_into("<I", blob, 8, 2)  # rewrite version field to 2
+        with pytest.raises(MetadataError, match="truncated at record"):
+            SpatialMetadata.from_bytes(bytes(blob[:-10]))
 
     def test_trailing_garbage(self):
         blob = SpatialMetadata(quad_records()).to_bytes()
-        with pytest.raises(MetadataError, match="trailing"):
+        with pytest.raises(MetadataError, match="footer|CRC32|trailing"):
             SpatialMetadata.from_bytes(blob + b"xx")
+
+    def test_bit_flip_caught_by_table_checksum(self):
+        from repro.errors import MetadataChecksumError
+
+        blob = bytearray(SpatialMetadata(quad_records()).to_bytes())
+        blob[40] ^= 0x10  # flip a bit inside the first record
+        with pytest.raises(MetadataChecksumError):
+            SpatialMetadata.from_bytes(bytes(blob))
 
     def test_truncated_attr_names(self):
         blob = SpatialMetadata(

@@ -55,9 +55,11 @@ class TestFieldFidelity:
         assert reader.dtype["type"] == np.dtype("<f4")
 
     def test_bytes_on_disk_match_expectation(self, uintah_cycle):
+        from repro.format.datafile import FOOTER_BYTES, HEADER_BYTES
+
         originals, reader = uintah_cycle
         payload = sum(
-            reader.backend.size(rec.file_path) - 24  # header bytes
+            reader.backend.size(rec.file_path) - HEADER_BYTES - FOOTER_BYTES
             for rec in reader.metadata
         )
         assert payload == len(originals) * 124
