@@ -6,10 +6,16 @@ persists them under ``benchmarks/out/`` (so the artifact survives pytest's
 output capture), and asserts the qualitative shape.  The ``benchmark``
 fixture times a representative kernel of that experiment so
 ``pytest benchmarks/ --benchmark-only`` exercises every figure.
+
+Machine-readable results: the ``bench_json`` fixture writes a
+``BENCH_<name>.json`` next to the text tables — phase timings, traffic
+counts and any other series a downstream plotting/regression script wants,
+sourced from the unified obs recorders rather than ad-hoc bookkeeping.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -32,3 +38,21 @@ def report():
         (OUT_DIR / f"{name}.txt").write_text(f"## {name}\n{text}\n")
 
     return _report
+
+
+@pytest.fixture
+def bench_json():
+    """Persist machine-readable results as benchmarks/out/BENCH_<name>.json.
+
+    ``payload`` must be JSON-serialisable (plain dicts/lists/numbers); the
+    file is rewritten wholesale each run, sorted and indented so diffs
+    between runs are reviewable.
+    """
+
+    def _write(name: str, payload) -> Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write

@@ -19,19 +19,31 @@ from repro.format.datafile import data_file_name, write_data_file
 from repro.format.manifest import Manifest
 from repro.io.backend import FileBackend
 from repro.mpi.comm import SimComm
+from repro.obs.names import PHASE_FILE_IO, PHASE_METADATA
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 from repro.utils.timing import TimeBreakdown
 
 
 @dataclass
 class BaselineWriteResult:
-    """Per-rank outcome shared by all baseline writers."""
+    """Per-rank outcome shared by all baseline writers.
+
+    Phase times live in the obs :attr:`recorder` (same registry names as
+    the spatial writer); :attr:`breakdown` is a derived view over it.
+    """
 
     rank: int
     num_files: int
     files_written: list[str] = field(default_factory=list)
     bytes_written: int = 0
-    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: the rank's instrumentation record for this write.
+    recorder: Recorder = field(default_factory=Recorder)
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """Phase view derived from the recorder's spans."""
+        return self.recorder.breakdown(cat="phase")
 
 
 class FilePerProcessWriter:
@@ -42,15 +54,19 @@ class FilePerProcessWriter:
         comm: SimComm,
         batch: ParticleBatch,
         backend: FileBackend,
+        recorder: Recorder | None = None,
     ) -> BaselineWriteResult:
-        result = BaselineWriteResult(rank=comm.rank, num_files=comm.size)
-        with result.breakdown.measure("file_io"):
+        rec = recorder if recorder is not None else Recorder(rank=comm.rank)
+        result = BaselineWriteResult(
+            rank=comm.rank, num_files=comm.size, recorder=rec
+        )
+        with rec.span(PHASE_FILE_IO):
             path = data_file_name(comm.rank)
             result.bytes_written = write_data_file(
                 backend, path, batch, actor=comm.rank
             )
             result.files_written.append(path)
-        with result.breakdown.measure("metadata"):
+        with rec.span(PHASE_METADATA):
             total = comm.allgather(len(batch))
             if comm.rank == 0:
                 Manifest(

@@ -17,6 +17,8 @@ from repro.format.datafile import write_data_file
 from repro.format.manifest import Manifest
 from repro.io.backend import FileBackend
 from repro.mpi.comm import SimComm
+from repro.obs.names import PHASE_AGGREGATION, PHASE_FILE_IO
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 
 SHARED_FILE_PATH = "data/shared.pbin"
@@ -30,11 +32,13 @@ class SharedFileWriter:
         comm: SimComm,
         batch: ParticleBatch,
         backend: FileBackend,
+        recorder: Recorder | None = None,
     ) -> BaselineWriteResult:
-        result = BaselineWriteResult(rank=comm.rank, num_files=1)
-        with result.breakdown.measure("aggregation"):
+        rec = recorder if recorder is not None else Recorder(rank=comm.rank)
+        result = BaselineWriteResult(rank=comm.rank, num_files=1, recorder=rec)
+        with rec.span(PHASE_AGGREGATION):
             gathered = comm.gather(batch.data, root=0)
-        with result.breakdown.measure("file_io"):
+        with rec.span(PHASE_FILE_IO):
             if comm.rank == 0:
                 assert gathered is not None
                 merged = ParticleBatch(

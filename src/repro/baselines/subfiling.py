@@ -23,6 +23,8 @@ from repro.format.datafile import data_file_name, write_data_file
 from repro.format.manifest import Manifest
 from repro.io.backend import FileBackend
 from repro.mpi.comm import SimComm
+from repro.obs.names import PHASE_AGGREGATION, PHASE_FILE_IO, PHASE_METADATA
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 
 
@@ -45,6 +47,7 @@ class RankOrderSubfilingWriter:
         comm: SimComm,
         batch: ParticleBatch,
         backend: FileBackend,
+        recorder: Recorder | None = None,
     ) -> BaselineWriteResult:
         nprocs = comm.size
         if self.num_files > nprocs:
@@ -52,11 +55,14 @@ class RankOrderSubfilingWriter:
                 f"{self.num_files} subfiles need as many aggregators, "
                 f"only {nprocs} ranks exist"
             )
-        result = BaselineWriteResult(rank=comm.rank, num_files=self.num_files)
+        rec = recorder if recorder is not None else Recorder(rank=comm.rank)
+        result = BaselineWriteResult(
+            rank=comm.rank, num_files=self.num_files, recorder=rec
+        )
         group = self._group_of(comm.rank, nprocs)
         agg = self._aggregator_of(group, nprocs)
 
-        with result.breakdown.measure("aggregation"):
+        with rec.span(PHASE_AGGREGATION):
             # Two-phase exchange, same metadata-then-data shape as ours.
             comm.isend(len(batch), agg, tag=0)
             if len(batch):
@@ -77,7 +83,7 @@ class RankOrderSubfilingWriter:
                     offset += n
                 aggregated = ParticleBatch(buffer)
 
-        with result.breakdown.measure("file_io"):
+        with rec.span(PHASE_FILE_IO):
             if aggregated is not None:
                 path = data_file_name(comm.rank)
                 result.bytes_written = write_data_file(
@@ -85,7 +91,7 @@ class RankOrderSubfilingWriter:
                 )
                 result.files_written.append(path)
 
-        with result.breakdown.measure("metadata"):
+        with rec.span(PHASE_METADATA):
             total = comm.allgather(len(batch))
             if comm.rank == 0:
                 Manifest(

@@ -1,6 +1,6 @@
 """Command-line utilities over spio datasets.
 
-Five subcommands, mirroring what a user pokes at day to day::
+Six subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli info <dataset-dir>
         Manifest, LOD parameters, per-file table.
@@ -16,6 +16,10 @@ Five subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli estimate --machine Theta --procs 262144 ...
         Performance-model estimate for a write at HPC scale.
+
+    python -m repro.cli trace <dataset-dir> [--out trace.json] ...
+        Run an instrumented read (or, on an empty directory, a synthetic
+        write) and export the merged recorder as a Chrome trace or JSONL.
 
 Library errors (:class:`~repro.errors.ReproError`) surface as a one-line
 message on stderr and exit code 2; tracebacks are reserved for actual bugs.
@@ -152,6 +156,85 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.format.manifest import MANIFEST_PATH
+    from repro.io.posix import PosixBackend
+    from repro.obs import (
+        Recorder,
+        summary_lines,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    backend = PosixBackend(args.dataset)
+    io_recorder = Recorder(rank=-1)
+    backend.attach_recorder(io_recorder)
+
+    if backend.exists(MANIFEST_PATH):
+        # Existing dataset: trace a full instrumented read.
+        from repro.core.reader import SpatialReader
+        from repro.domain.box import Box
+
+        reader = SpatialReader(backend, strict=False)
+        if args.box is not None:
+            box = Box(args.box[:3], args.box[3:])
+            plan = reader.plan_box_read(box, max_level=args.level)
+        else:
+            plan = reader.plan_full_read(max_level=args.level)
+        batch = reader.execute(plan)
+        merged = Recorder.merged([reader.recorder, io_recorder])
+        report = reader.last_report
+        print(f"traced read     : {len(batch)} particles from "
+              f"{plan.num_files} files")
+        if report is not None and not report.complete:
+            print(f"degraded        : {report.partitions_skipped} "
+                  f"partitions skipped")
+    else:
+        # Empty target: trace a synthetic collective write.
+        from repro.core import SpatialWriter, WriterConfig
+        from repro.domain.box import Box
+        from repro.domain.decomposition import PatchDecomposition
+        from repro.mpi import run_mpi
+        from repro.mpi.world import World
+        from repro.workloads import UintahWorkload
+
+        domain = Box([0, 0, 0], [1, 1, 1])
+        decomp = PatchDecomposition.for_nprocs(domain, args.ranks)
+        workload = UintahWorkload(
+            decomp, particles_per_core=args.particles, seed=args.seed
+        )
+        writer = SpatialWriter(WriterConfig(partition_factor=tuple(args.factor)))
+        world = World(args.ranks)
+        results = run_mpi(
+            args.ranks,
+            lambda comm: writer.write(
+                comm, workload.generate_rank(comm.rank), decomp, backend
+            ),
+            world=world,
+        )
+        merged = Recorder.merged(
+            [r.recorder for r in results] + [world.recorder, io_recorder]
+        )
+        files = sum(len(r.files_written) for r in results)
+        print(f"traced write    : {files} files from {args.ranks} "
+              f"simulated ranks")
+
+    out = args.out
+    if out is None:
+        suffix = "jsonl" if args.format == "jsonl" else "json"
+        out = os.path.join(args.dataset, f"trace.{suffix}")
+    if args.format == "jsonl":
+        write_jsonl(merged, out)
+    else:
+        write_chrome_trace(merged, out)
+    print(f"trace written   : {out} ({args.format})")
+    for line in summary_lines(merged):
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -193,6 +276,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="1x2x2",
                    help="PxQxR partition factor or ior-fpp/ior-shared/phdf5")
     p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented read (or synthetic write) and export a trace",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--out", default=None,
+                   help="output path (default <dataset>/trace.json[l])")
+    p.add_argument("--format", choices=["chrome", "jsonl"], default="chrome")
+    p.add_argument("--box", nargs=6, type=float, default=None,
+                   metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"),
+                   help="trace a box query instead of a full read")
+    p.add_argument("--level", type=int, default=None, help="max LOD level")
+    p.add_argument("--ranks", type=int, default=8,
+                   help="synthetic-write mode: simulated ranks")
+    p.add_argument("--particles", type=int, default=4096,
+                   help="synthetic-write mode: particles per rank")
+    p.add_argument("--factor", nargs=3, type=int, default=[2, 2, 2],
+                   help="synthetic-write mode: partition factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

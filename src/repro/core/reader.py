@@ -26,6 +26,13 @@ and :attr:`SpatialReader.last_report` (a :class:`ReadReport`) records
 exactly which partitions were read, which were skipped and why, and how
 many retries were spent.  Strict mode (the default) raises on the first
 unrecoverable error, as before.
+
+Instrumentation: every reader owns an obs
+:class:`~repro.obs.recorder.Recorder`.  Plan execution records a
+``file_io`` span plus per-partition events (read / skipped / prefix
+verified), and the retry policy deposits retry events into the same
+recorder — :class:`ReadReport` is *derived* from that event stream
+(:meth:`ReadReport.from_events`), not maintained as parallel state.
 """
 
 from __future__ import annotations
@@ -48,7 +55,16 @@ from repro.format.datafile import read_data_file, read_data_prefix
 from repro.format.manifest import Manifest
 from repro.format.metadata import MetadataRecord, SpatialMetadata
 from repro.io.backend import FileBackend
-from repro.io.retry import RetryPolicy, RetryStats
+from repro.io.retry import RetryPolicy
+from repro.obs.names import (
+    EV_PARTITION_READ,
+    EV_PARTITION_SKIPPED,
+    EV_PREFIX_VERIFIED,
+    EV_RETRY,
+    PHASE_FILE_IO,
+    PHASE_METADATA,
+)
+from repro.obs.recorder import Event, Recorder
 from repro.particles.batch import ParticleBatch, concatenate
 
 
@@ -87,7 +103,11 @@ class SkippedPartition:
 
 @dataclass
 class ReadReport:
-    """What one plan execution actually did — the degraded-read ledger."""
+    """What one plan execution actually did — the degraded-read ledger.
+
+    Built from the reader's recorder events (:meth:`from_events`), so the
+    report and an exported trace can never disagree.
+    """
 
     partitions_read: int = 0
     particles_read: int = 0
@@ -95,6 +115,29 @@ class ReadReport:
     retries: int = 0
     #: prefix reads verified against the manifest's per-LOD checksums.
     prefixes_verified: int = 0
+
+    @classmethod
+    def from_events(cls, events: list[Event]) -> "ReadReport":
+        """Derive the ledger from one execution window of recorder events."""
+        report = cls()
+        for ev in events:
+            if ev.name == EV_PARTITION_READ:
+                report.partitions_read += 1
+                report.particles_read += int(ev.args["particles"])  # type: ignore[call-overload]
+            elif ev.name == EV_PARTITION_SKIPPED:
+                report.skipped.append(
+                    SkippedPartition(
+                        path=str(ev.args["path"]),
+                        box_id=int(ev.args["box_id"]),  # type: ignore[call-overload]
+                        reason=str(ev.args["reason"]),
+                        error=str(ev.args["error"]),
+                    )
+                )
+            elif ev.name == EV_PREFIX_VERIFIED:
+                report.prefixes_verified += 1
+            elif ev.name == EV_RETRY:
+                report.retries += 1
+        return report
 
     @property
     def complete(self) -> bool:
@@ -141,15 +184,21 @@ class SpatialReader:
         actor: int = -1,
         strict: bool = True,
         retry: RetryPolicy | None = None,
+        recorder: Recorder | None = None,
     ):
         self.backend = backend
         self.actor = actor
         self.strict = strict
         self.retry = retry or RetryPolicy()
+        #: instrumentation record of everything this reader does.
+        self.recorder = recorder if recorder is not None else Recorder(
+            rank=max(actor, 0)
+        )
         #: report of the most recent plan execution (None before any read).
         self.last_report: ReadReport | None = None
-        self.manifest = Manifest.read(backend, actor=actor)
-        self.metadata = SpatialMetadata.read(backend, actor=actor)
+        with self.recorder.span(PHASE_METADATA, cat="read"):
+            self.manifest = Manifest.read(backend, actor=actor)
+            self.metadata = SpatialMetadata.read(backend, actor=actor)
 
     # -- basic facts -----------------------------------------------------------
 
@@ -229,39 +278,30 @@ class SpatialReader:
 
     # -- execution --------------------------------------------------------------
 
-    def _read_entry(
-        self, rec: MetadataRecord, count: int, report: ReadReport
-    ) -> ParticleBatch:
+    def _read_entry(self, rec: MetadataRecord, count: int) -> ParticleBatch:
         """Read one plan entry with retries and prefix verification."""
-        stats = RetryStats()
-        try:
-            if count == rec.particle_count:
-                batch = self.retry.call(
-                    read_data_file,
-                    self.backend,
-                    rec.file_path,
-                    self.dtype,
-                    self.actor,
-                    stats=stats,
-                )
-            else:
-                batch = self.retry.call(
-                    read_data_prefix,
-                    self.backend,
-                    rec.file_path,
-                    self.dtype,
-                    count,
-                    actor=self.actor,
-                    stats=stats,
-                )
-                self._verify_prefix(rec.file_path, batch, report)
-        finally:
-            report.retries += stats.retries
+        if count == rec.particle_count:
+            return self.retry.call(
+                read_data_file,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                self.actor,
+                recorder=self.recorder,
+            )
+        batch = self.retry.call(
+            read_data_prefix,
+            self.backend,
+            rec.file_path,
+            self.dtype,
+            count,
+            actor=self.actor,
+            recorder=self.recorder,
+        )
+        self._verify_prefix(rec.file_path, batch)
         return batch
 
-    def _verify_prefix(
-        self, path: str, batch: ParticleBatch, report: ReadReport
-    ) -> None:
+    def _verify_prefix(self, path: str, batch: ParticleBatch) -> None:
         """Check a prefix read against the manifest's per-LOD checksums.
 
         Ranged reads never see the v2 file footer, so this is the only
@@ -281,7 +321,7 @@ class SpatialReader:
                         f"CRC32 {actual:#010x}, manifest records "
                         f"{int(rec_crc):#010x}"
                     )
-                report.prefixes_verified += 1
+                self.recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(batch))
                 return
 
     def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
@@ -290,31 +330,37 @@ class SpatialReader:
         Strict readers raise on the first unrecoverable error; non-strict
         readers skip the partition and log it in :attr:`last_report`.
         """
-        report = ReadReport()
+        mark = self.recorder.event_mark()
         batches: list[ParticleBatch] = []
         try:
-            for rec, count in plan.entries:
-                if count == 0:
-                    continue
-                try:
-                    batch = self._read_entry(rec, count, report)
-                except (BackendError, FormatError) as exc:
-                    if self.strict:
-                        raise
-                    report.skipped.append(
-                        SkippedPartition(
+            with self.recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
+                for rec, count in plan.entries:
+                    if count == 0:
+                        continue
+                    try:
+                        batch = self._read_entry(rec, count)
+                    except (BackendError, FormatError) as exc:
+                        if self.strict:
+                            raise
+                        self.recorder.event(
+                            EV_PARTITION_SKIPPED,
                             path=rec.file_path,
                             box_id=rec.box_id,
                             reason=_skip_reason(exc),
                             error=str(exc),
                         )
+                        continue
+                    self.recorder.event(
+                        EV_PARTITION_READ,
+                        path=rec.file_path,
+                        box_id=rec.box_id,
+                        particles=len(batch),
                     )
-                    continue
-                report.partitions_read += 1
-                report.particles_read += len(batch)
-                batches.append(batch)
+                    batches.append(batch)
         finally:
-            self.last_report = report
+            self.last_report = ReadReport.from_events(
+                self.recorder.events_since(mark)
+            )
         if not batches:
             return ParticleBatch(np.empty(0, dtype=self.dtype))
         out = concatenate(batches)

@@ -29,28 +29,47 @@ from repro.core.exchange import exchange_particles
 from repro.core.lod import order_for_heuristic
 from repro.domain.decomposition import PatchDecomposition
 from repro.domain.grid import CellGrid
-from repro.errors import BackendError, ConfigError
+from repro.errors import BackendError, ConfigError, DataFileError
 from repro.format.datafile import compute_file_checksums, data_file_name, write_data_file
 from repro.format.manifest import MANIFEST_PATH, Manifest
 from repro.format.metadata import META_PATH, MetadataRecord, SpatialMetadata
 from repro.io.backend import FileBackend
-from repro.io.retry import RetryPolicy, RetryStats
+from repro.io.retry import RetryPolicy
 from repro.mpi.comm import SimComm
+from repro.obs.names import (
+    IO_RETRIES,
+    PHASE_AGGREGATION,
+    PHASE_FILE_IO,
+    PHASE_LOD,
+    PHASE_METADATA,
+    PHASE_SETUP,
+)
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 from repro.utils.timing import TimeBreakdown
 
-#: Phase names used in per-rank breakdowns (Fig. 6's two bars are
-#: ``aggregation`` and ``file_io``).
-PHASE_SETUP = "setup"
-PHASE_AGGREGATION = "aggregation"
-PHASE_LOD = "lod"
-PHASE_FILE_IO = "file_io"
-PHASE_METADATA = "metadata"
+#: Phase names (Fig. 6's two bars are ``aggregation`` and ``file_io``) are
+#: defined in the :mod:`repro.obs.names` registry; re-exported here for the
+#: historical import path.
+__all__ = [
+    "SpatialWriter",
+    "WriteResult",
+    "PHASE_SETUP",
+    "PHASE_AGGREGATION",
+    "PHASE_LOD",
+    "PHASE_FILE_IO",
+    "PHASE_METADATA",
+]
 
 
 @dataclass
 class WriteResult:
-    """Per-rank outcome of a collective write."""
+    """Per-rank outcome of a collective write.
+
+    Accounting (phase times, retries) is not stored here — it lives in the
+    rank's obs :attr:`recorder`; :attr:`breakdown` and :attr:`retries` are
+    derived views over it.
+    """
 
     rank: int
     num_files: int
@@ -59,13 +78,22 @@ class WriteResult:
     particles_sent: int = 0
     particles_received: int = 0
     aggregators_contacted: int = 0
-    #: backend writes that had to be retried (transient faults absorbed).
-    retries: int = 0
-    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: The rank's instrumentation record for this write (spans + counters).
+    recorder: Recorder = field(default_factory=Recorder)
 
     @property
     def is_aggregator(self) -> bool:
         return bool(self.files_written)
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """Fig. 6 phase view, derived from the recorder's spans."""
+        return self.recorder.breakdown(cat="phase")
+
+    @property
+    def retries(self) -> int:
+        """Backend writes that had to be retried (transient faults absorbed)."""
+        return int(self.recorder.total(IO_RETRIES))
 
 
 class SpatialWriter:
@@ -127,12 +155,13 @@ class SpatialWriter:
         batch: ParticleBatch,
         decomp: PatchDecomposition,
         backend: FileBackend,
+        recorder: Recorder | None = None,
     ) -> WriteResult:
         cfg = self.config
-        result = WriteResult(rank=comm.rank, num_files=0)
-        bd = result.breakdown
+        rec = recorder if recorder is not None else Recorder(rank=comm.rank)
+        result = WriteResult(rank=comm.rank, num_files=0, recorder=rec)
 
-        with bd.measure(PHASE_SETUP):
+        with rec.span(PHASE_SETUP):
             grid = self.build_grid(comm, decomp, len(batch))
             result.num_files = grid.num_files
 
@@ -145,7 +174,7 @@ class SpatialWriter:
         comm.barrier()
 
         # Steps 3-5: metadata exchange, buffer allocation, particle exchange.
-        with bd.measure(PHASE_AGGREGATION):
+        with rec.span(PHASE_AGGREGATION):
             exchange = exchange_particles(comm, grid, batch)
         result.particles_sent = exchange.particles_sent
         result.particles_received = exchange.particles_received
@@ -153,7 +182,7 @@ class SpatialWriter:
 
         # Step 6: LOD reordering, per owned partition.
         ordered: dict[int, ParticleBatch] = {}
-        with bd.measure(PHASE_LOD):
+        with rec.span(PHASE_LOD):
             for pid, agg_batch in exchange.aggregated.items():
                 if len(agg_batch):
                     order = order_for_heuristic(
@@ -167,12 +196,24 @@ class SpatialWriter:
                 else:
                     ordered[pid] = agg_batch
 
-        retry_stats = RetryStats()
+        # Data files are named after the aggregator rank (Fig. 4), so a rank
+        # that owns more than one partition would silently overwrite its own
+        # output.  No supported grid produces that mapping today; refuse
+        # loudly if one ever does rather than losing a partition.
+        if len(ordered) > 1:
+            raise DataFileError(
+                f"aggregator rank {comm.rank} owns partitions "
+                f"{sorted(ordered)}, but data files are named per aggregator "
+                f"rank ({data_file_name(comm.rank)!r}) — writing them would "
+                "overwrite each other. Use an aggregation grid that assigns "
+                "at most one partition per aggregator."
+            )
+
         try:
             # Step 7 (commit phase 1): one independent file per aggregator.
             local_records: list[MetadataRecord] = []
             local_checksums: dict[str, dict] = {}
-            with bd.measure(PHASE_FILE_IO):
+            with rec.span(PHASE_FILE_IO):
                 for pid, agg_batch in ordered.items():
                     path = data_file_name(comm.rank)
                     result.bytes_written += self.retry.call(
@@ -181,7 +222,7 @@ class SpatialWriter:
                         path,
                         agg_batch,
                         actor=comm.rank,
-                        stats=retry_stats,
+                        recorder=rec,
                     )
                     result.files_written.append(path)
                     local_checksums[path] = compute_file_checksums(
@@ -199,7 +240,7 @@ class SpatialWriter:
 
             # Step 8 (commit phases 2+3): gather bounding boxes to rank 0,
             # write the spatial metadata, then the manifest as the marker.
-            with bd.measure(PHASE_METADATA):
+            with rec.span(PHASE_METADATA):
                 gathered = comm.allgather((local_records, local_checksums))
                 if comm.rank == 0:
                     records = sorted(
@@ -216,7 +257,7 @@ class SpatialWriter:
                         META_PATH,
                         meta_blob,
                         actor=0,
-                        stats=retry_stats,
+                        recorder=rec,
                     )
                     manifest = Manifest(
                         dtype=batch.dtype,
@@ -243,13 +284,11 @@ class SpatialWriter:
                         MANIFEST_PATH,
                         manifest.to_json().encode("utf-8"),
                         actor=0,
-                        stats=retry_stats,
+                        recorder=rec,
                     )
         except BaseException:
             self._abort(backend, result)
             raise
-        finally:
-            result.retries = retry_stats.retries
         return result
 
     def _abort(self, backend: FileBackend, result: WriteResult) -> None:

@@ -4,12 +4,28 @@ Backends are deliberately tiny: whole-file create/write, ranged reads, and
 directory listing are all the library needs.  Paths are POSIX-style strings
 relative to the backend root ("data/file_0.pbin"); backends own the mapping
 to whatever actually stores the bytes.
+
+Instrumentation: any backend can have an obs recorder attached
+(:meth:`FileBackend.attach_recorder`), after which it maintains
+Darshan-style per-file counters — opens, reads, writes, bytes moved, keyed
+by path — alongside whatever op log the concrete backend keeps.  The
+counters are deliberately collected at this layer so POSIX and virtual
+storage report identically.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+from repro.obs.names import (
+    IO_BYTES_READ,
+    IO_BYTES_WRITTEN,
+    IO_OPENS,
+    IO_READS,
+    IO_WRITES,
+)
+from repro.obs.recorder import Recorder
 
 
 @dataclass(frozen=True)
@@ -32,6 +48,34 @@ class IoOp:
 
 class FileBackend(ABC):
     """Minimal filesystem interface shared by POSIX and virtual storage."""
+
+    #: Optional obs recorder; when set, per-file counters accumulate there.
+    recorder: Recorder | None = None
+
+    def attach_recorder(self, recorder: Recorder | None) -> None:
+        """Route this backend's per-file counters into ``recorder``.
+
+        Pass ``None`` to detach.  Concrete backends call the ``_note_*``
+        helpers on their hot paths; with no recorder attached those are a
+        single attribute check.
+        """
+        self.recorder = recorder
+
+    # -- instrumentation helpers (no-ops without an attached recorder) ------
+
+    def _note_open(self, path: str) -> None:
+        if self.recorder is not None:
+            self.recorder.add(IO_OPENS, 1, key=(path,))
+
+    def _note_read(self, path: str, nbytes: int) -> None:
+        if self.recorder is not None:
+            self.recorder.add(IO_READS, 1, key=(path,))
+            self.recorder.add(IO_BYTES_READ, nbytes, key=(path,))
+
+    def _note_write(self, path: str, nbytes: int) -> None:
+        if self.recorder is not None:
+            self.recorder.add(IO_WRITES, 1, key=(path,))
+            self.recorder.add(IO_BYTES_WRITTEN, nbytes, key=(path,))
 
     @abstractmethod
     def write_file(self, path: str, data: bytes, actor: int = -1) -> None:

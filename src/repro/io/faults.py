@@ -29,7 +29,10 @@ Supported fault kinds (see :class:`FaultSpec`):
 Every injected fault is recorded as an ``IoOp(kind="fault", ...)`` in
 :attr:`FaultInjectingBackend.ops` and counted per kind in
 :attr:`FaultInjectingBackend.fault_counts`, so tests and stats can assert
-exactly what happened.
+exactly what happened.  With an obs recorder attached
+(:meth:`~repro.io.backend.FileBackend.attach_recorder`), each fault also
+lands as an ``io.fault`` event and an ``io.faults`` counter keyed by kind,
+so exported traces show exactly where the plan bit.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import BackendError, TransientBackendError
 from repro.io.backend import FileBackend, IoOp
+from repro.obs.names import EV_FAULT, IO_FAULTS
 
 __all__ = [
     "FaultSpec",
@@ -166,6 +170,9 @@ class FaultInjectingBackend(FileBackend):
     def _record(self, kind: str, path: str, nbytes: int = 0) -> None:
         self.fault_counts[kind] += 1
         self.ops.append(IoOp("fault", path, nbytes=nbytes))
+        if self.recorder is not None:
+            self.recorder.add(IO_FAULTS, 1, key=(kind,))
+            self.recorder.event(EV_FAULT, kind=kind, path=path, nbytes=nbytes)
 
     def _check_dead(self, path: str) -> None:
         """Once a crash rule fired, the simulated process is gone — every

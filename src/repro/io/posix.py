@@ -51,6 +51,8 @@ class PosixBackend(FileBackend):
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, full)
+            self._note_open(self._normalize(path))
+            self._note_write(self._normalize(path), len(data))
         except OSError as exc:
             try:
                 tmp.unlink(missing_ok=True)
@@ -61,9 +63,12 @@ class PosixBackend(FileBackend):
     def read_file(self, path: str, actor: int = -1) -> bytes:
         full = self._full(path)
         try:
-            return full.read_bytes()
+            data = full.read_bytes()
         except OSError as exc:
             raise BackendError(f"reading {full}: {exc}") from exc
+        self._note_open(self._normalize(path))
+        self._note_read(self._normalize(path), len(data))
+        return data
 
     def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
         if offset < 0 or length < 0:
@@ -80,6 +85,8 @@ class PosixBackend(FileBackend):
                 f"short read from {full}: wanted {length} bytes at {offset}, "
                 f"got {len(data)}"
             )
+        self._note_open(self._normalize(path))
+        self._note_read(self._normalize(path), length)
         return data
 
     def exists(self, path: str) -> bool:

@@ -12,6 +12,13 @@ Two properties matter for a reproducible test suite:
   amounts and produce the same op streams;
 * **injectable sleep** — tests pass ``sleep=lambda s: None`` and assert on
   the *requested* delays instead of wall-clock time.
+
+Accounting routes through the unified instrumentation layer: pass a
+:class:`~repro.obs.recorder.Recorder` to :meth:`RetryPolicy.call` and every
+attempt/retry/giveup lands as ``io.*`` counters plus ``io.retry`` /
+``io.giveup`` events, which is how the writer's and reader's retry numbers
+reach exported traces.  :class:`RetryStats` remains as a small standalone
+accumulator for direct policy use in tests.
 """
 
 from __future__ import annotations
@@ -21,6 +28,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import TransientBackendError
+from repro.obs.names import (
+    EV_GIVEUP,
+    EV_RETRY,
+    IO_ATTEMPTS,
+    IO_GIVEUPS,
+    IO_RETRIES,
+)
+from repro.obs.recorder import Recorder
 
 __all__ = ["RetryPolicy", "RetryStats"]
 
@@ -96,26 +111,37 @@ class RetryPolicy:
         fn: Callable[..., Any],
         *args: Any,
         stats: RetryStats | None = None,
+        recorder: Recorder | None = None,
         on_retry: Callable[[int, TransientBackendError], None] | None = None,
         **kwargs: Any,
     ) -> Any:
         """Run ``fn(*args, **kwargs)``, retrying transient backend failures.
 
-        ``stats`` (if given) accumulates attempt/retry counters; ``on_retry``
-        is invoked with ``(attempt, error)`` before each backoff sleep.
-        Non-transient exceptions propagate immediately; a transient failure
-        on the final attempt propagates as-is and counts as a giveup.
+        ``stats`` (if given) accumulates attempt/retry counters;
+        ``recorder`` (if given) receives the same accounting as ``io.*``
+        counters and retry/giveup events; ``on_retry`` is invoked with
+        ``(attempt, error)`` before each backoff sleep.  Non-transient
+        exceptions propagate immediately; a transient failure on the final
+        attempt propagates as-is and counts as a giveup.
         """
         stats = stats if stats is not None else RetryStats()
         for attempt in range(self.max_attempts):
             stats.attempts += 1
+            if recorder is not None:
+                recorder.add(IO_ATTEMPTS)
             try:
                 return fn(*args, **kwargs)
             except TransientBackendError as exc:
                 if attempt + 1 >= self.max_attempts:
                     stats.giveups += 1
+                    if recorder is not None:
+                        recorder.add(IO_GIVEUPS)
+                        recorder.event(EV_GIVEUP, attempt=attempt, error=str(exc))
                     raise
                 stats.retries += 1
+                if recorder is not None:
+                    recorder.add(IO_RETRIES)
+                    recorder.event(EV_RETRY, attempt=attempt, error=str(exc))
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 pause = self.delay(attempt)

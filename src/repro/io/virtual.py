@@ -41,6 +41,8 @@ class VirtualBackend(FileBackend):
             if created:
                 self._log(IoOp("create", path, actor=actor))
             self._log(IoOp("write", path, nbytes=len(data), actor=actor))
+        self._note_open(path)
+        self._note_write(path, len(data))
 
     def read_file(self, path: str, actor: int = -1) -> bytes:
         path = self._normalize(path)
@@ -50,7 +52,9 @@ class VirtualBackend(FileBackend):
                 raise BackendError(f"no such virtual file: {path!r}")
             self._log(IoOp("open", path, actor=actor))
             self._log(IoOp("read", path, nbytes=len(data), offset=0, actor=actor))
-            return data
+        self._note_open(path)
+        self._note_read(path, len(data))
+        return data
 
     def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
         path = self._normalize(path)
@@ -67,7 +71,9 @@ class VirtualBackend(FileBackend):
                 )
             self._log(IoOp("open", path, actor=actor))
             self._log(IoOp("read", path, nbytes=length, offset=offset, actor=actor))
-            return data[offset : offset + length]
+        self._note_open(path)
+        self._note_read(path, length)
+        return data[offset : offset + length]
 
     def exists(self, path: str) -> bool:
         with self._lock:

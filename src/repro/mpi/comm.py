@@ -17,6 +17,7 @@ from repro.mpi.collectives import CollectivesMixin
 from repro.mpi.message import CHANNEL_COLL, CHANNEL_P2P, Message, snapshot_payload
 from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.world import World
+from repro.obs.names import MPI_COLLECTIVES
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -137,6 +138,8 @@ class SimComm(CollectivesMixin):
         """
         tag = (self._context_id << _COLL_SEQ_BITS) | (self._coll_seq & _COLL_SEQ_MASK)
         self._coll_seq += 1
+        # §3.3-style accounting: collective operations initiated, per rank.
+        self.world.recorder.add(MPI_COLLECTIVES, 1, key=(self._world_rank,))
         return tag
 
     def _coll_send(self, payload: Any, dest: int, tag: int) -> None:

@@ -2,79 +2,91 @@
 
 The performance models need the communication *pattern* of an algorithm —
 how many messages, how many bytes, between which ranks — rather than
-wall-clock timings.  The :class:`World` feeds every completed send into a
-:class:`TrafficStats` instance, which the benchmarks and tests read back.
+wall-clock timings.  Since the instrumentation refactor, the numbers live
+in a :class:`~repro.obs.recorder.Recorder` as ``mpi.messages`` /
+``mpi.bytes`` counters keyed by ``(source, dest)``; :class:`TrafficStats`
+is a *view* over that recorder preserving the historical query API
+(``world.stats.total_bytes()`` etc.).  The :class:`~repro.mpi.world.World`
+feeds every completed send through :meth:`TrafficStats.record`.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import defaultdict
-from dataclasses import dataclass, field
+from repro.obs.names import MPI_BYTES, MPI_MESSAGES
+from repro.obs.recorder import Recorder
 
 
-@dataclass
 class TrafficStats:
-    """Thread-safe accumulator of point-to-point traffic.
+    """Point-to-point traffic totals, backed by an obs recorder.
 
-    ``by_pair`` maps ``(source, dest)`` to ``[messages, bytes]``.  Self-sends
-    (a rank delivering to itself, e.g. an aggregator keeping its own
-    particles) are recorded separately so network models can exclude them.
+    Thread-safe (the recorder locks internally).  Self-sends — a rank
+    delivering to itself, e.g. an aggregator keeping its own particles —
+    stay distinguishable via their ``(r, r)`` key so network models can
+    exclude them.
     """
 
-    by_pair: dict[tuple[int, int], list[int]] = field(
-        default_factory=lambda: defaultdict(lambda: [0, 0])
-    )
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, recorder: Recorder | None = None):
+        #: The backing recorder; shared with the world that owns this view.
+        self.recorder = recorder if recorder is not None else Recorder(rank=-1)
 
     def record(self, source: int, dest: int, nbytes: int) -> None:
-        with self._lock:
-            cell = self.by_pair[(source, dest)]
-            cell[0] += 1
-            cell[1] += int(nbytes)
+        self.recorder.add(MPI_MESSAGES, 1, key=(source, dest))
+        self.recorder.add(MPI_BYTES, int(nbytes), key=(source, dest))
 
     # -- aggregate views -------------------------------------------------
 
+    @property
+    def by_pair(self) -> dict[tuple[int, int], list[int]]:
+        """``(source, dest) -> [messages, bytes]`` (the legacy shape)."""
+        msgs = self.recorder.series(MPI_MESSAGES)
+        byts = self.recorder.series(MPI_BYTES)
+        return {
+            (int(k[0]), int(k[1])): [int(msgs.get(k, 0)), int(byts.get(k, 0))]
+            for k in msgs.keys() | byts.keys()
+        }
+
     def total_messages(self, include_self: bool = True) -> int:
-        with self._lock:
-            return sum(
-                c[0]
-                for (s, d), c in self.by_pair.items()
-                if include_self or s != d
-            )
+        return sum(
+            int(v)
+            for (s, d), v in self.recorder.series(MPI_MESSAGES).items()
+            if include_self or s != d
+        )
 
     def total_bytes(self, include_self: bool = True) -> int:
-        with self._lock:
-            return sum(
-                c[1]
-                for (s, d), c in self.by_pair.items()
-                if include_self or s != d
-            )
+        return sum(
+            int(v)
+            for (s, d), v in self.recorder.series(MPI_BYTES).items()
+            if include_self or s != d
+        )
 
     def bytes_sent_by(self, rank: int) -> int:
-        with self._lock:
-            return sum(c[1] for (s, _d), c in self.by_pair.items() if s == rank)
+        return sum(
+            int(v)
+            for (s, _d), v in self.recorder.series(MPI_BYTES).items()
+            if s == rank
+        )
 
     def bytes_received_by(self, rank: int) -> int:
-        with self._lock:
-            return sum(c[1] for (_s, d), c in self.by_pair.items() if d == rank)
+        return sum(
+            int(v)
+            for (_s, d), v in self.recorder.series(MPI_BYTES).items()
+            if d == rank
+        )
 
     def peers_of(self, rank: int) -> set[int]:
         """Ranks that ``rank`` exchanged at least one message with."""
-        with self._lock:
-            peers = {d for (s, d) in self.by_pair if s == rank and d != rank}
-            peers |= {s for (s, d) in self.by_pair if d == rank and s != rank}
-            return peers
+        pairs = self.recorder.series(MPI_MESSAGES)
+        peers = {int(d) for (s, d) in pairs if s == rank and d != rank}
+        peers |= {int(s) for (s, d) in pairs if d == rank and s != rank}
+        return peers
 
     def pair_bytes(self, source: int, dest: int) -> int:
-        with self._lock:
-            return self.by_pair.get((source, dest), [0, 0])[1]
+        return int(self.recorder.value(MPI_BYTES, key=(source, dest)))
 
     def snapshot(self) -> dict[tuple[int, int], tuple[int, int]]:
         """An immutable copy of the (source, dest) -> (messages, bytes) map."""
-        with self._lock:
-            return {pair: (c[0], c[1]) for pair, c in self.by_pair.items()}
+        return {pair: (c[0], c[1]) for pair, c in self.by_pair.items()}
 
     def clear(self) -> None:
-        with self._lock:
-            self.by_pair.clear()
+        self.recorder.clear_counter(MPI_MESSAGES)
+        self.recorder.clear_counter(MPI_BYTES)

@@ -16,6 +16,7 @@ from typing import Any
 from repro.errors import DeadlockError, MPIError
 from repro.mpi.message import Message
 from repro.mpi.stats import TrafficStats
+from repro.obs.recorder import Recorder
 
 
 class Mailbox:
@@ -98,7 +99,10 @@ class World:
         # immediately on delivery.
         self.block_timeout = block_timeout
         self.mailboxes = [Mailbox(self, r) for r in range(size)]
-        self.stats = TrafficStats()
+        #: Shared instrumentation recorder: traffic counters land here
+        #: (``rank=-1`` marks records not attributable to a single rank).
+        self.recorder = Recorder(rank=-1)
+        self.stats = TrafficStats(self.recorder)
         self._abort_exc: BaseException | None = None
         self._state_lock = threading.Lock()
         self._blocked: set[int] = set()

@@ -1,0 +1,60 @@
+"""Unified instrumentation: spans, counters, and events with trace export.
+
+Every layer of the library measures itself through one
+:class:`~repro.obs.recorder.Recorder` API:
+
+* the writer/reader pipelines record **spans** for their phases (the
+  paper's Fig. 6 ``aggregation`` vs ``file_io`` split);
+* the simulated MPI world records per-pair traffic **counters** (§3.3's
+  message counts — :class:`~repro.mpi.stats.TrafficStats` is now a view
+  over these);
+* storage backends record Darshan-style per-file counters (opens, reads,
+  writes, bytes), and the retry policy and fault injector record retry /
+  fault **events**.
+
+Per-rank recorders merge at rank 0 (:meth:`Recorder.merged`) and export to
+Chrome ``about:tracing`` JSON or JSONL (:mod:`repro.obs.export`), wired
+into the ``repro trace`` CLI subcommand.  See ``docs/OBSERVABILITY.md``.
+
+Typical use::
+
+    from repro.obs import Recorder, write_chrome_trace
+
+    rec = Recorder(rank=comm.rank)
+    with rec.span("aggregation"):
+        ...exchange particles...
+    rec.add("io.bytes_written", nbytes, key=(path,))
+
+    merged = Recorder.merged(per_rank_recorders)
+    write_chrome_trace(merged, "trace.json")
+"""
+
+from repro.obs import names
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import Event, Recorder, Span
+from repro.obs.views import (
+    file_table,
+    retry_summary,
+    summary_lines,
+    traffic_summary,
+)
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "Event",
+    "names",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "file_table",
+    "retry_summary",
+    "traffic_summary",
+    "summary_lines",
+]

@@ -1,0 +1,190 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and line-delimited JSON.
+
+Two formats, both consumed from a (typically merged) :class:`Recorder`:
+
+* :func:`to_chrome_trace` — the Trace Event Format understood by
+  ``about:tracing`` / ``chrome://tracing`` / Perfetto.  Spans become
+  complete (``"ph": "X"``) events with microsecond timestamps, one track
+  (``tid``) per rank; events become instants (``"ph": "i"``); counters
+  become one trailing counter sample (``"ph": "C"``) per name and rank.
+* :func:`to_jsonl` — one self-describing JSON object per line (``type`` is
+  ``span`` | ``event`` | ``counter``), the format downstream log pipelines
+  and ad-hoc ``jq`` analysis want.
+
+Timestamps are normalised so the earliest record in the trace sits at 0.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.recorder import Recorder
+
+__all__ = [
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Process id used for every track; the simulator is one process.
+_PID = 0
+
+
+def _jsonable(value: object) -> object:
+    """Coerce arg values to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _jsonable_args(args: Any) -> dict[str, object]:
+    return {str(k): _jsonable(v) for k, v in dict(args).items()}
+
+
+def _time_origin(recorder: Recorder) -> float:
+    """Earliest timestamp across spans and events (0.0 for empty traces)."""
+    starts = [s.start for s in recorder.spans] + [e.ts for e in recorder.events]
+    return min(starts) if starts else 0.0
+
+
+def to_chrome_trace(recorder: Recorder) -> dict[str, object]:
+    """Render a recorder as a Chrome Trace-Event-Format JSON object."""
+    origin = _time_origin(recorder)
+    us = 1e6  # trace-event timestamps are microseconds
+
+    ranks = sorted(
+        {s.rank for s in recorder.spans}
+        | {e.rank for e in recorder.events}
+    )
+    trace: list[dict[str, object]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": rank,
+            "args": {"name": f"rank {rank}" if rank >= 0 else "shared"},
+        }
+        for rank in ranks
+    ]
+    end_ts = 0.0
+    for span in recorder.spans:
+        ts = (span.start - origin) * us
+        dur = span.duration * us
+        end_ts = max(end_ts, ts + dur)
+        trace.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": _PID,
+                "tid": span.rank,
+                "args": _jsonable_args(span.args),
+            }
+        )
+    for event in recorder.events:
+        ts = (event.ts - origin) * us
+        end_ts = max(end_ts, ts)
+        trace.append(
+            {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "i",
+                "ts": ts,
+                "s": "t",  # thread-scoped instant
+                "pid": _PID,
+                "tid": event.rank,
+                "args": _jsonable_args(event.args),
+            }
+        )
+    # One final sample per counter name: the accumulated total.  (Counters
+    # here are run totals, not time series; a single sample keeps the trace
+    # valid and the value inspectable in the viewer.)
+    for name in recorder.counter_names():
+        trace.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": end_ts,
+                "pid": _PID,
+                "tid": 0,
+                "args": {"value": recorder.total(name)},
+            }
+        )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def to_jsonl(recorder: Recorder) -> Iterator[str]:
+    """Yield one JSON line per span, counter cell, and event."""
+    origin = _time_origin(recorder)
+    for span in recorder.spans:
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "rank": span.rank,
+                "start": span.start - origin,
+                "duration": span.duration,
+                "parent": span.parent,
+                "args": _jsonable_args(span.args),
+            },
+            sort_keys=True,
+        )
+    for (name, key), value in sorted(
+        recorder.counters().items(), key=lambda cell: (cell[0][0], str(cell[0][1]))
+    ):
+        yield json.dumps(
+            {
+                "type": "counter",
+                "name": name,
+                "key": [_jsonable(k) for k in key],
+                "value": value,
+            },
+            sort_keys=True,
+        )
+    for event in recorder.events:
+        yield json.dumps(
+            {
+                "type": "event",
+                "name": event.name,
+                "cat": event.cat,
+                "rank": event.rank,
+                "ts": event.ts - origin,
+                "args": _jsonable_args(event.args),
+            },
+            sort_keys=True,
+        )
+
+
+def _open_target(target: str | Path | IO[str]) -> tuple[IO[str], bool]:
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def write_chrome_trace(recorder: Recorder, target: str | Path | IO[str]) -> None:
+    """Serialise :func:`to_chrome_trace` output to a path or file object."""
+    fh, owned = _open_target(target)
+    try:
+        json.dump(to_chrome_trace(recorder), fh, indent=1)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_jsonl(recorder: Recorder, target: str | Path | IO[str]) -> None:
+    """Serialise :func:`to_jsonl` output to a path or file object."""
+    fh, owned = _open_target(target)
+    try:
+        for line in to_jsonl(recorder):
+            fh.write(line + "\n")
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,78 @@
+"""The instrumentation name registry.
+
+Every span, counter, and event name used by the library lives here, so the
+whole system shares one vocabulary and exported traces from any layer can be
+compared side by side.  Names are dotted strings grouped by subsystem:
+
+* ``PHASE_*`` — writer/reader pipeline phases (span names).  These are the
+  labels of the paper's Figure 6; the two bars there are
+  :data:`PHASE_AGGREGATION` and :data:`PHASE_FILE_IO`.
+* ``MPI_*`` — traffic counters fed by the simulated MPI world, keyed by
+  ``(source_rank, dest_rank)``.
+* ``IO_*`` — Darshan-style per-file storage counters, keyed by ``(path,)``,
+  plus retry/fault counters keyed by ``()`` or ``(kind,)``.
+* ``EV_*`` — event (point-in-time) names.
+"""
+
+from __future__ import annotations
+
+# -- pipeline phases (span names; Fig. 6 vocabulary) -----------------------
+
+PHASE_SETUP = "setup"
+PHASE_AGGREGATION = "aggregation"
+PHASE_LOD = "lod"
+PHASE_FILE_IO = "file_io"
+PHASE_METADATA = "metadata"
+
+#: Every phase the spatially-aware writer records, in pipeline order.
+WRITER_PHASES = (
+    PHASE_SETUP,
+    PHASE_AGGREGATION,
+    PHASE_LOD,
+    PHASE_FILE_IO,
+    PHASE_METADATA,
+)
+
+#: Phases the reader records (planning is metadata work; execution is I/O).
+READER_PHASES = (PHASE_METADATA, PHASE_FILE_IO)
+
+# -- MPI traffic counters (keyed by (source, dest) world ranks) -------------
+
+MPI_MESSAGES = "mpi.messages"
+MPI_BYTES = "mpi.bytes"
+#: Collective operations initiated, keyed by (communicator-local rank,).
+MPI_COLLECTIVES = "mpi.collectives"
+
+# -- storage counters (Darshan-style, keyed by (path,)) ---------------------
+
+IO_OPENS = "io.opens"
+IO_READS = "io.reads"
+IO_WRITES = "io.writes"
+IO_BYTES_READ = "io.bytes_read"
+IO_BYTES_WRITTEN = "io.bytes_written"
+
+#: Per-file counter names, in the order the Darshan-style table prints them.
+IO_FILE_COUNTERS = (
+    IO_OPENS,
+    IO_READS,
+    IO_WRITES,
+    IO_BYTES_READ,
+    IO_BYTES_WRITTEN,
+)
+
+# -- retry / fault counters -------------------------------------------------
+
+IO_ATTEMPTS = "io.attempts"
+IO_RETRIES = "io.retries"
+IO_GIVEUPS = "io.giveups"
+#: Injected/observed faults, keyed by (fault kind,).
+IO_FAULTS = "io.faults"
+
+# -- events -----------------------------------------------------------------
+
+EV_RETRY = "io.retry"
+EV_GIVEUP = "io.giveup"
+EV_FAULT = "io.fault"
+EV_PARTITION_READ = "read.partition"
+EV_PARTITION_SKIPPED = "read.skip"
+EV_PREFIX_VERIFIED = "read.prefix_verified"

@@ -1,0 +1,95 @@
+"""Derived views over a recorder: the tables the old ad-hoc stats provided.
+
+These are pure functions of a :class:`~repro.obs.recorder.Recorder` — no
+state of their own — which is the point of the refactor: the writer's
+``breakdown``, the world's traffic totals, the retry ledger, and the
+Darshan-style per-file table are all different projections of the same
+record stream.
+"""
+
+from __future__ import annotations
+
+from repro.obs import names
+from repro.obs.recorder import Recorder
+
+__all__ = ["file_table", "retry_summary", "traffic_summary", "summary_lines"]
+
+
+def file_table(recorder: Recorder) -> dict[str, dict[str, float]]:
+    """Darshan-style per-file counters: ``path -> {counter: value}``.
+
+    Counter columns are :data:`~repro.obs.names.IO_FILE_COUNTERS` (opens,
+    reads, writes, bytes read, bytes written); files appear if any storage
+    counter touched them.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name in names.IO_FILE_COUNTERS:
+        for key, value in recorder.series(name).items():
+            if not key:
+                continue
+            path = str(key[0])
+            out.setdefault(path, {n: 0.0 for n in names.IO_FILE_COUNTERS})
+            out[path][name] = value
+    return dict(sorted(out.items()))
+
+
+def retry_summary(recorder: Recorder) -> dict[str, float]:
+    """Attempt/retry/giveup totals plus injected-fault counts by kind."""
+    out = {
+        "attempts": recorder.total(names.IO_ATTEMPTS),
+        "retries": recorder.total(names.IO_RETRIES),
+        "giveups": recorder.total(names.IO_GIVEUPS),
+    }
+    for key, value in recorder.series(names.IO_FAULTS).items():
+        kind = str(key[0]) if key else "unknown"
+        out[f"faults.{kind}"] = value
+    return out
+
+
+def traffic_summary(recorder: Recorder) -> dict[str, float]:
+    """Message/byte totals, with self-sends split out (network models
+    exclude a rank delivering to itself)."""
+    messages = sum(recorder.series(names.MPI_MESSAGES).values())
+    bytes_total = self_bytes = 0.0
+    for (src, dst), nbytes in recorder.series(names.MPI_BYTES).items():
+        bytes_total += nbytes
+        if src == dst:
+            self_bytes += nbytes
+    return {
+        "messages": messages,
+        "bytes": bytes_total,
+        "offrank_bytes": bytes_total - self_bytes,
+        "collectives": recorder.total(names.MPI_COLLECTIVES),
+    }
+
+
+def summary_lines(recorder: Recorder) -> list[str]:
+    """A human-readable digest (what ``repro trace`` prints)."""
+    lines: list[str] = []
+    phases = recorder.phase_totals()
+    if phases:
+        total = sum(phases.values())
+        lines.append("phases:")
+        for name, seconds in sorted(phases.items()):
+            pct = 100.0 * seconds / total if total else 0.0
+            lines.append(f"  {name:<14s} {seconds:10.4f}s  ({pct:5.1f}%)")
+    traffic = traffic_summary(recorder)
+    if traffic["messages"]:
+        lines.append(
+            f"traffic: {int(traffic['messages'])} messages, "
+            f"{int(traffic['bytes'])} bytes "
+            f"({int(traffic['offrank_bytes'])} off-rank)"
+        )
+    retries = retry_summary(recorder)
+    if any(retries.values()):
+        lines.append(
+            f"retries: {int(retries['retries'])} retries / "
+            f"{int(retries['attempts'])} attempts, "
+            f"{int(retries['giveups'])} giveups"
+        )
+    files = file_table(recorder)
+    if files:
+        lines.append(f"files touched: {len(files)}")
+    if not lines:
+        lines.append("<empty recorder>")
+    return lines

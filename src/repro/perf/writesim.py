@@ -26,8 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.obs.names import PHASE_AGGREGATION, PHASE_FILE_IO, PHASE_METADATA
+from repro.obs.recorder import Recorder
 from repro.particles.dtype import UINTAH_PARTICLE_BYTES
 from repro.perf.machine import Machine
+from repro.utils.timing import TimeBreakdown
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,39 @@ class WriteEstimate:
     def aggregation_fraction(self) -> float:
         """Fig. 6's quantity: share of time spent moving data vs writing."""
         return self.aggregation_time / self.total_time
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """The estimate as a phase breakdown, using the obs registry names.
+
+        Lets modelled (Fig. 5/6) and measured (functional run) phase times
+        be compared and plotted through one view type.
+        """
+        bd = TimeBreakdown()
+        bd.add(PHASE_AGGREGATION, self.aggregation_time)
+        bd.add(PHASE_FILE_IO, self.io_time)
+        bd.add(PHASE_METADATA, self.metadata_time)
+        return bd
+
+    def to_recorder(self, rank: int = 0) -> Recorder:
+        """Render the estimate as an obs recorder (cat ``model``).
+
+        Phases are laid back-to-back starting at t=0, so an exported
+        Chrome trace shows the modelled write as a timeline.
+        """
+        rec = Recorder(rank=rank)
+        start = 0.0
+        for name, dur in (
+            (PHASE_AGGREGATION, self.aggregation_time),
+            (PHASE_FILE_IO, self.io_time),
+            (PHASE_METADATA, self.metadata_time),
+        ):
+            rec.add_span(
+                name, start, dur, cat="model",
+                machine=self.machine, strategy=self.strategy,
+            )
+            start += dur
+        return rec
 
 
 def _meta_time(machine: Machine, n_files: int) -> float:

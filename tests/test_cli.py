@@ -122,6 +122,57 @@ class TestScrub:
         assert "complete        : no" in out
 
 
+class TestTrace:
+    def test_read_trace_is_valid_chrome_json(self, dataset_dir, capsys):
+        import json
+
+        out = dataset_dir / "trace.json"
+        assert main(["trace", str(dataset_dir)]) == 0
+        stdout = capsys.readouterr().out
+        assert "traced read" in stdout
+        assert "trace written" in stdout
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must contain events"
+        phases = {e["ph"] for e in events}
+        assert "X" in phases          # complete spans
+        assert "M" in phases          # thread-name metadata
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "file_io" in names and "metadata" in names
+        for e in events:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+
+    def test_write_trace_on_empty_dir(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "fresh"
+        rc = main(
+            ["trace", str(target), "--ranks", "4", "--particles", "128",
+             "--factor", "1", "2", "2"]
+        )
+        assert rc == 0
+        assert "traced write" in capsys.readouterr().out
+        doc = json.loads((target / "trace.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        # all five writer phases appear in the trace
+        assert {"setup", "aggregation", "lod", "file_io", "metadata"} <= names
+        # MPI traffic counters were merged in
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert "mpi.bytes" in counters
+
+    def test_jsonl_format(self, dataset_dir):
+        import json
+
+        out = dataset_dir / "t.jsonl"
+        assert main(["trace", str(dataset_dir), "--format", "jsonl",
+                     "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["type"] for line in lines}
+        assert "span" in kinds and "counter" in kinds
+
+
 class TestErrors:
     def test_repro_error_exits_2(self, tmp_path, capsys):
         """Library errors become a one-line stderr message, not a traceback."""

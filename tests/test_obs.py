@@ -1,0 +1,379 @@
+"""Tests for the unified instrumentation subsystem (repro.obs).
+
+Covers the recorder primitives (spans/counters/events, nesting, merge),
+the compatibility views that replaced the old ad-hoc stats classes, both
+trace exporters, and the end-to-end plumbing: writer results, reader
+reports and fault-injection accounting all deriving from one recorder.
+"""
+
+import json
+
+import pytest
+
+from repro.core import SpatialReader
+from repro.io import VirtualBackend
+from repro.io.faults import FaultInjectingBackend, FaultPlan
+from repro.io.retry import RetryPolicy
+from repro.obs import (
+    Recorder,
+    file_table,
+    retry_summary,
+    summary_lines,
+    to_chrome_trace,
+    to_jsonl,
+    traffic_summary,
+)
+from repro.obs.names import (
+    EV_FAULT,
+    EV_RETRY,
+    IO_BYTES_WRITTEN,
+    IO_OPENS,
+    IO_RETRIES,
+    MPI_BYTES,
+    MPI_MESSAGES,
+    PHASE_AGGREGATION,
+    PHASE_FILE_IO,
+    PHASE_METADATA,
+)
+from repro.utils.timing import TimeBreakdown
+
+from tests.conftest import write_dataset
+
+
+class FakeClock:
+    """A controllable clock: tests advance time explicitly."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestSpans:
+    def test_span_durations_are_exact_with_fake_clock(self):
+        clock = FakeClock()
+        rec = Recorder(rank=3, clock=clock)
+        with rec.span(PHASE_AGGREGATION):
+            clock.advance(2.0)
+        with rec.span(PHASE_FILE_IO):
+            clock.advance(6.0)
+        totals = rec.phase_totals()
+        assert totals == {PHASE_AGGREGATION: 2.0, PHASE_FILE_IO: 6.0}
+        assert all(s.rank == 3 for s in rec.spans)
+
+    def test_nested_spans_record_parent(self):
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        with rec.span("outer"):
+            clock.advance(1.0)
+            with rec.span("inner"):
+                clock.advance(2.0)
+            clock.advance(1.0)
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["inner"].parent == "outer"
+        assert by_name["outer"].parent is None
+        assert by_name["outer"].duration == 4.0
+        assert by_name["inner"].duration == 2.0
+        # the inner interval lies within the outer one
+        assert by_name["outer"].start <= by_name["inner"].start
+        assert by_name["inner"].end <= by_name["outer"].end
+
+    def test_add_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Recorder().add_span("x", 0.0, -1.0)
+
+    def test_breakdown_reproduces_timebreakdown_percentages(self):
+        """The derived view must agree exactly with the legacy class."""
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        legacy = TimeBreakdown()
+        for phase, dur in [
+            (PHASE_AGGREGATION, 3.0),
+            (PHASE_FILE_IO, 5.0),
+            (PHASE_METADATA, 2.0),
+        ]:
+            with rec.span(phase):
+                clock.advance(dur)
+            legacy.add(phase, dur)
+        derived = rec.breakdown(cat="phase")
+        assert derived.phases == legacy.phases
+        for phase in legacy.phases:
+            assert derived.fraction(phase) == legacy.fraction(phase)
+        assert derived.total == legacy.total == 10.0
+
+
+class TestCountersAndEvents:
+    def test_counter_cells_accumulate_by_key(self):
+        rec = Recorder()
+        rec.add(MPI_BYTES, 100, key=(0, 1))
+        rec.add(MPI_BYTES, 50, key=(0, 1))
+        rec.add(MPI_BYTES, 7, key=(1, 0))
+        assert rec.value(MPI_BYTES, key=(0, 1)) == 150
+        assert rec.series(MPI_BYTES) == {(0, 1): 150.0, (1, 0): 7.0}
+        assert rec.total(MPI_BYTES) == 157
+
+    def test_event_window(self):
+        rec = Recorder()
+        rec.event("a")
+        mark = rec.event_mark()
+        rec.event("b")
+        rec.event("c")
+        assert [e.name for e in rec.events_since(mark)] == ["b", "c"]
+        assert len(rec.events_named("a")) == 1
+
+
+class TestMerge:
+    def test_merged_equals_sum_of_per_rank_breakdowns(self):
+        clock = FakeClock()
+        parts = []
+        legacy = TimeBreakdown()
+        for rank, dur in [(0, 1.0), (1, 3.0), (2, 4.0)]:
+            r = Recorder(rank=rank, clock=clock)
+            with r.span(PHASE_AGGREGATION):
+                clock.advance(dur)
+            with r.span(PHASE_FILE_IO):
+                clock.advance(2 * dur)
+            legacy.add(PHASE_AGGREGATION, dur)
+            legacy.add(PHASE_FILE_IO, 2 * dur)
+            parts.append(r)
+        merged = Recorder.merged(parts)
+        assert merged.breakdown().phases == legacy.phases
+        # per-rank filtering still works after the merge
+        assert merged.phase_totals(rank=1) == {
+            PHASE_AGGREGATION: 3.0,
+            PHASE_FILE_IO: 6.0,
+        }
+
+    def test_merge_sums_counters_and_concatenates_events(self):
+        a, b = Recorder(rank=0), Recorder(rank=1)
+        a.add(MPI_MESSAGES, 2, key=(0, 1))
+        b.add(MPI_MESSAGES, 3, key=(0, 1))
+        b.add(MPI_MESSAGES, 1, key=(1, 0))
+        a.event("x")
+        b.event("y")
+        merged = Recorder.merged([a, b])
+        assert merged.series(MPI_MESSAGES) == {(0, 1): 5.0, (1, 0): 1.0}
+        assert sorted(e.name for e in merged.events) == ["x", "y"]
+        assert {e.rank for e in merged.events} == {0, 1}
+
+
+class TestChromeExport:
+    def _sample_recorder(self):
+        clock = FakeClock()
+        rec = Recorder(rank=0, clock=clock)
+        with rec.span(PHASE_AGGREGATION):
+            clock.advance(0.5)
+        rec.event(EV_RETRY, attempt=0, error="boom")
+        rec.add(IO_RETRIES, 1)
+        return rec
+
+    def test_round_trips_through_json(self):
+        doc = to_chrome_trace(self._sample_recorder())
+        reparsed = json.loads(json.dumps(doc))
+        assert reparsed["displayTimeUnit"] == "ms"
+        assert reparsed["traceEvents"]
+
+    def test_event_structure(self):
+        doc = to_chrome_trace(self._sample_recorder())
+        by_ph = {}
+        for e in doc["traceEvents"]:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert set(by_ph) == {"M", "X", "i", "C"}
+        (span,) = by_ph["X"]
+        assert span["name"] == PHASE_AGGREGATION
+        assert span["ts"] == 0.0 and span["dur"] == pytest.approx(0.5e6)
+        (inst,) = by_ph["i"]
+        assert inst["name"] == EV_RETRY and inst["s"] == "t"
+        assert inst["args"]["error"] == "boom"
+        (counter,) = by_ph["C"]
+        assert counter["name"] == IO_RETRIES
+        assert counter["args"]["value"] == 1.0
+
+    def test_ranks_become_thread_tracks(self):
+        clock = FakeClock()
+        recs = []
+        for rank in (0, 1):
+            r = Recorder(rank=rank, clock=clock)
+            with r.span(PHASE_FILE_IO):
+                clock.advance(1.0)
+            recs.append(r)
+        doc = to_chrome_trace(Recorder.merged(recs))
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {0, 1}
+        names = {
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert names == {"rank 0", "rank 1"}
+
+    def test_timestamps_normalised_and_nonnegative(self):
+        doc = to_chrome_trace(self._sample_recorder())
+        tss = [e["ts"] for e in doc["traceEvents"] if "ts" in e]
+        assert min(tss) == 0.0
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+
+    def test_empty_recorder_is_valid(self):
+        doc = to_chrome_trace(Recorder())
+        assert doc["traceEvents"] == []
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestJsonlExport:
+    def test_every_line_parses_and_is_typed(self):
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        with rec.span(PHASE_FILE_IO, files=3):
+            clock.advance(1.0)
+        rec.add(IO_OPENS, 2, key=("data/f.pbin",))
+        rec.event(EV_FAULT, kind="transient", path="data/f.pbin")
+        lines = list(to_jsonl(rec))
+        objs = [json.loads(line) for line in lines]
+        assert [o["type"] for o in objs] == ["span", "counter", "event"]
+        span, counter, event = objs
+        assert span["name"] == PHASE_FILE_IO and span["args"]["files"] == 3
+        assert counter["key"] == ["data/f.pbin"] and counter["value"] == 2.0
+        assert event["args"]["kind"] == "transient"
+
+
+class TestWriterIntegration:
+    def test_write_result_views_derive_from_recorder(self):
+        _, _, results = write_dataset(nprocs=4, partition_factor=(1, 2, 2))
+        for r in results:
+            assert r.breakdown.phases == r.recorder.breakdown(cat="phase").phases
+            assert r.retries == int(r.recorder.total(IO_RETRIES))
+            assert r.retries == 0
+        agg = next(r for r in results if r.is_aggregator)
+        # all five pipeline phases were recorded as spans
+        assert set(agg.breakdown.phases) == {
+            "setup", "aggregation", "lod", "file_io", "metadata",
+        }
+
+    def test_backend_recorder_collects_file_table(self):
+        backend = VirtualBackend()
+        io_rec = Recorder(rank=-1)
+        backend.attach_recorder(io_rec)
+        write_dataset(nprocs=4, partition_factor=(1, 2, 2), backend=backend)
+        table = file_table(io_rec)
+        assert "manifest.json" in table
+        assert any(path.startswith("data/") for path in table)
+        for counters in table.values():
+            assert counters[IO_OPENS] >= 1
+        written = sum(c[IO_BYTES_WRITTEN] for c in table.values())
+        assert written == backend.total_stored_bytes()
+
+
+class TestFaultAccounting:
+    def test_retry_and_fault_events_match_report(self):
+        """Recorder retry/fault accounting, the reader's ReadReport, and the
+        fault plan's own counts must all agree."""
+        backend, _, _ = write_dataset(nprocs=4, partition_factor=(1, 2, 2))
+        plan = FaultPlan.transient_reads(
+            heal_after=1, path_glob="data/*", seed=3
+        )
+        faulty = FaultInjectingBackend(backend, plan)
+        rec = Recorder(rank=0)
+        faulty.attach_recorder(rec)
+        reader = SpatialReader(
+            faulty,
+            strict=False,
+            retry=RetryPolicy.immediate(max_attempts=3),
+            recorder=rec,
+        )
+        batch = reader.read_full()
+        report = reader.last_report
+
+        assert len(batch) == reader.total_particles  # all healed via retry
+        assert report is not None and report.complete
+        assert report.retries == faulty.fault_counts["transient"] > 0
+        assert report.retries == len(rec.events_named(EV_RETRY))
+        assert report.retries == int(rec.total(IO_RETRIES))
+        summary = retry_summary(rec)
+        assert summary["retries"] == report.retries
+        assert summary["faults.transient"] == faulty.fault_counts["transient"]
+        assert len(rec.events_named(EV_FAULT)) == faulty.faults_injected
+
+    def test_report_partition_counts_come_from_events(self):
+        backend, _, _ = write_dataset(nprocs=4, partition_factor=(1, 2, 2))
+        reader = SpatialReader(backend)
+        batch = reader.read_full()
+        report = reader.last_report
+        assert report is not None
+        assert report.partitions_read == reader.num_files
+        assert report.particles_read == len(batch)
+        assert report.partitions_skipped == 0
+
+
+class TestTrafficView:
+    def test_world_traffic_routes_through_recorder(self):
+        from repro.mpi import run_mpi
+        from repro.mpi.world import World
+
+        world = World(4)
+
+        def main(comm):
+            token = comm.rank
+            comm.isend(token, (comm.rank + 1) % comm.size, tag=9)
+            return comm.recv(source=(comm.rank - 1) % comm.size, tag=9)
+
+        run_mpi(4, main, world=world)
+        # the legacy TrafficStats view and the raw counters agree
+        assert world.stats.total_messages() == 4
+        assert world.stats.total_messages() == int(
+            world.recorder.total(MPI_MESSAGES)
+        )
+        assert world.stats.total_bytes() == int(
+            world.recorder.total(MPI_BYTES)
+        )
+        summary = traffic_summary(world.recorder)
+        assert summary["messages"] == 4
+        assert summary["offrank_bytes"] == world.stats.total_bytes(
+            include_self=False
+        )
+
+
+class TestModelExport:
+    def test_write_estimate_breakdown_and_recorder(self):
+        from repro.perf import THETA, simulate_write
+
+        est = simulate_write(THETA, 4096, 32_768, (2, 2, 2))
+        bd = est.breakdown
+        assert bd.phases[PHASE_AGGREGATION] == est.aggregation_time
+        assert bd.phases[PHASE_FILE_IO] == est.io_time
+        assert bd.phases[PHASE_METADATA] == est.metadata_time
+        assert bd.fraction(PHASE_AGGREGATION) == pytest.approx(
+            est.aggregation_fraction
+        )
+
+        rec = est.to_recorder()
+        assert rec.phase_totals(cat="model") == bd.phases
+        # spans tile the modelled write back-to-back from t=0
+        spans = sorted(rec.spans, key=lambda s: s.start)
+        assert spans[0].start == 0.0
+        for left, right in zip(spans, spans[1:]):
+            assert right.start == pytest.approx(left.end)
+        doc = to_chrome_trace(rec)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestSummaryLines:
+    def test_digest_mentions_each_section(self):
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        with rec.span(PHASE_FILE_IO):
+            clock.advance(1.0)
+        rec.add(MPI_MESSAGES, 2, key=(0, 1))
+        rec.add(MPI_BYTES, 64, key=(0, 1))
+        rec.add(IO_OPENS, 1, key=("data/x.pbin",))
+        text = "\n".join(summary_lines(rec))
+        assert "phases:" in text
+        assert "file_io" in text
+        assert "traffic:" in text
+        assert "files touched: 1" in text
+
+    def test_empty_recorder_digest(self):
+        assert summary_lines(Recorder()) == ["<empty recorder>"]

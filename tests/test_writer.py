@@ -200,3 +200,37 @@ class TestConfigValidation:
 
         with pytest.raises(RankFailedError):
             run_mpi(4, main)
+
+
+class TestAggregatorCollisionGuard:
+    """A rank owning two partitions would overwrite its own data file
+    (files are named per aggregator rank).  The writer must refuse loudly
+    instead of silently losing a partition."""
+
+    def test_multi_partition_aggregator_rejected(self):
+        decomp = PatchDecomposition.for_nprocs(Box([0, 0, 0], [1, 1, 1]), 4)
+        backend = VirtualBackend()
+
+        class CollidingWriter(SpatialWriter):
+            def build_grid(self, comm, decomp, local_count):
+                grid = super().build_grid(comm, decomp, local_count)
+                # Force every partition onto rank 0 — the mapping no
+                # supported grid produces, but a custom grid could.
+                grid.aggregators = [0] * grid.num_partitions
+                return grid
+
+        writer = CollidingWriter(WriterConfig(partition_factor=(1, 1, 2)))
+
+        def main(comm):
+            patch = decomp.patch_of_rank(comm.rank)
+            batch = uniform_particles(
+                patch, 50, dtype=MINIMAL_DTYPE, seed=3, rank=comm.rank
+            )
+            writer.write(comm, batch, decomp, backend)
+
+        with pytest.raises(RankFailedError, match="overwrite"):
+            run_mpi(4, main)
+
+    def test_normal_grids_unaffected(self):
+        backend, _, results = write_dataset(nprocs=8, partition_factor=(2, 2, 2))
+        assert all(len(r.files_written) <= 1 for r in results)
