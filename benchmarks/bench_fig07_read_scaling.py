@@ -8,10 +8,14 @@ model; a functional strong-scaling measurement at simulator scale confirms
 the per-case access patterns (files opened, bytes moved).
 """
 
+import time
+
 import pytest
 
 from repro.core import SpatialReader
+from repro.dataset import Dataset
 from repro.domain import Box
+from repro.io import PosixBackend, SerialExecutor, ThreadedExecutor
 from repro.perf import THETA, WORKSTATION, simulate_parallel_read
 from repro.utils import Table
 from repro.workloads import (
@@ -83,6 +87,72 @@ def test_fig07_file_count_penalty_larger_on_theta(report, benchmark):
     assert penalties["Theta"] > penalties["SSD workstation"]
     assert penalties["SSD workstation"] < 1.1  # 'almost comparable' on SSDs
     benchmark(lambda: simulate_parallel_read(THETA, 64, FILES_111, TOTAL_BYTES))
+
+
+def test_fig07_executor_scaling(tmp_path, report, bench_json, benchmark):
+    """Concurrent per-file reads: threaded beats serial on a real dataset.
+
+    The single-reader half of the Fig. 7 story the paper leaves implicit:
+    even one reading process can overlap its independent per-file requests.
+    A 16-file dataset on a real (POSIX) filesystem is read serially and
+    with thread pools of 2/4/8 workers; both the reads and the CRC
+    verification release the GIL, so wall-clock must drop.  Results —
+    including the bit-identity check — land in BENCH_fig07_executor_scaling.json.
+    """
+    backend, _, _ = write_dataset(
+        nprocs=16,
+        partition_factor=(1, 1, 1),
+        particles_per_rank=40_000,
+        backend=PosixBackend(tmp_path / "ds"),
+    )
+    expected = Dataset(backend).reader().read_full()
+    total_bytes = expected.data.nbytes
+
+    def best_of(executor, repeats=3):
+        reader = Dataset(backend, executor=executor).reader()
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            batch = reader.read_full()
+            best = min(best, time.perf_counter() - t0)
+            # Interchangeability is part of the claim: identical bytes.
+            assert batch.tobytes() == expected.tobytes()
+        return best
+
+    timings = {"serial": best_of(SerialExecutor())}
+    for workers in (2, 4, 8):
+        timings[f"threaded_{workers}"] = best_of(ThreadedExecutor(workers))
+
+    table = Table(
+        ["executor", "seconds", "GB/s", "speedup vs serial"],
+        title="Fig. 7 (executor) — 16-file POSIX read, serial vs threaded",
+    )
+    for name, t in timings.items():
+        table.add_row(
+            [name, f"{t:.4f}", f"{total_bytes / t / 1e9:.2f}",
+             f"{timings['serial'] / t:.2f}x"]
+        )
+    report("fig07_executor_scaling", table)
+    bench_json(
+        "fig07_executor_scaling",
+        {
+            "figure": "fig07",
+            "files": 16,
+            "particles": 16 * 40_000,
+            "dataset_bytes": total_bytes,
+            "seconds": timings,
+            "speedup_vs_serial": {
+                k: timings["serial"] / v for k, v in timings.items()
+            },
+            "bit_identical": True,
+        },
+    )
+
+    best_threaded = min(v for k, v in timings.items() if k != "serial")
+    assert best_threaded < timings["serial"]
+    benchmark(
+        lambda: Dataset(backend, executor=ThreadedExecutor(4)).reader().read_full()
+    )
 
 
 def test_fig07_functional_access_patterns(report, benchmark):

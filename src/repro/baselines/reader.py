@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dataset import Dataset
 from repro.domain.box import Box
 from repro.errors import DataFileError
 from repro.format.datafile import read_data_file
-from repro.format.manifest import Manifest
 from repro.io.backend import FileBackend
 from repro.particles.batch import ParticleBatch, concatenate
 
@@ -24,7 +24,7 @@ class UnstructuredReader:
     def __init__(self, backend: FileBackend, actor: int = -1):
         self.backend = backend
         self.actor = actor
-        self.manifest = Manifest.read(backend, actor=actor)
+        self.manifest = Dataset(backend, actor=actor).read_manifest()
         names = backend.listdir("data")
         if not names:
             raise DataFileError("dataset has no data files")

@@ -36,22 +36,21 @@ from repro.utils.units import GB, format_bytes, format_seconds
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    from repro.core.reader import SpatialReader
-    from repro.io.posix import PosixBackend
+    from repro.dataset import Dataset
 
-    reader = SpatialReader(PosixBackend(args.dataset, create=False))
-    m = reader.manifest
+    ds = Dataset.open(args.dataset)
+    m = ds.manifest
     print(f"dataset         : {args.dataset}")
-    print(f"particles       : {reader.total_particles}")
-    print(f"files           : {reader.num_files}")
+    print(f"particles       : {ds.total_particles}")
+    print(f"files           : {ds.num_files}")
     print(f"dtype           : {m.dtype}")
     print(f"LOD             : P={m.lod_base} S={m.lod_scale} "
           f"heuristic={m.lod_heuristic}")
-    print(f"domain          : {reader.domain()}")
-    if reader.metadata.attr_names:
-        print(f"indexed attrs   : {', '.join(reader.metadata.attr_names)}")
+    print(f"domain          : {ds.domain()}")
+    if ds.metadata.attr_names:
+        print(f"indexed attrs   : {', '.join(ds.metadata.attr_names)}")
     table = Table(["box id", "agg rank", "file", "particles", "lo", "hi"])
-    for rec in reader.metadata:
+    for rec in ds.metadata:
         table.add_row(
             [
                 rec.box_id,
@@ -67,11 +66,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.core.reader import SpatialReader
+    from repro.dataset import Dataset
     from repro.domain.box import Box
-    from repro.io.posix import PosixBackend
+    from repro.io.executor import executor_for
 
-    reader = SpatialReader(PosixBackend(args.dataset, create=False))
+    reader = Dataset.open(args.dataset, executor=executor_for(args.workers)).reader()
     box = Box(args.box[:3], args.box[3:])
     plan = reader.plan_box_read(box, max_level=args.level, nreaders=args.readers)
     hits = reader.execute(plan, exact=True)
@@ -122,10 +121,11 @@ def _cmd_write(args: argparse.Namespace) -> int:
 
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
-    from repro.core.scrub import scrub_dataset
-    from repro.io.posix import PosixBackend
+    from repro.dataset import Dataset
+    from repro.io.executor import executor_for
 
-    report = scrub_dataset(PosixBackend(args.dataset, create=False))
+    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    report = ds.scrub()
     for line in report.summary_lines():
         print(line)
     return 0 if report.ok else 1
@@ -174,10 +174,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if backend.exists(MANIFEST_PATH):
         # Existing dataset: trace a full instrumented read.
-        from repro.core.reader import SpatialReader
+        from repro.dataset import Dataset
         from repro.domain.box import Box
+        from repro.io.executor import executor_for
 
-        reader = SpatialReader(backend, strict=False)
+        reader = Dataset(
+            backend, strict=False, executor=executor_for(args.workers)
+        ).reader()
         if args.box is not None:
             box = Box(args.box[:3], args.box[3:])
             plan = reader.plan_box_read(box, max_level=args.level)
@@ -252,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"))
     p.add_argument("--level", type=int, default=None, help="max LOD level")
     p.add_argument("--readers", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent per-file reads (1 = serial)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("write", help="write a synthetic dataset")
@@ -267,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scrub", help="verify a dataset's integrity invariants")
     p.add_argument("dataset")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent per-file verification (1 = serial)")
     p.set_defaults(func=_cmd_scrub)
 
     p = sub.add_parser("estimate", help="performance-model write estimate")
@@ -296,6 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--factor", nargs=3, type=int, default=[2, 2, 2],
                    help="synthetic-write mode: partition factor")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="read mode: concurrent per-file reads (1 = serial)")
     p.set_defaults(func=_cmd_trace)
     return parser
 

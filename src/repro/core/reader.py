@@ -33,6 +33,15 @@ Instrumentation: every reader owns an obs
 verified), and the retry policy deposits retry events into the same
 recorder — :class:`ReadReport` is *derived* from that event stream
 (:meth:`ReadReport.from_events`), not maintained as parallel state.
+
+Concurrency: per-file plan entries are independent, so execution routes
+through the dataset's :class:`~repro.io.executor.IoExecutor`.  The
+default :class:`~repro.io.executor.SerialExecutor` reproduces the
+historic inline loop; a :class:`~repro.io.executor.ThreadedExecutor`
+overlaps the per-file reads (POSIX I/O and CRC verification release the
+GIL).  Each entry runs against a child recorder that is merged back in
+plan order, so the event stream — and therefore ``ReadReport`` and any
+exported trace — is bit-identical whichever executor ran the plan.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.lod import lod_prefix_counts
+from repro.dataset import Dataset
 from repro.domain.box import Box
 from repro.errors import (
     BackendError,
@@ -52,8 +62,7 @@ from repro.errors import (
     TransientBackendError,
 )
 from repro.format.datafile import read_data_file, read_data_prefix
-from repro.format.manifest import Manifest
-from repro.format.metadata import MetadataRecord, SpatialMetadata
+from repro.format.metadata import MetadataRecord
 from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
 from repro.obs.names import (
@@ -62,7 +71,6 @@ from repro.obs.names import (
     EV_PREFIX_VERIFIED,
     EV_RETRY,
     PHASE_FILE_IO,
-    PHASE_METADATA,
 )
 from repro.obs.recorder import Event, Recorder
 from repro.particles.batch import ParticleBatch, concatenate
@@ -169,36 +177,54 @@ def _skip_reason(exc: Exception) -> str:
 
 
 class SpatialReader:
-    """Reader over one dataset directory (a backend rooted at the dataset).
+    """Reader over one dataset (a :class:`~repro.dataset.Dataset` facade).
+
+    Accepts either an open/openable ``Dataset`` — whose policy bundle
+    (strict, retry, recorder, executor) the reader adopts wholesale — or,
+    for convenience, a bare backend plus the policy keywords, which are
+    forwarded to a new facade.
 
     ``strict=True`` (default): any unrecoverable per-file error aborts the
     read, exactly as before.  ``strict=False``: the read degrades — bad
     partitions are skipped, the partial result is returned, and
     :attr:`last_report` says what is missing.  Transient backend faults are
-    retried under ``retry`` in both modes.
+    retried under ``retry`` in both modes.  Per-file plan entries execute
+    on the dataset's :class:`~repro.io.executor.IoExecutor`.
     """
 
     def __init__(
         self,
-        backend: FileBackend,
+        source: Dataset | FileBackend,
         actor: int = -1,
         strict: bool = True,
         retry: RetryPolicy | None = None,
         recorder: Recorder | None = None,
+        executor=None,
     ):
-        self.backend = backend
-        self.actor = actor
-        self.strict = strict
-        self.retry = retry or RetryPolicy()
+        if isinstance(source, Dataset):
+            dataset = source
+        else:
+            dataset = Dataset(
+                source,
+                actor=actor,
+                strict=strict,
+                retry=retry,
+                recorder=recorder,
+                executor=executor,
+            )
+        #: the facade owning the open/validate lifecycle and policy bundle.
+        self.dataset = dataset.load()
+        self.backend = dataset.backend
+        self.actor = dataset.actor
+        self.strict = dataset.strict
+        self.retry = dataset.retry
+        self.executor = dataset.executor
         #: instrumentation record of everything this reader does.
-        self.recorder = recorder if recorder is not None else Recorder(
-            rank=max(actor, 0)
-        )
+        self.recorder = dataset.recorder
         #: report of the most recent plan execution (None before any read).
         self.last_report: ReadReport | None = None
-        with self.recorder.span(PHASE_METADATA, cat="read"):
-            self.manifest = Manifest.read(backend, actor=actor)
-            self.metadata = SpatialMetadata.read(backend, actor=actor)
+        self.manifest = dataset.manifest
+        self.metadata = dataset.metadata
 
     # -- basic facts -----------------------------------------------------------
 
@@ -240,8 +266,21 @@ class SpatialReader:
             base=self.manifest.lod_base,
             scale=self.manifest.lod_scale,
         )
-        index = {id(r): i for i, r in enumerate(self.metadata.records)}
-        return [prefixes[index[id(rec)]] for rec in records]
+        # Index by box_id (unique per table — validated on load), so plans
+        # built from copied or sliced record lists still resolve; an
+        # identity (id()) index silently KeyErrors on equal-but-distinct
+        # record objects.
+        index = {r.box_id: i for i, r in enumerate(self.metadata.records)}
+        out = []
+        for rec in records:
+            i = index.get(rec.box_id)
+            if i is None:
+                raise QueryError(
+                    f"record box_id {rec.box_id} is not in this dataset's "
+                    "spatial metadata table"
+                )
+            out.append(prefixes[i])
+        return out
 
     def plan_box_read(
         self,
@@ -278,8 +317,16 @@ class SpatialReader:
 
     # -- execution --------------------------------------------------------------
 
-    def _read_entry(self, rec: MetadataRecord, count: int) -> ParticleBatch:
-        """Read one plan entry with retries and prefix verification."""
+    def _read_entry(
+        self, rec: MetadataRecord, count: int, recorder: Recorder | None = None
+    ) -> ParticleBatch:
+        """Read one plan entry with retries and prefix verification.
+
+        ``recorder`` is the entry's child recorder when run on an
+        executor; retry events and verification events land there and are
+        merged back in plan order by :meth:`execute`.
+        """
+        recorder = recorder if recorder is not None else self.recorder
         if count == rec.particle_count:
             return self.retry.call(
                 read_data_file,
@@ -287,7 +334,7 @@ class SpatialReader:
                 rec.file_path,
                 self.dtype,
                 self.actor,
-                recorder=self.recorder,
+                recorder=recorder,
             )
         batch = self.retry.call(
             read_data_prefix,
@@ -296,12 +343,14 @@ class SpatialReader:
             self.dtype,
             count,
             actor=self.actor,
-            recorder=self.recorder,
+            recorder=recorder,
         )
-        self._verify_prefix(rec.file_path, batch)
+        self._verify_prefix(rec.file_path, batch, recorder)
         return batch
 
-    def _verify_prefix(self, path: str, batch: ParticleBatch) -> None:
+    def _verify_prefix(
+        self, path: str, batch: ParticleBatch, recorder: Recorder | None = None
+    ) -> None:
         """Check a prefix read against the manifest's per-LOD checksums.
 
         Ranged reads never see the v2 file footer, so this is the only
@@ -309,6 +358,7 @@ class SpatialReader:
         lands exactly on a recorded LOD boundary (checksums are prefix CRCs
         — they cannot verify arbitrary lengths).
         """
+        recorder = recorder if recorder is not None else self.recorder
         entry = self.manifest.checksums.get(path)
         if not entry:
             return
@@ -321,27 +371,46 @@ class SpatialReader:
                         f"CRC32 {actual:#010x}, manifest records "
                         f"{int(rec_crc):#010x}"
                     )
-                self.recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(batch))
+                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(batch))
                 return
 
     def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
         """Run a plan.  ``exact=True`` filters particles to the plan's box.
 
-        Strict readers raise on the first unrecoverable error; non-strict
-        readers skip the partition and log it in :attr:`last_report`.
+        Per-file entries are independent, so they run on the dataset's
+        :class:`~repro.io.executor.IoExecutor` (fail-fast in strict
+        mode).  Outcomes are consumed in plan order and each entry's
+        child recorder is merged back before its partition event is
+        emitted, so batches, :attr:`last_report`, and the recorder's
+        event stream are identical whichever executor ran the plan.
+
+        Strict readers raise on the first (in plan order) unrecoverable
+        error; non-strict readers skip the partition and log it in
+        :attr:`last_report`.
         """
+        entries = [(rec, count) for rec, count in plan.entries if count > 0]
         mark = self.recorder.event_mark()
         batches: list[ParticleBatch] = []
         try:
             with self.recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
-                for rec, count in plan.entries:
-                    if count == 0:
-                        continue
-                    try:
-                        batch = self._read_entry(rec, count)
-                    except (BackendError, FormatError) as exc:
-                        if self.strict:
-                            raise
+                tasks = [
+                    (lambda r, rec=rec, count=count: self._read_entry(rec, count, r))
+                    for rec, count in entries
+                ]
+                outcomes = self.executor.run(
+                    tasks, self.recorder, fail_fast=self.strict
+                )
+                for (rec, _count), outcome in zip(entries, outcomes):
+                    if not outcome.ran:
+                        break  # fail-fast cut the tail; the error already raised
+                    if outcome.recorder is not None:
+                        self.recorder.merge(outcome.recorder)
+                    if outcome.error is not None:
+                        exc = outcome.error
+                        if self.strict or not isinstance(
+                            exc, (BackendError, FormatError)
+                        ):
+                            raise exc
                         self.recorder.event(
                             EV_PARTITION_SKIPPED,
                             path=rec.file_path,
@@ -354,9 +423,9 @@ class SpatialReader:
                         EV_PARTITION_READ,
                         path=rec.file_path,
                         box_id=rec.box_id,
-                        particles=len(batch),
+                        particles=len(outcome.value),
                     )
-                    batches.append(batch)
+                    batches.append(outcome.value)
         finally:
             self.last_report = ReadReport.from_events(
                 self.recorder.events_since(mark)

@@ -13,6 +13,7 @@ losing particles across a restart is the catastrophic failure mode.
 from __future__ import annotations
 
 from repro.core.reader import SpatialReader
+from repro.dataset import Dataset
 from repro.domain.decomposition import PatchDecomposition
 from repro.errors import QueryError
 from repro.mpi.comm import SimComm
@@ -21,7 +22,7 @@ from repro.particles.batch import ParticleBatch
 
 def read_for_decomposition(
     comm: SimComm,
-    reader: SpatialReader,
+    reader: SpatialReader | Dataset,
     decomp: PatchDecomposition,
     verify_conservation: bool = True,
 ) -> ParticleBatch:
@@ -36,11 +37,15 @@ def read_for_decomposition(
         The restart job's communicator; ``comm.size`` must match
         ``decomp.nprocs`` (which may differ from the writing job's size).
     reader:
-        Open reader on the checkpoint dataset.
+        Open reader on the checkpoint dataset, or a
+        :class:`~repro.dataset.Dataset` facade (a reader is derived from
+        it, inheriting its policy bundle).
     verify_conservation:
         When True (default), allreduce the per-rank counts and compare with
         the metadata total, raising on any loss or duplication.
     """
+    if isinstance(reader, Dataset):
+        reader = reader.reader()
     if decomp.nprocs != comm.size:
         raise QueryError(
             f"restart decomposition has {decomp.nprocs} patches for "

@@ -21,6 +21,14 @@ silent corruption of committed data, which needs another replica.
 writer's two-phase protocol: ``manifest.json`` is written last, so a
 dataset without a parseable manifest (or with manifest-referenced pieces
 missing) is an aborted write, never a valid dataset.
+
+Both entry points accept a :class:`~repro.dataset.Dataset` (or anything
+:func:`~repro.dataset.as_dataset` coerces) and run the per-file
+verification work — the expensive part of a scrub — on the dataset's
+:class:`~repro.io.executor.IoExecutor`.  Each file's checks are
+independent and produce a partial report; partials merge back in metadata
+order, so the final :class:`ScrubReport` is identical whichever executor
+ran the scrub.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from repro.dataset import Dataset, as_dataset
 from repro.errors import (
     BackendError,
     ChecksumError,
@@ -100,7 +109,7 @@ class ScrubReport:
         return lines
 
 
-def dataset_is_complete(backend: FileBackend) -> bool:
+def dataset_is_complete(source: Dataset | FileBackend) -> bool:
     """Whether the dataset committed: manifest present, parseable, and every
     piece it references on disk.
 
@@ -109,21 +118,29 @@ def dataset_is_complete(backend: FileBackend) -> bool:
     returning False — either the marker is missing/torn, or it never covers
     missing pieces (the marker is written only after everything else).
     """
-    if not backend.exists(MANIFEST_PATH) or not backend.exists(META_PATH):
+    ds = as_dataset(source)
+    if not ds.manifest_exists() or not ds.metadata_exists():
         return False
     try:
-        manifest = Manifest.read(backend)
-        metadata = SpatialMetadata.read(backend)
+        manifest = ds.read_manifest()
+        metadata = ds.read_metadata()
     except FormatError:
         return False
     if manifest.num_files != len(metadata.records):
         return False
-    return all(backend.exists(rec.file_path) for rec in metadata.records)
+    return all(ds.backend.exists(rec.file_path) for rec in metadata.records)
 
 
 def _scrub_data_file(
-    backend: FileBackend, manifest: Manifest, rec, report: ScrubReport
-) -> None:
+    backend: FileBackend, manifest: Manifest, rec
+) -> ScrubReport:
+    """Verify one referenced data file; returns a partial report.
+
+    Pure with respect to shared state (nothing is mutated), which is what
+    lets :func:`scrub_dataset` fan the per-file checks out on an executor
+    and merge the partials back in metadata order.
+    """
+    report = ScrubReport()
     path = rec.file_path
     try:
         size = backend.size(path) if backend.exists(path) else None
@@ -132,14 +149,14 @@ def _scrub_data_file(
     if size is None:
         report.add(path, "data-missing", "referenced by spatial.meta but absent",
                    repairable=True)
-        return
+        return report
     report.files_checked += 1
 
     try:
         header_count = peek_particle_count(backend, path)
     except (BackendError, DataFileError) as exc:
         report.add(path, "data-header", str(exc), repairable=True)
-        return
+        return report
     if header_count != rec.particle_count:
         report.add(
             path,
@@ -147,13 +164,13 @@ def _scrub_data_file(
             f"header says {header_count} particles, "
             f"spatial.meta says {rec.particle_count}",
         )
-        return
+        return report
 
     try:
         batch = read_data_file(backend, path, manifest.dtype)
     except ChecksumError as exc:
         report.add(path, "data-checksum", str(exc))
-        return
+        return report
     except DataFileError as exc:
         msg = str(exc)
         if "expected" in msg and "bytes" in msg:
@@ -163,10 +180,10 @@ def _scrub_data_file(
         else:
             code = "data-corrupt"
         report.add(path, code, msg, repairable=code == "data-truncated")
-        return
+        return report
     except BackendError as exc:
         report.add(path, "data-unreadable", str(exc), repairable=True)
-        return
+        return report
     report.bytes_verified += size
 
     recorded = manifest.checksums.get(path)
@@ -186,28 +203,36 @@ def _scrub_data_file(
                 "prefix-checksum-mismatch",
                 "per-LOD prefix checksums disagree with the data file",
             )
+    return report
 
 
-def scrub_dataset(backend: FileBackend) -> ScrubReport:
-    """Verify every checksum/header/count invariant of one dataset."""
+def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
+    """Verify every checksum/header/count invariant of one dataset.
+
+    Per-file verification (existence, header, full-read CRC, manifest
+    checksum recomputation) runs on the dataset's executor; partial
+    reports merge back in metadata order so the result is deterministic.
+    """
+    ds = as_dataset(source)
+    backend = ds.backend
     report = ScrubReport()
-    report.complete = dataset_is_complete(backend)
+    report.complete = dataset_is_complete(ds)
 
     # 1. Manifest — without it there is no committed dataset and no dtype.
     manifest = None
-    if not backend.exists(MANIFEST_PATH):
+    if not ds.manifest_exists():
         report.add(MANIFEST_PATH, "manifest-missing",
                    "no commit marker: write never completed", repairable=True)
     else:
         try:
-            manifest = Manifest.read(backend)
+            manifest = ds.read_manifest()
         except FormatError as exc:
             report.add(MANIFEST_PATH, "manifest-corrupt", str(exc), repairable=True)
 
     # 2. Spatial metadata table.
     metadata = None
     raw_meta = None
-    if not backend.exists(META_PATH):
+    if not ds.metadata_exists():
         report.add(META_PATH, "metadata-missing",
                    "spatial metadata table absent", repairable=True)
     else:
@@ -252,10 +277,23 @@ def scrub_dataset(backend: FileBackend) -> ScrubReport:
                 "on disk",
             )
 
-    # 4. Every referenced data file.
+    # 4. Every referenced data file — independent checks, fanned out on the
+    #    dataset's executor; partials merge back in metadata order.
     if manifest is not None and metadata is not None:
-        for rec in metadata.records:
-            _scrub_data_file(backend, manifest, rec, report)
+        mf = manifest
+        tasks = [
+            (lambda _recorder, rec=rec: _scrub_data_file(backend, mf, rec))
+            for rec in metadata.records
+        ]
+        for outcome in ds.executor.run(tasks, ds.recorder):
+            if outcome.recorder is not None:
+                ds.recorder.merge(outcome.recorder)
+            if outcome.error is not None:
+                raise outcome.error
+            part = outcome.value
+            report.issues.extend(part.issues)
+            report.files_checked += part.files_checked
+            report.bytes_verified += part.bytes_verified
 
         # 5. Orphans: files in data/ the table does not reference.
         referenced = {rec.file_path for rec in metadata.records}

@@ -1,0 +1,22 @@
+"""The unified dataset access layer.
+
+Every consumer of an on-disk dataset — the spatial reader, the scrubber,
+the series reader, the baselines, restart, the CLI — opens it through one
+facade, :class:`Dataset`, which owns the whole open/validate lifecycle:
+manifest + spatial-metadata loading, format-version checks, the
+strict/degraded policy, the retry policy, the obs recorder, and the I/O
+executor that runs per-file work.  Before this layer existed each
+consumer re-implemented its own ``Manifest.read`` + ``SpatialMetadata.read``
+wiring; now :mod:`repro.dataset` is the only place those are called.
+
+    from repro.dataset import Dataset
+    from repro.io.executor import ThreadedExecutor
+
+    ds = Dataset.open("out/my_dataset", executor=ThreadedExecutor(8))
+    reader = ds.reader()                  # concurrent per-file reads
+    report = ds.scrub()                   # concurrent per-file verification
+"""
+
+from repro.dataset.facade import Dataset, as_dataset, open_dataset
+
+__all__ = ["Dataset", "as_dataset", "open_dataset"]

@@ -1,0 +1,216 @@
+"""The :class:`Dataset` facade: one open/validate lifecycle for all consumers.
+
+A dataset on disk is three things — ``manifest.json`` (the commit marker
+and dtype/LOD/provenance record), ``spatial.meta`` (the binary per-file
+table), and ``data/*`` (the particle files).  Opening one correctly means
+reading the first two in order, validating their format versions and
+checksums, and then carrying a consistent policy bundle (strict vs.
+degraded, retry, instrumentation, execution) into every per-file
+operation that follows.
+
+:class:`Dataset` owns exactly that bundle:
+
+* ``backend`` — where the bytes live (or a path, wrapped in a read-only
+  :class:`~repro.io.posix.PosixBackend`);
+* ``strict`` — raise on the first unrecoverable per-file error (True) or
+  degrade and report (False);
+* ``retry`` — the :class:`~repro.io.retry.RetryPolicy` applied to
+  transient backend faults;
+* ``recorder`` — the obs :class:`~repro.obs.recorder.Recorder` every
+  lifecycle phase and derived component records into;
+* ``executor`` — the :class:`~repro.io.executor.IoExecutor` that runs
+  independent per-file operations (serial by default, threaded for real
+  concurrency on GIL-releasing backends).
+
+Consumers hang off the facade: :meth:`reader` (spatial queries),
+:meth:`scrub` (integrity verification), :meth:`is_complete` (the commit
+probe).  This module is the **only** place in the library that calls
+``Manifest.read`` / ``SpatialMetadata.read`` — everything else goes
+through here.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.format.manifest import MANIFEST_PATH, Manifest
+from repro.format.metadata import META_PATH, SpatialMetadata
+from repro.io.backend import FileBackend
+from repro.io.executor import IoExecutor, SerialExecutor
+from repro.io.retry import RetryPolicy
+from repro.obs.names import PHASE_METADATA
+from repro.obs.recorder import Recorder
+
+if TYPE_CHECKING:  # circular at runtime: core imports repro.dataset
+    from repro.core.reader import SpatialReader
+    from repro.core.scrub import ScrubReport
+
+__all__ = ["Dataset", "open_dataset", "as_dataset"]
+
+
+def _as_backend(target: FileBackend | str | os.PathLike) -> FileBackend:
+    """Paths become read-only POSIX backends; backends pass through."""
+    if isinstance(target, FileBackend):
+        return target
+    from repro.io.posix import PosixBackend
+
+    return PosixBackend(target, create=False)
+
+
+class Dataset:
+    """One dataset plus the policy bundle every consumer shares.
+
+    Construction is cheap and never touches storage; :meth:`load` (or the
+    eager :meth:`open` classmethod) reads and validates the manifest and
+    spatial-metadata table under a ``metadata`` span.  The ``manifest`` /
+    ``metadata`` properties load lazily on first access, so
+    consumers that only need one piece (or none — scrubbing a damaged
+    dataset) can use the granular ``read_*`` methods instead.
+    """
+
+    def __init__(
+        self,
+        target: FileBackend | str | os.PathLike,
+        *,
+        actor: int = -1,
+        strict: bool = True,
+        retry: RetryPolicy | None = None,
+        recorder: Recorder | None = None,
+        executor: IoExecutor | None = None,
+    ):
+        self.backend = _as_backend(target)
+        self.actor = actor
+        self.strict = strict
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.recorder = (
+            recorder if recorder is not None else Recorder(rank=max(actor, 0))
+        )
+        self.executor = executor if executor is not None else SerialExecutor()
+        self._manifest: Manifest | None = None
+        self._metadata: SpatialMetadata | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, target: FileBackend | str | os.PathLike, **kwargs: object
+    ) -> "Dataset":
+        """Construct and eagerly load/validate — the common entry point."""
+        return cls(target, **kwargs).load()  # type: ignore[arg-type]
+
+    def load(self) -> "Dataset":
+        """Read + validate manifest and spatial metadata (idempotent).
+
+        Both reads happen under one ``metadata`` span on the dataset's
+        recorder; format-version and checksum validation happens inside
+        the format layer and surfaces as
+        :class:`~repro.errors.FormatError` subclasses.
+        """
+        if self._manifest is None or self._metadata is None:
+            with self.recorder.span(PHASE_METADATA, cat="read"):
+                self._manifest = Manifest.read(self.backend, actor=self.actor)
+                self._metadata = SpatialMetadata.read(self.backend, actor=self.actor)
+        return self
+
+    @property
+    def loaded(self) -> bool:
+        return self._manifest is not None and self._metadata is not None
+
+    @property
+    def manifest(self) -> Manifest:
+        if self._manifest is None:
+            self.load()
+        assert self._manifest is not None
+        return self._manifest
+
+    @property
+    def metadata(self) -> SpatialMetadata:
+        if self._metadata is None:
+            self.load()
+        assert self._metadata is not None
+        return self._metadata
+
+    # -- granular pieces (scrub and manifest-only formats) -------------------
+
+    def manifest_exists(self) -> bool:
+        return self.backend.exists(MANIFEST_PATH)
+
+    def metadata_exists(self) -> bool:
+        return self.backend.exists(META_PATH)
+
+    def read_manifest(self) -> Manifest:
+        """Read just the manifest, uncached.
+
+        For consumers of manifest-only datasets (the baselines' formats
+        carry no spatial table) and for scrubbing, where each piece is
+        probed independently with its own error policy.
+        """
+        return Manifest.read(self.backend, actor=self.actor)
+
+    def read_metadata(self) -> SpatialMetadata:
+        """Read just the spatial table, uncached (see :meth:`read_manifest`)."""
+        return SpatialMetadata.read(self.backend, actor=self.actor)
+
+    # -- basic facts ---------------------------------------------------------
+
+    @property
+    def dtype(self):
+        return self.manifest.dtype
+
+    @property
+    def total_particles(self) -> int:
+        return self.metadata.total_particles
+
+    @property
+    def num_files(self) -> int:
+        return len(self.metadata)
+
+    def domain(self):
+        return self.metadata.domain()
+
+    # -- consumers -----------------------------------------------------------
+
+    def reader(self) -> "SpatialReader":
+        """A spatial reader bound to this dataset's policy bundle."""
+        from repro.core.reader import SpatialReader
+
+        return SpatialReader(self)
+
+    def scrub(self) -> "ScrubReport":
+        """Verify every on-disk invariant (per-file work on the executor)."""
+        from repro.core.scrub import scrub_dataset
+
+        return scrub_dataset(self)
+
+    def is_complete(self) -> bool:
+        """The two-phase-commit probe: marker present and everything it
+        references on disk."""
+        from repro.core.scrub import dataset_is_complete
+
+        return dataset_is_complete(self)
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.loaded else "unloaded"
+        return (
+            f"Dataset({self.backend!r}, {state}, strict={self.strict}, "
+            f"executor={self.executor!r})"
+        )
+
+
+def open_dataset(
+    target: FileBackend | str | os.PathLike, **kwargs: object
+) -> Dataset:
+    """Module-level alias of :meth:`Dataset.open`."""
+    return Dataset.open(target, **kwargs)
+
+
+def as_dataset(target: "Dataset | FileBackend | str | os.PathLike", **kwargs: object) -> Dataset:
+    """Coerce a backend/path into an (unloaded) facade; pass facades through.
+
+    The adapter consumers use to accept either form without re-wrapping a
+    caller-configured dataset (which would drop its policy bundle).
+    """
+    if isinstance(target, Dataset):
+        return target
+    return Dataset(target, **kwargs)  # type: ignore[arg-type]

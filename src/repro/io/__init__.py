@@ -18,9 +18,21 @@ Fault tolerance lives alongside the backends:
   crash-after-K-writes) — the failure-matrix test harness;
 * :class:`RetryPolicy` retries transient failures with deterministic
   exponential backoff; the writer and reader apply it on their hot paths.
+
+Execution lives here too: :class:`IoExecutor` (and its
+:class:`SerialExecutor` / :class:`ThreadedExecutor` implementations) runs
+independent per-file operations — serially or on a bounded thread pool —
+with deterministic result order and per-task child recorders.
 """
 
 from repro.io.backend import FileBackend, IoOp
+from repro.io.executor import (
+    IoExecutor,
+    SerialExecutor,
+    TaskOutcome,
+    ThreadedExecutor,
+    executor_for,
+)
 from repro.io.faults import FaultInjectingBackend, FaultPlan, FaultSpec, InjectedCrashError
 from repro.io.posix import PosixBackend
 from repro.io.prefix import PrefixBackend
@@ -39,4 +51,9 @@ __all__ = [
     "InjectedCrashError",
     "RetryPolicy",
     "RetryStats",
+    "IoExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "TaskOutcome",
+    "executor_for",
 ]

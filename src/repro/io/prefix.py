@@ -8,6 +8,7 @@ every dataset-level component keeps using its canonical relative paths
 from __future__ import annotations
 
 from repro.io.backend import FileBackend
+from repro.obs.recorder import Recorder
 
 
 class PrefixBackend(FileBackend):
@@ -18,6 +19,12 @@ class PrefixBackend(FileBackend):
         self.prefix = self._normalize(prefix)
         if not self.prefix:
             raise ValueError("prefix must be non-empty; use the base backend directly")
+
+    def attach_recorder(self, recorder: Recorder | None) -> None:
+        """Forward to ``base`` — every actual I/O op runs there, so counters
+        must accumulate on the backend that executes the operations."""
+        self.recorder = recorder
+        self.base.attach_recorder(recorder)
 
     def _full(self, path: str) -> str:
         path = self._normalize(path)

@@ -257,6 +257,19 @@ class Recorder:
 
     # -- merging -------------------------------------------------------------
 
+    def child(self) -> "Recorder":
+        """A fresh, empty recorder sharing this one's rank and clock.
+
+        This is the worker-side half of concurrent instrumentation: an
+        :class:`~repro.io.executor.IoExecutor` hands every task its own
+        child recorder, and the caller merges the children back in
+        submission order — so records from concurrently executing tasks
+        never interleave in the parent, and derived views (e.g.
+        ``ReadReport.from_events``) see the same stream serial execution
+        would have produced.
+        """
+        return Recorder(rank=self.rank, clock=self._clock)
+
     def merge(self, other: "Recorder") -> "Recorder":
         """Fold ``other`` into this recorder in place; returns ``self``.
 

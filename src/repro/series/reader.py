@@ -1,13 +1,23 @@
-"""Reading a timestep series."""
+"""Reading a timestep series.
+
+Each timestep is an ordinary dataset under a prefix; opening one goes
+through the :class:`~repro.dataset.Dataset` facade, so the whole policy
+bundle (strict/degraded, retry, recorder, executor) set on the
+:class:`SeriesReader` carries into every per-step reader.
+"""
 
 from __future__ import annotations
 
 from typing import Iterator
 
 from repro.core.reader import SpatialReader
+from repro.dataset import Dataset
 from repro.domain.box import Box
 from repro.io.backend import FileBackend
+from repro.io.executor import IoExecutor
 from repro.io.prefix import PrefixBackend
+from repro.io.retry import RetryPolicy
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 from repro.series.index import SeriesIndex, StepInfo
 
@@ -15,9 +25,21 @@ from repro.series.index import SeriesIndex, StepInfo
 class SeriesReader:
     """Opens timesteps of a series as ordinary spatial readers."""
 
-    def __init__(self, backend: FileBackend, actor: int = -1):
+    def __init__(
+        self,
+        backend: FileBackend,
+        actor: int = -1,
+        strict: bool = True,
+        retry: RetryPolicy | None = None,
+        recorder: Recorder | None = None,
+        executor: IoExecutor | None = None,
+    ):
         self.backend = backend
         self.actor = actor
+        self.strict = strict
+        self.retry = retry
+        self.recorder = recorder
+        self.executor = executor
         self.index = SeriesIndex.read(backend, actor=actor)
 
     def __len__(self) -> int:
@@ -27,9 +49,20 @@ class SeriesReader:
     def steps(self) -> list[StepInfo]:
         return list(self.index)
 
-    def open_step(self, step: int) -> SpatialReader:
+    def open_dataset(self, step: int) -> Dataset:
+        """The facade for one step's dataset, sharing this reader's policies."""
         info = self.index.step_for(step)
-        return SpatialReader(PrefixBackend(self.backend, info.prefix), actor=self.actor)
+        return Dataset(
+            PrefixBackend(self.backend, info.prefix),
+            actor=self.actor,
+            strict=self.strict,
+            retry=self.retry,
+            recorder=self.recorder,
+            executor=self.executor,
+        )
+
+    def open_step(self, step: int) -> SpatialReader:
+        return self.open_dataset(step).reader()
 
     def open_latest(self) -> SpatialReader:
         return self.open_step(self.index.latest().step)

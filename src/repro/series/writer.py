@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from repro.core.config import WriterConfig
 from repro.core.writer import SpatialWriter, WriteResult
+from repro.dataset import Dataset
 from repro.domain.decomposition import PatchDecomposition
 from repro.errors import FormatError
-from repro.format.manifest import Manifest
 from repro.io.backend import FileBackend
 from repro.io.prefix import PrefixBackend
 from repro.mpi.comm import SimComm
@@ -55,7 +55,7 @@ class SeriesWriter:
                 index = SeriesIndex.read(backend)
             except FormatError:
                 index = SeriesIndex()
-            manifest = Manifest.read(view)
+            manifest = Dataset(view).read_manifest()
             index.append(
                 StepInfo(
                     step=step,

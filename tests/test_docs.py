@@ -38,6 +38,13 @@ class TestReadme:
                     "Figure 8", "Figure 9", "Figure 11"):
             assert fig in experiments, f"EXPERIMENTS.md missing {fig}"
 
+    def test_architecture_doc_covers_stack(self):
+        """docs/ARCHITECTURE.md names every layer of the access stack."""
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        for term in ("Dataset", "IoExecutor", "ThreadedExecutor",
+                     "RetryPolicy", "FileBackend", "child recorder"):
+            assert term in text, term
+
     def test_format_spec_matches_code(self):
         spec = (REPO / "docs" / "FORMAT.md").read_text()
         from repro.format.datafile import DATA_MAGIC, HEADER_BYTES
@@ -59,8 +66,10 @@ class TestPublicDocstrings:
             "repro.core.reader",
             "repro.core.lod",
             "repro.core.adaptive",
+            "repro.dataset",
             "repro.format",
             "repro.io",
+            "repro.io.executor",
             "repro.baselines",
             "repro.perf",
             "repro.query",

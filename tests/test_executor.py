@@ -1,0 +1,195 @@
+"""The IoExecutor contract: ordering, fail-fast, child recorders, bounds.
+
+Serial and threaded executors must be interchangeable: same outcomes in
+submission order, same captured errors, and per-task child recorders that
+merge back into an executor-independent stream.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import BackendError
+from repro.io.executor import (
+    SerialExecutor,
+    TaskOutcome,
+    ThreadedExecutor,
+    executor_for,
+)
+from repro.obs.recorder import Recorder
+
+EXECUTORS = [
+    SerialExecutor(),
+    ThreadedExecutor(max_workers=2),
+    ThreadedExecutor(max_workers=4, max_inflight=4),
+]
+
+
+def _ids(ex):
+    return repr(ex)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS, ids=_ids)
+class TestContract:
+    def test_results_in_submission_order(self, executor):
+        tasks = [(lambda _r, i=i: i * i) for i in range(20)]
+        outcomes = executor.run(tasks, Recorder())
+        assert [o.index for o in outcomes] == list(range(20))
+        assert [o.value for o in outcomes] == [i * i for i in range(20)]
+        assert all(o.ok for o in outcomes)
+
+    def test_empty_task_list(self, executor):
+        assert executor.run([], Recorder()) == []
+
+    def test_errors_are_captured_not_raised(self, executor):
+        def boom(_r):
+            raise BackendError("injected")
+
+        outcomes = executor.run([lambda _r: 1, boom, lambda _r: 3], Recorder())
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, BackendError)
+        assert outcomes[1].value is None
+
+    def test_tasks_get_child_recorders(self, executor):
+        parent = Recorder(rank=3)
+        seen = []
+
+        def task(recorder):
+            seen.append(recorder)
+            recorder.add("touched", 1)
+            recorder.event("task-ran")
+            return None
+
+        outcomes = executor.run([task] * 4, parent)
+        # Children are fresh recorders sharing the parent's rank — never
+        # the parent itself.
+        assert all(r is not parent for r in seen)
+        assert all(r.rank == parent.rank for r in seen)
+        # Nothing lands on the parent until the caller merges.
+        assert parent.total("touched") == 0
+        assert parent.events == []
+        for outcome in outcomes:
+            parent.merge(outcome.recorder)
+        assert parent.total("touched") == 4
+        assert len(parent.events_named("task-ran")) == 4
+
+    def test_fail_fast_earliest_failing_index_ran(self, executor):
+        """Tasks before the first failure always ran; the tail may be cut."""
+
+        def boom(_r):
+            raise BackendError("stop here")
+
+        tasks = [(lambda _r, i=i: i) for i in range(5)]
+        tasks[2] = boom
+        outcomes = executor.run(tasks, Recorder(), fail_fast=True)
+        assert len(outcomes) == 5
+        assert outcomes[0].ok and outcomes[1].ok
+        assert outcomes[2].ran and outcomes[2].error is not None
+        # Unstarted tail entries are marked ran=False with no recorder.
+        for outcome in outcomes:
+            if not outcome.ran:
+                assert outcome.recorder is None
+                assert outcome.error is None
+
+
+class TestSerialFailFast:
+    def test_stops_immediately_after_failure(self):
+        ran = []
+
+        def make(i):
+            def task(_r):
+                ran.append(i)
+                if i == 1:
+                    raise BackendError("boom")
+                return i
+
+            return task
+
+        outcomes = SerialExecutor().run(
+            [make(i) for i in range(5)], Recorder(), fail_fast=True
+        )
+        assert ran == [0, 1]
+        assert [o.ran for o in outcomes] == [True, True, False, False, False]
+
+
+class TestThreaded:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=4, max_inflight=2)
+
+    def test_default_inflight_window(self):
+        assert ThreadedExecutor(max_workers=3).max_inflight == 6
+
+    def test_bounded_inflight_submission(self):
+        """Never more than max_inflight tasks running/queued at once."""
+        executor = ThreadedExecutor(max_workers=2, max_inflight=3)
+        lock = threading.Lock()
+        live = 0
+        peak = 0
+
+        def task(_r):
+            nonlocal live, peak
+            with lock:
+                live += 1
+                peak = max(peak, live)
+            time.sleep(0.001)
+            with lock:
+                live -= 1
+
+        outcomes = executor.run([task] * 32, Recorder())
+        assert len(outcomes) == 32
+        assert all(o.ok for o in outcomes)
+        assert peak <= 3
+
+    def test_actually_concurrent(self):
+        """Two blocking tasks overlap on a two-worker pool."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task(_r):
+            barrier.wait()  # deadlocks unless both run at once
+            return True
+
+        outcomes = ThreadedExecutor(max_workers=2).run([task, task], Recorder())
+        assert [o.value for o in outcomes] == [True, True]
+
+    def test_fail_fast_stops_submitting_new_tasks(self):
+        executor = ThreadedExecutor(max_workers=1, max_inflight=1)
+        ran = []
+
+        def make(i):
+            def task(_r):
+                ran.append(i)
+                if i == 0:
+                    raise BackendError("boom")
+                return i
+
+            return task
+
+        outcomes = executor.run(
+            [make(i) for i in range(6)], Recorder(), fail_fast=True
+        )
+        # One worker, window of one: task 0 fails before 1 is submitted.
+        assert ran == [0]
+        assert outcomes[0].ran and outcomes[0].error is not None
+        assert all(not o.ran for o in outcomes[1:])
+
+
+class TestExecutorFor:
+    def test_serial_at_or_below_one(self):
+        assert isinstance(executor_for(1), SerialExecutor)
+        assert isinstance(executor_for(0), SerialExecutor)
+
+    def test_threaded_above_one(self):
+        ex = executor_for(8)
+        assert isinstance(ex, ThreadedExecutor)
+        assert ex.max_workers == 8
+
+
+class TestTaskOutcome:
+    def test_ok_semantics(self):
+        assert TaskOutcome(0, value=1).ok
+        assert not TaskOutcome(0, error=ValueError("x")).ok
+        assert not TaskOutcome(0, ran=False).ok

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core import SpatialReader, dataset_is_complete, scrub_dataset
+from repro.dataset import Dataset
 from repro.domain import Box
 from repro.errors import (
     BackendError,
@@ -19,7 +20,14 @@ from repro.errors import (
     MetadataError,
     RankFailedError,
 )
-from repro.io import FaultInjectingBackend, FaultPlan, RetryPolicy, VirtualBackend
+from repro.io import (
+    FaultInjectingBackend,
+    FaultPlan,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadedExecutor,
+    VirtualBackend,
+)
 
 from tests.conftest import write_dataset
 
@@ -341,6 +349,132 @@ class TestTransientFaultHealing:
         assert reader.last_report.partitions_skipped == 1
         assert reader.last_report.skipped[0].reason == "transient-exhausted"
         assert len(batch) == reader.last_report.particles_read
+
+
+class TestExecutorParity:
+    """Serial and threaded execution must be observably identical.
+
+    Bytes read, ReadReport, scrub verdicts, and the merged obs trace
+    (event name/args sequences, counters, span names — timestamps aside)
+    may not depend on which executor ran the per-file work, including
+    under injected faults.  Runs under every REPRO_FAULT_SEED of the CI
+    matrix.
+    """
+
+    EXECUTORS = [ThreadedExecutor(max_workers=2), ThreadedExecutor(max_workers=8)]
+
+    @staticmethod
+    def _trace(recorder):
+        return (
+            [(e.name, dict(e.args)) for e in recorder.events],
+            recorder.counters(),
+            [s.name for s in recorder.spans],
+        )
+
+    def _read(self, dataset, executor, strict, fault_plan=None):
+        backend = dataset
+        if fault_plan is not None:
+            backend = FaultInjectingBackend(dataset, fault_plan)
+        reader = Dataset(
+            backend,
+            strict=strict,
+            retry=RetryPolicy.immediate(max_attempts=5, seed=FAULT_SEED),
+            executor=executor,
+        ).reader()
+        batch = reader.read_full()
+        return batch, reader.last_report, reader.recorder, backend
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_clean_strict_read_identical(self, dataset, executor):
+        want, want_report, want_rec, _ = self._read(dataset, SerialExecutor(), True)
+        got, got_report, got_rec, _ = self._read(dataset, executor, True)
+        assert got.tobytes() == want.tobytes()
+        assert got_report == want_report
+        assert self._trace(got_rec) == self._trace(want_rec)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_degraded_read_with_corruption_identical(self, dataset8, executor):
+        """A corrupt partition is skipped identically under both executors."""
+        victim = SpatialReader(dataset8).metadata.records[2]
+        raw = bytearray(dataset8.read_file(victim.file_path))
+        raw[-12] ^= 0x01
+        dataset8.write_file(victim.file_path, bytes(raw))
+
+        want, want_report, want_rec, _ = self._read(dataset8, SerialExecutor(), False)
+        got, got_report, got_rec, _ = self._read(dataset8, executor, False)
+        assert want_report.skipped_boxes() == [victim.box_id]
+        assert got.tobytes() == want.tobytes()
+        assert got_report == want_report
+        assert self._trace(got_rec) == self._trace(want_rec)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_degraded_read_under_transient_faults_identical(
+        self, dataset8, executor
+    ):
+        """Healing transients: retry counts and skip lists match exactly.
+
+        Transient fault state is tracked per path, so each file sees the
+        same deterministic fault schedule whatever thread reads it.
+        """
+        plan = FaultPlan.transient_reads(
+            heal_after=2, path_glob="data/*", seed=FAULT_SEED
+        )
+        want, want_report, want_rec, faulty_s = self._read(
+            dataset8, SerialExecutor(), False, fault_plan=plan
+        )
+        got, got_report, got_rec, faulty_t = self._read(
+            dataset8, executor, False, fault_plan=plan
+        )
+        assert faulty_s.fault_counts["transient"] > 0
+        assert faulty_t.fault_counts == faulty_s.fault_counts
+        assert want_report.retries == faulty_s.fault_counts["transient"]
+        assert got_report.retries == want_report.retries
+        assert got.tobytes() == want.tobytes()
+        assert got_report == want_report
+        assert self._trace(got_rec) == self._trace(want_rec)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_exhausted_transients_skip_identically(self, dataset8, executor):
+        """Unhealed transients on one file degrade identically."""
+        plan = FaultPlan.transient_reads(
+            heal_after=50, path_glob="data/file_0.pbin", seed=FAULT_SEED
+        )
+        want, want_report, want_rec, _ = self._read(
+            dataset8, SerialExecutor(), False, fault_plan=plan
+        )
+        got, got_report, got_rec, _ = self._read(
+            dataset8, executor, False, fault_plan=plan
+        )
+        assert want_report.partitions_skipped == 1
+        assert want_report.skipped[0].reason == "transient-exhausted"
+        assert got.tobytes() == want.tobytes()
+        assert got_report == want_report
+        assert self._trace(got_rec) == self._trace(want_rec)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_strict_read_raises_same_error_class(self, dataset8, executor):
+        victim = SpatialReader(dataset8).metadata.records[0]
+        raw = bytearray(dataset8.read_file(victim.file_path))
+        raw[-12] ^= 0x01
+        dataset8.write_file(victim.file_path, bytes(raw))
+        with pytest.raises(DataChecksumError):
+            self._read(dataset8, SerialExecutor(), True)
+        with pytest.raises(DataChecksumError):
+            self._read(dataset8, executor, True)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=repr)
+    def test_scrub_verdicts_identical(self, dataset8, executor):
+        """Scrub of a damaged dataset: same issues in the same order."""
+        victim = SpatialReader(dataset8).metadata.records[1].file_path
+        dataset8.write_file(victim, dataset8.read_file(victim)[:-40])
+        dataset8.delete(SpatialReader(dataset8).metadata.records[5].file_path)
+
+        want = Dataset(dataset8, executor=SerialExecutor()).scrub()
+        got = Dataset(dataset8, executor=executor).scrub()
+        assert got.issues == want.issues
+        assert got.files_checked == want.files_checked
+        assert got.bytes_verified == want.bytes_verified
+        assert got.complete == want.complete
 
 
 class TestCrashRecoveryMatrix:

@@ -128,6 +128,40 @@ class TestVirtualRecording:
         assert len(vb.ops_of_kind("list")) == 1
 
 
+class TestPrefixRecorderForwarding:
+    """attach_recorder on a PrefixBackend must reach the base backend —
+    every actual I/O op executes there, so counters attached only to the
+    view would silently record nothing."""
+
+    def test_counters_flow_through_prefix_view(self):
+        from repro.io import PrefixBackend
+        from repro.obs.names import IO_BYTES_READ, IO_READS, IO_WRITES
+        from repro.obs.recorder import Recorder
+
+        base = VirtualBackend()
+        view = PrefixBackend(base, "step_0001")
+        recorder = Recorder(rank=-1)
+        view.attach_recorder(recorder)
+        assert base.recorder is recorder  # forwarded, not just stored
+
+        view.write_file("data/f.bin", b"abcdef")
+        view.read_file("data/f.bin")
+        assert recorder.total(IO_WRITES) == 1
+        assert recorder.total(IO_READS) == 1
+        # Counter keys carry the base backend's (full) path.
+        assert recorder.value(IO_BYTES_READ, key=("step_0001/data/f.bin",)) == 6
+
+    def test_detach_forwards_too(self):
+        from repro.io import PrefixBackend
+        from repro.obs.recorder import Recorder
+
+        base = VirtualBackend()
+        view = PrefixBackend(base, "p")
+        view.attach_recorder(Recorder())
+        view.attach_recorder(None)
+        assert base.recorder is None and view.recorder is None
+
+
 class TestPosixSpecific:
     def test_root_created(self, tmp_path):
         root = tmp_path / "deep" / "root"

@@ -128,6 +128,39 @@ class TestLodReads:
         assert coarse_bytes < full_bytes / 10
 
 
+class TestPrefixIndexing:
+    """LOD planning resolves records by box_id, not object identity, so
+    plans built from copied, sliced, or re-parsed record lists work."""
+
+    def test_copied_records_plan_identically(self, dataset):
+        import copy
+
+        _, reader = dataset
+        originals = list(reader.metadata.records)
+        copies = [copy.deepcopy(r) for r in originals]
+        assert all(c is not o for c, o in zip(copies, originals))
+        assert reader._prefix_for(copies, 1, 2) == reader._prefix_for(
+            originals, 1, 2
+        )
+
+    def test_reparsed_records_plan_identically(self, dataset):
+        """Records from a second parse of the same table (distinct objects)
+        must resolve — an id()-keyed index would KeyError here."""
+        backend, reader = dataset
+        fresh = SpatialReader(backend).metadata.records
+        sliced = fresh[1:]  # a sliced subset, reversed for good measure
+        counts = reader._prefix_for(list(reversed(sliced)), 2, 1)
+        assert counts == list(reversed(reader._prefix_for(sliced, 2, 1)))
+
+    def test_foreign_record_rejected(self, dataset):
+        import dataclasses
+
+        _, reader = dataset
+        alien = dataclasses.replace(reader.metadata.records[0], box_id=9999)
+        with pytest.raises(QueryError, match="9999"):
+            reader._prefix_for([alien], 0, 1)
+
+
 class TestAssignedReads:
     def test_union_of_assignments_is_everything(self, dataset):
         _, reader = dataset
