@@ -1,6 +1,6 @@
 """Command-line utilities over spio datasets.
 
-Six subcommands, mirroring what a user pokes at day to day::
+Seven subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli info <dataset-dir>
         Manifest, LOD parameters, per-file table.
@@ -14,6 +14,14 @@ Six subcommands, mirroring what a user pokes at day to day::
     python -m repro.cli scrub <dataset-dir>
         Verify every checksum/header/count invariant; exit 1 on damage.
 
+    python -m repro.cli repair <dataset-dir> [--dry-run] [--workers N]
+        Scrub, then fix what the scrub found: rebuild ``spatial.meta`` /
+        ``manifest.json`` from the v3 recovery trailers, truncate torn data
+        files to their longest checksum-verified LOD prefix, quarantine the
+        unrecoverable rest.  Detects a series root (``series.json``) and
+        repairs every indexed timestep.  ``--dry-run`` prints the plan
+        without writing a byte.
+
     python -m repro.cli estimate --machine Theta --procs 262144 ...
         Performance-model estimate for a write at HPC scale.
 
@@ -21,8 +29,16 @@ Six subcommands, mirroring what a user pokes at day to day::
         Run an instrumented read (or, on an empty directory, a synthetic
         write) and export the merged recorder as a Chrome trace or JSONL.
 
-Library errors (:class:`~repro.errors.ReproError`) surface as a one-line
-message on stderr and exit code 2; tracebacks are reserved for actual bugs.
+Exit-code contract (``scrub`` and ``repair``, asserted by the test suite):
+
+* **0** — the dataset verifies clean (scrub), or repair converged without
+  losing a particle;
+* **1** — damage was found (scrub, or ``repair --dry-run``), or repair had
+  to cost data to converge (truncation/quarantine) or could not converge;
+* **2** — operational error: the target is not a dataset, arguments are
+  invalid, the backend failed — any :class:`~repro.errors.ReproError`,
+  which surfaces as a one-line message on stderr.  Tracebacks are reserved
+  for actual bugs.
 """
 
 from __future__ import annotations
@@ -129,6 +145,23 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     for line in report.summary_lines():
         print(line)
     return 0 if report.ok else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.dataset import Dataset
+    from repro.io.executor import executor_for
+    from repro.series.index import SERIES_INDEX_PATH
+
+    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    if ds.backend.exists(SERIES_INDEX_PATH):
+        from repro.core.repair import repair_series
+
+        report = repair_series(ds, dry_run=args.dry_run)
+    else:
+        report = ds.repair(dry_run=args.dry_run)
+    for line in report.summary_lines():
+        print(line)
+    return report.exit_code
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -275,6 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file verification (1 = serial)")
     p.set_defaults(func=_cmd_scrub)
+
+    p = sub.add_parser(
+        "repair",
+        help="repair a damaged dataset (or series) from its recovery trailers",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the repair plan without writing anything")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent per-file repair work (1 = serial)")
+    p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser("estimate", help="performance-model write estimate")
     p.add_argument("--machine", default="Theta")

@@ -35,6 +35,13 @@ from repro.core.writer import SpatialWriter, WriteResult
 from repro.core.reader import ReadPlan, ReadReport, SkippedPartition, SpatialReader
 from repro.core.progressive import ProgressiveReader
 from repro.core.scrub import ScrubIssue, ScrubReport, dataset_is_complete, scrub_dataset
+from repro.core.repair import (
+    RepairAction,
+    RepairReport,
+    SeriesRepairReport,
+    repair_dataset,
+    repair_series,
+)
 
 __all__ = [
     "WriterConfig",
@@ -58,4 +65,9 @@ __all__ = [
     "ScrubReport",
     "dataset_is_complete",
     "scrub_dataset",
+    "RepairAction",
+    "RepairReport",
+    "SeriesRepairReport",
+    "repair_dataset",
+    "repair_series",
 ]

@@ -13,9 +13,12 @@ guarantees:
 * no orphan data files sit in ``data/`` (leftovers of an aborted write).
 
 The outcome is a :class:`ScrubReport` of typed :class:`ScrubIssue` entries.
-Each issue is tagged **repairable** when rerunning the original write would
-fix it (missing or torn pieces of an uncommitted dataset), as opposed to
-silent corruption of committed data, which needs another replica.
+Each issue is tagged **repairable** when :mod:`repro.core.repair` can fix it
+*losslessly* — rebuilding metadata/manifest state from the v3 recovery
+trailers, or rewriting a damaged trailer from committed state.  Issues left
+untagged cost data to resolve: repair salvages what it can (truncating a
+torn file to its longest valid LOD prefix) and quarantines the rest.  The
+repair planner consumes these tags to pick its strategy per issue.
 
 :func:`dataset_is_complete` is the cheap commit-marker probe used by the
 writer's two-phase protocol: ``manifest.json`` is written last, so a
@@ -46,8 +49,9 @@ from repro.errors import (
 )
 from repro.format.datafile import (
     compute_file_checksums,
-    peek_particle_count,
+    peek_data_header,
     read_data_file,
+    read_recovery_trailer,
 )
 from repro.format.manifest import MANIFEST_PATH, Manifest
 from repro.format.metadata import META_PATH, SpatialMetadata
@@ -63,8 +67,9 @@ class ScrubIssue:
     path: str
     code: str
     detail: str
-    #: True when rerunning the write repairs it (missing/torn uncommitted
-    #: state); False for silent corruption of committed data.
+    #: True when ``repro repair`` can fix this losslessly (rebuild from
+    #: recovery trailers / committed state); False when resolving it costs
+    #: data (salvage-truncate or quarantine).
     repairable: bool = False
 
 
@@ -103,9 +108,16 @@ class ScrubReport:
         if self.ok:
             lines.append("dataset is clean")
         elif all(i.repairable for i in self.issues):
-            lines.append("dataset is repairable: rerun the write to converge")
+            lines.append(
+                "dataset is repairable without data loss: "
+                "run `repro repair` to converge"
+            )
         else:
-            lines.append("dataset has unrecoverable corruption; restore from a replica")
+            lines.append(
+                "dataset has damage needing salvage: run `repro repair` "
+                "(truncates/quarantines unrecoverable pieces) or restore "
+                "from a replica"
+            )
         return lines
 
 
@@ -147,15 +159,14 @@ def _scrub_data_file(
     except BackendError:
         size = None
     if size is None:
-        report.add(path, "data-missing", "referenced by spatial.meta but absent",
-                   repairable=True)
+        report.add(path, "data-missing", "referenced by spatial.meta but absent")
         return report
     report.files_checked += 1
 
     try:
-        header_count = peek_particle_count(backend, path)
+        version, header_count = peek_data_header(backend, path)
     except (BackendError, DataFileError) as exc:
-        report.add(path, "data-header", str(exc), repairable=True)
+        report.add(path, "data-header", str(exc))
         return report
     if header_count != rec.particle_count:
         report.add(
@@ -179,10 +190,10 @@ def _scrub_data_file(
             code = "dtype-mismatch"
         else:
             code = "data-corrupt"
-        report.add(path, code, msg, repairable=code == "data-truncated")
+        report.add(path, code, msg)
         return report
     except BackendError as exc:
-        report.add(path, "data-unreadable", str(exc), repairable=True)
+        report.add(path, "data-unreadable", str(exc))
         return report
     report.bytes_verified += size
 
@@ -196,13 +207,39 @@ def _scrub_data_file(
                 path,
                 "manifest-checksum-mismatch",
                 "manifest payload_crc32 disagrees with the data file",
+                repairable=True,
             )
         elif [list(p) for p in recorded.get("prefixes", [])] != actual["prefixes"]:
             report.add(
                 path,
                 "prefix-checksum-mismatch",
                 "per-LOD prefix checksums disagree with the data file",
+                repairable=True,
             )
+
+    # v3 self-description: the recovery trailer must parse, checksum, and
+    # agree with the table record.  Rebuilding one from committed state is
+    # lossless, so trailer issues are always tagged repairable.
+    if version >= 3:
+        try:
+            trailer = read_recovery_trailer(backend, path)
+        except (BackendError, ChecksumError, DataFileError) as exc:
+            report.add(path, "trailer-damaged", str(exc), repairable=True)
+        else:
+            if (
+                trailer.box_id != rec.box_id
+                or trailer.agg_rank != rec.agg_rank
+                or trailer.particle_count != rec.particle_count
+            ):
+                report.add(
+                    path,
+                    "trailer-mismatch",
+                    "recovery trailer disagrees with spatial.meta "
+                    f"(box {trailer.box_id}/rank {trailer.agg_rank}/"
+                    f"count {trailer.particle_count} vs box {rec.box_id}/"
+                    f"rank {rec.agg_rank}/count {rec.particle_count})",
+                    repairable=True,
+                )
     return report
 
 
@@ -245,7 +282,10 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
                 metadata = SpatialMetadata.from_bytes(raw_meta)
                 report.bytes_verified += len(raw_meta)
             except ChecksumError as exc:
-                report.add(META_PATH, "metadata-checksum", str(exc))
+                # Lossless to rebuild: every record survives in its data
+                # file's recovery trailer.
+                report.add(META_PATH, "metadata-checksum", str(exc),
+                           repairable=True)
             except MetadataError as exc:
                 report.add(META_PATH, "metadata-corrupt", str(exc), repairable=True)
 
@@ -257,6 +297,7 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
                 "file-count-mismatch",
                 f"manifest says {manifest.num_files} files, "
                 f"table has {len(metadata.records)}",
+                repairable=True,
             )
         if manifest.total_particles != metadata.total_particles:
             report.add(
@@ -264,6 +305,7 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
                 "particle-count-mismatch",
                 f"manifest says {manifest.total_particles} particles, "
                 f"table sums to {metadata.total_particles}",
+                repairable=True,
             )
         if (
             manifest.spatial_meta_crc32 is not None
@@ -275,6 +317,7 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
                 "metadata-crc-mismatch",
                 "manifest's spatial_meta_crc32 disagrees with spatial.meta "
                 "on disk",
+                repairable=True,
             )
 
     # 4. Every referenced data file — independent checks, fanned out on the

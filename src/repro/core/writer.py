@@ -31,8 +31,13 @@ from repro.domain.decomposition import PatchDecomposition
 from repro.domain.grid import CellGrid
 from repro.errors import BackendError, ConfigError, DataFileError
 from repro.format.datafile import compute_file_checksums, data_file_name, write_data_file
-from repro.format.manifest import MANIFEST_PATH, Manifest
-from repro.format.metadata import META_PATH, MetadataRecord, SpatialMetadata
+from repro.format.manifest import MANIFEST_PATH, Manifest, dtype_to_descr
+from repro.format.metadata import (
+    META_PATH,
+    MetadataRecord,
+    SpatialMetadata,
+    trailer_for_record,
+)
 from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
 from repro.mpi.comm import SimComm
@@ -216,27 +221,41 @@ class SpatialWriter:
             with rec.span(PHASE_FILE_IO):
                 for pid, agg_batch in ordered.items():
                     path = data_file_name(comm.rank)
+                    sums = compute_file_checksums(
+                        agg_batch, cfg.lod_base, cfg.lod_scale
+                    )
+                    record = MetadataRecord(
+                        box_id=pid,
+                        agg_rank=comm.rank,
+                        particle_count=len(agg_batch),
+                        bounds=grid.partition_box(pid),
+                        attr_ranges=self._attr_ranges(agg_batch),
+                    )
+                    # Format v3: every data file carries a recovery trailer
+                    # duplicating its metadata record + manifest checksum
+                    # entry, so the dataset survives losing both.
+                    trailer = trailer_for_record(
+                        record,
+                        dtype_descr=dtype_to_descr(agg_batch.dtype),
+                        lod_base=cfg.lod_base,
+                        lod_scale=cfg.lod_scale,
+                        lod_heuristic=cfg.lod_heuristic,
+                        lod_seed=cfg.lod_seed,
+                        payload_crc32=sums["payload_crc32"],
+                        prefixes=sums["prefixes"],
+                    )
                     result.bytes_written += self.retry.call(
                         write_data_file,
                         backend,
                         path,
                         agg_batch,
                         actor=comm.rank,
+                        trailer=trailer,
                         recorder=rec,
                     )
                     result.files_written.append(path)
-                    local_checksums[path] = compute_file_checksums(
-                        agg_batch, cfg.lod_base, cfg.lod_scale
-                    )
-                    local_records.append(
-                        MetadataRecord(
-                            box_id=pid,
-                            agg_rank=comm.rank,
-                            particle_count=len(agg_batch),
-                            bounds=grid.partition_box(pid),
-                            attr_ranges=self._attr_ranges(agg_batch),
-                        )
-                    )
+                    local_checksums[path] = sums
+                    local_records.append(record)
 
             # Step 8 (commit phases 2+3): gather bounding boxes to rank 0,
             # write the spatial metadata, then the manifest as the marker.

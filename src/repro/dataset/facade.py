@@ -44,6 +44,7 @@ from repro.obs.recorder import Recorder
 
 if TYPE_CHECKING:  # circular at runtime: core imports repro.dataset
     from repro.core.reader import SpatialReader
+    from repro.core.repair import RepairReport
     from repro.core.scrub import ScrubReport
 
 __all__ = ["Dataset", "open_dataset", "as_dataset"]
@@ -183,6 +184,24 @@ class Dataset:
 
         return scrub_dataset(self)
 
+    def repair(
+        self, report: "ScrubReport | None" = None, *, dry_run: bool = False
+    ) -> "RepairReport":
+        """Plan and (unless ``dry_run``) execute repairs for every issue a
+        scrub found; see :func:`repro.core.repair.repair_dataset`."""
+        from repro.core.repair import repair_dataset
+
+        return repair_dataset(self, report, dry_run=dry_run)
+
+    def invalidate_cache(self) -> "Dataset":
+        """Drop the cached manifest/metadata so the next access re-reads.
+
+        Called after a repair rewrites dataset-level state underneath an
+        open facade; harmless otherwise."""
+        self._manifest = None
+        self._metadata = None
+        return self
+
     def is_complete(self) -> bool:
         """The two-phase-commit probe: marker present and everything it
         references on disk."""
@@ -199,10 +218,24 @@ class Dataset:
 
 
 def open_dataset(
-    target: FileBackend | str | os.PathLike, **kwargs: object
+    target: FileBackend | str | os.PathLike,
+    *,
+    auto_repair: bool = False,
+    **kwargs: object,
 ) -> Dataset:
-    """Module-level alias of :meth:`Dataset.open`."""
-    return Dataset.open(target, **kwargs)
+    """Module-level alias of :meth:`Dataset.open`.
+
+    With ``auto_repair=True`` the dataset is scrubbed first and, if damaged,
+    repaired in place (see :func:`repro.core.repair.repair_dataset`) before
+    the strict open — the self-healing open for unattended consumers.
+    """
+    if not auto_repair:
+        return Dataset.open(target, **kwargs)
+    ds = Dataset(target, **kwargs)  # type: ignore[arg-type]
+    report = ds.scrub()
+    if not report.ok:
+        ds.repair(report)
+    return ds.load()
 
 
 def as_dataset(target: "Dataset | FileBackend | str | os.PathLike", **kwargs: object) -> Dataset:

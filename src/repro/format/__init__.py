@@ -18,11 +18,13 @@ planned future work (§3.5), which powers range-query file pruning.
 from repro.format.datafile import (
     DATA_MAGIC,
     DATA_VERSION,
+    RecoveryTrailer,
     compute_file_checksums,
     data_file_name,
     prefix_checksum_boundaries,
     read_data_file,
     read_data_prefix,
+    read_recovery_trailer,
     write_data_file,
 )
 from repro.format.metadata import (
@@ -30,6 +32,8 @@ from repro.format.metadata import (
     META_VERSION,
     MetadataRecord,
     SpatialMetadata,
+    record_from_trailer,
+    trailer_for_record,
 )
 from repro.format.manifest import Manifest
 
@@ -38,13 +42,17 @@ __all__ = [
     "DATA_VERSION",
     "META_MAGIC",
     "META_VERSION",
+    "RecoveryTrailer",
     "data_file_name",
     "write_data_file",
     "read_data_file",
     "read_data_prefix",
+    "read_recovery_trailer",
     "compute_file_checksums",
     "prefix_checksum_boundaries",
     "MetadataRecord",
     "SpatialMetadata",
+    "record_from_trailer",
+    "trailer_for_record",
     "Manifest",
 ]

@@ -1,21 +1,37 @@
 """Particle data files.
 
 Each aggregator writes one data file holding its LOD-ordered particles.  The
-layout (format version 2) is a small fixed header, the raw little-endian
-structured records, and a CRC32 footer::
+layout (format versions 2 and 3) is a small fixed header, the raw
+little-endian structured records, and a CRC32 footer::
 
     offset  size  field
     0       8     magic  b"SPIODATA"
-    8       4     format version (u32, currently 2)
+    8       4     format version (u32, currently 3)
     12      4     record size in bytes (u32)  — guards dtype mismatches
     16      8     particle count (u64)
     24      ...   particle records
-    -8      4     footer magic b"FCRC"
-    -4      4     CRC32 of header + records (u32)
+            4     footer magic b"FCRC"
+            4     CRC32 of header + records (u32)
 
 Version-1 files (no footer) remain fully readable; they simply carry no
 whole-file checksum, so corruption in them is only caught by the structural
 checks (magic, version, record size, byte length).
+
+**Version 3** appends a self-describing *recovery trailer* after the CRC
+footer (see :class:`RecoveryTrailer`)::
+
+    ...     ...   JSON trailer body (utf-8)
+    -12     4     trailer magic b"RCVT"
+    -8      4     trailer body length (u32)
+    -4      4     CRC32 of the trailer body (u32)
+
+The trailer redundantly carries everything the dataset-level metadata knows
+about this one file — box id, aggregator rank, bounding box, per-attribute
+ranges, dtype descr, LOD parameters, and the file's payload/prefix
+checksums — so a dataset whose ``spatial.meta``/``manifest.json`` are lost
+can be rebuilt purely from surviving data files (:mod:`repro.core.repair`).
+It sits entirely past the footer: the version gate lets v3 length checks
+tolerate the extra tail, and v1/v2 files simply have none.
 
 The header stores only the record *size*; the full dtype lives in the
 dataset manifest.  Keeping it in both places lets a reader detect a manifest
@@ -30,17 +46,23 @@ scrubber verifies all of them.
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.domain.box import Box
 from repro.errors import DataChecksumError, DataFileError
 from repro.io.backend import FileBackend
 from repro.particles.batch import ParticleBatch
 
 DATA_MAGIC = b"SPIODATA"
-DATA_VERSION = 2
+#: Version written when a recovery trailer is supplied (the spatial writer).
+DATA_VERSION = 3
+#: Version written for bare files with no trailer (baseline formats).
+DATA_VERSION_PLAIN = 2
 _HEADER = struct.Struct("<8sIIQ")
 HEADER_BYTES = _HEADER.size
 
@@ -48,8 +70,12 @@ FOOTER_MAGIC = b"FCRC"
 _FOOTER = struct.Struct("<4sI")
 FOOTER_BYTES = _FOOTER.size
 
+TRAILER_MAGIC = b"RCVT"
+_TRAILER_FOOTER = struct.Struct("<4sII")
+TRAILER_FOOTER_BYTES = _TRAILER_FOOTER.size
+
 #: Versions this reader understands.
-SUPPORTED_DATA_VERSIONS = (1, 2)
+SUPPORTED_DATA_VERSIONS = (1, 2, 3)
 
 
 def data_file_name(agg_rank: int) -> str:
@@ -60,22 +86,203 @@ def data_file_name(agg_rank: int) -> str:
     return f"data/file_{agg_rank}.pbin"
 
 
-def write_data_file(
-    backend: FileBackend, path: str, batch: ParticleBatch, actor: int = -1
-) -> int:
-    """Write ``batch`` (already LOD-ordered) to ``path``; returns bytes written."""
-    payload = batch.tobytes()
-    header = _HEADER.pack(
-        DATA_MAGIC, DATA_VERSION, batch.dtype.itemsize, len(batch)
+# -- the recovery trailer (format v3) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryTrailer:
+    """The self-describing tail of a v3 data file.
+
+    One trailer carries every fact about its file that otherwise lives only
+    in the dataset-level ``spatial.meta`` record and ``manifest.json``
+    checksum entry, making the file recoverable without either:
+
+    * spatial facts — ``box_id``, ``agg_rank``, ``particle_count``, the
+      partition bounding box, and the indexed per-attribute ranges (an
+      *ordered* list, so the metadata table's attribute order survives);
+    * dataset facts — the particle ``dtype_descr`` and the LOD parameters,
+      identical across all files of one dataset;
+    * integrity facts — the payload CRC32 and the per-LOD prefix checksums
+      (the manifest's per-file entry, verbatim).
+
+    Serialised as a compact JSON body followed by a 12-byte checksummed
+    tail (``RCVT`` magic | body length | body CRC32), appended *after* the
+    data footer so it is invisible to plain payload reads.
+    """
+
+    box_id: int
+    agg_rank: int
+    particle_count: int
+    bounds_lo: tuple[float, float, float]
+    bounds_hi: tuple[float, float, float]
+    #: ``(name, min, max)`` per indexed attribute, in metadata-table order.
+    attr_ranges: tuple[tuple[str, float, float], ...]
+    dtype_descr: list
+    lod_base: int
+    lod_scale: int
+    lod_heuristic: str
+    lod_seed: int | None
+    payload_crc32: int
+    #: ``(count, crc32)`` at each per-file LOD boundary.
+    prefixes: tuple[tuple[int, int], ...]
+
+    @property
+    def bounds(self) -> Box:
+        return Box(self.bounds_lo, self.bounds_hi)
+
+    @property
+    def attr_ranges_dict(self) -> dict[str, tuple[float, float]]:
+        return {name: (lo, hi) for name, lo, hi in self.attr_ranges}
+
+    @property
+    def checksum_entry(self) -> dict:
+        """The manifest ``checksums`` entry this trailer reconstructs."""
+        return {
+            "payload_crc32": int(self.payload_crc32),
+            "prefixes": [[int(c), int(crc)] for c, crc in self.prefixes],
+        }
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "box_id": self.box_id,
+            "agg_rank": self.agg_rank,
+            "particle_count": self.particle_count,
+            "bounds": {"lo": list(self.bounds_lo), "hi": list(self.bounds_hi)},
+            "attr_ranges": [[n, lo, hi] for n, lo, hi in self.attr_ranges],
+            "dtype_descr": self.dtype_descr,
+            "lod": {
+                "base": self.lod_base,
+                "scale": self.lod_scale,
+                "heuristic": self.lod_heuristic,
+                "seed": self.lod_seed,
+            },
+            "payload_crc32": self.payload_crc32,
+            "prefixes": [[c, crc] for c, crc in self.prefixes],
+        }
+        body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return body + _TRAILER_FOOTER.pack(TRAILER_MAGIC, len(body), zlib.crc32(body))
+
+    @classmethod
+    def from_json_bytes(cls, body: bytes, path: str) -> "RecoveryTrailer":
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            lod = doc["lod"]
+            seed = lod["seed"]
+            return cls(
+                box_id=int(doc["box_id"]),
+                agg_rank=int(doc["agg_rank"]),
+                particle_count=int(doc["particle_count"]),
+                bounds_lo=tuple(float(v) for v in doc["bounds"]["lo"]),
+                bounds_hi=tuple(float(v) for v in doc["bounds"]["hi"]),
+                attr_ranges=tuple(
+                    (str(n), float(lo), float(hi))
+                    for n, lo, hi in doc["attr_ranges"]
+                ),
+                dtype_descr=doc["dtype_descr"],
+                lod_base=int(lod["base"]),
+                lod_scale=int(lod["scale"]),
+                lod_heuristic=str(lod["heuristic"]),
+                lod_seed=None if seed is None else int(seed),
+                payload_crc32=int(doc["payload_crc32"]),
+                prefixes=tuple((int(c), int(crc)) for c, crc in doc["prefixes"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise DataFileError(
+                f"{path}: malformed recovery trailer body: {exc}"
+            ) from exc
+
+
+def extract_recovery_trailer(raw: bytes, path: str) -> RecoveryTrailer:
+    """Parse the recovery trailer from a complete v3 file image."""
+    if len(raw) < TRAILER_FOOTER_BYTES:
+        raise DataFileError(f"{path}: no recovery trailer ({len(raw)} bytes)")
+    magic, body_len, stored = _TRAILER_FOOTER.unpack(raw[-TRAILER_FOOTER_BYTES:])
+    if magic != TRAILER_MAGIC:
+        raise DataFileError(f"{path}: bad recovery-trailer magic {magic!r}")
+    if body_len > len(raw) - TRAILER_FOOTER_BYTES:
+        raise DataFileError(
+            f"{path}: recovery-trailer body length {body_len} exceeds file"
+        )
+    body = raw[len(raw) - TRAILER_FOOTER_BYTES - body_len : -TRAILER_FOOTER_BYTES]
+    actual = zlib.crc32(body)
+    if actual != stored:
+        raise DataChecksumError(
+            f"{path}: recovery-trailer CRC32 mismatch — stored {stored:#010x}, "
+            f"computed {actual:#010x}"
+        )
+    return RecoveryTrailer.from_json_bytes(body, path)
+
+
+def read_recovery_trailer(
+    backend: FileBackend, path: str, actor: int = -1
+) -> RecoveryTrailer:
+    """Read just the recovery trailer of ``path`` via ranged reads."""
+    size = backend.size(path)
+    if size < HEADER_BYTES + FOOTER_BYTES + TRAILER_FOOTER_BYTES:
+        raise DataFileError(f"{path}: no recovery trailer ({size} bytes)")
+    tail = backend.read_range(path, size - TRAILER_FOOTER_BYTES,
+                              TRAILER_FOOTER_BYTES, actor=actor)
+    magic, body_len, _stored = _TRAILER_FOOTER.unpack(tail)
+    if magic != TRAILER_MAGIC:
+        raise DataFileError(f"{path}: bad recovery-trailer magic {magic!r}")
+    if body_len > size - TRAILER_FOOTER_BYTES:
+        raise DataFileError(
+            f"{path}: recovery-trailer body length {body_len} exceeds file"
+        )
+    body = backend.read_range(
+        path, size - TRAILER_FOOTER_BYTES - body_len, body_len, actor=actor
     )
+    return extract_recovery_trailer(bytes(body) + bytes(tail), path)
+
+
+# -- writing -------------------------------------------------------------------
+
+
+def build_data_blob(
+    payload: bytes,
+    itemsize: int,
+    count: int,
+    trailer: RecoveryTrailer | None = None,
+) -> bytes:
+    """Assemble a complete data-file image from a raw payload.
+
+    Shared by :func:`write_data_file` and the repair subsystem's torn-file
+    truncation, which rebuilds a shorter file from salvaged payload bytes.
+    """
+    version = DATA_VERSION if trailer is not None else DATA_VERSION_PLAIN
+    header = _HEADER.pack(DATA_MAGIC, version, itemsize, count)
     footer = _FOOTER.pack(FOOTER_MAGIC, zlib.crc32(payload, zlib.crc32(header)))
     blob = header + payload + footer
+    if trailer is not None:
+        blob += trailer.to_bytes()
+    return blob
+
+
+def write_data_file(
+    backend: FileBackend,
+    path: str,
+    batch: ParticleBatch,
+    actor: int = -1,
+    trailer: RecoveryTrailer | None = None,
+) -> int:
+    """Write ``batch`` (already LOD-ordered) to ``path``; returns bytes written.
+
+    With a :class:`RecoveryTrailer` the file is written as format v3
+    (self-describing); without one it stays a plain v2 file, byte-identical
+    to what earlier writers produced.
+    """
+    blob = build_data_blob(batch.tobytes(), batch.dtype.itemsize, len(batch), trailer)
     backend.write_file(path, blob, actor=actor)
     return len(blob)
 
 
-def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> tuple[int, int]:
-    """Validate the fixed header; returns ``(version, particle_count)``."""
+def parse_data_header(raw: bytes, path: str) -> tuple[int, int, int]:
+    """Validate the fixed header without a dtype in hand.
+
+    Returns ``(version, record_size, particle_count)`` — the lenient parse
+    the repair subsystem uses on files whose manifest (and therefore dtype)
+    may be lost.
+    """
     if len(raw) < HEADER_BYTES:
         raise DataFileError(f"{path}: truncated header ({len(raw)} bytes)")
     magic, version, rec_size, count = _HEADER.unpack_from(raw)
@@ -83,16 +290,23 @@ def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> tuple[int, int]:
         raise DataFileError(f"{path}: bad magic {magic!r}")
     if version not in SUPPORTED_DATA_VERSIONS:
         raise DataFileError(f"{path}: unsupported version {version}")
+    return int(version), int(rec_size), int(count)
+
+
+def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> tuple[int, int]:
+    """Validate the fixed header; returns ``(version, particle_count)``."""
+    version, rec_size, count = parse_data_header(raw, path)
     if rec_size != dtype.itemsize:
         raise DataFileError(
             f"{path}: record size {rec_size} does not match dtype itemsize "
             f"{dtype.itemsize} — manifest and data file disagree"
         )
-    return int(version), int(count)
+    return version, count
 
 
-def _verify_footer(raw: bytes, path: str) -> None:
-    """Check the v2 CRC footer of a complete file image."""
+def verify_data_footer(raw: bytes, path: str) -> None:
+    """Check the v2+ CRC footer of a complete file image (header + records +
+    footer, no trailer).  Shared with the repair subsystem's inspection."""
     body, footer = raw[:-FOOTER_BYTES], raw[-FOOTER_BYTES:]
     magic, stored = _FOOTER.unpack(footer)
     if magic != FOOTER_MAGIC:
@@ -108,18 +322,23 @@ def _verify_footer(raw: bytes, path: str) -> None:
 def read_data_file(
     backend: FileBackend, path: str, dtype: np.dtype, actor: int = -1
 ) -> ParticleBatch:
-    """Read every particle in ``path``, verifying the checksum footer (v2)."""
+    """Read every particle in ``path``, verifying the checksum footer (v2+).
+
+    Version gating of the length check: v1/v2 files must match the expected
+    byte count exactly, while v3 files may carry extra bytes past the footer
+    (the recovery trailer), which a plain read ignores.
+    """
     raw = backend.read_file(path, actor=actor)
     version, count = _parse_header(raw, path, dtype)
     footer = FOOTER_BYTES if version >= 2 else 0
     expected = HEADER_BYTES + count * dtype.itemsize + footer
-    if len(raw) != expected:
+    if (len(raw) < expected) if version >= 3 else (len(raw) != expected):
         raise DataFileError(
             f"{path}: expected {expected} bytes for {count} particles, "
             f"found {len(raw)}"
         )
     if version >= 2:
-        _verify_footer(raw, path)
+        verify_data_footer(raw[:expected], path)
     return ParticleBatch.frombuffer(raw[HEADER_BYTES : expected - footer], dtype)
 
 
@@ -159,13 +378,20 @@ def read_data_prefix(
     return ParticleBatch.frombuffer(raw, dtype)
 
 
-def peek_particle_count(backend: FileBackend, path: str, actor: int = -1) -> int:
-    """Particle count from the header alone (no payload read)."""
+def peek_data_header(
+    backend: FileBackend, path: str, actor: int = -1
+) -> tuple[int, int]:
+    """``(version, particle_count)`` from the header alone (no payload read)."""
     header = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
     if len(header) < HEADER_BYTES or header[:8] != DATA_MAGIC:
         raise DataFileError(f"{path}: not a particle data file")
-    _, _, _, count = _HEADER.unpack_from(header)
-    return int(count)
+    _, version, _, count = _HEADER.unpack_from(header)
+    return int(version), int(count)
+
+
+def peek_particle_count(backend: FileBackend, path: str, actor: int = -1) -> int:
+    """Particle count from the header alone (no payload read)."""
+    return peek_data_header(backend, path, actor=actor)[1]
 
 
 # -- prefix checksums ----------------------------------------------------------

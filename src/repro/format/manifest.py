@@ -26,13 +26,15 @@ MANIFEST_VERSION = 2
 SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
-def _dtype_to_descr(dtype: np.dtype) -> list:
+def dtype_to_descr(dtype: np.dtype) -> list:
+    """A JSON-stable NumPy descr (shared with the v3 recovery trailer)."""
     descr = dtype.descr
     # JSON has no tuples; normalise to lists for stable round-trips.
     return json.loads(json.dumps(descr))
 
 
-def _descr_to_dtype(descr: Any) -> np.dtype:
+def descr_to_dtype(descr: Any) -> np.dtype:
+    """Inverse of :func:`dtype_to_descr`; raises FormatError on garbage."""
     def detuple(item):
         if isinstance(item, list):
             out = [detuple(x) for x in item]
@@ -86,7 +88,7 @@ class Manifest:
         doc = {
             "format": "spio-particles",
             "version": MANIFEST_VERSION,
-            "dtype_descr": _dtype_to_descr(self.dtype),
+            "dtype_descr": dtype_to_descr(self.dtype),
             "num_files": self.num_files,
             "total_particles": self.total_particles,
             "lod": {
@@ -115,7 +117,7 @@ class Manifest:
             lod = doc["lod"]
             meta_crc = doc.get("spatial_meta_crc32")
             return cls(
-                dtype=_descr_to_dtype(doc["dtype_descr"]),
+                dtype=descr_to_dtype(doc["dtype_descr"]),
                 num_files=int(doc["num_files"]),
                 total_particles=int(doc["total_particles"]),
                 lod_base=int(lod["base"]),

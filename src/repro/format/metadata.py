@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.domain.box import Box
 from repro.errors import MetadataChecksumError, MetadataError
-from repro.format.datafile import data_file_name
+from repro.format.datafile import RecoveryTrailer, data_file_name
 from repro.io.backend import FileBackend
 
 META_MAGIC = b"SPIOMETA"
@@ -66,6 +66,61 @@ class MetadataRecord:
     @property
     def file_path(self) -> str:
         return data_file_name(self.agg_rank)
+
+
+def record_from_trailer(trailer: RecoveryTrailer) -> MetadataRecord:
+    """Rebuild one table record from a data file's v3 recovery trailer.
+
+    Exact inverse of :func:`trailer_for_record`: every field (including the
+    f64 bounds and attribute ranges) round-trips bit-identically, so a
+    table rebuilt from trailers serialises to the same bytes the writer
+    originally produced.
+    """
+    return MetadataRecord(
+        box_id=trailer.box_id,
+        agg_rank=trailer.agg_rank,
+        particle_count=trailer.particle_count,
+        bounds=trailer.bounds,
+        attr_ranges=trailer.attr_ranges_dict,
+    )
+
+
+def trailer_for_record(
+    rec: MetadataRecord,
+    *,
+    dtype_descr: list,
+    lod_base: int,
+    lod_scale: int,
+    lod_heuristic: str,
+    lod_seed: int | None,
+    payload_crc32: int,
+    prefixes: list,
+) -> RecoveryTrailer:
+    """Build the recovery trailer describing ``rec``'s data file.
+
+    ``payload_crc32``/``prefixes`` are the manifest checksum entry for the
+    file (``prefixes`` as ``[count, crc]`` pairs); the remaining facts are
+    dataset-wide.  Used by the writer for fresh files and by the repair
+    subsystem when it rewrites a file whose trailer was damaged.
+    """
+    return RecoveryTrailer(
+        box_id=rec.box_id,
+        agg_rank=rec.agg_rank,
+        particle_count=rec.particle_count,
+        bounds_lo=tuple(float(v) for v in rec.bounds.lo),
+        bounds_hi=tuple(float(v) for v in rec.bounds.hi),
+        attr_ranges=tuple(
+            (name, float(lo), float(hi))
+            for name, (lo, hi) in rec.attr_ranges.items()
+        ),
+        dtype_descr=dtype_descr,
+        lod_base=lod_base,
+        lod_scale=lod_scale,
+        lod_heuristic=lod_heuristic,
+        lod_seed=lod_seed,
+        payload_crc32=int(payload_crc32),
+        prefixes=tuple((int(c), int(crc)) for c, crc in prefixes),
+    )
 
 
 class SpatialMetadata:

@@ -60,6 +60,27 @@ IO_FILE_COUNTERS = (
     IO_BYTES_WRITTEN,
 )
 
+# -- repair subsystem (spans / counters; see repro.core.repair) -------------
+
+PHASE_REPAIR_SCRUB = "repair.scrub"
+PHASE_REPAIR_PLAN = "repair.plan"
+PHASE_REPAIR_EXECUTE = "repair.execute"
+PHASE_REPAIR_VERIFY = "repair.verify"
+
+#: Every phase one repair pass records, in pipeline order.
+REPAIR_PHASES = (
+    PHASE_REPAIR_SCRUB,
+    PHASE_REPAIR_PLAN,
+    PHASE_REPAIR_EXECUTE,
+    PHASE_REPAIR_VERIFY,
+)
+
+#: Repair actions executed, keyed by (action kind,).
+REPAIR_ACTIONS = "repair.actions"
+REPAIR_PARTICLES_SALVAGED = "repair.particles_salvaged"
+REPAIR_PARTICLES_LOST = "repair.particles_lost"
+REPAIR_FILES_QUARANTINED = "repair.files_quarantined"
+
 # -- retry / fault counters -------------------------------------------------
 
 IO_ATTEMPTS = "io.attempts"
@@ -76,3 +97,4 @@ EV_FAULT = "io.fault"
 EV_PARTITION_READ = "read.partition"
 EV_PARTITION_SKIPPED = "read.skip"
 EV_PREFIX_VERIFIED = "read.prefix_verified"
+EV_REPAIR_ACTION = "repair.action"

@@ -122,6 +122,89 @@ class TestScrub:
         assert "complete        : no" in out
 
 
+class TestRepair:
+    """The scrub/repair exit-code contract: 0 clean (or repaired without
+    loss), 1 damage found (or repaired with data loss), 2 operational
+    error."""
+
+    def test_clean_dataset_exits_0(self, dataset_dir, capsys):
+        assert main(["repair", str(dataset_dir)]) == 0
+        assert "dataset is clean" in capsys.readouterr().out
+
+    def test_dry_run_on_damage_exits_1_and_writes_nothing(
+        self, dataset_dir, capsys
+    ):
+        (dataset_dir / "spatial.meta").unlink()
+        files_before = sorted(dataset_dir.rglob("*"))
+        assert main(["repair", str(dataset_dir), "--dry-run"]) == 1
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "rebuild-metadata-from-trailers" in out
+        assert sorted(dataset_dir.rglob("*")) == files_before
+        assert not (dataset_dir / "spatial.meta").exists()
+
+    def test_lossless_repair_exits_0(self, dataset_dir, capsys):
+        (dataset_dir / "spatial.meta").unlink()
+        (dataset_dir / "manifest.json").unlink()
+        assert main(["repair", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "rebuild-metadata-from-trailers" in out
+        assert "rebuild-manifest" in out
+        assert main(["scrub", str(dataset_dir)]) == 0
+
+    def test_lossy_repair_exits_1(self, dataset_dir, capsys):
+        victim = next((dataset_dir / "data").glob("*.pbin"))
+        victim.write_bytes(victim.read_bytes()[:200])
+        assert main(["repair", str(dataset_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "particles lost" in out
+        # The damage is gone afterwards: scrub and repair both report clean.
+        assert main(["scrub", str(dataset_dir)]) == 0
+        assert main(["repair", str(dataset_dir)]) == 0
+
+    def test_operational_error_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "somefile"
+        target.write_bytes(b"not a dataset")
+        assert main(["repair", str(target)]) == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_repair_workers_flag(self, dataset_dir, capsys):
+        (dataset_dir / "spatial.meta").unlink()
+        assert main(["repair", str(dataset_dir), "--workers", "4"]) == 0
+        assert main(["scrub", str(dataset_dir)]) == 0
+
+    def test_series_repair(self, tmp_path, capsys):
+        from repro.core.config import WriterConfig
+        from repro.domain import Box, PatchDecomposition
+        from repro.io.posix import PosixBackend
+        from repro.mpi import run_mpi
+        from repro.particles import uniform_particles
+        from repro.series.writer import SeriesWriter
+
+        root = tmp_path / "series"
+        decomp = PatchDecomposition.for_nprocs(Box([0, 0, 0], [1, 1, 1]), 4)
+        sw = SeriesWriter(WriterConfig(partition_factor=(2, 1, 1)))
+        backend = PosixBackend(root)
+        for step in (0, 1):
+            run_mpi(
+                4,
+                lambda c, s=step: sw.write_step(
+                    c, s, float(s),
+                    uniform_particles(
+                        decomp.patch_of_rank(c.rank), 100, rank=c.rank
+                    ),
+                    decomp, backend,
+                ),
+            )
+        # A half-written step that never made it into the index.
+        (root / "t000002" / "data").mkdir(parents=True)
+        (root / "t000002" / "data" / "file_0.pbin").write_bytes(b"torn")
+        assert main(["repair", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "t000002" in out and "quarantined" in out
+        assert main(["repair", str(root)]) == 0
+
+
 class TestTrace:
     def test_read_trace_is_valid_chrome_json(self, dataset_dir, capsys):
         import json

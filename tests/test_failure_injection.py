@@ -12,6 +12,7 @@ import pytest
 from repro.core import SpatialReader, dataset_is_complete, scrub_dataset
 from repro.dataset import Dataset
 from repro.domain import Box
+from repro.format.datafile import HEADER_BYTES
 from repro.errors import (
     BackendError,
     DataChecksumError,
@@ -99,10 +100,12 @@ class TestCorruptDataFiles:
             reader.read_full()
 
     def test_truncated_data_file(self, dataset):
+        # Cut into the particle records themselves — clipping only the v3
+        # recovery trailer leaves the payload readable by design.
         reader = SpatialReader(dataset)
         victim = reader.metadata.records[0].file_path
         raw = dataset.read_file(victim)
-        dataset.write_file(victim, raw[:-40])
+        dataset.write_file(victim, raw[: HEADER_BYTES + 100])
         with pytest.raises(DataFileError):
             reader.read_full()
 
@@ -172,10 +175,19 @@ class TestScrubDetection:
 
     def test_detects_truncation(self, dataset):
         victim = SpatialReader(dataset).metadata.records[0].file_path
-        dataset.write_file(victim, dataset.read_file(victim)[:-40])
+        dataset.write_file(victim, dataset.read_file(victim)[: HEADER_BYTES + 100])
         report = scrub_dataset(dataset)
         assert not report.ok
         assert "data-truncated" in report.codes
+
+    def test_detects_trailer_damage(self, dataset):
+        # Clip only the recovery trailer: the payload stays readable, but
+        # the scrubber flags the lost self-description.
+        victim = SpatialReader(dataset).metadata.records[0].file_path
+        dataset.write_file(victim, dataset.read_file(victim)[:-40])
+        report = scrub_dataset(dataset)
+        assert "trailer-damaged" in report.codes
+        assert all(i.repairable for i in report.issues)
 
     def test_detects_garbage(self, dataset):
         victim = SpatialReader(dataset).metadata.records[0].file_path
@@ -235,7 +247,7 @@ class TestDegradedReads:
         reader = SpatialReader(dataset)
         victim = reader.metadata.records[0]
         raw = bytearray(dataset.read_file(victim.file_path))
-        raw[-12] ^= 0x01  # payload byte (footer is the last 8)
+        raw[HEADER_BYTES + 4] ^= 0x01  # a byte inside the particle records
         dataset.write_file(victim.file_path, bytes(raw))
         return victim
 
@@ -397,7 +409,7 @@ class TestExecutorParity:
         """A corrupt partition is skipped identically under both executors."""
         victim = SpatialReader(dataset8).metadata.records[2]
         raw = bytearray(dataset8.read_file(victim.file_path))
-        raw[-12] ^= 0x01
+        raw[HEADER_BYTES + 4] ^= 0x01  # a byte inside the particle records
         dataset8.write_file(victim.file_path, bytes(raw))
 
         want, want_report, want_rec, _ = self._read(dataset8, SerialExecutor(), False)
@@ -455,7 +467,7 @@ class TestExecutorParity:
     def test_strict_read_raises_same_error_class(self, dataset8, executor):
         victim = SpatialReader(dataset8).metadata.records[0]
         raw = bytearray(dataset8.read_file(victim.file_path))
-        raw[-12] ^= 0x01
+        raw[HEADER_BYTES + 4] ^= 0x01  # a byte inside the particle records
         dataset8.write_file(victim.file_path, bytes(raw))
         with pytest.raises(DataChecksumError):
             self._read(dataset8, SerialExecutor(), True)

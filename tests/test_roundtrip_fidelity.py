@@ -55,13 +55,21 @@ class TestFieldFidelity:
         assert reader.dtype["type"] == np.dtype("<f4")
 
     def test_bytes_on_disk_match_expectation(self, uintah_cycle):
-        from repro.format.datafile import FOOTER_BYTES, HEADER_BYTES
+        from repro.format.datafile import (
+            FOOTER_BYTES,
+            HEADER_BYTES,
+            TRAILER_FOOTER_BYTES,
+        )
 
         originals, reader = uintah_cycle
-        payload = sum(
-            reader.backend.size(rec.file_path) - HEADER_BYTES - FOOTER_BYTES
-            for rec in reader.metadata
-        )
+        payload = 0
+        for rec in reader.metadata:
+            raw = reader.backend.read_file(rec.file_path)
+            # v3 files end in a recovery trailer: JSON body + 12-byte tail
+            # carrying the body length.
+            body_len = int.from_bytes(raw[-8:-4], "little")
+            trailer_len = TRAILER_FOOTER_BYTES + body_len
+            payload += len(raw) - HEADER_BYTES - FOOTER_BYTES - trailer_len
         assert payload == len(originals) * 124
 
 
