@@ -1,0 +1,160 @@
+"""Chunk-index read pruning — payload bytes vs. query selectivity.
+
+The sub-file chunk index (k-d clustered, tight per-chunk bounds) lets a box
+query read only the particle runs whose chunks intersect the box, instead
+of every byte of every intersecting file.  This benchmark writes the same
+particles twice — chunk-indexed and chunkless — sweeps query boxes from
+sub-1% to near-full selectivity, and measures the data-file bytes each
+layout actually moves.  The paper-shaped claim: at selective queries
+(<= 10% of the domain's particles) pruning cuts payload traffic by >= 4x,
+and a warm block cache answers a repeat query with zero backend I/O.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialReader
+from repro.core.config import WriterConfig
+from repro.dataset import Dataset
+from repro.domain import Box
+from repro.utils import Table
+
+from tests.conftest import write_dataset
+
+NPROCS = 16
+FACTOR = (2, 1, 1)
+PER_RANK = 2000
+
+#: Half-widths of centered query cubes: sub-1% up to ~30% selectivity.
+FRACTIONS = [0.1, 0.2, 0.3, 0.46, 0.6]
+
+
+def _write_pair():
+    chunked, _, _ = write_dataset(
+        nprocs=NPROCS,
+        config=WriterConfig(partition_factor=FACTOR, chunk_size=64),
+        particles_per_rank=PER_RANK,
+    )
+    plain, _, _ = write_dataset(
+        nprocs=NPROCS,
+        config=WriterConfig(partition_factor=FACTOR, chunk_size=0),
+        particles_per_rank=PER_RANK,
+    )
+    return chunked, plain
+
+
+def _query_box(frac: float) -> Box:
+    lo = 0.5 - frac / 2
+    return Box([lo] * 3, [lo + frac] * 3)
+
+
+def _payload_bytes(backend, reader, box):
+    """Data-file bytes one exact box query reads (headers included)."""
+    plan = reader.plan_box_read(box)
+    backend.clear_ops()
+    batch = reader.execute(plan, exact=True)
+    nbytes = sum(
+        op.nbytes
+        for op in backend.ops_of_kind("read")
+        if op.path.startswith("data/")
+    )
+    return nbytes, batch
+
+
+def test_fig12_chunk_pruning(report, bench_json, benchmark):
+    chunked_backend, plain_backend = _write_pair()
+    chunked = SpatialReader(chunked_backend)
+    plain = SpatialReader(plain_backend)
+    total = chunked.total_particles
+    assert total == plain.total_particles == NPROCS * PER_RANK
+
+    table = Table(
+        ["box edge", "selectivity", "full KB", "pruned KB", "ratio"],
+        title="Fig. 12 — chunk-index pruning (k-d clusters, chunk_size=64)",
+    )
+    rows = []
+    for frac in FRACTIONS:
+        box = _query_box(frac)
+        full_b, full_batch = _payload_bytes(plain_backend, plain, box)
+        pruned_b, pruned_batch = _payload_bytes(chunked_backend, chunked, box)
+        # Parity first: both layouts deliver the same particles.
+        assert len(full_batch) == len(pruned_batch)
+        assert np.array_equal(
+            np.sort(full_batch.data, order="id"),
+            np.sort(pruned_batch.data, order="id"),
+        )
+        sel = len(full_batch) / total
+        ratio = full_b / pruned_b
+        rows.append(
+            {
+                "box_edge": frac,
+                "selectivity": sel,
+                "full_bytes": full_b,
+                "pruned_bytes": pruned_b,
+                "ratio": ratio,
+            }
+        )
+        table.add_row(
+            [frac, f"{100 * sel:.1f}%", full_b // 1024, pruned_b // 1024,
+             f"{ratio:.1f}x"]
+        )
+    report("fig12_chunk_pruning", table)
+
+    # The headline claim: >= 4x fewer payload bytes at selective queries.
+    selective = [r for r in rows if r["selectivity"] <= 0.10]
+    assert selective, "sweep must include <= 10%-selectivity queries"
+    assert all(r["ratio"] >= 4.0 for r in selective), rows
+    # Monotone utility: pruning never reads more than the full layout.
+    assert all(r["pruned_bytes"] <= r["full_bytes"] for r in rows)
+
+    # -- warm block cache: a repeat query does zero backend I/O ------------
+    ds = Dataset.open(chunked_backend, cache_bytes=64 * 2**20)
+    reader = ds.reader()
+    box = _query_box(0.46)
+    cold = reader.execute(reader.plan_box_read(box), exact=True)
+    chunked_backend.clear_ops()
+    warm = reader.execute(reader.plan_box_read(box), exact=True)
+    warm_reads = len(chunked_backend.ops_of_kind("read"))
+    warm_opens = len(chunked_backend.ops_of_kind("open"))
+    assert warm_reads == 0 and warm_opens == 0
+    assert cold.data.tobytes() == warm.data.tobytes()
+
+    bench_json(
+        "fig12_chunk_pruning",
+        {
+            "config": {
+                "nprocs": NPROCS,
+                "partition_factor": list(FACTOR),
+                "particles_per_rank": PER_RANK,
+                "chunk_size": 64,
+                "total_particles": total,
+            },
+            "sweep": rows,
+            "warm_cache": {
+                "cache_bytes": 64 * 2**20,
+                "repeat_reads": warm_reads,
+                "repeat_opens": warm_opens,
+                "cache_hits": ds.backend.hits,
+            },
+        },
+    )
+
+    plan = chunked.plan_box_read(_query_box(0.46))
+    benchmark(lambda: chunked.execute(plan, exact=True))
+
+
+@pytest.mark.parametrize("chunk_size", [32, 64, 128])
+def test_fig12_chunk_size_tradeoff(chunk_size, benchmark):
+    """Smaller chunks prune tighter; every size preserves the result."""
+    backend, _, _ = write_dataset(
+        nprocs=8,
+        config=WriterConfig(partition_factor=(2, 1, 1), chunk_size=chunk_size),
+        particles_per_rank=1000,
+    )
+    reader = SpatialReader(backend)
+    box = _query_box(0.3)
+    plan = reader.plan_box_read(box)
+    assert plan.chunk_runs
+    assert plan.pruned_particles < plan.total_particles
+    batch = benchmark(lambda: reader.execute(plan, exact=True))
+    assert len(batch)

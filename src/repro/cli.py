@@ -86,13 +86,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.domain.box import Box
     from repro.io.executor import executor_for
 
-    reader = Dataset.open(args.dataset, executor=executor_for(args.workers)).reader()
+    reader = Dataset.open(
+        args.dataset,
+        executor=executor_for(args.workers),
+        cache_bytes=int(args.cache_mb * 2**20),
+    ).reader()
     box = Box(args.box[:3], args.box[3:])
     plan = reader.plan_box_read(box, max_level=args.level, nreaders=args.readers)
     hits = reader.execute(plan, exact=True)
     print(f"query box       : {box}")
     print(f"files touched   : {plan.num_files} / {reader.num_files}")
     print(f"particles read  : {plan.total_particles}")
+    if plan.chunk_runs:
+        print(f"chunk-pruned to : {plan.pruned_particles} particles")
     print(f"particles in box: {len(hits)}")
     print(f"bytes read      : {format_bytes(plan.bytes_to_read(reader.dtype.itemsize))}")
     return 0
@@ -211,9 +217,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         from repro.domain.box import Box
         from repro.io.executor import executor_for
 
-        reader = Dataset(
-            backend, strict=False, executor=executor_for(args.workers)
-        ).reader()
+        ds = Dataset(
+            backend,
+            strict=False,
+            executor=executor_for(args.workers),
+            cache_bytes=int(args.cache_mb * 2**20),
+        )
+        # Re-attach through the facade's backend so a cache wrapper's
+        # cache.* counters land in the trace alongside the io.* ones.
+        ds.backend.attach_recorder(io_recorder)
+        reader = ds.reader()
         if args.box is not None:
             box = Box(args.box[:3], args.box[3:])
             plan = reader.plan_box_read(box, max_level=args.level)
@@ -288,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"))
     p.add_argument("--level", type=int, default=None, help="max LOD level")
     p.add_argument("--readers", type=int, default=1)
+    p.add_argument("--cache-mb", type=float, default=0.0,
+                   help="block-cache budget in MiB (0 disables caching)")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file reads (1 = serial)")
     p.set_defaults(func=_cmd_query)
@@ -340,6 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"),
                    help="trace a box query instead of a full read")
     p.add_argument("--level", type=int, default=None, help="max LOD level")
+    p.add_argument("--cache-mb", type=float, default=0.0,
+                   help="block-cache budget in MiB (0 disables caching)")
     p.add_argument("--ranks", type=int, default=8,
                    help="synthetic-write mode: simulated ranks")
     p.add_argument("--particles", type=int, default=4096,

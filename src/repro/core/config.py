@@ -54,6 +54,14 @@ class WriterConfig:
         simulation decomposition so each rank sends to exactly one
         aggregator.  False exercises the general non-aligned path, where
         ranks bin particles per intersecting partition.
+    chunk_size:
+        Particles per sub-file spatial chunk.  The writer records each
+        chunk's particle range, tight bounding box, and per-indexed-
+        attribute min/max in the manifest and recovery trailer so selective
+        box queries read only intersecting chunks.  ``0`` disables the
+        index entirely (files stay byte-identical to pre-chunk-index
+        output).  Chunks restart at LOD level boundaries, so prefix reads
+        remain valid.
     """
 
     partition_factor: tuple[int, int, int] = (2, 2, 2)
@@ -64,6 +72,7 @@ class WriterConfig:
     adaptive: bool = False
     attr_index: tuple[str, ...] = ()
     align_to_patches: bool = True
+    chunk_size: int = 64
 
     def __post_init__(self) -> None:
         pf = tuple(int(v) for v in self.partition_factor)
@@ -81,6 +90,10 @@ class WriterConfig:
                 f"lod_heuristic must be 'random' or 'stratified', got {self.lod_heuristic!r}"
             )
         object.__setattr__(self, "attr_index", tuple(self.attr_index))
+        if self.chunk_size < 0:
+            raise ConfigError(
+                f"chunk_size must be >= 0 (0 disables), got {self.chunk_size}"
+            )
 
     @property
     def partition_volume(self) -> int:
@@ -100,4 +113,5 @@ class WriterConfig:
             "adaptive": self.adaptive,
             "attr_index": list(self.attr_index),
             "align_to_patches": self.align_to_patches,
+            "chunk_size": self.chunk_size,
         }

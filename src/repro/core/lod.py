@@ -185,6 +185,78 @@ def stratified_lod_order(
     return np.lexsort((cells, order_in_cell))
 
 
+def _kd_clusters(
+    idx: np.ndarray, pos: np.ndarray, chunk_size: int
+) -> list[np.ndarray]:
+    """Split ``idx`` into spatially tight clusters of ``chunk_size``.
+
+    Recursive median splits along the widest axis, with every cut placed at
+    a multiple of ``chunk_size``: all resulting clusters are exactly
+    ``chunk_size`` particles except at most one remainder (returned last).
+    Balanced axis-aligned splits give much tighter cluster bounds than a
+    space-filling-curve sort for the small cluster counts early LOD levels
+    produce.
+    """
+    if len(idx) <= chunk_size:
+        return [idx]
+    p = pos[idx]
+    axis = int((p.max(axis=0) - p.min(axis=0)).argmax())
+    half = len(idx) // 2
+    nleft = max(chunk_size, (half // chunk_size) * chunk_size)
+    part = np.argpartition(p[:, axis], nleft - 1)
+    left = _kd_clusters(idx[part[:nleft]], pos, chunk_size)
+    right = _kd_clusters(idx[part[nleft:]], pos, chunk_size)
+    # nleft is a chunk_size multiple, so only the right side can carry the
+    # remainder cluster — and it is already last there.
+    return left + right
+
+
+def chunk_cluster_order(
+    batch: ParticleBatch,
+    boundaries: Sequence[int],
+    chunk_size: int,
+    seed: int | None = 0,
+    agg_rank: int = 0,
+) -> np.ndarray:
+    """Regroup each LOD level into spatially tight, randomly ordered chunks.
+
+    The sub-file chunk index (:mod:`repro.format.chunks`) records the tight
+    bounding box of each run of ``chunk_size`` consecutive particles; under
+    a plain LOD shuffle every such run samples the whole partition, so no
+    chunk can ever be pruned.  This permutation fixes that while keeping
+    the LOD contract: within each level segment (``boundaries`` are the
+    cumulative level counts) particles are clustered into ``chunk_size``
+    spatial groups by balanced k-d splits — tight bounds — and then the
+    *full* clusters are emitted in seeded-random order (any remainder
+    cluster stays last, so clusters stay aligned with the index's chunk
+    grid).
+
+    Level *sets* are untouched — only within-level order changes — so every
+    level-boundary prefix holds exactly the particles it held before, and a
+    partial-level prefix is a random sample of spatial clusters rather than
+    a random sample of particles: coarser-grained, but still spread over
+    the whole region.
+    """
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    n = len(batch)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    pos = np.asarray(batch.positions, dtype=np.float64)
+    rng = spawn_rng(seed, 0xC4C, agg_rank)
+    out = np.empty(n, dtype=np.int64)
+    prev = 0
+    for b in boundaries:
+        seg = np.arange(prev, b, dtype=np.int64)
+        clusters = _kd_clusters(seg, pos, chunk_size)
+        full = [c for c in clusters if len(c) == chunk_size]
+        rest = [c for c in clusters if len(c) != chunk_size]
+        pieces = [full[i] for i in rng.permutation(len(full))] + rest
+        out[prev:b] = np.concatenate(pieces)
+        prev = b
+    return out
+
+
 def order_for_heuristic(
     batch: ParticleBatch,
     heuristic: str,

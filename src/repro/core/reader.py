@@ -51,7 +51,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.lod import lod_prefix_counts
 from repro.dataset import Dataset
 from repro.domain.box import Box
 from repro.errors import (
@@ -61,7 +60,11 @@ from repro.errors import (
     QueryError,
     TransientBackendError,
 )
-from repro.format.datafile import read_data_file, read_data_prefix
+from repro.format.datafile import (
+    read_data_file_into,
+    read_data_prefix_into,
+    read_particle_runs_into,
+)
 from repro.format.metadata import MetadataRecord
 from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
@@ -73,7 +76,7 @@ from repro.obs.names import (
     PHASE_FILE_IO,
 )
 from repro.obs.recorder import Event, Recorder
-from repro.particles.batch import ParticleBatch, concatenate
+from repro.particles.batch import ParticleBatch
 
 
 @dataclass
@@ -86,6 +89,14 @@ class ReadPlan:
     box: Box | None = None
     #: LOD ceiling used when planning (None = full resolution).
     max_level: int | None = None
+    #: Sub-file pruning: entry position -> coalesced ``(start, count)``
+    #: particle runs selected by the file's chunk index.  Only recorded when
+    #: pruning actually shrinks the read; applied by :meth:`execute` for
+    #: exact box queries (a pruned read is a superset of the box but a
+    #: subset of the file, so it is only equivalent after the exact filter).
+    chunk_runs: dict[int, tuple[tuple[int, int], ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def num_files(self) -> int:
@@ -95,8 +106,17 @@ class ReadPlan:
     def total_particles(self) -> int:
         return sum(n for _rec, n in self.entries)
 
+    @property
+    def pruned_particles(self) -> int:
+        """Particles an exact chunk-pruned execution actually reads."""
+        total = 0
+        for i, (_rec, n) in enumerate(self.entries):
+            runs = self.chunk_runs.get(i)
+            total += sum(c for _s, c in runs) if runs is not None else n
+        return total
+
     def bytes_to_read(self, particle_bytes: int) -> int:
-        return self.total_particles * particle_bytes
+        return self.pruned_particles * particle_bytes
 
 
 @dataclass(frozen=True)
@@ -258,19 +278,14 @@ class SpatialReader:
             return [rec.particle_count for rec in records]
         if max_level < 0:
             raise QueryError(f"max_level must be >= 0, got {max_level}")
-        all_counts = [r.particle_count for r in self.metadata]
-        prefixes = lod_prefix_counts(
-            all_counts,
-            nreaders,
-            max_level,
-            base=self.manifest.lod_base,
-            scale=self.manifest.lod_scale,
-        )
+        # Both tables are pure functions of the loaded metadata, memoized on
+        # the facade so repeated plans share one computation.
+        prefixes = self.dataset.lod_prefix_table(max_level, nreaders)
         # Index by box_id (unique per table — validated on load), so plans
         # built from copied or sliced record lists still resolve; an
         # identity (id()) index silently KeyErrors on equal-but-distinct
         # record objects.
-        index = {r.box_id: i for i, r in enumerate(self.metadata.records)}
+        index = self.dataset.box_id_index()
         out = []
         for rec in records:
             i = index.get(rec.box_id)
@@ -288,10 +303,27 @@ class SpatialReader:
         max_level: int | None = None,
         nreaders: int = 1,
     ) -> ReadPlan:
-        """Plan a spatial query: metadata pruning + optional LOD prefixes."""
+        """Plan a spatial query: metadata pruning + optional LOD prefixes.
+
+        Files carrying a chunk index are pruned further: only the coalesced
+        runs of chunks whose tight bounds intersect ``box`` are planned
+        (recorded in :attr:`ReadPlan.chunk_runs` when that is fewer
+        particles than the whole file).  LOD-prefix entries are exempt — a
+        prefix read must be the contiguous head of the file.
+        """
         records = self.metadata.files_intersecting(box)
         counts = self._prefix_for(records, max_level, nreaders)
-        return ReadPlan(list(zip(records, counts)), box=box, max_level=max_level)
+        plan = ReadPlan(list(zip(records, counts)), box=box, max_level=max_level)
+        for i, (rec, count) in enumerate(plan.entries):
+            if count == 0 or count != rec.particle_count:
+                continue
+            index = self.dataset.chunk_index(rec)
+            if index is None:
+                continue
+            runs = index.select_runs(box)
+            if sum(c for _s, c in runs) < count:
+                plan.chunk_runs[i] = runs
+        return plan
 
     def plan_full_read(
         self, max_level: int | None = None, nreaders: int = 1
@@ -317,65 +349,98 @@ class SpatialReader:
 
     # -- execution --------------------------------------------------------------
 
-    def _read_entry(
-        self, rec: MetadataRecord, count: int, recorder: Recorder | None = None
-    ) -> ParticleBatch:
-        """Read one plan entry with retries and prefix verification.
+    def _read_entry_into(
+        self,
+        rec: MetadataRecord,
+        count: int,
+        runs: tuple[tuple[int, int], ...] | None,
+        dest: np.ndarray,
+        recorder: Recorder | None = None,
+    ) -> int:
+        """Read one plan entry directly into its slice of the result.
 
-        ``recorder`` is the entry's child recorder when run on an
-        executor; retry events and verification events land there and are
-        merged back in plan order by :meth:`execute`.
+        ``dest`` is the entry's preallocated destination (sized to ``count``
+        particles, or to the run total when ``runs`` prunes the file); the
+        whole multi-op read runs under one retry call so a transient fault
+        costs exactly one retry, as on the legacy one-op path.  ``recorder``
+        is the entry's child recorder when run on an executor; retry and
+        verification events land there and are merged back in plan order by
+        :meth:`execute`.  Returns the particles delivered (``len(dest)``).
         """
         recorder = recorder if recorder is not None else self.recorder
-        if count == rec.particle_count:
+        if runs is not None:
+            if not runs:
+                return 0  # file intersects the box, but no chunk does
             return self.retry.call(
-                read_data_file,
+                read_particle_runs_into,
                 self.backend,
                 rec.file_path,
                 self.dtype,
-                self.actor,
+                runs,
+                dest,
+                actor=self.actor,
                 recorder=recorder,
             )
-        batch = self.retry.call(
-            read_data_prefix,
+        if count == rec.particle_count:
+            return self.retry.call(
+                read_data_file_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                dest,
+                actor=self.actor,
+                recorder=recorder,
+            )
+        self.retry.call(
+            read_data_prefix_into,
             self.backend,
             rec.file_path,
             self.dtype,
-            count,
+            dest,
             actor=self.actor,
             recorder=recorder,
         )
-        self._verify_prefix(rec.file_path, batch, recorder)
-        return batch
+        self._verify_prefix(rec.file_path, dest, recorder)
+        return count
 
     def _verify_prefix(
-        self, path: str, batch: ParticleBatch, recorder: Recorder | None = None
+        self, path: str, data, recorder: Recorder | None = None
     ) -> None:
         """Check a prefix read against the manifest's per-LOD checksums.
 
         Ranged reads never see the v2 file footer, so this is the only
         integrity check they get.  Verification happens when the read count
         lands exactly on a recorded LOD boundary (checksums are prefix CRCs
-        — they cannot verify arbitrary lengths).
+        — they cannot verify arbitrary lengths).  ``data`` is the decoded
+        particle array (or a :class:`ParticleBatch`); the CRC streams over
+        its contiguous byte view, so no copy of the payload is made.
         """
         recorder = recorder if recorder is not None else self.recorder
         entry = self.manifest.checksums.get(path)
         if not entry:
             return
+        arr = data.data if isinstance(data, ParticleBatch) else data
         for rec_count, rec_crc in entry.get("prefixes", ()):
-            if rec_count == len(batch):
-                actual = zlib.crc32(batch.tobytes())
+            if rec_count == len(arr):
+                actual = zlib.crc32(np.ascontiguousarray(arr).view(np.uint8))
                 if actual != int(rec_crc):
                     raise DataChecksumError(
-                        f"{path}: prefix of {len(batch)} particles has "
+                        f"{path}: prefix of {len(arr)} particles has "
                         f"CRC32 {actual:#010x}, manifest records "
                         f"{int(rec_crc):#010x}"
                     )
-                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(batch))
+                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(arr))
                 return
 
     def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
         """Run a plan.  ``exact=True`` filters particles to the plan's box.
+
+        Execution is zero-copy scatter-gather: one result array is
+        preallocated from the plan's totals and every per-file read lands
+        directly in its slice via the backend's ``readinto`` — no per-file
+        allocation and no concatenate copy on the complete-read path.
+        Chunk-pruned runs (:attr:`ReadPlan.chunk_runs`) are honoured only
+        for exact box reads; a non-exact read must deliver whole files.
 
         Per-file entries are independent, so they run on the dataset's
         :class:`~repro.io.executor.IoExecutor` (fail-fast in strict
@@ -388,19 +453,49 @@ class SpatialReader:
         error; non-strict readers skip the partition and log it in
         :attr:`last_report`.
         """
-        entries = [(rec, count) for rec, count in plan.entries if count > 0]
+        use_runs = exact and plan.box is not None
+        entries: list[tuple[MetadataRecord, int]] = []
+        runs_for: list[tuple[tuple[int, int], ...] | None] = []
+        for i, (rec, count) in enumerate(plan.entries):
+            if count <= 0:
+                continue
+            entries.append((rec, count))
+            runs_for.append(plan.chunk_runs.get(i) if use_runs else None)
+        expected = [
+            sum(c for _s, c in runs) if runs is not None else count
+            for (_rec, count), runs in zip(entries, runs_for)
+        ]
+        offsets = [0] * len(entries)
+        pos = 0
+        for i, n in enumerate(expected):
+            offsets[i] = pos
+            pos += n
+        out = np.empty(pos, dtype=self.dtype)
+        #: particles delivered per entry (None = skipped / not run).
+        delivered: list[int | None] = [None] * len(entries)
         mark = self.recorder.event_mark()
-        batches: list[ParticleBatch] = []
         try:
             with self.recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
                 tasks = [
-                    (lambda r, rec=rec, count=count: self._read_entry(rec, count, r))
-                    for rec, count in entries
+                    (
+                        lambda r, rec=rec, count=count, runs=runs, dest=dest:
+                        self._read_entry_into(rec, count, runs, dest, r)
+                    )
+                    for (rec, count), runs, dest in zip(
+                        entries,
+                        runs_for,
+                        (
+                            out[offsets[i] : offsets[i] + expected[i]]
+                            for i in range(len(entries))
+                        ),
+                    )
                 ]
                 outcomes = self.executor.run(
                     tasks, self.recorder, fail_fast=self.strict
                 )
-                for (rec, _count), outcome in zip(entries, outcomes):
+                for i, ((rec, _count), outcome) in enumerate(
+                    zip(entries, outcomes)
+                ):
                     if not outcome.ran:
                         break  # fail-fast cut the tail; the error already raised
                     if outcome.recorder is not None:
@@ -419,24 +514,35 @@ class SpatialReader:
                             error=str(exc),
                         )
                         continue
+                    delivered[i] = int(outcome.value)
                     self.recorder.event(
                         EV_PARTITION_READ,
                         path=rec.file_path,
                         box_id=rec.box_id,
-                        particles=len(outcome.value),
+                        particles=delivered[i],
                     )
-                    batches.append(outcome.value)
         finally:
             self.last_report = ReadReport.from_events(
                 self.recorder.events_since(mark)
             )
-        if not batches:
-            return ParticleBatch(np.empty(0, dtype=self.dtype))
-        out = concatenate(batches)
-        if exact and plan.box is not None:
-            mask = plan.box.contains_points(out.positions, closed=True)
-            out = ParticleBatch(out.data[mask])
-        return out
+        if all(d is not None for d in delivered):
+            result = out  # every slice filled: the preallocation IS the result
+        else:
+            kept = [
+                out[offsets[i] : offsets[i] + d]
+                for i, d in enumerate(delivered)
+                if d is not None
+            ]
+            result = (
+                np.concatenate(kept)
+                if kept
+                else np.empty(0, dtype=self.dtype)
+            )
+        if exact and plan.box is not None and len(result):
+            batch = ParticleBatch(result)
+            mask = plan.box.contains_points(batch.positions, closed=True)
+            return ParticleBatch(batch.data[mask])
+        return ParticleBatch(result)
 
     # -- the three read styles ------------------------------------------------------
 

@@ -56,6 +56,11 @@ from repro.errors import (
     FormatError,
     MetadataError,
 )
+from repro.format.chunks import (
+    build_chunk_entry,
+    chunks_from_entry,
+    chunks_to_entry,
+)
 from repro.format.datafile import (
     FOOTER_BYTES,
     HEADER_BYTES,
@@ -250,17 +255,24 @@ def _inspect_file(
     ds: Dataset,
     path: str,
     entry: dict | None,
-    itemsize: int | None,
+    dtype,
     lod: tuple[int, int] | None,
     rec: Recorder,
+    attr_names: tuple[str, ...] | None = None,
+    chunk_size_hint: int = 0,
 ) -> _FileState:
     """Classify one data file from its raw bytes; never raises.
 
     ``entry`` is the manifest's checksum entry (drives torn-file salvage),
-    ``itemsize`` the dataset record size (guards dtype mismatches), ``lod``
-    the (base, scale) pair for recomputing prefix checksums — each ``None``
-    when the dataset-level state carrying it did not survive.
+    ``dtype`` the dataset record dtype (guards dtype mismatches and lets a
+    chunk index be recomputed from the payload), ``lod`` the (base, scale)
+    pair for recomputing prefix checksums, ``attr_names`` the indexed
+    attribute order — each ``None`` when the dataset-level state carrying
+    it did not survive.  ``chunk_size_hint`` is a dataset-wide fallback
+    (the writer's chunk size is identical across files) applied when
+    neither the entry nor the file's own trailer records an index.
     """
+    itemsize = dtype.itemsize if dtype is not None else None
     st = _FileState(path)
     try:
         if not ds.backend.exists(path):
@@ -327,6 +339,17 @@ def _inspect_file(
 
     if lod is None and st.trailer is not None:
         lod = (st.trailer.lod_base, st.trailer.lod_scale)
+    if dtype is None and st.trailer is not None:
+        # The dtype is a dataset-wide fact the trailer carries too; without
+        # it the chunk index below cannot be recomputed and a healthy
+        # trailer would spuriously "disagree" with a chunkless entry.
+        try:
+            dtype = descr_to_dtype(st.trailer.dtype_descr)
+        except FormatError:
+            dtype = None
+        else:
+            if dtype.itemsize != st.rec_size:
+                dtype = None
     if lod is not None:
         boundaries = prefix_checksum_boundaries(st.header_count, *lod)
         prefixes = payload_prefix_checksums(payload, st.rec_size, boundaries)
@@ -334,6 +357,23 @@ def _inspect_file(
             "payload_crc32": st.payload_crc32,
             "prefixes": [[c, crc] for c, crc in prefixes],
         }
+        # Chunk index: the grid is fully determined by the payload, the LOD
+        # boundaries, and the chunk size (recovered from whichever recorded
+        # index survives), so a clean one rebuilds bit-identically and a
+        # damaged one is replaced by the truth.  Unchunked datasets have no
+        # donor and stay unchunked.
+        chunk_size = _donor_chunk_size(entry, st.trailer) or chunk_size_hint
+        if chunk_size and dtype is not None and st.header_count:
+            if attr_names is None and st.trailer is not None:
+                attr_names = tuple(n for n, _lo, _hi in st.trailer.attr_ranges)
+            from repro.particles.batch import ParticleBatch
+
+            st.actual_entry["chunks"] = build_chunk_entry(
+                ParticleBatch.frombuffer(payload, dtype),
+                chunk_size,
+                boundaries,
+                tuple(attr_names or ()),
+            )
     return st
 
 
@@ -385,10 +425,35 @@ class _RepairPlan:
 def _norm_entry(entry: dict | None) -> dict | None:
     if entry is None:
         return None
-    return {
+    out = {
         "payload_crc32": int(entry.get("payload_crc32", -1)),
         "prefixes": [[int(c), int(crc)] for c, crc in entry.get("prefixes", [])],
     }
+    if entry.get("chunks"):
+        try:
+            out["chunks"] = chunks_to_entry(chunks_from_entry(entry["chunks"]))
+        except DataFileError:
+            pass  # malformed — drop it; the plan regrafts from the payload
+    return out
+
+
+def _donor_chunk_size(entry: dict | None, trailer: RecoveryTrailer | None) -> int:
+    """Recover the writer's chunk size from whichever recorded index
+    survives (the grid is regular, so the largest chunk IS the chunk size);
+    0 when neither carries one — the dataset was written unchunked."""
+    candidates = [entry.get("chunks") if entry else None]
+    if trailer is not None and trailer.chunks:
+        candidates.append(chunks_to_entry(trailer.chunks))
+    for chunks in candidates:
+        if not chunks:
+            continue
+        try:
+            size = max(int(c[1]) for c in chunks)
+        except (TypeError, ValueError, IndexError):
+            continue
+        if size >= 1:
+            return size
+    return 0
 
 
 def _natural_key(path: str) -> tuple:
@@ -441,8 +506,9 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
     paths.update(f"data/{n}" for n in names if not n.startswith("."))
     ordered_paths = sorted(paths, key=_natural_key)
 
-    itemsize = manifest.dtype.itemsize if manifest is not None else None
+    known_dtype = manifest.dtype if manifest is not None else None
     lod = (manifest.lod_base, manifest.lod_scale) if manifest is not None else None
+    known_attrs = metadata.attr_names if metadata is not None else None
 
     # Scope the inspection from the scrub report: with both dataset-level
     # pieces intact and no cross-check complaints, only flagged files need
@@ -468,9 +534,10 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
                 ds,
                 p,
                 manifest.checksums.get(p) if manifest is not None else None,
-                itemsize,
+                known_dtype,
                 lod,
                 child,
+                attr_names=known_attrs,
             )
         )
         for path in inspect_paths
@@ -529,6 +596,42 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
         writer_prov = {"provenance": "rebuilt by repro repair"}
     descr = dtype_to_descr(dtype)
 
+    # Second pass: a structurally valid file whose own trailer is
+    # unreadable while the manifest is also lost could not recompute its
+    # checksum entry above — the first inspection had no LOD parameters to
+    # derive prefix boundaries from.  Those facts are dataset-wide, so once
+    # a donor trailer establishes them the intact payload derives the entry
+    # after all; re-inspect with the recovered dtype, LOD pair, attribute
+    # order and chunk size.
+    second_pass = [
+        p
+        for p in inspect_paths
+        if states[p].status == "valid" and states[p].actual_entry is None
+    ]
+    if second_pass:
+        donor_attrs = known_attrs
+        if donor_attrs is None and donor is not None:
+            donor_attrs = tuple(n for n, _lo, _hi in donor.attr_ranges)
+        chunk_hint = 0
+        for p in inspect_paths:
+            chunk_hint = _donor_chunk_size(
+                manifest.checksums.get(p) if manifest is not None else None,
+                states[p].trailer,
+            )
+            if chunk_hint:
+                break
+        for p in second_pass:
+            states[p] = _inspect_file(
+                ds,
+                p,
+                manifest.checksums.get(p) if manifest is not None else None,
+                dtype,
+                (lod_params[0], lod_params[1]),
+                ds.recorder,
+                attr_names=donor_attrs,
+                chunk_size_hint=chunk_hint,
+            )
+
     records: list[MetadataRecord] = []
     checksums: dict[str, dict] = {}
     adopted = 0
@@ -551,6 +654,7 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
             lod_seed=lod_params[3],
             payload_crc32=entry["payload_crc32"],
             prefixes=entry["prefixes"],
+            chunks=entry.get("chunks", []),
         )
 
     for path in ordered_paths:

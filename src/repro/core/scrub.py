@@ -47,9 +47,11 @@ from repro.errors import (
     FormatError,
     MetadataError,
 )
+from repro.format.chunks import FileChunkIndex, build_chunk_entry, chunks_from_entry
 from repro.format.datafile import (
     compute_file_checksums,
     peek_data_header,
+    prefix_checksum_boundaries,
     read_data_file,
     read_recovery_trailer,
 )
@@ -143,8 +145,39 @@ def dataset_is_complete(source: Dataset | FileBackend) -> bool:
     return all(ds.backend.exists(rec.file_path) for rec in metadata.records)
 
 
+def _chunk_entry_error(entry, batch, manifest: Manifest, attr_names, path: str) -> str | None:
+    """Why a recorded ``chunks`` entry disagrees with the decoded payload.
+
+    Structural validation first (tiling, shapes), then an exact recompute:
+    the chunk grid is fully determined by the LOD boundaries and the chunk
+    size (recoverable as the largest recorded chunk), and bounds/attr
+    ranges are float64 min/max of the actual particles, so a clean index
+    must match the rebuilt one bit-for-bit.
+    """
+    try:
+        FileChunkIndex.from_entry(entry, len(batch), path=path)
+        recorded = chunks_from_entry(entry)
+    except DataFileError as exc:
+        return str(exc)
+    chunk_size = max(c[1] for c in recorded)
+    expected = build_chunk_entry(
+        batch,
+        chunk_size,
+        prefix_checksum_boundaries(
+            len(batch), manifest.lod_base, manifest.lod_scale
+        ),
+        tuple(attr_names),
+    )
+    if recorded != chunks_from_entry(expected):
+        return (
+            "recorded chunk bounds/ranges disagree with the payload "
+            f"({len(recorded)} chunks, size {chunk_size})"
+        )
+    return None
+
+
 def _scrub_data_file(
-    backend: FileBackend, manifest: Manifest, rec
+    backend: FileBackend, manifest: Manifest, rec, attr_names=()
 ) -> ScrubReport:
     """Verify one referenced data file; returns a partial report.
 
@@ -216,6 +249,16 @@ def _scrub_data_file(
                 "per-LOD prefix checksums disagree with the data file",
                 repairable=True,
             )
+        elif recorded.get("chunks"):
+            # A bad chunk index silently turns pruned reads wrong, so it is
+            # verified against the decoded payload whenever recorded.
+            # Rebuilding it from the (already CRC-verified) payload is
+            # lossless.
+            detail = _chunk_entry_error(
+                recorded["chunks"], batch, manifest, attr_names, path
+            )
+            if detail is not None:
+                report.add(path, "chunk-index-mismatch", detail, repairable=True)
 
     # v3 self-description: the recovery trailer must parse, checksum, and
     # agree with the table record.  Rebuilding one from committed state is
@@ -238,6 +281,16 @@ def _scrub_data_file(
                     f"(box {trailer.box_id}/rank {trailer.agg_rank}/"
                     f"count {trailer.particle_count} vs box {rec.box_id}/"
                     f"rank {rec.agg_rank}/count {rec.particle_count})",
+                    repairable=True,
+                )
+            elif recorded is not None and tuple(trailer.chunks) != chunks_from_entry(
+                recorded.get("chunks", [])
+            ):
+                report.add(
+                    path,
+                    "trailer-mismatch",
+                    "recovery trailer chunk index disagrees with the "
+                    "manifest's",
                     repairable=True,
                 )
     return report
@@ -324,8 +377,9 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
     #    dataset's executor; partials merge back in metadata order.
     if manifest is not None and metadata is not None:
         mf = manifest
+        names = metadata.attr_names
         tasks = [
-            (lambda _recorder, rec=rec: _scrub_data_file(backend, mf, rec))
+            (lambda _recorder, rec=rec: _scrub_data_file(backend, mf, rec, names))
             for rec in metadata.records
         ]
         for outcome in ds.executor.run(tasks, ds.recorder):

@@ -26,11 +26,17 @@ from repro.core.adaptive import build_adaptive_grid
 from repro.core.aggregation import AggregationGrid, BaseAggregationGrid, FreeAggregationGrid
 from repro.core.config import WriterConfig
 from repro.core.exchange import exchange_particles
-from repro.core.lod import order_for_heuristic
+from repro.core.lod import chunk_cluster_order, order_for_heuristic
 from repro.domain.decomposition import PatchDecomposition
 from repro.domain.grid import CellGrid
 from repro.errors import BackendError, ConfigError, DataFileError
-from repro.format.datafile import compute_file_checksums, data_file_name, write_data_file
+from repro.format.chunks import build_chunk_entry
+from repro.format.datafile import (
+    compute_file_checksums,
+    data_file_name,
+    prefix_checksum_boundaries,
+    write_data_file,
+)
 from repro.format.manifest import MANIFEST_PATH, Manifest, dtype_to_descr
 from repro.format.metadata import (
     META_PATH,
@@ -197,7 +203,22 @@ class SpatialWriter:
                         agg_rank=comm.rank,
                         bounds=grid.partition_box(pid),
                     )
-                    ordered[pid] = agg_batch.permuted(order)
+                    lod_batch = agg_batch.permuted(order)
+                    if cfg.chunk_size:
+                        # Regroup each level into spatially tight chunks so
+                        # the sub-file chunk index can actually prune; level
+                        # sets (and thus every boundary prefix) are unchanged.
+                        regroup = chunk_cluster_order(
+                            lod_batch,
+                            prefix_checksum_boundaries(
+                                len(lod_batch), cfg.lod_base, cfg.lod_scale
+                            ),
+                            cfg.chunk_size,
+                            seed=cfg.lod_seed,
+                            agg_rank=comm.rank,
+                        )
+                        lod_batch = lod_batch.permuted(regroup)
+                    ordered[pid] = lod_batch
                 else:
                     ordered[pid] = agg_batch
 
@@ -224,6 +245,18 @@ class SpatialWriter:
                     sums = compute_file_checksums(
                         agg_batch, cfg.lod_base, cfg.lod_scale
                     )
+                    if cfg.chunk_size and len(agg_batch):
+                        # Sub-file spatial chunk index: per-chunk byte
+                        # ranges + tight bounds, aligned to the same LOD
+                        # boundaries the prefix checksums use.
+                        sums["chunks"] = build_chunk_entry(
+                            agg_batch,
+                            cfg.chunk_size,
+                            prefix_checksum_boundaries(
+                                len(agg_batch), cfg.lod_base, cfg.lod_scale
+                            ),
+                            cfg.attr_index,
+                        )
                     record = MetadataRecord(
                         box_id=pid,
                         agg_rank=comm.rank,
@@ -243,6 +276,7 @@ class SpatialWriter:
                         lod_seed=cfg.lod_seed,
                         payload_crc32=sums["payload_crc32"],
                         prefixes=sums["prefixes"],
+                        chunks=sums.get("chunks", ()),
                     )
                     result.bytes_written += self.retry.call(
                         write_data_file,

@@ -79,8 +79,13 @@ class Dataset:
         retry: RetryPolicy | None = None,
         recorder: Recorder | None = None,
         executor: IoExecutor | None = None,
+        cache_bytes: int = 0,
     ):
         self.backend = _as_backend(target)
+        if cache_bytes:
+            from repro.io.cache import CachingBackend
+
+            self.backend = CachingBackend(self.backend, cache_bytes)
         self.actor = actor
         self.strict = strict
         self.retry = retry if retry is not None else RetryPolicy()
@@ -90,6 +95,10 @@ class Dataset:
         self.executor = executor if executor is not None else SerialExecutor()
         self._manifest: Manifest | None = None
         self._metadata: SpatialMetadata | None = None
+        # Read-planning memos (see the planning-tables section below).
+        self._lod_tables: dict[tuple[int, int], list[int]] = {}
+        self._box_index: dict[int, int] | None = None
+        self._chunk_indexes: dict[str, object] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -170,6 +179,67 @@ class Dataset:
     def domain(self):
         return self.metadata.domain()
 
+    # -- memoized planning tables -------------------------------------------
+    #
+    # Read planning consults the same derived tables for every query: the
+    # per-file LOD prefix apportionment (fixed per (max_level, nreaders)),
+    # the box_id -> record-position index, and the per-file chunk indexes.
+    # All are pure functions of the loaded metadata/manifest, so they are
+    # computed once here and shared by every reader hanging off this facade;
+    # :meth:`invalidate_cache` drops them with the metadata they derive from.
+
+    def lod_prefix_table(self, max_level: int, nreaders: int) -> list[int]:
+        """Per-file particle counts for levels ``0..max_level`` split over
+        ``nreaders`` (memoized :func:`repro.core.lod.lod_prefix_counts`)."""
+        key = (int(max_level), int(nreaders))
+        table = self._lod_tables.get(key)
+        if table is None:
+            import repro.core.lod as lod
+
+            table = lod.lod_prefix_counts(
+                [r.particle_count for r in self.metadata.records],
+                nreaders,
+                max_level,
+                base=self.manifest.lod_base,
+                scale=self.manifest.lod_scale,
+            )
+            self._lod_tables[key] = table
+        return table
+
+    def box_id_index(self) -> dict[int, int]:
+        """``box_id -> position`` over the metadata table (memoized)."""
+        if self._box_index is None:
+            self._box_index = {
+                r.box_id: i for i, r in enumerate(self.metadata.records)
+            }
+        return self._box_index
+
+    def chunk_index(self, rec) -> "object | None":
+        """The validated :class:`~repro.format.chunks.FileChunkIndex` for
+        ``rec``'s data file, or ``None``.
+
+        ``None`` means no index was recorded (chunking disabled, empty
+        file) *or* the recorded one fails validation — planning silently
+        falls back to whole-file reads either way and leaves flagging a
+        damaged index to the scrubber.  Memoized per file path.
+        """
+        path = rec.file_path
+        if path not in self._chunk_indexes:
+            from repro.errors import FormatError
+            from repro.format.chunks import FileChunkIndex
+
+            entry = self.manifest.checksums.get(path, {}).get("chunks")
+            index = None
+            if entry:
+                try:
+                    index = FileChunkIndex.from_entry(
+                        entry, rec.particle_count, path=path
+                    )
+                except FormatError:
+                    index = None
+            self._chunk_indexes[path] = index
+        return self._chunk_indexes[path]
+
     # -- consumers -----------------------------------------------------------
 
     def reader(self) -> "SpatialReader":
@@ -200,6 +270,9 @@ class Dataset:
         open facade; harmless otherwise."""
         self._manifest = None
         self._metadata = None
+        self._lod_tables = {}
+        self._box_index = None
+        self._chunk_indexes = {}
         return self
 
     def is_complete(self) -> bool:

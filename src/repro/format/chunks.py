@@ -1,0 +1,248 @@
+"""The sub-file spatial chunk index (read-path performance layer).
+
+File-level pruning (the paper's §4 fast path) stops paying off once a query
+box clips only a corner of a partition: the whole file (or whole LOD
+prefix) is still read.  The chunk index pushes the same min/max pruning one
+level down.  At write time each data file's LOD-ordered payload is split
+into fixed-size *chunks* — runs of ``chunk_size`` consecutive particles —
+and each chunk records its particle range, the tight bounding box of the
+particles inside it, and per-indexed-attribute (min, max) pairs.  Chunks
+never straddle a per-file LOD level boundary (the boundaries of
+:func:`repro.format.datafile.prefix_checksum_boundaries`), so any prefix of
+the chunk list is still a valid description of an LOD prefix.
+
+The index is serialised twice, like every other per-file fact: as the
+``chunks`` key of the file's manifest checksum entry and inside the v3
+recovery trailer.  The JSON form of one chunk is::
+
+    [start, count, [lo_x, lo_y, lo_z], [hi_x, hi_y, hi_z],
+     [[min, max], ...indexed attrs, in attr_index order]]
+
+with ``start``/``count`` in particles from the head of the payload.  Chunks
+are stored in payload order and must tile the file exactly (``start`` 0,
+contiguous, summing to the particle count) — :meth:`FileChunkIndex.from_entry`
+validates that before a reader prunes against it.
+
+Query-time pruning is a single numpy broadcast: a chunk can contain a
+particle of a *closed* box query (``lo <= p <= hi``, the reader's exact
+filter) iff its tight bounds closed-intersect the query box.  Selected
+chunks that are adjacent in the payload coalesce into one ranged read
+(:meth:`FileChunkIndex.select_runs`), which is what turns a selective query
+into a handful of contiguous byte ranges instead of a whole-file read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.errors import DataFileError
+
+__all__ = [
+    "build_chunk_entry",
+    "chunks_from_entry",
+    "chunks_to_entry",
+    "FileChunkIndex",
+]
+
+
+def build_chunk_entry(
+    batch,
+    chunk_size: int,
+    boundaries: list[int],
+    attr_names: tuple[str, ...] = (),
+) -> list:
+    """The manifest/trailer ``chunks`` entry for one LOD-ordered payload.
+
+    ``boundaries`` are the cumulative per-file LOD level counts
+    (:func:`repro.format.datafile.prefix_checksum_boundaries`); chunking
+    restarts at each so no chunk straddles a level boundary.  Bounds and
+    attribute ranges are tight (computed from the actual particles), so
+    pruning against them is exact for closed-box queries.
+    """
+    if chunk_size < 1:
+        raise DataFileError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not len(batch):
+        return []
+    positions = np.asarray(batch.positions, dtype=np.float64)
+    columns = {
+        name: np.asarray(batch.data[name], dtype=np.float64)
+        for name in attr_names
+    }
+    entry: list = []
+    seg_start = 0
+    for boundary in boundaries:
+        for start in range(seg_start, boundary, chunk_size):
+            end = min(start + chunk_size, boundary)
+            pos = positions[start:end]
+            entry.append(
+                [
+                    int(start),
+                    int(end - start),
+                    [float(v) for v in pos.min(axis=0)],
+                    [float(v) for v in pos.max(axis=0)],
+                    [
+                        [float(columns[n][start:end].min()),
+                         float(columns[n][start:end].max())]
+                        for n in attr_names
+                    ],
+                ]
+            )
+        seg_start = boundary
+    return entry
+
+
+def chunks_from_entry(entry) -> tuple:
+    """Parse the JSON ``chunks`` list into the canonical tuple form the
+    :class:`~repro.format.datafile.RecoveryTrailer` carries (hashable,
+    comparable field-by-field)."""
+    try:
+        return tuple(
+            (
+                int(start),
+                int(count),
+                tuple(float(v) for v in lo),
+                tuple(float(v) for v in hi),
+                tuple((float(mn), float(mx)) for mn, mx in attrs),
+            )
+            for start, count, lo, hi, attrs in entry
+        )
+    except (TypeError, ValueError) as exc:
+        raise DataFileError(f"malformed chunk index entry: {exc}") from exc
+
+
+def chunks_to_entry(chunks: tuple) -> list:
+    """Inverse of :func:`chunks_from_entry`: the JSON list form, bit-exact
+    (floats round-trip through JSON unchanged)."""
+    return [
+        [
+            int(start),
+            int(count),
+            [float(v) for v in lo],
+            [float(v) for v in hi],
+            [[float(mn), float(mx)] for mn, mx in attrs],
+        ]
+        for start, count, lo, hi, attrs in chunks
+    ]
+
+
+class FileChunkIndex:
+    """One file's chunk index as structure-of-arrays ndarrays.
+
+    ``starts``/``counts`` are int64 ``(N,)``; ``lo``/``hi`` are float64
+    ``(N, 3)`` tight chunk bounds.  Built once per file via
+    :meth:`from_entry` (the :class:`~repro.dataset.Dataset` facade memoizes
+    the result) so per-query pruning is pure numpy broadcasting.
+    """
+
+    __slots__ = ("starts", "counts", "lo", "hi", "attr_ranges")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        attr_ranges: np.ndarray | None = None,
+    ):
+        self.starts = starts
+        self.counts = counts
+        self.lo = lo
+        self.hi = hi
+        #: float64 (N, num_attrs, 2) per-chunk attribute (min, max), or None.
+        self.attr_ranges = attr_ranges
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    @property
+    def total_particles(self) -> int:
+        return int(self.counts.sum()) if len(self.counts) else 0
+
+    @classmethod
+    def from_entry(
+        cls, entry, particle_count: int, path: str = "<chunk index>"
+    ) -> "FileChunkIndex":
+        """Parse and validate one JSON ``chunks`` entry.
+
+        Raises :class:`~repro.errors.DataFileError` unless the chunks tile
+        the payload exactly: first starts at 0, each is non-empty, each
+        begins where the previous ended, and together they cover exactly
+        ``particle_count`` particles.  A reader must never prune against an
+        index that silently skips or double-counts particles.
+        """
+        chunks = chunks_from_entry(entry)
+        if not chunks:
+            if particle_count:
+                raise DataFileError(
+                    f"{path}: empty chunk index for {particle_count} particles"
+                )
+            empty3 = np.empty((0, 3), dtype=np.float64)
+            return cls(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                empty3,
+                empty3,
+            )
+        starts = np.array([c[0] for c in chunks], dtype=np.int64)
+        counts = np.array([c[1] for c in chunks], dtype=np.int64)
+        lo = np.array([c[2] for c in chunks], dtype=np.float64)
+        hi = np.array([c[3] for c in chunks], dtype=np.float64)
+        if lo.shape != (len(chunks), 3) or hi.shape != (len(chunks), 3):
+            raise DataFileError(f"{path}: chunk bounds are not 3-D")
+        if starts[0] != 0:
+            raise DataFileError(
+                f"{path}: chunk index starts at particle {starts[0]}, not 0"
+            )
+        if (counts < 1).any():
+            raise DataFileError(f"{path}: chunk index contains an empty chunk")
+        ends = starts + counts
+        if (starts[1:] != ends[:-1]).any():
+            raise DataFileError(
+                f"{path}: chunk index is not contiguous over the payload"
+            )
+        if int(ends[-1]) != int(particle_count):
+            raise DataFileError(
+                f"{path}: chunk index covers {int(ends[-1])} particles, "
+                f"file holds {particle_count}"
+            )
+        nattrs = len(chunks[0][4])
+        attr_ranges = None
+        if any(len(c[4]) != nattrs for c in chunks):
+            raise DataFileError(
+                f"{path}: chunk index attribute ranges are ragged"
+            )
+        if nattrs:
+            attr_ranges = np.array([c[4] for c in chunks], dtype=np.float64)
+        return cls(starts, counts, lo, hi, attr_ranges)
+
+    def select_runs(self, box: Box) -> tuple[tuple[int, int], ...]:
+        """Coalesced ``(start, count)`` particle runs a closed-box query needs.
+
+        Chunk bounds are tight, so a chunk holds a candidate particle iff
+        its bounds and the query box intersect as *closed* intervals (the
+        reader's exact filter is ``lo <= p <= hi``).  Adjacent selected
+        chunks merge into one run — one ranged read each.
+        """
+        if not len(self.starts):
+            return ()
+        qlo = np.asarray(box.lo, dtype=np.float64)
+        qhi = np.asarray(box.hi, dtype=np.float64)
+        mask = (self.lo <= qhi).all(axis=1) & (qlo <= self.hi).all(axis=1)
+        sel = np.flatnonzero(mask)
+        if not len(sel):
+            return ()
+        breaks = np.flatnonzero(np.diff(sel) > 1) + 1
+        runs = []
+        for group in np.split(sel, breaks):
+            first, last = int(group[0]), int(group[-1])
+            start = int(self.starts[first])
+            end = int(self.starts[last] + self.counts[last])
+            runs.append((start, end - start))
+        return tuple(runs)
+
+    def __repr__(self) -> str:
+        return (
+            f"FileChunkIndex(chunks={len(self)}, "
+            f"particles={self.total_particles})"
+        )

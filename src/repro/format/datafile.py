@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.domain.box import Box
 from repro.errors import DataChecksumError, DataFileError
+from repro.format.chunks import chunks_from_entry, chunks_to_entry
 from repro.io.backend import FileBackend
 from repro.particles.batch import ParticleBatch
 
@@ -125,6 +126,11 @@ class RecoveryTrailer:
     payload_crc32: int
     #: ``(count, crc32)`` at each per-file LOD boundary.
     prefixes: tuple[tuple[int, int], ...]
+    #: Sub-file spatial chunk index in canonical tuple form
+    #: (see :func:`repro.format.chunks.chunks_from_entry`); empty for
+    #: datasets written with chunking disabled, keeping their trailers
+    #: byte-identical to pre-chunk-index files.
+    chunks: tuple = ()
 
     @property
     def bounds(self) -> Box:
@@ -137,10 +143,13 @@ class RecoveryTrailer:
     @property
     def checksum_entry(self) -> dict:
         """The manifest ``checksums`` entry this trailer reconstructs."""
-        return {
+        entry = {
             "payload_crc32": int(self.payload_crc32),
             "prefixes": [[int(c), int(crc)] for c, crc in self.prefixes],
         }
+        if self.chunks:
+            entry["chunks"] = chunks_to_entry(self.chunks)
+        return entry
 
     def to_bytes(self) -> bytes:
         doc = {
@@ -159,6 +168,8 @@ class RecoveryTrailer:
             "payload_crc32": self.payload_crc32,
             "prefixes": [[c, crc] for c, crc in self.prefixes],
         }
+        if self.chunks:
+            doc["chunks"] = chunks_to_entry(self.chunks)
         body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return body + _TRAILER_FOOTER.pack(TRAILER_MAGIC, len(body), zlib.crc32(body))
 
@@ -185,6 +196,7 @@ class RecoveryTrailer:
                 lod_seed=None if seed is None else int(seed),
                 payload_crc32=int(doc["payload_crc32"]),
                 prefixes=tuple((int(c), int(crc)) for c, crc in doc["prefixes"]),
+                chunks=chunks_from_entry(doc.get("chunks", [])),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise DataFileError(
@@ -376,6 +388,180 @@ def read_data_prefix(
     start = HEADER_BYTES + offset_particles * dtype.itemsize
     raw = backend.read_range(path, start, count * dtype.itemsize, actor=actor)
     return ParticleBatch.frombuffer(raw, dtype)
+
+
+def read_data_file_into(
+    backend: FileBackend,
+    path: str,
+    dtype: np.dtype,
+    out: np.ndarray,
+    actor: int = -1,
+) -> int:
+    """Zero-copy :func:`read_data_file`: land the payload in ``out``.
+
+    ``out`` must be a contiguous structured array of exactly the file's
+    particle count; the payload is read straight into its buffer via
+    :meth:`FileBackend.readinto` — no whole-file bytes object is ever
+    materialised.  Verification is identical to :func:`read_data_file`
+    (header structure, byte length vs. the on-disk size, v2+ CRC footer),
+    with matching error messages, so the two paths are interchangeable to
+    every caller that inspects failures.  Returns the particle count.
+    """
+    size = backend.size(path)
+    if size < HEADER_BYTES:
+        raise DataFileError(f"{path}: truncated header ({size} bytes)")
+    # Speculative scatter-gather: the caller's ``out`` predicts the payload
+    # extent, so header, payload, and footer land in ONE readv (one open).
+    # When the on-disk size contradicts the prediction, fall back to a
+    # header-only read — the validation below then raises exactly the error
+    # the sized-read path would have.
+    buf = out.view(np.uint8)
+    header = bytearray(HEADER_BYTES)
+    payload = len(out) * dtype.itemsize
+    rem = size - HEADER_BYTES - payload
+    footer_buf = bytearray(FOOTER_BYTES) if rem >= FOOTER_BYTES else None
+    if rem == 0 or footer_buf is not None:
+        segments: list = [(0, header)]
+        if payload:
+            segments.append((HEADER_BYTES, buf))
+        if footer_buf is not None:
+            segments.append((HEADER_BYTES + payload, footer_buf))
+        backend.readv(path, segments, actor=actor)
+    else:
+        header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
+    version, count = _parse_header(bytes(header), path, dtype)
+    footer = FOOTER_BYTES if version >= 2 else 0
+    expected = HEADER_BYTES + count * dtype.itemsize + footer
+    if (size < expected) if version >= 3 else (size != expected):
+        raise DataFileError(
+            f"{path}: expected {expected} bytes for {count} particles, "
+            f"found {size}"
+        )
+    if count != len(out):
+        raise DataFileError(
+            f"{path}: holds {count} particles, caller expected {len(out)}"
+        )
+    if version >= 2:
+        # The checks above passing guarantees the speculative layout was
+        # right, so the footer segment holds the real footer bytes.
+        magic, stored = _FOOTER.unpack(bytes(footer_buf))
+        if magic != FOOTER_MAGIC:
+            raise DataChecksumError(f"{path}: bad footer magic {magic!r}")
+        actual = zlib.crc32(buf, zlib.crc32(header))
+        if actual != stored:
+            raise DataChecksumError(
+                f"{path}: CRC32 mismatch — stored {stored:#010x}, "
+                f"computed {actual:#010x}"
+            )
+    return count
+
+
+def read_data_prefix_into(
+    backend: FileBackend,
+    path: str,
+    dtype: np.dtype,
+    out: np.ndarray,
+    offset_particles: int = 0,
+    actor: int = -1,
+) -> int:
+    """Zero-copy :func:`read_data_prefix`: land ``len(out)`` particles
+    starting at ``offset_particles`` directly in ``out``'s buffer.
+
+    Same validation and error messages as :func:`read_data_prefix`, but
+    header and payload arrive via one :meth:`FileBackend.readv` (a single
+    open); like it, carries no whole-file verification.  Returns the
+    particle count read.
+    """
+    count = len(out)
+    if offset_particles < 0:
+        raise DataFileError(
+            f"negative count/offset ({count}, {offset_particles}) for {path}"
+        )
+    header = bytearray(HEADER_BYTES)
+    start = HEADER_BYTES + offset_particles * dtype.itemsize
+    nbytes = count * dtype.itemsize
+    # Header and payload in one readv when the slice fits the on-disk size;
+    # a slice past EOF implies it exceeds the particle count, so the
+    # header-only fallback always ends in the legacy slice error below.
+    if nbytes and start + nbytes <= backend.size(path):
+        backend.readv(
+            path, [(0, header), (start, out.view(np.uint8))], actor=actor
+        )
+    else:
+        header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
+    _version, total = _parse_header(bytes(header), path, dtype)
+    if offset_particles + count > total:
+        raise DataFileError(
+            f"{path}: slice [{offset_particles}, {offset_particles + count}) "
+            f"exceeds particle count {total}"
+        )
+    return count
+
+
+def read_particle_runs_into(
+    backend: FileBackend,
+    path: str,
+    dtype: np.dtype,
+    runs,
+    out: np.ndarray,
+    actor: int = -1,
+) -> int:
+    """Scatter-gather read of coalesced ``(start, count)`` particle runs.
+
+    The chunked read primitive: each run lands in the next ``count``
+    particles of ``out``, all runs gathered in one
+    :meth:`FileBackend.readv` (a single open serves the whole file).
+    Runs must be in ascending order and sum to ``len(out)``.  Like prefix
+    reads, run reads never see the file footer, so they carry no whole-file
+    verification — the chunk index they were planned from is validated
+    against the manifest instead.  Returns the particle count read.
+    """
+    runs = list(runs)
+    itemsize = dtype.itemsize
+    header = bytearray(HEADER_BYTES)
+    # Header plus every run in one readv (one open).  The segment list is
+    # built speculatively; validation against the parsed header runs after,
+    # and an out-of-bounds plan (which cannot assemble valid segments) takes
+    # the header-only fallback and raises from the checks below.
+    segments: list = [(0, header)]
+    pos = 0
+    end_max = 0
+    sane = True
+    for start, count in runs:
+        if start < 0 or count < 0 or pos + count > len(out):
+            sane = False
+            break
+        if count:
+            segments.append(
+                (
+                    HEADER_BYTES + start * itemsize,
+                    out[pos : pos + count].view(np.uint8),
+                )
+            )
+        end_max = max(end_max, start + count)
+        pos += count
+    if sane and HEADER_BYTES + end_max * itemsize <= backend.size(path):
+        backend.readv(path, segments, actor=actor)
+    else:
+        header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
+    _version, total = _parse_header(bytes(header), path, dtype)
+    pos = 0
+    for start, count in runs:
+        if start < 0 or count < 0 or start + count > total:
+            raise DataFileError(
+                f"{path}: run [{start}, {start + count}) exceeds particle "
+                f"count {total}"
+            )
+        if pos + count > len(out):
+            raise DataFileError(
+                f"{path}: runs overflow destination of {len(out)} particles"
+            )
+        pos += count
+    if pos != len(out):
+        raise DataFileError(
+            f"{path}: runs cover {pos} particles, destination holds {len(out)}"
+        )
+    return pos
 
 
 def peek_data_header(

@@ -35,8 +35,11 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.domain.box import Box
 from repro.errors import MetadataChecksumError, MetadataError
+from repro.format.chunks import chunks_from_entry
 from repro.format.datafile import RecoveryTrailer, data_file_name
 from repro.io.backend import FileBackend
 
@@ -95,6 +98,7 @@ def trailer_for_record(
     lod_seed: int | None,
     payload_crc32: int,
     prefixes: list,
+    chunks: list = (),
 ) -> RecoveryTrailer:
     """Build the recovery trailer describing ``rec``'s data file.
 
@@ -120,6 +124,7 @@ def trailer_for_record(
         lod_seed=lod_seed,
         payload_crc32=int(payload_crc32),
         prefixes=tuple((int(c), int(crc)) for c, crc in prefixes),
+        chunks=chunks_from_entry(chunks),
     )
 
 
@@ -129,6 +134,10 @@ class SpatialMetadata:
     def __init__(self, records: list[MetadataRecord], attr_names: tuple[str, ...] = ()):
         self.records = list(records)
         self.attr_names = tuple(attr_names)
+        #: Lazy structure-of-arrays ``(lo[N,3], hi[N,3])`` view of the record
+        #: bounds, built on first spatial query so ``files_intersecting`` is
+        #: one numpy broadcast instead of a Python loop over records.
+        self._bounds_soa: tuple[np.ndarray, np.ndarray] | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -180,9 +189,33 @@ class SpatialMetadata:
 
     # -- queries -----------------------------------------------------------
 
+    def bounds_soa(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lo[N,3], hi[N,3])`` float64 arrays of all record bounds,
+        built once and cached (record order preserved)."""
+        if self._bounds_soa is None:
+            n = len(self.records)
+            lo = np.empty((n, 3), dtype=np.float64)
+            hi = np.empty((n, 3), dtype=np.float64)
+            for i, rec in enumerate(self.records):
+                lo[i] = rec.bounds.lo
+                hi[i] = rec.bounds.hi
+            self._bounds_soa = (lo, hi)
+        return self._bounds_soa
+
     def files_intersecting(self, box: Box) -> list[MetadataRecord]:
-        """Records whose bounds overlap ``box`` — the read-side file pruner."""
-        return [r for r in self.records if r.bounds.intersects(box)]
+        """Records whose bounds overlap ``box`` — the read-side file pruner.
+
+        One broadcast comparison against the cached SoA bounds; the open
+        interval test matches :meth:`Box.intersects` exactly, so the result
+        list is identical (order included) to filtering record-by-record.
+        """
+        if not self.records:
+            return []
+        lo, hi = self.bounds_soa()
+        qlo = np.asarray(box.lo, dtype=np.float64)
+        qhi = np.asarray(box.hi, dtype=np.float64)
+        mask = (lo < qhi).all(axis=1) & (qlo < hi).all(axis=1)
+        return [self.records[i] for i in np.flatnonzero(mask)]
 
     def files_in_attr_range(
         self, attr: str, lo: float, hi: float

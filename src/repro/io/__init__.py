@@ -26,6 +26,7 @@ with deterministic result order and per-task child recorders.
 """
 
 from repro.io.backend import FileBackend, IoOp
+from repro.io.cache import CachingBackend
 from repro.io.executor import (
     IoExecutor,
     SerialExecutor,
@@ -45,6 +46,7 @@ __all__ = [
     "PosixBackend",
     "PrefixBackend",
     "VirtualBackend",
+    "CachingBackend",
     "FaultInjectingBackend",
     "FaultPlan",
     "FaultSpec",

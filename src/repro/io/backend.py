@@ -91,6 +91,39 @@ class FileBackend(ABC):
     ) -> bytes:
         """Read ``length`` bytes at ``offset``.  Short reads are an error."""
 
+    def readinto(
+        self, path: str, offset: int, view, actor: int = -1
+    ) -> int:
+        """Read ``len(view)`` bytes at ``offset`` directly into ``view``.
+
+        ``view`` is any writable buffer (memoryview, ndarray byte view).
+        Same contract as :meth:`read_range` — short reads are an error —
+        but the destination is caller-owned, so scatter-gather consumers
+        can land ranged reads in a preallocated result with no per-range
+        allocation.  This default copies through :meth:`read_range`;
+        concrete backends override it with a genuinely copy-free path.
+        """
+        out = memoryview(view).cast("B")
+        data = self.read_range(path, offset, len(out), actor=actor)
+        out[:] = data
+        return len(out)
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        """Scatter-gather read: fill each ``(offset, view)`` in ``segments``.
+
+        One *logical open* of ``path`` serves every segment, so a reader
+        that wants the header, a handful of pruned particle runs, and the
+        footer of one file pays a single open (the dominant fixed cost on
+        parallel filesystems) instead of one per range.  Segments follow
+        the :meth:`readinto` contract; returns total bytes read.  This
+        default loops over :meth:`readinto` (one open per segment) —
+        concrete backends override it to share the open.
+        """
+        total = 0
+        for offset, view in segments:
+            total += self.readinto(path, offset, view, actor=actor)
+        return total
+
     @abstractmethod
     def exists(self, path: str) -> bool: ...
 

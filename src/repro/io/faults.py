@@ -295,6 +295,40 @@ class FaultInjectingBackend(FileBackend):
         with self._lock:
             return self._apply_flips(path, data, flips)
 
+    def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
+        path = self._normalize(path)
+        with self._lock:
+            self._check_dead(path)
+            flips = self._check_read(path)
+        n = self.inner.readinto(path, offset, view, actor=actor)
+        if flips:
+            out = memoryview(view).cast("B")
+            with self._lock:
+                out[:] = self._apply_flips(path, bytes(out), flips)
+        return n
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        # One fault check per readv call, mirroring its one-open semantics
+        # (a transient fault fails the whole scatter-gather read, as a real
+        # failed open would).
+        path = self._normalize(path)
+        segs = [(off, memoryview(v).cast("B")) for off, v in segments]
+        with self._lock:
+            self._check_dead(path)
+            flips = self._check_read(path)
+        total = self.inner.readv(path, segs, actor=actor)
+        if flips:
+            blob = bytearray()
+            for _off, out in segs:
+                blob += out
+            with self._lock:
+                blob = bytearray(self._apply_flips(path, bytes(blob), flips))
+            pos = 0
+            for _off, out in segs:
+                out[:] = blob[pos : pos + len(out)]
+                pos += len(out)
+        return total
+
     def exists(self, path: str) -> bool:
         with self._lock:
             self._check_dead(path)

@@ -89,6 +89,64 @@ class PosixBackend(FileBackend):
         self._note_read(self._normalize(path), length)
         return data
 
+    def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
+        out = memoryview(view).cast("B")
+        length = len(out)
+        if offset < 0:
+            raise BackendError(f"negative offset/length ({offset}, {length})")
+        full = self._full(path)
+        got = 0
+        try:
+            with open(full, "rb") as fh:
+                fh.seek(offset)
+                while got < length:
+                    n = fh.readinto(out[got:])
+                    if not n:
+                        break
+                    got += n
+        except OSError as exc:
+            raise BackendError(f"reading {full}: {exc}") from exc
+        if got != length:
+            raise BackendError(
+                f"short read from {full}: wanted {length} bytes at {offset}, "
+                f"got {got}"
+            )
+        self._note_open(self._normalize(path))
+        self._note_read(self._normalize(path), length)
+        return length
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        full = self._full(path)
+        norm = self._normalize(path)
+        total = 0
+        try:
+            with open(full, "rb") as fh:
+                self._note_open(norm)
+                for offset, view in segments:
+                    out = memoryview(view).cast("B")
+                    length = len(out)
+                    if offset < 0:
+                        raise BackendError(
+                            f"negative offset/length ({offset}, {length})"
+                        )
+                    fh.seek(offset)
+                    got = 0
+                    while got < length:
+                        n = fh.readinto(out[got:])
+                        if not n:
+                            break
+                        got += n
+                    if got != length:
+                        raise BackendError(
+                            f"short read from {full}: wanted {length} bytes "
+                            f"at {offset}, got {got}"
+                        )
+                    self._note_read(norm, length)
+                    total += length
+        except OSError as exc:
+            raise BackendError(f"reading {full}: {exc}") from exc
+        return total
+
     def exists(self, path: str) -> bool:
         return self._full(path).exists()
 

@@ -39,6 +39,12 @@ class PrefixBackend(FileBackend):
     def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
         return self.base.read_range(self._full(path), offset, length, actor=actor)
 
+    def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
+        return self.base.readinto(self._full(path), offset, view, actor=actor)
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        return self.base.readv(self._full(path), segments, actor=actor)
+
     def exists(self, path: str) -> bool:
         return self.base.exists(self._full(path))
 

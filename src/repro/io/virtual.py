@@ -75,6 +75,63 @@ class VirtualBackend(FileBackend):
         self._note_read(path, length)
         return data[offset : offset + length]
 
+    def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
+        path = self._normalize(path)
+        out = memoryview(view).cast("B")
+        length = len(out)
+        if offset < 0:
+            raise BackendError(f"negative offset/length ({offset}, {length})")
+        with self._lock:
+            data = self._files.get(path)
+            if data is None:
+                raise BackendError(f"no such virtual file: {path!r}")
+            if offset + length > len(data):
+                raise BackendError(
+                    f"short read from {path!r}: wanted {length} bytes at {offset}, "
+                    f"file has {len(data)}"
+                )
+            self._log(IoOp("open", path, actor=actor))
+            self._log(IoOp("read", path, nbytes=length, offset=offset, actor=actor))
+        self._note_open(path)
+        self._note_read(path, length)
+        out[:] = data[offset : offset + length]
+        return length
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        path = self._normalize(path)
+        segs = []
+        for offset, view in segments:
+            out = memoryview(view).cast("B")
+            if offset < 0:
+                raise BackendError(
+                    f"negative offset/length ({offset}, {len(out)})"
+                )
+            segs.append((offset, out))
+        total = 0
+        with self._lock:
+            data = self._files.get(path)
+            if data is None:
+                raise BackendError(f"no such virtual file: {path!r}")
+            for offset, out in segs:
+                if offset + len(out) > len(data):
+                    raise BackendError(
+                        f"short read from {path!r}: wanted {len(out)} bytes "
+                        f"at {offset}, file has {len(data)}"
+                    )
+            self._log(IoOp("open", path, actor=actor))
+            for offset, out in segs:
+                self._log(
+                    IoOp(
+                        "read", path, nbytes=len(out), offset=offset, actor=actor
+                    )
+                )
+                total += len(out)
+        self._note_open(path)
+        for offset, out in segs:
+            self._note_read(path, len(out))
+            out[:] = data[offset : offset + len(out)]
+        return total
+
     def exists(self, path: str) -> bool:
         with self._lock:
             return self._normalize(path) in self._files

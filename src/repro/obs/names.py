@@ -81,6 +81,12 @@ REPAIR_PARTICLES_SALVAGED = "repair.particles_salvaged"
 REPAIR_PARTICLES_LOST = "repair.particles_lost"
 REPAIR_FILES_QUARANTINED = "repair.files_quarantined"
 
+# -- block cache counters (keyed by (path,); see repro.io.cache) ------------
+
+CACHE_HIT = "cache.hit"
+CACHE_MISS = "cache.miss"
+CACHE_EVICT = "cache.evict"
+
 # -- retry / fault counters -------------------------------------------------
 
 IO_ATTEMPTS = "io.attempts"

@@ -148,6 +148,13 @@ class TestFailingBackend:
                 self.allowed -= 1
             return super().read_file(path, actor)
 
+        def readv(self, path, segments, actor=-1):
+            if path.startswith("data/"):
+                if self.allowed <= 0:
+                    raise BackendError("injected I/O failure")
+                self.allowed -= 1
+            return super().readv(path, segments, actor)
+
     def test_mid_read_failure_propagates(self):
         backend, _, _ = write_dataset(nprocs=8, partition_factor=(1, 1, 1))
         exploding = self.ExplodingBackend(allowed_reads=3)
