@@ -1,6 +1,6 @@
 """Command-line utilities over spio datasets.
 
-Seven subcommands, mirroring what a user pokes at day to day::
+Eight subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli info <dataset-dir>
         Manifest, LOD parameters, per-file table.
@@ -21,6 +21,12 @@ Seven subcommands, mirroring what a user pokes at day to day::
         unrecoverable rest.  Detects a series root (``series.json``) and
         repairs every indexed timestep.  ``--dry-run`` prints the plan
         without writing a byte.
+
+    python -m repro.cli compact <dataset-dir> [--dry-run] [--workers N]
+        Merge a generation chain's many small per-step files into
+        consolidated chunk-indexed ones as a new generation, then drop
+        generations beyond the retention window (``--keep``, default 2).
+        Readers pinned to a retained generation are unaffected.
 
     python -m repro.cli estimate --machine Theta --procs 262144 ...
         Performance-model estimate for a write at HPC scale.
@@ -62,6 +68,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"dtype           : {m.dtype}")
     print(f"LOD             : P={m.lod_base} S={m.lod_scale} "
           f"heuristic={m.lod_heuristic}")
+    generations = ds.generations()
+    if ds.generation > 0 or len(generations) > 1:
+        print(f"generation      : {ds.generation} "
+              f"(on disk: {', '.join(map(str, generations))})")
     print(f"domain          : {ds.domain()}")
     if ds.metadata.attr_names:
         print(f"indexed attrs   : {', '.join(ds.metadata.attr_names)}")
@@ -168,6 +178,24 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     for line in report.summary_lines():
         print(line)
     return report.exit_code
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.core.compact import compact_dataset
+    from repro.dataset import Dataset
+    from repro.io.executor import executor_for
+
+    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    report = compact_dataset(
+        ds,
+        target_files=args.target_files,
+        keep=args.keep,
+        gc=not args.no_gc,
+        dry_run=args.dry_run,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -334,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file repair work (1 = serial)")
     p.set_defaults(func=_cmd_repair)
+
+    p = sub.add_parser(
+        "compact",
+        help="merge a generation chain's small files into consolidated ones",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the compaction plan without writing anything")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent read work during the merge (1 = serial)")
+    p.add_argument("--target-files", type=int, default=None,
+                   help="consolidated file count (default: files/8, min 1)")
+    p.add_argument("--keep", type=int, default=2,
+                   help="generations retained for pinned readers (default 2)")
+    p.add_argument("--no-gc", action="store_true",
+                   help="skip the retention pass; old generations stay")
+    p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser("estimate", help="performance-model write estimate")
     p.add_argument("--machine", default="Theta")

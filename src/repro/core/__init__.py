@@ -42,6 +42,12 @@ from repro.core.repair import (
     repair_dataset,
     repair_series,
 )
+from repro.core.compact import (
+    CompactReport,
+    GcReport,
+    collect_generations,
+    compact_dataset,
+)
 
 __all__ = [
     "WriterConfig",
@@ -70,4 +76,8 @@ __all__ = [
     "SeriesRepairReport",
     "repair_dataset",
     "repair_series",
+    "CompactReport",
+    "GcReport",
+    "collect_generations",
+    "compact_dataset",
 ]

@@ -1,0 +1,329 @@
+"""Online compaction and generation retention for particle datasets.
+
+A long-running append workload leaves a dataset as a chain of generations,
+each contributing a few small per-step files — exactly the "many small
+files" failure mode the paper's aggregation scheme exists to avoid.  The
+compactor restores the invariant *online*:
+
+1. **Plan** — resolve the committed generation, read the full dataset at
+   full resolution (strict: every checksum verifies before a byte is
+   rewritten), and split the particles spatially into ``target_files``
+   slices.
+2. **Rewrite** — run the spatially-aware writer over the slices as a brand
+   new full-replacement generation (empty base): consolidated,
+   chunk-indexed v3 files under the new generation's namespace.  Nothing
+   existing is touched; the checksummed ``CURRENT`` flip at the end is the
+   commit, so readers pinned to any older generation keep bit-identical
+   results throughout, and a crash at any point leaves the dataset at
+   exactly the old or the new generation.
+3. **GC** (optional) — drop generations beyond the retention window
+   (newest ``keep``), deleting each dropped generation's manifest first
+   (un-committing it), then its table, then every data file no retained
+   generation references.
+
+Full-resolution box queries return the same particle sets before and after
+compaction (the tests assert bit-identity under a canonical sort).  LOD
+*prefixes* are re-drawn — consolidation reshuffles particles into new
+files, so level boundaries land differently; progressive readers see an
+equivalent but not byte-identical coarse ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import WriterConfig
+from repro.core.reader import SpatialReader
+from repro.core.writer import GenerationCommit, SpatialWriter
+from repro.dataset import Dataset, as_dataset
+from repro.domain import Box, PatchDecomposition
+from repro.errors import FormatError
+from repro.format.generations import (
+    generation_manifest_path,
+    generation_meta_path,
+    list_generations,
+    load_generation,
+    resolve_generation,
+)
+from repro.io.backend import FileBackend
+from repro.mpi import run_mpi
+from repro.obs.names import (
+    COMPACT_BYTES_RECLAIMED,
+    COMPACT_FILES_GCED,
+    COMPACT_FILES_MERGED,
+    PHASE_COMPACT_GC,
+    PHASE_COMPACT_PLAN,
+    PHASE_COMPACT_REWRITE,
+)
+from repro.obs.recorder import Recorder
+
+__all__ = [
+    "CompactReport",
+    "GcReport",
+    "collect_generations",
+    "compact_dataset",
+]
+
+
+@dataclass
+class GcReport:
+    """What one retention pass dropped."""
+
+    #: Generations retained after the pass, ascending.
+    kept: list[int] = field(default_factory=list)
+    #: Generations dropped, ascending.
+    dropped: list[int] = field(default_factory=list)
+    #: Data files deleted (no retained generation referenced them).
+    files_deleted: list[str] = field(default_factory=list)
+    bytes_reclaimed: int = 0
+    dry_run: bool = False
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"generations kept   : {', '.join(map(str, self.kept)) or 'none'}",
+            f"generations dropped: "
+            f"{', '.join(map(str, self.dropped)) or 'none'}",
+            f"files deleted      : {len(self.files_deleted)}",
+            f"bytes reclaimed    : {self.bytes_reclaimed}",
+        ]
+        if self.dry_run:
+            lines.append("dry run: no changes were made")
+        return lines
+
+
+@dataclass
+class CompactReport:
+    """Everything one compaction pass decided and did."""
+
+    #: The committed generation the pass read from.
+    source_generation: int = 0
+    #: The generation the consolidated files committed as (== source for a
+    #: dry run, which commits nothing).
+    new_generation: int = 0
+    #: Data files the source generation served queries from.
+    files_before: int = 0
+    #: Consolidated files the new generation serves them from.
+    files_after: int = 0
+    particles: int = 0
+    dry_run: bool = False
+    #: Retention pass outcome (None when GC was skipped).
+    gc: GcReport | None = None
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"source generation : {self.source_generation}",
+            f"new generation    : {self.new_generation}",
+            f"files             : {self.files_before} -> {self.files_after}",
+            f"particles         : {self.particles}",
+        ]
+        if self.dry_run:
+            lines.append("dry run: no changes were made")
+        if self.gc is not None:
+            lines.extend(f"gc: {line}" for line in self.gc.summary_lines())
+        return lines
+
+
+def _padded_domain(domain: Box) -> Box:
+    """Open the domain's top face slightly so half-open patch binning
+    keeps the particles sitting exactly on it (the populated domain is a
+    closed bounding box — its max particle IS on the face)."""
+    lo = np.asarray(domain.lo, dtype=np.float64)
+    hi = np.asarray(domain.hi, dtype=np.float64)
+    extent = hi - lo
+    pad = np.where(extent > 0, extent * 1e-9, 1e-9)
+    return Box(lo, hi + pad)
+
+
+def compact_dataset(
+    source: Dataset | FileBackend,
+    *,
+    target_files: int | None = None,
+    keep: int = 2,
+    gc: bool = True,
+    dry_run: bool = False,
+) -> CompactReport:
+    """Merge the committed generation's files into ``target_files``
+    consolidated ones as a new generation; optionally GC old generations.
+
+    ``keep`` retains the newest ``keep`` generations (the new one
+    included) for pinned readers; generations *ahead* of the committed one
+    (crash residue) are never GC'd — that is the repair subsystem's call.
+    With ``dry_run=True`` nothing is written: the report carries the plan.
+    """
+    ds = as_dataset(source)
+    rec = ds.recorder
+    out = CompactReport(dry_run=dry_run)
+
+    with rec.span(PHASE_COMPACT_PLAN, cat="compact"):
+        # Compaction always consolidates the *committed* state (a facade
+        # pin is a read-side concern); the new generation lands past every
+        # generation on disk so crash residue ahead of CURRENT is never
+        # overwritten.
+        resolved = resolve_generation(ds.backend, actor=ds.actor)
+        base = (
+            ds
+            if ds.pinned_generation in (None, resolved.generation)
+            else ds.at_generation(resolved.generation)
+        )
+        manifest, metadata = base.manifest, base.metadata
+        out.source_generation = resolved.generation
+        out.files_before = len(metadata)
+        out.particles = manifest.total_particles
+        next_gen = (
+            max([resolved.generation, *list_generations(ds.backend)]) + 1
+        )
+
+        nfiles = target_files if target_files else max(1, len(metadata) // 8)
+        nfiles = max(1, min(int(nfiles), max(1, out.particles)))
+        out.files_after = nfiles
+        out.new_generation = resolved.generation if dry_run else next_gen
+        if dry_run:
+            return out
+
+        # Strict full-resolution read: every byte verifies before any of
+        # it is rewritten, so compaction can never launder corruption into
+        # a fresh-looking generation.
+        reader = SpatialReader(base)
+        batch = reader.execute(reader.plan_full_read())
+        decomp = PatchDecomposition.for_nprocs(
+            _padded_domain(metadata.domain()), nfiles
+        )
+        slices = [
+            batch.select_in_box(decomp.patch_of_rank(r)) for r in range(nfiles)
+        ]
+        if sum(len(s) for s in slices) != len(batch):
+            raise FormatError(
+                "compaction slicing lost particles — populated domain does "
+                "not cover the dataset"
+            )
+
+    with rec.span(PHASE_COMPACT_REWRITE, cat="compact"):
+        cfg_doc = manifest.writer.get("config", {}) or {}
+        cfg = WriterConfig(
+            partition_factor=(1, 1, 1),
+            lod_base=manifest.lod_base,
+            lod_scale=manifest.lod_scale,
+            lod_heuristic=manifest.lod_heuristic,
+            lod_seed=manifest.lod_seed,
+            attr_index=metadata.attr_names,
+            align_to_patches=True,
+            chunk_size=int(cfg_doc.get("chunk_size", 64)),
+        )
+        commit = GenerationCommit(
+            generation=out.new_generation,
+            parent=resolved.generation,
+            base_records=(),
+            base_checksums={},
+            box_id_offset=0,
+        )
+        writer = SpatialWriter(cfg, retry=ds.retry)
+        recorders = [Recorder(rank=r) for r in range(nfiles)]
+
+        def main(comm):
+            return writer.write_as_generation(
+                comm,
+                slices[comm.rank],
+                decomp,
+                ds.backend,
+                commit,
+                recorder=recorders[comm.rank],
+            )
+
+        run_mpi(nfiles, main)
+        for child in recorders:
+            rec.merge(child)
+        rec.add(COMPACT_FILES_MERGED, out.files_before)
+
+    if gc:
+        with rec.span(PHASE_COMPACT_GC, cat="compact"):
+            out.gc = collect_generations(ds, keep=keep)
+    ds.invalidate_cache()
+    return out
+
+
+def collect_generations(
+    source: Dataset | FileBackend,
+    *,
+    keep: int = 2,
+    dry_run: bool = False,
+) -> GcReport:
+    """Retention-driven GC: drop every generation older than the newest
+    ``keep`` committed ones.
+
+    The committed generation is always retained regardless of ``keep``;
+    generations ahead of it (crash residue a repair should adjudicate) are
+    retained too — GC only ever removes *history*.  Per dropped
+    generation the deletion order is crash-safe: manifest first (the drop
+    un-commits it; residue is a typed, repairable scrub issue), then the
+    spatial table, then data files no retained generation references.
+    """
+    ds = as_dataset(source)
+    backend = ds.backend
+    rec = ds.recorder
+    out = GcReport(dry_run=dry_run)
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+
+    # GC refuses to run on a dataset that does not resolve cleanly — use
+    # `repro repair` first; deleting history around damage destroys the
+    # evidence recovery needs.
+    current = resolve_generation(backend, actor=ds.actor)
+    if current.fallback:
+        raise FormatError(
+            "CURRENT does not resolve cleanly; run `repro repair` before "
+            "collecting generations"
+        )
+    gens = list_generations(backend)
+    history = [g for g in gens if g <= current.generation]
+    ahead = [g for g in gens if g > current.generation]
+    kept_history = history[-keep:]
+    out.kept = sorted(kept_history + ahead)
+    out.dropped = [g for g in history if g not in kept_history]
+    if not out.dropped:
+        return out
+
+    live: set[str] = set()
+    for gen in out.kept:
+        try:
+            _m, meta = load_generation(backend, gen, actor=ds.actor)
+        except FormatError:
+            continue  # damaged retained gen: scrub/repair territory, not GC's
+        live.update(r.file_path for r in meta.records)
+
+    deleted: set[str] = set()
+    for gen in out.dropped:
+        try:
+            _m, meta = load_generation(backend, gen, actor=ds.actor)
+            refs = [r.file_path for r in meta.records]
+        except FormatError:
+            refs = []
+        victims = [p for p in refs if p not in live and p not in deleted]
+        if dry_run:
+            out.files_deleted.extend(victims)
+            continue
+        # Manifest first: from here on the generation is residue, never a
+        # half-readable commit.
+        ds.retry.call(
+            backend.delete, generation_manifest_path(gen), missing_ok=True,
+            recorder=rec,
+        )
+        ds.retry.call(
+            backend.delete, generation_meta_path(gen), missing_ok=True,
+            recorder=rec,
+        )
+        for path in victims:
+            try:
+                out.bytes_reclaimed += backend.size(path)
+            except Exception:
+                pass
+            ds.retry.call(backend.delete, path, missing_ok=True, recorder=rec)
+            deleted.add(path)
+        out.files_deleted.extend(victims)
+
+    if not dry_run:
+        rec.add(COMPACT_FILES_GCED, len(out.files_deleted))
+        rec.add(COMPACT_BYTES_RECLAIMED, out.bytes_reclaimed)
+        ds.invalidate_cache()
+    return out

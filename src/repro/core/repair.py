@@ -47,7 +47,7 @@ import re
 import zlib
 from dataclasses import dataclass, field
 
-from repro.core.scrub import ScrubReport
+from repro.core.scrub import QUARANTINE_DIR, ScrubReport
 from repro.dataset import Dataset, as_dataset
 from repro.errors import (
     BackendError,
@@ -55,6 +55,18 @@ from repro.errors import (
     DataFileError,
     FormatError,
     MetadataError,
+)
+from repro.format.generations import (
+    CURRENT_PATH,
+    ResolvedGeneration,
+    generation_manifest_path,
+    generation_meta_path,
+    list_generations,
+    load_generation,
+    parse_generation_path,
+    read_current,
+    resolve_generation,
+    write_current,
 )
 from repro.format.chunks import (
     build_chunk_entry,
@@ -108,9 +120,9 @@ __all__ = [
     "repair_series",
 ]
 
-#: Unrecoverable pieces are moved here (relative to the dataset root), never
-#: deleted — a later forensic pass can still look at them.
-QUARANTINE_DIR = "quarantine"
+#: Unrecoverable pieces are moved to ``QUARANTINE_DIR`` (defined in
+#: :mod:`repro.core.scrub`, re-exported here), never deleted — a later
+#: forensic pass can still look at them.
 
 #: Action kinds, in the order :meth:`RepairReport.summary_lines` groups them.
 ACTION_REBUILD_METADATA = "rebuild-metadata-from-trailers"
@@ -120,6 +132,8 @@ ACTION_REWRITE_TRAILER = "rewrite-trailer"
 ACTION_TRUNCATE = "truncate-torn-file"
 ACTION_DROP_MISSING = "drop-missing-file"
 ACTION_QUARANTINE = "quarantine-unrecoverable"
+ACTION_REWRITE_CURRENT = "rewrite-current-pointer"
+ACTION_DROP_GENERATION = "drop-generation"
 
 
 @dataclass
@@ -414,6 +428,20 @@ class _RepairPlan:
     invalidate_marker: bool = False
     meta_blob: bytes | None = None
     manifest: Manifest | None = None
+    #: the generation this repair converges the dataset to; decides which
+    #: manifest/meta paths are rewritten and what the commit marker is.
+    target: ResolvedGeneration = field(
+        default_factory=lambda: ResolvedGeneration(0)
+    )
+    #: rewrite CURRENT to this generation after everything else landed
+    #: (None = classic single-manifest dataset, no pointer).
+    write_current_gen: int | None = None
+    #: dropped generation -> its unique data files (quarantined, never
+    #: shared with a retained generation).
+    drop_files: dict[int, list[str]] = field(default_factory=dict)
+    #: stray chain state deleted outright (dropped gen manifests/meta,
+    #: residue meta without a manifest, stray CURRENT on a gen-0 dataset).
+    delete_paths: list[str] = field(default_factory=list)
     #: path -> (salvage_count, rec_size) for truncations.
     truncate: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: path -> (count, rec_size) for full-payload trailer rewrites.
@@ -479,18 +507,83 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
     plan = _RepairPlan()
     backend = ds.backend
 
+    # Which generation does this repair converge to?  The resolver's own
+    # discipline picks it (valid CURRENT first, else the newest fully
+    # verifiable generation); when nothing verifies at all, fall back to
+    # the newest generation present and rebuild it from trailers.
+    try:
+        target = resolve_generation(backend, actor=ds.actor)
+    except FormatError:
+        target = ResolvedGeneration(
+            max(list_generations(backend), default=0),
+            fallback=True,
+            detail="no generation fully verifies; rebuilding the newest",
+        )
+    # The resolver only falls back to generations it can READ — but repair
+    # can do better: when a valid CURRENT names a newer generation whose
+    # spatial table still parses, the committed data survives even though
+    # the manifest is damaged.  Rebuild that generation in place instead of
+    # abandoning the committed append.
+    if target.fallback:
+        try:
+            pointed = read_current(backend, actor=ds.actor)
+        except FormatError:
+            pointed = None
+        if pointed is not None and pointed > target.generation:
+            try:
+                SpatialMetadata.read(
+                    backend, generation_meta_path(pointed), actor=ds.actor
+                )
+            except (BackendError, FormatError):
+                pass
+            else:
+                target = ResolvedGeneration(
+                    pointed,
+                    fallback=True,
+                    detail=(
+                        f"CURRENT names generation {pointed}; its table "
+                        "survives, rebuilding the manifest in place"
+                    ),
+                )
+    plan.target = target
+    manifest_path, meta_path = target.manifest_path, target.meta_path
+
+    # Generations the scrub condemned (crashed appends that never flipped
+    # CURRENT, chained state that fails verification, lying filenames) are
+    # dropped: their manifest/meta deleted, their unique files quarantined.
+    _DROP_REASONS = {
+        "generation-ahead": "crashed before its CURRENT flip (never committed)",
+        "generation-damaged": "fails verification and is not the repair target",
+        "generation-mismatch": "embedded generation contradicts its filename",
+    }
+    drop_reasons: dict[int, str] = {}
+    for issue in report.issues:
+        reason = _DROP_REASONS.get(issue.code)
+        parsed = parse_generation_path(issue.path)
+        if reason is None or parsed is None:
+            continue
+        gen = parsed[1]
+        if gen != target.generation:
+            drop_reasons.setdefault(gen, reason)
+    drop_gens = sorted(drop_reasons)
+    dropped_ns = tuple(f"g{g}_" for g in drop_gens)
+    current_damaged = any(
+        issue.code in ("current-corrupt", "current-missing", "current-dangling")
+        for issue in report.issues
+    )
+
     # Surviving dataset-level state, each piece probed independently.
     manifest: Manifest | None = None
-    if ds.manifest_exists():
+    if backend.exists(manifest_path):
         try:
-            manifest = ds.read_manifest()
+            manifest = Manifest.read(backend, manifest_path, actor=ds.actor)
         except FormatError:
             manifest = None
     metadata: SpatialMetadata | None = None
     raw_meta: bytes | None = None
-    if ds.metadata_exists():
+    if backend.exists(meta_path):
         try:
-            raw_meta = bytes(backend.read_file(META_PATH))
+            raw_meta = bytes(backend.read_file(meta_path))
             metadata = SpatialMetadata.from_bytes(raw_meta)
         except (BackendError, FormatError):
             metadata = None
@@ -498,12 +591,35 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
     ref_records = (
         {r.file_path: r for r in metadata.records} if metadata is not None else {}
     )
+
+    # Files referenced only by OTHER retained generations (e.g. the
+    # pre-compaction inputs an old generation still serves to pinned
+    # readers) are foreign to this target: not inventory, not orphans.
+    foreign: set[str] = set()
+    for gen in list_generations(backend):
+        if gen == target.generation or gen in drop_reasons:
+            continue
+        try:
+            _m, other_meta = load_generation(backend, gen)
+        except FormatError:
+            continue
+        foreign.update(r.file_path for r in other_meta.records)
+    if manifest is not None:
+        foreign -= set(manifest.checksums)
+    foreign -= set(ref_records)
+
     paths = set(ref_records)
     try:
         names = backend.listdir("data")
     except BackendError:
         names = []
-    paths.update(f"data/{n}" for n in names if not n.startswith("."))
+    paths.update(
+        f"data/{n}"
+        for n in names
+        if not n.startswith(".")
+        and f"data/{n}" not in foreign
+        and not (dropped_ns and n.startswith(dropped_ns))
+    )
     ordered_paths = sorted(paths, key=_natural_key)
 
     known_dtype = manifest.dtype if manifest is not None else None
@@ -517,8 +633,8 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
     dataset_level_damage = (
         manifest is None
         or metadata is None
-        or MANIFEST_PATH in issue_paths
-        or META_PATH in issue_paths
+        or manifest_path in issue_paths
+        or meta_path in issue_paths
     )
     inspect_paths = (
         ordered_paths
@@ -706,6 +822,7 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
                     particle_count=st.salvage_count,
                     bounds=ref.bounds,
                     attr_ranges=dict(ref.attr_ranges),
+                    gen=ref.gen,
                 )
                 entry = {
                     "payload_crc32": st.salvage_crc,
@@ -848,6 +965,9 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
         plan.truncate.clear()
         plan.rewrite.clear()
         plan.trailers.clear()
+        plan.drop_files.clear()
+        plan.delete_paths.clear()
+        plan.write_current_gen = None
         return plan
     plan.meta_blob = table.to_bytes()
     plan.rebuild_metadata = raw_meta is None or plan.meta_blob != raw_meta
@@ -856,7 +976,7 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
         if adopted:
             detail += f" ({adopted} adopted from recovery trailers)"
         plan.actions.insert(
-            0, RepairAction(ACTION_REBUILD_METADATA, META_PATH, detail)
+            0, RepairAction(ACTION_REBUILD_METADATA, meta_path, detail)
         )
 
     new_manifest = Manifest(
@@ -870,6 +990,12 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
         writer=writer_prov,
         checksums={p: checksums[p] for p in sorted(checksums, key=_natural_key)},
         spatial_meta_crc32=zlib.crc32(plan.meta_blob),
+        generation=target.generation,
+        parent=(
+            manifest.parent
+            if manifest is not None and manifest.generation == target.generation
+            else (target.generation - 1 if target.generation > 0 else None)
+        ),
     )
     plan.manifest = new_manifest
     plan.rebuild_manifest = (
@@ -880,13 +1006,85 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
             0 if not plan.rebuild_metadata else 1,
             RepairAction(
                 ACTION_REBUILD_MANIFEST,
-                MANIFEST_PATH,
-                "commit marker rewritten from repaired state"
+                manifest_path,
+                "committed state rewritten from repaired files"
                 if manifest is not None
-                else "commit marker rebuilt from recovery trailers",
+                else "committed state rebuilt from recovery trailers",
             ),
         )
-    plan.invalidate_marker = ds.manifest_exists() and plan.rebuild_manifest
+
+    # -- chain hygiene: drops, residue, and the CURRENT pointer -------------
+    target_refs = set(checksums) | set(ref_records) | foreign
+    for gen in drop_gens:
+        prefix = f"g{gen}_"
+        unique = sorted(
+            (
+                f"data/{n}"
+                for n in names
+                if n.startswith(prefix) and f"data/{n}" not in target_refs
+            ),
+            key=_natural_key,
+        )
+        plan.drop_files[gen] = unique
+        plan.delete_paths.append(generation_manifest_path(gen))
+        plan.delete_paths.append(generation_meta_path(gen))
+        plan.actions.append(
+            RepairAction(
+                ACTION_DROP_GENERATION,
+                generation_manifest_path(gen),
+                f"generation {gen} {drop_reasons[gen]}",
+            )
+        )
+        plan.actions.extend(
+            RepairAction(
+                ACTION_QUARANTINE,
+                path,
+                f"belongs to dropped generation {gen}",
+            )
+            for path in unique
+        )
+    for issue in report.issues:
+        if issue.code == "generation-residue":
+            plan.delete_paths.append(issue.path)
+            plan.actions.append(
+                RepairAction(
+                    ACTION_DROP_GENERATION,
+                    issue.path,
+                    "spatial table without its manifest (aborted commit "
+                    "residue)",
+                )
+            )
+    if target.generation > 0:
+        # Chained datasets always finish by (re)pointing CURRENT at the
+        # converged generation — this is the repair's own commit flip.
+        plan.write_current_gen = target.generation
+        if current_damaged:
+            plan.actions.append(
+                RepairAction(
+                    ACTION_REWRITE_CURRENT,
+                    CURRENT_PATH,
+                    f"pointer rewritten to committed generation "
+                    f"{target.generation}",
+                )
+            )
+    elif backend.exists(CURRENT_PATH) and (current_damaged or drop_gens):
+        plan.delete_paths.append(CURRENT_PATH)
+        plan.actions.append(
+            RepairAction(
+                ACTION_REWRITE_CURRENT,
+                CURRENT_PATH,
+                "stray pointer removed (classic single-manifest dataset)",
+            )
+        )
+
+    if target.generation == 0:
+        plan.invalidate_marker = (
+            backend.exists(MANIFEST_PATH) and plan.rebuild_manifest
+        )
+    else:
+        plan.invalidate_marker = backend.exists(CURRENT_PATH) and (
+            plan.rebuild_manifest or plan.rebuild_metadata
+        )
     return plan
 
 
@@ -932,7 +1130,14 @@ def _execute(ds: Dataset, plan: _RepairPlan, report: RepairReport) -> None:
     ``spatial.meta``, then ``manifest.json`` last."""
     rec = ds.recorder
     if plan.invalidate_marker:
-        ds.retry.call(ds.backend.delete, MANIFEST_PATH, missing_ok=True, recorder=rec)
+        marker = MANIFEST_PATH if plan.target.generation == 0 else CURRENT_PATH
+        ds.retry.call(ds.backend.delete, marker, missing_ok=True, recorder=rec)
+
+    # Stray chain state goes first, manifest-before-meta per dropped
+    # generation (deleting the manifest un-commits it; a crash mid-drop
+    # leaves residue the next scrub still recognises).
+    for path in plan.delete_paths:
+        ds.retry.call(ds.backend.delete, path, missing_ok=True, recorder=rec)
 
     file_actions = [
         a
@@ -971,17 +1176,24 @@ def _execute(ds: Dataset, plan: _RepairPlan, report: RepairReport) -> None:
     if plan.rebuild_metadata:
         assert plan.meta_blob is not None
         ds.retry.call(
-            ds.backend.write_file, META_PATH, plan.meta_blob,
+            ds.backend.write_file, plan.target.meta_path, plan.meta_blob,
             actor=ds.actor, recorder=rec,
         )
     if plan.rebuild_manifest:
         assert plan.manifest is not None
         ds.retry.call(
             ds.backend.write_file,
-            MANIFEST_PATH,
+            plan.target.manifest_path,
             plan.manifest.to_json().encode("utf-8"),
             actor=ds.actor,
             recorder=rec,
+        )
+    if plan.write_current_gen is not None:
+        # The repair's own commit flip: everything above is now the
+        # committed state the pointer names.
+        ds.retry.call(
+            write_current, ds.backend, plan.write_current_gen,
+            actor=ds.actor, recorder=rec,
         )
     for action in plan.actions:
         if action.kind in (
@@ -989,6 +1201,8 @@ def _execute(ds: Dataset, plan: _RepairPlan, report: RepairReport) -> None:
             ACTION_REBUILD_MANIFEST,
             ACTION_REBUILD_ENTRY,
             ACTION_DROP_MISSING,
+            ACTION_DROP_GENERATION,
+            ACTION_REWRITE_CURRENT,
         ):
             action.executed = True
     for action in plan.actions:

@@ -10,7 +10,17 @@ guarantees:
   header's particle count matches the table's, the byte length is exact,
   the v2 footer CRC matches, and the manifest's per-LOD prefix checksums
   recompute correctly;
-* no orphan data files sit in ``data/`` (leftovers of an aborted write).
+* no orphan data files sit in ``data/`` (leftovers of an aborted write);
+* the generation chain is structurally sound: the checksummed ``CURRENT``
+  pointer parses and names an existing generation, every chained manifest
+  agrees with its filename, no generation sits uncommitted ahead of
+  ``CURRENT`` (an append that crashed before its commit point), and no
+  ``spatial.gen-N.meta`` survives without its manifest (GC crash residue).
+
+The scrub also surfaces the **quarantine inventory** — files a previous
+repair moved to ``quarantine/`` — in :attr:`ScrubReport.quarantined`.
+Quarantined files are prior, already-accounted losses, not live damage, so
+they are reported informationally and never fail the scrub.
 
 The outcome is a :class:`ScrubReport` of typed :class:`ScrubIssue` entries.
 Each issue is tagged **repairable** when :mod:`repro.core.repair` can fix it
@@ -55,11 +65,32 @@ from repro.format.datafile import (
     read_data_file,
     read_recovery_trailer,
 )
+from repro.format.generations import (
+    CURRENT_PATH,
+    ResolvedGeneration,
+    generation_manifest_path,
+    list_generations,
+    load_generation,
+    parse_generation_path,
+    read_current,
+    resolve_generation,
+    verify_generation,
+)
 from repro.format.manifest import MANIFEST_PATH, Manifest
 from repro.format.metadata import META_PATH, SpatialMetadata
 from repro.io.backend import FileBackend
 
-__all__ = ["ScrubIssue", "ScrubReport", "scrub_dataset", "dataset_is_complete"]
+#: Where repair parks unrecoverable bytes instead of deleting them (defined
+#: here, next to the inventory scan; re-exported by :mod:`repro.core.repair`).
+QUARANTINE_DIR = "quarantine"
+
+__all__ = [
+    "QUARANTINE_DIR",
+    "ScrubIssue",
+    "ScrubReport",
+    "scrub_dataset",
+    "dataset_is_complete",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +115,12 @@ class ScrubReport:
     bytes_verified: int = 0
     #: The dataset carries its commit marker and all referenced pieces.
     complete: bool = False
+    #: Generation the scrub verified (0 for a classic single-manifest
+    #: dataset; the committed/resolved generation for a chained one).
+    generation: int = 0
+    #: Files a previous repair moved to ``quarantine/`` — prior losses,
+    #: surfaced informationally (they never make the scrub fail).
+    quarantined: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -101,9 +138,13 @@ class ScrubReport:
         lines = [
             f"files checked   : {self.files_checked}",
             f"bytes verified  : {self.bytes_verified}",
+            f"generation      : {self.generation}",
             f"complete        : {'yes' if self.complete else 'no'}",
+            f"quarantined     : {len(self.quarantined)}",
             f"issues          : {len(self.issues)}",
         ]
+        for name in self.quarantined:
+            lines.append(f"  [quarantined] {name}")
         for issue in self.issues:
             tag = "repairable" if issue.repairable else "CORRUPT"
             lines.append(f"  [{tag}] {issue.code} {issue.path}: {issue.detail}")
@@ -124,25 +165,165 @@ class ScrubReport:
 
 
 def dataset_is_complete(source: Dataset | FileBackend) -> bool:
-    """Whether the dataset committed: manifest present, parseable, and every
+    """Whether the dataset committed: marker present, parseable, and every
     piece it references on disk.
 
-    The two-phase writer orders ``data/*`` → ``spatial.meta`` →
-    ``manifest.json``, so an interrupted write at *any* point leaves this
+    The two-phase writer orders ``data/*`` → ``spatial.meta`` → marker
+    (``manifest.json`` for a classic write, the ``CURRENT`` flip for a
+    chained commit), so an interrupted write at *any* point leaves this
     returning False — either the marker is missing/torn, or it never covers
     missing pieces (the marker is written only after everything else).
+
+    Deliberately strict about the chain: a damaged ``CURRENT``, or a
+    missing one while chained manifests exist, means the commit state is
+    ambiguous — that reads as incomplete even though resolution could fall
+    back.  An explicitly pinned facade probes its pinned generation.
     """
     ds = as_dataset(source)
-    if not ds.manifest_exists() or not ds.metadata_exists():
-        return False
+    backend = ds.backend
+    pin = ds.pinned_generation
+    if pin is None:
+        try:
+            resolved = resolve_generation(backend, actor=ds.actor)
+        except FormatError:
+            return False
+        if resolved.fallback:
+            return False
+        gen = resolved.generation
+    else:
+        gen = pin
+    return verify_generation(backend, gen, actor=ds.actor)
+
+
+def _quarantine_inventory(backend: FileBackend) -> list[str]:
+    """Paths (relative to ``quarantine/``) of previously quarantined files.
+
+    Stack-based walk that only relies on ``listdir``/``exists``: a child
+    with a non-empty listing is a directory; an empty listing plus
+    existence means a file (both the virtual and POSIX backends satisfy
+    this — POSIX ``listdir`` on a file raises, which is caught).
+    """
+    out: list[str] = []
+    stack = [QUARANTINE_DIR]
+    while stack:
+        prefix = stack.pop()
+        try:
+            names = backend.listdir(prefix)
+        except BackendError:
+            names = []
+        for name in sorted(names, reverse=True):
+            child = f"{prefix}/{name}"
+            try:
+                children = backend.listdir(child)
+            except BackendError:
+                children = []
+            if children:
+                stack.append(child)
+            elif backend.exists(child):
+                out.append(child[len(QUARANTINE_DIR) + 1 :])
+    return sorted(out)
+
+
+def _scrub_chain(
+    backend: FileBackend, report: ScrubReport
+) -> ResolvedGeneration | None:
+    """Verify the generation chain's structure; returns the scrub target.
+
+    Adds the typed pointer/chain issues (all repairable — the repair
+    subsystem rewrites ``CURRENT`` and drops uncommitted or damaged
+    generations) and decides which generation the deep per-file checks run
+    against.  ``None`` means nothing on disk resolves at all.
+    """
+    gens = list_generations(backend)
+    chained = [g for g in gens if g > 0]
+    current: int | None = None
+    current_valid = False
+    if backend.exists(CURRENT_PATH):
+        try:
+            current = read_current(backend)
+            current_valid = True
+        except FormatError as exc:
+            report.add(CURRENT_PATH, "current-corrupt", str(exc), repairable=True)
+    elif chained:
+        report.add(
+            CURRENT_PATH,
+            "current-missing",
+            "generation manifests exist but the CURRENT pointer is absent",
+            repairable=True,
+        )
+    if current_valid and current not in gens:
+        report.add(
+            CURRENT_PATH,
+            "current-dangling",
+            f"CURRENT names generation {current} but no such manifest exists",
+            repairable=True,
+        )
+        current_valid = False
+
     try:
-        manifest = ds.read_manifest()
-        metadata = ds.read_metadata()
-    except FormatError:
-        return False
-    if manifest.num_files != len(metadata.records):
-        return False
-    return all(ds.backend.exists(rec.file_path) for rec in metadata.records)
+        target = resolve_generation(backend)
+    except FormatError as exc:
+        report.add(CURRENT_PATH, "chain-unresolvable", str(exc))
+        return None
+
+    # The committed baseline: what CURRENT says when it is trustworthy,
+    # else what resolution fell back to.  Generations past it were never
+    # committed (an append that crashed before its CURRENT flip).
+    baseline = current if current_valid else target.generation
+    for g in gens:
+        if g == target.generation:
+            continue
+        path = generation_manifest_path(g)
+        try:
+            m = Manifest.read(backend, path)
+        except FormatError as exc:
+            report.add(
+                path,
+                "generation-damaged",
+                f"generation {g} manifest unusable: {exc}",
+                repairable=True,
+            )
+            continue
+        if m.generation != g:
+            report.add(
+                path,
+                "generation-mismatch",
+                f"file is named generation {g} but records generation "
+                f"{m.generation}",
+                repairable=True,
+            )
+        elif g > baseline:
+            report.add(
+                path,
+                "generation-ahead",
+                f"generation {g} was never committed "
+                f"(the committed generation is {baseline})",
+                repairable=True,
+            )
+        elif not verify_generation(backend, g):
+            report.add(
+                path,
+                "generation-damaged",
+                f"generation {g} no longer fully verifies",
+                repairable=True,
+            )
+
+    # GC/append crash residue: a spatial table whose manifest is gone.
+    try:
+        names = backend.listdir("")
+    except BackendError:
+        names = []
+    for name in sorted(names):
+        parsed = parse_generation_path(name)
+        if parsed is not None and parsed[0] == "meta" and parsed[1] not in gens:
+            report.add(
+                name,
+                "generation-residue",
+                f"spatial table for generation {parsed[1]} has no manifest "
+                "(append or GC crash residue)",
+                repairable=True,
+            )
+    return target
 
 
 def _chunk_entry_error(entry, batch, manifest: Manifest, attr_names, path: str) -> str | None:
@@ -307,29 +488,39 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
     backend = ds.backend
     report = ScrubReport()
     report.complete = dataset_is_complete(ds)
+    report.quarantined = _quarantine_inventory(backend)
+
+    # 0. Generation-chain structure: CURRENT pointer, uncommitted/damaged
+    #    generations, GC residue.  Decides which generation the deep checks
+    #    below run against.
+    target = _scrub_chain(backend, report)
+    manifest_path = target.manifest_path if target is not None else MANIFEST_PATH
+    meta_path = target.meta_path if target is not None else META_PATH
+    if target is not None:
+        report.generation = target.generation
 
     # 1. Manifest — without it there is no committed dataset and no dtype.
     manifest = None
-    if not ds.manifest_exists():
-        report.add(MANIFEST_PATH, "manifest-missing",
+    if not backend.exists(manifest_path):
+        report.add(manifest_path, "manifest-missing",
                    "no commit marker: write never completed", repairable=True)
     else:
         try:
-            manifest = ds.read_manifest()
+            manifest = Manifest.read(backend, manifest_path, actor=ds.actor)
         except FormatError as exc:
-            report.add(MANIFEST_PATH, "manifest-corrupt", str(exc), repairable=True)
+            report.add(manifest_path, "manifest-corrupt", str(exc), repairable=True)
 
     # 2. Spatial metadata table.
     metadata = None
     raw_meta = None
-    if not ds.metadata_exists():
-        report.add(META_PATH, "metadata-missing",
+    if not backend.exists(meta_path):
+        report.add(meta_path, "metadata-missing",
                    "spatial metadata table absent", repairable=True)
     else:
         try:
-            raw_meta = backend.read_file(META_PATH)
+            raw_meta = backend.read_file(meta_path)
         except BackendError as exc:
-            report.add(META_PATH, "metadata-unreadable", str(exc), repairable=True)
+            report.add(meta_path, "metadata-unreadable", str(exc), repairable=True)
         if raw_meta is not None:
             try:
                 metadata = SpatialMetadata.from_bytes(raw_meta)
@@ -337,16 +528,16 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
             except ChecksumError as exc:
                 # Lossless to rebuild: every record survives in its data
                 # file's recovery trailer.
-                report.add(META_PATH, "metadata-checksum", str(exc),
+                report.add(meta_path, "metadata-checksum", str(exc),
                            repairable=True)
             except MetadataError as exc:
-                report.add(META_PATH, "metadata-corrupt", str(exc), repairable=True)
+                report.add(meta_path, "metadata-corrupt", str(exc), repairable=True)
 
     # 3. Manifest <-> metadata cross-checks.
     if manifest is not None and metadata is not None:
         if manifest.num_files != len(metadata.records):
             report.add(
-                META_PATH,
+                meta_path,
                 "file-count-mismatch",
                 f"manifest says {manifest.num_files} files, "
                 f"table has {len(metadata.records)}",
@@ -354,7 +545,7 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
             )
         if manifest.total_particles != metadata.total_particles:
             report.add(
-                META_PATH,
+                meta_path,
                 "particle-count-mismatch",
                 f"manifest says {manifest.total_particles} particles, "
                 f"table sums to {metadata.total_particles}",
@@ -366,10 +557,10 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
             and zlib.crc32(raw_meta) != manifest.spatial_meta_crc32
         ):
             report.add(
-                META_PATH,
+                meta_path,
                 "metadata-crc-mismatch",
-                "manifest's spatial_meta_crc32 disagrees with spatial.meta "
-                "on disk",
+                "manifest's spatial_meta_crc32 disagrees with the spatial "
+                "table on disk",
                 repairable=True,
             )
 
@@ -392,8 +583,20 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
             report.files_checked += part.files_checked
             report.bytes_verified += part.bytes_verified
 
-        # 5. Orphans: files in data/ the table does not reference.
+        # 5. Orphans: files in data/ no generation's table references.
+        #    The live set is the union over every generation whose pieces
+        #    still parse — a file only an *older* retained generation
+        #    references is not an orphan, while the data of an aborted
+        #    append (no manifest ever committed) is.
         referenced = {rec.file_path for rec in metadata.records}
+        for g in list_generations(backend):
+            if target is not None and g == target.generation:
+                continue
+            try:
+                _m, md = load_generation(backend, g, actor=ds.actor)
+            except FormatError:
+                continue
+            referenced |= {rec.file_path for rec in md.records}
         try:
             names = backend.listdir("data")
         except BackendError:
@@ -402,6 +605,7 @@ def scrub_dataset(source: Dataset | FileBackend) -> ScrubReport:
             path = f"data/{name}"
             if path not in referenced:
                 report.add(path, "data-orphan",
-                           "not referenced by spatial.meta", repairable=True)
+                           "not referenced by any generation's spatial table",
+                           repairable=True)
 
     return report

@@ -17,6 +17,7 @@ land in the given backend: ``data/file_<aggrank>.pbin`` per aggregator, plus
 
 from __future__ import annotations
 
+import re
 import zlib
 from dataclasses import dataclass, field
 
@@ -37,6 +38,15 @@ from repro.format.datafile import (
     prefix_checksum_boundaries,
     write_data_file,
 )
+from repro.format.generations import (
+    CURRENT_PATH,
+    generation_manifest_path,
+    generation_meta_path,
+    list_generations,
+    load_generation,
+    resolve_generation,
+    write_current,
+)
 from repro.format.manifest import MANIFEST_PATH, Manifest, dtype_to_descr
 from repro.format.metadata import (
     META_PATH,
@@ -48,6 +58,8 @@ from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
 from repro.mpi.comm import SimComm
 from repro.obs.names import (
+    EV_GENERATION_COMMIT,
+    GEN_COMMITS,
     IO_RETRIES,
     PHASE_AGGREGATION,
     PHASE_FILE_IO,
@@ -59,10 +71,16 @@ from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
 from repro.utils.timing import TimeBreakdown
 
+#: Generation-namespaced data file names (``gN_file_R.pbin``) — what a full
+#: overwrite sweeps out of ``data/`` when it invalidates an append chain.
+_GEN_DATA_RE = re.compile(r"g[1-9]\d*_file_\d+\.pbin")
+DATA_DIR = "data"
+
 #: Phase names (Fig. 6's two bars are ``aggregation`` and ``file_io``) are
 #: defined in the :mod:`repro.obs.names` registry; re-exported here for the
 #: historical import path.
 __all__ = [
+    "GenerationCommit",
     "SpatialWriter",
     "WriteResult",
     "PHASE_SETUP",
@@ -89,6 +107,8 @@ class WriteResult:
     particles_sent: int = 0
     particles_received: int = 0
     aggregators_contacted: int = 0
+    #: Generation this write committed (0 for a classic full write).
+    generation: int = 0
     #: The rank's instrumentation record for this write (spans + counters).
     recorder: Recorder = field(default_factory=Recorder)
 
@@ -105,6 +125,28 @@ class WriteResult:
     def retries(self) -> int:
         """Backend writes that had to be retried (transient faults absorbed)."""
         return int(self.recorder.total(IO_RETRIES))
+
+
+@dataclass(frozen=True)
+class GenerationCommit:
+    """How one append commits onto the generation chain.
+
+    Built by :meth:`SpatialWriter.append` from the resolved base generation
+    and threaded through the write pipeline: new data files are namespaced
+    ``data/g<generation>_file_R.pbin``, the base inventory is merged
+    forward into the new manifest/table, and flipping ``CURRENT`` to
+    ``generation`` is the commit point.
+    """
+
+    generation: int
+    parent: int
+    #: The base generation's full table, carried forward verbatim.
+    base_records: tuple[MetadataRecord, ...]
+    #: The base generation's per-file checksum entries, carried forward.
+    base_checksums: dict[str, dict]
+    #: New partition box_ids are offset past every existing one so the
+    #: merged table stays unique.
+    box_id_offset: int
 
 
 class SpatialWriter:
@@ -168,9 +210,100 @@ class SpatialWriter:
         backend: FileBackend,
         recorder: Recorder | None = None,
     ) -> WriteResult:
+        """Full overwrite: the dataset becomes exactly this write's output."""
+        return self._write(comm, batch, decomp, backend, recorder, commit=None)
+
+    def append(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        decomp: PatchDecomposition,
+        backend: FileBackend,
+        recorder: Recorder | None = None,
+    ) -> WriteResult:
+        """Append a new generation on top of the committed one.
+
+        MVCC on the existing atomic primitives: new data lands only under
+        generation-namespaced paths, the base inventory is merged forward
+        into ``manifest.gen-N.json``/``spatial.gen-N.meta``, and flipping
+        the checksummed ``CURRENT`` pointer is the commit — a reader pinned
+        to the base generation never observes a changed byte, and a crash
+        anywhere leaves the dataset at exactly generation N or N+1.
+
+        The appended batch must be compatible with the base dataset: same
+        dtype, same LOD parameters, same indexed attributes (all three are
+        dataset-wide facts the reader takes from one manifest).
+        """
         cfg = self.config
+        # Resolution is deterministic (single concurrent writer is the
+        # contract, as with any non-chained write), so every rank resolves
+        # the same base without a collective.
+        resolved = resolve_generation(backend)
+        base_manifest, base_meta = load_generation(backend, resolved.generation)
+        if (base_manifest.lod_base, base_manifest.lod_scale) != (
+            cfg.lod_base,
+            cfg.lod_scale,
+        ):
+            raise ConfigError(
+                f"append LOD parameters ({cfg.lod_base}, {cfg.lod_scale}) do "
+                f"not match the base generation's "
+                f"({base_manifest.lod_base}, {base_manifest.lod_scale})"
+            )
+        if tuple(cfg.attr_index) != base_meta.attr_names:
+            raise ConfigError(
+                f"append attr_index {tuple(cfg.attr_index)} does not match "
+                f"the base generation's {base_meta.attr_names}"
+            )
+        if np.dtype(batch.dtype) != base_manifest.dtype:
+            raise ConfigError(
+                f"append dtype {batch.dtype} does not match the base "
+                f"generation's {base_manifest.dtype}"
+            )
+        commit = GenerationCommit(
+            generation=resolved.generation + 1,
+            parent=resolved.generation,
+            base_records=tuple(base_meta.records),
+            base_checksums=dict(base_manifest.checksums),
+            box_id_offset=(
+                max((r.box_id for r in base_meta.records), default=-1) + 1
+            ),
+        )
+        return self._write(comm, batch, decomp, backend, recorder, commit=commit)
+
+    def write_as_generation(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        decomp: PatchDecomposition,
+        backend: FileBackend,
+        commit: GenerationCommit,
+        recorder: Recorder | None = None,
+    ) -> WriteResult:
+        """Write ``batch`` as an explicit generation commit.
+
+        The compactor's entry point: it rewrites the whole dataset as a
+        full-replacement generation (empty base in ``commit``), so the
+        caller decides the generation/parent pair instead of the resolver.
+        The commit discipline is identical to :meth:`append` — nothing is
+        visible until the ``CURRENT`` flip.
+        """
+        return self._write(comm, batch, decomp, backend, recorder, commit=commit)
+
+    def _write(
+        self,
+        comm: SimComm,
+        batch: ParticleBatch,
+        decomp: PatchDecomposition,
+        backend: FileBackend,
+        recorder: Recorder | None,
+        commit: GenerationCommit | None,
+    ) -> WriteResult:
+        cfg = self.config
+        gen = commit.generation if commit is not None else 0
         rec = recorder if recorder is not None else Recorder(rank=comm.rank)
-        result = WriteResult(rank=comm.rank, num_files=0, recorder=rec)
+        result = WriteResult(
+            rank=comm.rank, num_files=0, generation=gen, recorder=rec
+        )
 
         with rec.span(PHASE_SETUP):
             grid = self.build_grid(comm, decomp, len(batch))
@@ -179,10 +312,36 @@ class SpatialWriter:
         # Two-phase commit, phase 0: invalidate any previous commit marker
         # before the first data byte moves, so a failed overwrite of an
         # existing dataset can never be read as either the old or a
-        # Franken-mix of old and new.
-        if comm.rank == 0:
-            backend.delete(MANIFEST_PATH, missing_ok=True)
-        comm.barrier()
+        # Franken-mix of old and new.  A full overwrite also invalidates a
+        # generation chain wholesale (its manifests reference data files the
+        # overwrite is about to replace); an append skips this entirely —
+        # committed generations stay readable throughout.
+        if commit is None:
+            if comm.rank == 0:
+                backend.delete(MANIFEST_PATH, missing_ok=True)
+                backend.delete(CURRENT_PATH, missing_ok=True)
+                for old_gen in list_generations(backend):
+                    if old_gen > 0:
+                        # Manifest first (the gen's own commit marker), then
+                        # its table and namespaced data files — a crash here
+                        # can leave orphans but never a readable half-chain.
+                        backend.delete(
+                            generation_manifest_path(old_gen), missing_ok=True
+                        )
+                        backend.delete(
+                            generation_meta_path(old_gen), missing_ok=True
+                        )
+                try:
+                    stale = [
+                        n
+                        for n in backend.listdir(DATA_DIR)
+                        if _GEN_DATA_RE.fullmatch(n)
+                    ]
+                except BackendError:
+                    stale = []
+                for name in stale:
+                    backend.delete(f"{DATA_DIR}/{name}", missing_ok=True)
+            comm.barrier()
 
         # Steps 3-5: metadata exchange, buffer allocation, particle exchange.
         with rec.span(PHASE_AGGREGATION):
@@ -230,7 +389,7 @@ class SpatialWriter:
             raise DataFileError(
                 f"aggregator rank {comm.rank} owns partitions "
                 f"{sorted(ordered)}, but data files are named per aggregator "
-                f"rank ({data_file_name(comm.rank)!r}) — writing them would "
+                f"rank ({data_file_name(comm.rank, gen)!r}) — writing them would "
                 "overwrite each other. Use an aggregation grid that assigns "
                 "at most one partition per aggregator."
             )
@@ -241,7 +400,7 @@ class SpatialWriter:
             local_checksums: dict[str, dict] = {}
             with rec.span(PHASE_FILE_IO):
                 for pid, agg_batch in ordered.items():
-                    path = data_file_name(comm.rank)
+                    path = data_file_name(comm.rank, gen)
                     sums = compute_file_checksums(
                         agg_batch, cfg.lod_base, cfg.lod_scale
                     )
@@ -258,11 +417,12 @@ class SpatialWriter:
                             cfg.attr_index,
                         )
                     record = MetadataRecord(
-                        box_id=pid,
+                        box_id=pid + (commit.box_id_offset if commit else 0),
                         agg_rank=comm.rank,
                         particle_count=len(agg_batch),
                         bounds=grid.partition_box(pid),
                         attr_ranges=self._attr_ranges(agg_batch),
+                        gen=gen,
                     )
                     # Format v3: every data file carries a recovery trailer
                     # duplicating its metadata record + manifest checksum
@@ -296,18 +456,21 @@ class SpatialWriter:
             with rec.span(PHASE_METADATA):
                 gathered = comm.allgather((local_records, local_checksums))
                 if comm.rank == 0:
+                    new_records = [r for recs, _sums in gathered for r in recs]
+                    base_records = list(commit.base_records) if commit else []
                     records = sorted(
-                        (r for recs, _sums in gathered for r in recs),
-                        key=lambda r: r.box_id,
+                        base_records + new_records, key=lambda r: r.box_id
                     )
-                    checksums: dict[str, dict] = {}
+                    checksums: dict[str, dict] = (
+                        dict(commit.base_checksums) if commit else {}
+                    )
                     for _recs, sums in gathered:
                         checksums.update(sums)
                     table = SpatialMetadata(records, attr_names=cfg.attr_index)
                     meta_blob = table.to_bytes()
                     self.retry.call(
                         backend.write_file,
-                        META_PATH,
+                        generation_meta_path(gen) if commit else META_PATH,
                         meta_blob,
                         actor=0,
                         recorder=rec,
@@ -331,14 +494,31 @@ class SpatialWriter:
                         },
                         checksums=checksums,
                         spatial_meta_crc32=zlib.crc32(meta_blob),
+                        generation=gen,
+                        parent=commit.parent if commit else None,
                     )
                     self.retry.call(
                         backend.write_file,
-                        MANIFEST_PATH,
+                        generation_manifest_path(gen) if commit else MANIFEST_PATH,
                         manifest.to_json().encode("utf-8"),
                         actor=0,
                         recorder=rec,
                     )
+                    if commit is not None:
+                        # The commit point: flipping CURRENT publishes the
+                        # new generation atomically.  Everything before this
+                        # write is invisible to readers; a crash before it
+                        # recovers to the parent generation.
+                        self.retry.call(
+                            write_current, backend, gen, actor=0, recorder=rec
+                        )
+                        rec.add(GEN_COMMITS)
+                        rec.event(
+                            EV_GENERATION_COMMIT,
+                            generation=gen,
+                            parent=commit.parent,
+                            new_files=len(new_records),
+                        )
         except BaseException:
             self._abort(backend, result)
             raise

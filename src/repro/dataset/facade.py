@@ -27,6 +27,16 @@ Consumers hang off the facade: :meth:`reader` (spatial queries),
 probe).  This module is the **only** place in the library that calls
 ``Manifest.read`` / ``SpatialMetadata.read`` — everything else goes
 through here.
+
+Generation pinning (MVCC): opening a dataset resolves which generation to
+read **once** — the ``CURRENT`` pointer for chained datasets, the classic
+``manifest.json`` otherwise — and every subsequent manifest/metadata/chunk
+access goes through that pinned resolution.  A writer appending generation
+N+1 touches only new paths and flips ``CURRENT`` last, so an open facade's
+queries stay bit-identical to the generation it opened.  Pass
+``generation=`` to pin an explicit (older) generation for snapshot reads;
+:meth:`invalidate_cache` drops the resolution along with the memos, so the
+next access re-resolves and observes new commits.
 """
 
 from __future__ import annotations
@@ -34,12 +44,13 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING
 
-from repro.format.manifest import MANIFEST_PATH, Manifest
-from repro.format.metadata import META_PATH, SpatialMetadata
+from repro.format.generations import ResolvedGeneration, resolve_generation
+from repro.format.manifest import Manifest
+from repro.format.metadata import SpatialMetadata
 from repro.io.backend import FileBackend
 from repro.io.executor import IoExecutor, SerialExecutor
 from repro.io.retry import RetryPolicy
-from repro.obs.names import PHASE_METADATA
+from repro.obs.names import EV_CURRENT_FALLBACK, GEN_FALLBACKS, PHASE_METADATA
 from repro.obs.recorder import Recorder
 
 if TYPE_CHECKING:  # circular at runtime: core imports repro.dataset
@@ -80,6 +91,7 @@ class Dataset:
         recorder: Recorder | None = None,
         executor: IoExecutor | None = None,
         cache_bytes: int = 0,
+        generation: int | None = None,
     ):
         self.backend = _as_backend(target)
         if cache_bytes:
@@ -93,6 +105,9 @@ class Dataset:
             recorder if recorder is not None else Recorder(rank=max(actor, 0))
         )
         self.executor = executor if executor is not None else SerialExecutor()
+        #: Explicit generation pin (snapshot reads); None = follow CURRENT.
+        self._pin_generation = generation
+        self._resolved: ResolvedGeneration | None = None
         self._manifest: Manifest | None = None
         self._metadata: SpatialMetadata | None = None
         # Read-planning memos (see the planning-tables section below).
@@ -109,18 +124,47 @@ class Dataset:
         """Construct and eagerly load/validate — the common entry point."""
         return cls(target, **kwargs).load()  # type: ignore[arg-type]
 
+    def resolution(self) -> ResolvedGeneration:
+        """Which generation this facade reads, resolved once and pinned.
+
+        Resolution order: an explicit ``generation=`` pin wins; otherwise a
+        valid ``CURRENT`` pointer; otherwise fall back to the newest fully
+        verifiable generation (recorded as a ``generation.fallback``
+        event); a dataset with neither pointer nor chain is the classic
+        generation-0 layout.
+        """
+        if self._resolved is None:
+            resolved = resolve_generation(
+                self.backend, pin=self._pin_generation, actor=self.actor
+            )
+            if resolved.fallback:
+                self.recorder.add(GEN_FALLBACKS)
+                self.recorder.event(
+                    EV_CURRENT_FALLBACK,
+                    generation=resolved.generation,
+                    detail=resolved.detail,
+                )
+            self._resolved = resolved
+        return self._resolved
+
     def load(self) -> "Dataset":
         """Read + validate manifest and spatial metadata (idempotent).
 
         Both reads happen under one ``metadata`` span on the dataset's
-        recorder; format-version and checksum validation happens inside
-        the format layer and surfaces as
+        recorder, against the pinned generation's paths (see
+        :meth:`resolution`); format-version and checksum validation happens
+        inside the format layer and surfaces as
         :class:`~repro.errors.FormatError` subclasses.
         """
         if self._manifest is None or self._metadata is None:
             with self.recorder.span(PHASE_METADATA, cat="read"):
-                self._manifest = Manifest.read(self.backend, actor=self.actor)
-                self._metadata = SpatialMetadata.read(self.backend, actor=self.actor)
+                resolved = self.resolution()
+                self._manifest = Manifest.read(
+                    self.backend, resolved.manifest_path, actor=self.actor
+                )
+                self._metadata = SpatialMetadata.read(
+                    self.backend, resolved.meta_path, actor=self.actor
+                )
         return self
 
     @property
@@ -141,13 +185,47 @@ class Dataset:
         assert self._metadata is not None
         return self._metadata
 
+    # -- generation chain ----------------------------------------------------
+
+    @property
+    def pinned_generation(self) -> int | None:
+        """The explicit generation pin, or None when following CURRENT."""
+        return self._pin_generation
+
+    @property
+    def generation(self) -> int:
+        """The generation this facade reads (resolving if needed)."""
+        return self.resolution().generation
+
+    def generations(self) -> list[int]:
+        """Every generation with a manifest on disk, ascending."""
+        from repro.format.generations import list_generations
+
+        return list_generations(self.backend)
+
+    def at_generation(self, gen: int) -> "Dataset":
+        """A sibling facade pinned to ``gen`` (snapshot/time-travel reads).
+
+        Shares the backend and policy bundle; caches are independent, so
+        two pins never cross-contaminate memoized state.
+        """
+        return Dataset(
+            self.backend,
+            actor=self.actor,
+            strict=self.strict,
+            retry=self.retry,
+            recorder=self.recorder,
+            executor=self.executor,
+            generation=gen,
+        )
+
     # -- granular pieces (scrub and manifest-only formats) -------------------
 
     def manifest_exists(self) -> bool:
-        return self.backend.exists(MANIFEST_PATH)
+        return self.backend.exists(self.resolution().manifest_path)
 
     def metadata_exists(self) -> bool:
-        return self.backend.exists(META_PATH)
+        return self.backend.exists(self.resolution().meta_path)
 
     def read_manifest(self) -> Manifest:
         """Read just the manifest, uncached.
@@ -156,11 +234,15 @@ class Dataset:
         carry no spatial table) and for scrubbing, where each piece is
         probed independently with its own error policy.
         """
-        return Manifest.read(self.backend, actor=self.actor)
+        return Manifest.read(
+            self.backend, self.resolution().manifest_path, actor=self.actor
+        )
 
     def read_metadata(self) -> SpatialMetadata:
         """Read just the spatial table, uncached (see :meth:`read_manifest`)."""
-        return SpatialMetadata.read(self.backend, actor=self.actor)
+        return SpatialMetadata.read(
+            self.backend, self.resolution().meta_path, actor=self.actor
+        )
 
     # -- basic facts ---------------------------------------------------------
 
@@ -266,8 +348,12 @@ class Dataset:
     def invalidate_cache(self) -> "Dataset":
         """Drop the cached manifest/metadata so the next access re-reads.
 
-        Called after a repair rewrites dataset-level state underneath an
-        open facade; harmless otherwise."""
+        The generation resolution is dropped too (an explicit pin is
+        kept): a facade held open across a repair, append, or compaction
+        re-resolves and observes the newly committed state.  Called
+        automatically after :meth:`repair` executes any action; harmless
+        otherwise."""
+        self._resolved = None
         self._manifest = None
         self._metadata = None
         self._lod_tables = {}

@@ -79,12 +79,21 @@ TRAILER_FOOTER_BYTES = _TRAILER_FOOTER.size
 SUPPORTED_DATA_VERSIONS = (1, 2, 3)
 
 
-def data_file_name(agg_rank: int) -> str:
+def data_file_name(agg_rank: int, gen: int = 0) -> str:
     """Data files are named from the aggregator's rank, as in Fig. 4
-    ("Agg rank is used to derive the name of the data file")."""
+    ("Agg rank is used to derive the name of the data file").
+
+    Generation-chained datasets (append/compaction) namespace the file per
+    generation — ``data/gN_file_R.pbin`` — so no committed byte is ever
+    overwritten in place; generation 0 keeps the classic name.
+    """
     if agg_rank < 0:
         raise DataFileError(f"aggregator rank must be >= 0, got {agg_rank}")
-    return f"data/file_{agg_rank}.pbin"
+    if gen < 0:
+        raise DataFileError(f"generation must be >= 0, got {gen}")
+    if gen == 0:
+        return f"data/file_{agg_rank}.pbin"
+    return f"data/g{gen}_file_{agg_rank}.pbin"
 
 
 # -- the recovery trailer (format v3) ------------------------------------------
@@ -131,6 +140,9 @@ class RecoveryTrailer:
     #: datasets written with chunking disabled, keeping their trailers
     #: byte-identical to pre-chunk-index files.
     chunks: tuple = ()
+    #: Generation that wrote this file (0 = classic layout).  Serialised
+    #: only when nonzero so generation-0 trailers stay byte-identical.
+    gen: int = 0
 
     @property
     def bounds(self) -> Box:
@@ -170,6 +182,8 @@ class RecoveryTrailer:
         }
         if self.chunks:
             doc["chunks"] = chunks_to_entry(self.chunks)
+        if self.gen:
+            doc["gen"] = self.gen
         body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return body + _TRAILER_FOOTER.pack(TRAILER_MAGIC, len(body), zlib.crc32(body))
 
@@ -197,6 +211,7 @@ class RecoveryTrailer:
                 payload_crc32=int(doc["payload_crc32"]),
                 prefixes=tuple((int(c), int(crc)) for c, crc in doc["prefixes"]),
                 chunks=chunks_from_entry(doc.get("chunks", [])),
+                gen=int(doc.get("gen", 0)),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise DataFileError(

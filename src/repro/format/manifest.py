@@ -21,9 +21,13 @@ from repro.io.backend import FileBackend
 
 MANIFEST_PATH = "manifest.json"
 MANIFEST_VERSION = 2
+#: Version written for chained manifests (``manifest.gen-N.json``); adds the
+#: ``generation``/``parent`` fields.  Generation-0 manifests keep writing
+#: version 2 so classic datasets stay byte-identical.
+MANIFEST_VERSION_GEN = 3
 
 #: Versions this reader understands (1 = pre-checksum legacy).
-SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+SUPPORTED_MANIFEST_VERSIONS = (1, 2, 3)
 
 
 def dtype_to_descr(dtype: np.dtype) -> list:
@@ -72,6 +76,10 @@ class Manifest:
     checksums: dict[str, dict] = field(default_factory=dict)
     #: CRC32 of the spatial.meta blob this manifest commits (None for v1).
     spatial_meta_crc32: int | None = None
+    #: Position in the generation chain (0 = classic single-manifest layout).
+    generation: int = 0
+    #: Generation this one was committed on top of (None for generation 0).
+    parent: int | None = None
 
     def __post_init__(self) -> None:
         self.dtype = np.dtype(self.dtype)
@@ -81,13 +89,21 @@ class Manifest:
             raise FormatError(f"lod_scale must be >= 2, got {self.lod_scale}")
         if self.num_files < 0 or self.total_particles < 0:
             raise FormatError("num_files and total_particles must be >= 0")
+        if self.generation < 0:
+            raise FormatError(f"generation must be >= 0, got {self.generation}")
+        if self.generation == 0 and self.parent is not None:
+            raise FormatError("generation 0 cannot have a parent")
+        if self.parent is not None and self.parent >= self.generation:
+            raise FormatError(
+                f"parent generation {self.parent} must precede {self.generation}"
+            )
 
     # -- serialization -----------------------------------------------------
 
     def to_json(self) -> str:
         doc = {
             "format": "spio-particles",
-            "version": MANIFEST_VERSION,
+            "version": MANIFEST_VERSION if self.generation == 0 else MANIFEST_VERSION_GEN,
             "dtype_descr": dtype_to_descr(self.dtype),
             "num_files": self.num_files,
             "total_particles": self.total_particles,
@@ -101,6 +117,12 @@ class Manifest:
             "checksums": self.checksums,
             "spatial_meta_crc32": self.spatial_meta_crc32,
         }
+        if self.generation > 0:
+            # Only chained manifests carry the fields, so a generation-0
+            # manifest stays byte-identical to what earlier writers produced
+            # (repair's bit-identical rebuild guarantee depends on that).
+            doc["generation"] = self.generation
+            doc["parent"] = self.parent
         return json.dumps(doc, indent=2, sort_keys=True)
 
     @classmethod
@@ -116,6 +138,7 @@ class Manifest:
         try:
             lod = doc["lod"]
             meta_crc = doc.get("spatial_meta_crc32")
+            parent = doc.get("parent")
             return cls(
                 dtype=descr_to_dtype(doc["dtype_descr"]),
                 num_files=int(doc["num_files"]),
@@ -130,6 +153,8 @@ class Manifest:
                     for path, entry in dict(doc.get("checksums", {})).items()
                 },
                 spatial_meta_crc32=None if meta_crc is None else int(meta_crc),
+                generation=int(doc.get("generation", 0)),
+                parent=None if parent is None else int(parent),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FormatError(f"manifest missing or malformed field: {exc}") from exc

@@ -19,14 +19,20 @@ Layout (little-endian)::
     header:  magic "SPIOMETA" | u32 version | u32 num_records
              u32 num_attrs | u32 reserved
              num_attrs x (u32 name_len | name utf-8)
-    records: u64 box_id | u64 agg_rank | u64 particle_count
-             f64 lo[3] | f64 hi[3]
+    records: u64 box_id | u64 agg_rank | [u64 gen (version >= 4)]
+             u64 particle_count | f64 lo[3] | f64 hi[3]
              num_attrs x (f64 min | f64 max)
     footer:  magic "MCRC" | u32 CRC32 of header + records   (version >= 3)
 
 Version 2 tables (no footer) remain readable; version 3 adds the
 whole-table checksum so a flipped bit in any record is detected before a
-reader prunes files against garbage bounds.
+reader prunes files against garbage bounds.  Version 4 adds the per-record
+``gen`` field for generation-chained datasets (append/compaction): records
+from different generations may cover overlapping regions and reuse
+aggregator ranks, so uniqueness is keyed on ``(gen, agg_rank)`` and the
+disjoint-bounds invariant holds per generation.  A table whose records are
+all generation 0 still serialises as version 3, byte-identical to
+pre-generation output.
 """
 
 from __future__ import annotations
@@ -45,13 +51,16 @@ from repro.io.backend import FileBackend
 
 META_MAGIC = b"SPIOMETA"
 META_VERSION = 3
+#: Version written when any record belongs to a generation > 0.
+META_VERSION_GEN = 4
 META_PATH = "spatial.meta"
 
 #: Versions this reader understands (2 = pre-checksum legacy).
-SUPPORTED_META_VERSIONS = (2, 3)
+SUPPORTED_META_VERSIONS = (2, 3, 4)
 
 _HEADER = struct.Struct("<8sIIII")
 _RECORD_FIXED = struct.Struct("<QQQ6d")
+_RECORD_FIXED_GEN = struct.Struct("<QQQQ6d")
 _META_FOOTER = struct.Struct("<4sI")
 META_FOOTER_MAGIC = b"MCRC"
 
@@ -65,10 +74,12 @@ class MetadataRecord:
     particle_count: int
     bounds: Box
     attr_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: Generation that wrote this record's data file (0 = classic layout).
+    gen: int = 0
 
     @property
     def file_path(self) -> str:
-        return data_file_name(self.agg_rank)
+        return data_file_name(self.agg_rank, self.gen)
 
 
 def record_from_trailer(trailer: RecoveryTrailer) -> MetadataRecord:
@@ -85,6 +96,7 @@ def record_from_trailer(trailer: RecoveryTrailer) -> MetadataRecord:
         particle_count=trailer.particle_count,
         bounds=trailer.bounds,
         attr_ranges=trailer.attr_ranges_dict,
+        gen=trailer.gen,
     )
 
 
@@ -125,6 +137,7 @@ def trailer_for_record(
         payload_crc32=int(payload_crc32),
         prefixes=tuple((int(c), int(crc)) for c, crc in prefixes),
         chunks=chunks_from_entry(chunks),
+        gen=rec.gen,
     )
 
 
@@ -142,17 +155,18 @@ class SpatialMetadata:
 
     def _validate(self) -> None:
         seen_ids: set[int] = set()
-        seen_ranks: set[int] = set()
+        seen_files: set[tuple[int, int]] = set()
         for rec in self.records:
             if rec.box_id in seen_ids:
                 raise MetadataError(f"duplicate box id {rec.box_id}")
-            if rec.agg_rank in seen_ranks:
+            key = (rec.gen, rec.agg_rank)
+            if key in seen_files:
                 raise MetadataError(
-                    f"duplicate aggregator rank {rec.agg_rank} — two records "
-                    "would map to the same data file"
+                    f"duplicate aggregator rank {rec.agg_rank} in generation "
+                    f"{rec.gen} — two records would map to the same data file"
                 )
             seen_ids.add(rec.box_id)
-            seen_ranks.add(rec.agg_rank)
+            seen_files.add(key)
             missing = set(self.attr_names) - set(rec.attr_ranges)
             if missing:
                 raise MetadataError(
@@ -160,11 +174,13 @@ class SpatialMetadata:
                 )
         # Pairwise overlap validation is quadratic; skip it for very large
         # tables (functional datasets have at most a few hundred files).
+        # Disjointness only holds within one generation — appended
+        # generations legitimately cover the same spatial region again.
         if len(self.records) > 2048:
             return
         for i, a in enumerate(self.records):
             for b in self.records[i + 1 :]:
-                if a.bounds.intersects(b.bounds):
+                if a.gen == b.gen and a.bounds.intersects(b.bounds):
                     raise MetadataError(
                         f"bounding boxes of files {a.agg_rank} and {b.agg_rank} "
                         f"overlap ({a.bounds} vs {b.bounds}) — the aggregation "
@@ -235,9 +251,12 @@ class SpatialMetadata:
     # -- serialization ---------------------------------------------------------
 
     def to_bytes(self) -> bytes:
+        # An all-generation-0 table serialises as version 3, byte-identical
+        # to pre-generation writers (repair rebuilds depend on that).
+        version = META_VERSION_GEN if any(r.gen for r in self.records) else META_VERSION
         parts = [
             _HEADER.pack(
-                META_MAGIC, META_VERSION, len(self.records), len(self.attr_names), 0
+                META_MAGIC, version, len(self.records), len(self.attr_names), 0
             )
         ]
         for name in self.attr_names:
@@ -245,15 +264,27 @@ class SpatialMetadata:
             parts.append(struct.pack("<I", len(encoded)))
             parts.append(encoded)
         for rec in self.records:
-            parts.append(
-                _RECORD_FIXED.pack(
-                    rec.box_id,
-                    rec.agg_rank,
-                    rec.particle_count,
-                    *rec.bounds.lo,
-                    *rec.bounds.hi,
+            if version >= 4:
+                parts.append(
+                    _RECORD_FIXED_GEN.pack(
+                        rec.box_id,
+                        rec.agg_rank,
+                        rec.gen,
+                        rec.particle_count,
+                        *rec.bounds.lo,
+                        *rec.bounds.hi,
+                    )
                 )
-            )
+            else:
+                parts.append(
+                    _RECORD_FIXED.pack(
+                        rec.box_id,
+                        rec.agg_rank,
+                        rec.particle_count,
+                        *rec.bounds.lo,
+                        *rec.bounds.hi,
+                    )
+                )
             for name in self.attr_names:
                 amin, amax = rec.attr_ranges[name]
                 parts.append(struct.pack("<2d", amin, amax))
@@ -305,23 +336,32 @@ class SpatialMetadata:
             names.append(raw[pos : pos + name_len].decode("utf-8"))
             pos += name_len
         records: list[MetadataRecord] = []
+        rec_struct = _RECORD_FIXED_GEN if version >= 4 else _RECORD_FIXED
         rec_extra = 16 * num_attrs
         for i in range(num_records):
-            if pos + _RECORD_FIXED.size + rec_extra > len(raw):
+            if pos + rec_struct.size + rec_extra > len(raw):
                 raise MetadataError(
                     f"metadata truncated at record {i}/{num_records}"
                 )
-            vals = _RECORD_FIXED.unpack_from(raw, pos)
-            pos += _RECORD_FIXED.size
-            box_id, agg_rank, count = vals[0], vals[1], vals[2]
-            bounds = Box(vals[3:6], vals[6:9])
+            vals = rec_struct.unpack_from(raw, pos)
+            pos += rec_struct.size
+            if version >= 4:
+                box_id, agg_rank, gen, count = vals[0], vals[1], vals[2], vals[3]
+                bounds = Box(vals[4:7], vals[7:10])
+            else:
+                box_id, agg_rank, count = vals[0], vals[1], vals[2]
+                gen = 0
+                bounds = Box(vals[3:6], vals[6:9])
             ranges: dict[str, tuple[float, float]] = {}
             for name in names:
                 amin, amax = struct.unpack_from("<2d", raw, pos)
                 pos += 16
                 ranges[name] = (amin, amax)
             records.append(
-                MetadataRecord(int(box_id), int(agg_rank), int(count), bounds, ranges)
+                MetadataRecord(
+                    int(box_id), int(agg_rank), int(count), bounds, ranges,
+                    gen=int(gen),
+                )
             )
         if pos != len(raw):
             raise MetadataError(

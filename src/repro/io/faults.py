@@ -24,7 +24,11 @@ Supported fault kinds (see :class:`FaultSpec`):
 ``crash``
     After ``after_writes`` successful writes, the next write stores a torn
     prefix and raises :class:`InjectedCrashError`; every later write also
-    raises.  Models a process dying mid-dataset.
+    raises.  Models a process dying mid-dataset.  With ``op="any"`` the
+    rule counts deletes too and can fire on a delete (nothing is removed;
+    the process died first) — this is how the generation tests walk the
+    crash point through every mutating backend op of a commit, not just
+    its writes.  Plain ``crash`` rules keep their writes-only semantics.
 
 Every injected fault is recorded as an ``IoOp(kind="fault", ...)`` in
 :attr:`FaultInjectingBackend.ops` and counted per kind in
@@ -103,8 +107,12 @@ class FaultSpec:
             raise ValueError("heal_after and after_writes must be >= 0")
 
     def matches(self, op: str, path: str) -> bool:
-        if self.kind in ("torn_write", "crash"):
+        if self.kind == "torn_write":
             applies_to = "write"
+        elif self.kind == "crash":
+            # Opt-in: crash rules stay writes-only unless explicitly
+            # widened to every mutating op (op="any" counts deletes too).
+            applies_to = "any" if self.op == "any" else "write"
         else:
             applies_to = self.op
         if applies_to != "any" and applies_to != op:
@@ -145,6 +153,14 @@ class FaultPlan:
     def crash_after(cls, writes: int, seed: int = 0) -> "FaultPlan":
         return cls((FaultSpec("crash", after_writes=writes),), seed=seed)
 
+    @classmethod
+    def crash_after_ops(cls, ops: int, seed: int = 0) -> "FaultPlan":
+        """Crash after ``ops`` mutating operations, counting writes AND
+        deletes — the schedule the generation/compaction crash matrices
+        sweep so every commit step (including marker invalidations and GC
+        deletes) gets its turn as the crash point."""
+        return cls((FaultSpec("crash", op="any", after_writes=ops),), seed=seed)
+
 
 class FaultInjectingBackend(FileBackend):
     """Wraps a backend and injects the faults described by a plan."""
@@ -155,6 +171,7 @@ class FaultInjectingBackend(FileBackend):
         self.ops: list[IoOp] = []
         self.fault_counts: Counter[str] = Counter()
         self.writes_completed = 0
+        self.deletes_completed = 0
         self._lock = threading.Lock()
         # transient bookkeeping: remaining failures per (spec index, path)
         self._transient_left: dict[tuple[int, str], int] = {}
@@ -181,6 +198,13 @@ class FaultInjectingBackend(FileBackend):
             raise InjectedCrashError(
                 f"backend crashed earlier; operation on {path!r} refused"
             )
+
+    def _crash_ops(self, spec: FaultSpec) -> int:
+        """The op count a crash rule compares against ``after_writes``:
+        writes-only classically, writes + deletes for ``op="any"`` rules."""
+        if spec.op == "any":
+            return self.writes_completed + self.deletes_completed
+        return self.writes_completed
 
     def _fire(self, idx: int, spec: FaultSpec) -> bool:
         """Whether rule ``idx`` may still trigger (respects max_triggers)."""
@@ -236,7 +260,7 @@ class FaultInjectingBackend(FileBackend):
             if not spec.matches("write", path):
                 continue
             if spec.kind == "crash":
-                if self._crashed or self.writes_completed >= spec.after_writes:
+                if self._crashed or self._crash_ops(spec) >= spec.after_writes:
                     self._crashed = True
                     self._record("crash", path)
                     if len(data) > 0:
@@ -347,7 +371,20 @@ class FaultInjectingBackend(FileBackend):
     def delete(self, path: str, missing_ok: bool = False) -> None:
         with self._lock:
             self._check_dead(path)
+            for spec in self.plan.specs:
+                if spec.kind != "crash" or not spec.matches("delete", path):
+                    continue
+                if self._crashed or self._crash_ops(spec) >= spec.after_writes:
+                    # The process died before issuing the delete: the file
+                    # stays exactly as it was.
+                    self._crashed = True
+                    self._record("crash", path)
+                    raise InjectedCrashError(
+                        f"injected crash on delete ({path!r})"
+                    )
         self.inner.delete(path, missing_ok=missing_ok)
+        with self._lock:
+            self.deletes_completed += 1
 
     def __repr__(self) -> str:
         return (

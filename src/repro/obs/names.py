@@ -81,6 +81,33 @@ REPAIR_PARTICLES_SALVAGED = "repair.particles_salvaged"
 REPAIR_PARTICLES_LOST = "repair.particles_lost"
 REPAIR_FILES_QUARANTINED = "repair.files_quarantined"
 
+# -- generation chain / compaction (see repro.format.generations,
+# repro.core.compact) --------------------------------------------------------
+
+PHASE_COMPACT_PLAN = "compact.plan"
+PHASE_COMPACT_REWRITE = "compact.rewrite"
+PHASE_COMPACT_GC = "compact.gc"
+
+#: Every phase one compaction pass records, in pipeline order.
+COMPACT_PHASES = (
+    PHASE_COMPACT_PLAN,
+    PHASE_COMPACT_REWRITE,
+    PHASE_COMPACT_GC,
+)
+
+#: Small files merged into consolidated output, keyed by ().
+COMPACT_FILES_MERGED = "compact.files_merged"
+#: Files deleted by retention-driven GC, keyed by ().
+COMPACT_FILES_GCED = "compact.files_gced"
+#: Bytes reclaimed by GC, keyed by ().
+COMPACT_BYTES_RECLAIMED = "compact.bytes_reclaimed"
+
+#: Generation commits (CURRENT flips), keyed by ().
+GEN_COMMITS = "generation.commits"
+#: Resolutions that had to fall back past a damaged/dangling CURRENT,
+#: keyed by ().
+GEN_FALLBACKS = "generation.fallbacks"
+
 # -- block cache counters (keyed by (path,); see repro.io.cache) ------------
 
 CACHE_HIT = "cache.hit"
@@ -104,3 +131,5 @@ EV_PARTITION_READ = "read.partition"
 EV_PARTITION_SKIPPED = "read.skip"
 EV_PREFIX_VERIFIED = "read.prefix_verified"
 EV_REPAIR_ACTION = "repair.action"
+EV_GENERATION_COMMIT = "generation.commit"
+EV_CURRENT_FALLBACK = "generation.fallback"

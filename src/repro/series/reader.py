@@ -49,8 +49,13 @@ class SeriesReader:
     def steps(self) -> list[StepInfo]:
         return list(self.index)
 
-    def open_dataset(self, step: int) -> Dataset:
-        """The facade for one step's dataset, sharing this reader's policies."""
+    def open_dataset(self, step: int, generation: int | None = None) -> Dataset:
+        """The facade for one step's dataset, sharing this reader's policies.
+
+        ``generation`` pins the step to a specific committed generation
+        (time-travel within the step's own append chain); None reads the
+        step's current generation.
+        """
         info = self.index.step_for(step)
         return Dataset(
             PrefixBackend(self.backend, info.prefix),
@@ -59,6 +64,7 @@ class SeriesReader:
             retry=self.retry,
             recorder=self.recorder,
             executor=self.executor,
+            generation=generation,
         )
 
     def open_step(self, step: int) -> SpatialReader:

@@ -14,6 +14,7 @@ from repro.core.writer import SpatialWriter, WriteResult
 from repro.dataset import Dataset
 from repro.domain.decomposition import PatchDecomposition
 from repro.errors import FormatError
+from repro.format.generations import CURRENT_PATH
 from repro.io.backend import FileBackend
 from repro.io.prefix import PrefixBackend
 from repro.mpi.comm import SimComm
@@ -42,7 +43,13 @@ class SeriesWriter:
     ) -> WriteResult:
         """SPMD: write one timestep and append it to the series index."""
         prefix = step_prefix(step)
-        if comm.rank == 0 and backend.exists(f"{prefix}/manifest.json"):
+        # Either commit marker counts as "written": a classic step carries
+        # manifest.json, a step that was appended to (generation chain)
+        # may carry only CURRENT + manifest.gen-N.json.
+        if comm.rank == 0 and (
+            backend.exists(f"{prefix}/manifest.json")
+            or backend.exists(f"{prefix}/{CURRENT_PATH}")
+        ):
             raise FormatError(f"timestep {step} already written ({prefix}/)")
         view = PrefixBackend(backend, prefix)
         result = self.writer.write(comm, batch, decomp, view)
