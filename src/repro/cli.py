@@ -6,7 +6,10 @@ Eight subcommands, mirroring what a user pokes at day to day::
         Manifest, LOD parameters, per-file table.
 
     python -m repro.cli query <dataset-dir> --box x0 y0 z0 x1 y1 z1 [--level L]
-        Spatial query: particles matched, files touched.
+                                            [--attrs a,b] [--where ATTR:LO:HI]
+        Spatial query: particles matched, files touched.  On columnar (v4)
+        data ``--attrs`` reads only the named column segments and
+        ``--where`` pushes a range predicate down to chunk pruning.
 
     python -m repro.cli write <dataset-dir> --ranks 16 --particles 4096 ...
         Generate and write a synthetic dataset (simulated MPI in-process).
@@ -75,6 +78,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"domain          : {ds.domain()}")
     if ds.metadata.attr_names:
         print(f"indexed attrs   : {', '.join(ds.metadata.attr_names)}")
+    for gen in generations or [ds.generation]:
+        gds = ds if gen == ds.generation else ds.at_generation(gen)
+        cfg = gds.manifest.writer.get("config", {}) or {}
+        layout = str(cfg.get("layout", "row"))
+        codecs = sorted(
+            {
+                str(entry.get("codec"))
+                for entry in gds.manifest.checksums.values()
+                if isinstance(entry, dict) and entry.get("codec") is not None
+            }
+        )
+        version = "v4 (columnar)" if codecs else "v3 (row)"
+        line = f"generation {gen:>4}  : format {version}, layout {layout}"
+        if codecs:
+            line += f", codecs {', '.join(codecs)}"
+        print(line)
     table = Table(["box id", "agg rank", "file", "particles", "lo", "hi"])
     for rec in ds.metadata:
         table.add_row(
@@ -102,15 +121,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cache_bytes=int(args.cache_mb * 2**20),
     ).reader()
     box = Box(args.box[:3], args.box[3:])
-    plan = reader.plan_box_read(box, max_level=args.level, nreaders=args.readers)
+    attrs = None
+    if args.attrs is not None:
+        attrs = [a.strip() for a in args.attrs.split(",") if a.strip()]
+    where = {}
+    for clause in args.where or []:
+        parts = clause.split(":")
+        if len(parts) != 3:
+            print(f"error: --where expects ATTR:LO:HI, got {clause!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            where[parts[0]] = (float(parts[1]), float(parts[2]))
+        except ValueError:
+            print(f"error: --where bounds must be numbers, got {clause!r}",
+                  file=sys.stderr)
+            return 2
+    plan = reader.plan_box_read(
+        box, max_level=args.level, nreaders=args.readers,
+        attrs=attrs, where=where or None,
+    )
     hits = reader.execute(plan, exact=True)
     print(f"query box       : {box}")
+    if plan.attrs is not None:
+        print(f"projection      : position, {', '.join(plan.attrs)}"
+              if plan.attrs else "projection      : position")
+    for name, (lo, hi) in plan.where.items():
+        print(f"pushdown        : {name} in [{lo:g}, {hi:g}]")
     print(f"files touched   : {plan.num_files} / {reader.num_files}")
     print(f"particles read  : {plan.total_particles}")
     if plan.chunk_runs:
         print(f"chunk-pruned to : {plan.pruned_particles} particles")
     print(f"particles in box: {len(hits)}")
-    print(f"bytes read      : {format_bytes(plan.bytes_to_read(reader.dtype.itemsize))}")
+    row_bytes = plan.result_dtype(reader.dtype).itemsize
+    print(f"bytes read      : {format_bytes(plan.bytes_to_read(row_bytes))}")
     return 0
 
 
@@ -133,6 +177,8 @@ def _cmd_write(args: argparse.Namespace) -> int:
     config = WriterConfig(
         partition_factor=tuple(args.factor),
         adaptive=args.adaptive,
+        layout=args.layout,
+        codec=args.codec,
     )
     backend = PosixBackend(args.dataset)
     writer = SpatialWriter(config)
@@ -329,6 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("X0", "Y0", "Z0", "X1", "Y1", "Z1"))
     p.add_argument("--level", type=int, default=None, help="max LOD level")
     p.add_argument("--readers", type=int, default=1)
+    p.add_argument("--attrs", default=None,
+                   help="comma-separated attributes to read (columnar "
+                        "projection; position always included)")
+    p.add_argument("--where", action="append", default=None,
+                   metavar="ATTR:LO:HI",
+                   help="attribute range predicate, pushed down to "
+                        "chunk pruning (repeatable)")
     p.add_argument("--cache-mb", type=float, default=0.0,
                    help="block-cache budget in MiB (0 disables caching)")
     p.add_argument("--workers", type=int, default=1,
@@ -343,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distribution", default="uniform",
                    choices=["uniform", "clustered", "jet"])
     p.add_argument("--adaptive", action="store_true")
+    p.add_argument("--layout", default="row", choices=["row", "columnar"],
+                   help="payload layout: row (v3) or columnar (v4)")
+    p.add_argument("--codec", default="none",
+                   help="columnar per-segment codec (none, shuffle-zlib, "
+                        "shuffle-lz4 when available)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_write)
 

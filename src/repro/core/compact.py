@@ -11,7 +11,9 @@ compactor restores the invariant *online*:
    slices.
 2. **Rewrite** — run the spatially-aware writer over the slices as a brand
    new full-replacement generation (empty base): consolidated,
-   chunk-indexed v3 files under the new generation's namespace.  Nothing
+   chunk-indexed files under the new generation's namespace, in the
+   committed config's payload layout (row v3 or columnar v4 with the
+   same codec — mixed chains converge on that layout).  Nothing
    existing is touched; the checksummed ``CURRENT`` flip at the end is the
    commit, so readers pinned to any older generation keep bit-identical
    results throughout, and a crash at any point leaves the dataset at
@@ -210,6 +212,12 @@ def compact_dataset(
             attr_index=metadata.attr_names,
             align_to_patches=True,
             chunk_size=int(cfg_doc.get("chunk_size", 64)),
+            # Preserve the base generation's payload layout: a columnar
+            # dataset compacts to uniform columnar files with the same
+            # codec, and a mixed chain (row base + columnar appends, or
+            # vice versa) converges on whatever the committed config says.
+            layout=str(cfg_doc.get("layout", "row")),
+            codec=str(cfg_doc.get("codec", "none")),
         )
         commit = GenerationCommit(
             generation=out.new_generation,

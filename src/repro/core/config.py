@@ -62,6 +62,17 @@ class WriterConfig:
         index entirely (files stay byte-identical to pre-chunk-index
         output).  Chunks restart at LOD level boundaries, so prefix reads
         remain valid.
+    layout:
+        ``"row"`` (default) writes classic row-oriented v3 files;
+        ``"columnar"`` writes format v4, storing each chunk's payload as
+        per-attribute column segments so queries fetch only the columns
+        they project.  Columnar layout requires a chunk index
+        (``chunk_size >= 1``).
+    codec:
+        Per-segment codec for columnar layout (see
+        :mod:`repro.format.codecs`): ``"none"``, ``"shuffle-zlib"``, or
+        ``"shuffle-lz4"`` where the optional ``lz4`` package exists.
+        Ignored for row layout.
     """
 
     partition_factor: tuple[int, int, int] = (2, 2, 2)
@@ -73,6 +84,8 @@ class WriterConfig:
     attr_index: tuple[str, ...] = ()
     align_to_patches: bool = True
     chunk_size: int = 64
+    layout: str = "row"
+    codec: str = "none"
 
     def __post_init__(self) -> None:
         pf = tuple(int(v) for v in self.partition_factor)
@@ -94,6 +107,20 @@ class WriterConfig:
             raise ConfigError(
                 f"chunk_size must be >= 0 (0 disables), got {self.chunk_size}"
             )
+        if self.layout not in ("row", "columnar"):
+            raise ConfigError(
+                f"layout must be 'row' or 'columnar', got {self.layout!r}"
+            )
+        if self.layout == "columnar":
+            if self.chunk_size < 1:
+                raise ConfigError(
+                    "columnar layout requires a chunk index (chunk_size >= 1)"
+                )
+            # Validate the codec name eagerly — a writer must not discover a
+            # missing codec halfway through FILE_IO.
+            from repro.format.codecs import get_codec
+
+            get_codec(self.codec)
 
     @property
     def partition_volume(self) -> int:
@@ -114,4 +141,6 @@ class WriterConfig:
             "attr_index": list(self.attr_index),
             "align_to_patches": self.align_to_patches,
             "chunk_size": self.chunk_size,
+            "layout": self.layout,
+            "codec": self.codec,
         }

@@ -61,6 +61,7 @@ from repro.errors import (
     TransientBackendError,
 )
 from repro.format.datafile import (
+    read_columnar_runs_into,
     read_data_file_into,
     read_data_prefix_into,
     read_particle_runs_into,
@@ -69,6 +70,7 @@ from repro.format.metadata import MetadataRecord
 from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
 from repro.obs.names import (
+    EV_CHUNK_SKIPPED,
     EV_PARTITION_READ,
     EV_PARTITION_SKIPPED,
     EV_PREFIX_VERIFIED,
@@ -97,6 +99,16 @@ class ReadPlan:
     chunk_runs: dict[int, tuple[tuple[int, int], ...]] = field(
         default_factory=dict
     )
+    #: Attribute projection: extra field names to materialise alongside
+    #: ``position`` (None = all fields).  Columnar (v4) files fetch only
+    #: the projected columns' segments; row files read whole records and
+    #: copy the projected fields out.
+    attrs: tuple[str, ...] | None = None
+    #: Predicate pushdown: scalar attribute -> closed ``(lo, hi)`` value
+    #: range.  Pruned against per-file and per-chunk attr min/max at plan
+    #: time; re-applied exactly (post-filter) at execution, so results
+    #: equal post-hoc filtering by construction.
+    where: dict[str, tuple[float, float]] = field(default_factory=dict)
 
     @property
     def num_files(self) -> int:
@@ -117,6 +129,27 @@ class ReadPlan:
 
     def bytes_to_read(self, particle_bytes: int) -> int:
         return self.pruned_particles * particle_bytes
+
+    def result_dtype(self, full_dtype: np.dtype) -> np.dtype:
+        """The structured dtype execution materialises for this plan.
+
+        ``position`` is always present (the exact box filter needs it);
+        ``where`` attributes are implicitly projected (the exact value
+        filter needs them); field order follows the file dtype.
+        """
+        if self.attrs is None:
+            return full_dtype
+        keep = {"position", *self.attrs, *self.where}
+        fields: list[tuple] = []
+        for name in full_dtype.names or ():
+            if name not in keep:
+                continue
+            sub = full_dtype.fields[name][0]  # type: ignore[index]
+            if sub.shape:
+                fields.append((name, sub.base, sub.shape))
+            else:
+                fields.append((name, sub.base))
+        return np.dtype(fields)
 
 
 @dataclass(frozen=True)
@@ -143,6 +176,9 @@ class ReadReport:
     retries: int = 0
     #: prefix reads verified against the manifest's per-LOD checksums.
     prefixes_verified: int = 0
+    #: columnar chunks dropped at segment granularity by a degraded read
+    #: (the partition itself still delivered its surviving chunks).
+    chunks_skipped: int = 0
 
     @classmethod
     def from_events(cls, events: list[Event]) -> "ReadReport":
@@ -163,13 +199,15 @@ class ReadReport:
                 )
             elif ev.name == EV_PREFIX_VERIFIED:
                 report.prefixes_verified += 1
+            elif ev.name == EV_CHUNK_SKIPPED:
+                report.chunks_skipped += 1
             elif ev.name == EV_RETRY:
                 report.retries += 1
         return report
 
     @property
     def complete(self) -> bool:
-        return not self.skipped
+        return not self.skipped and not self.chunks_skipped
 
     @property
     def partitions_skipped(self) -> int:
@@ -184,6 +222,7 @@ class ReadReport:
         self.skipped.extend(other.skipped)
         self.retries += other.retries
         self.prefixes_verified += other.prefixes_verified
+        self.chunks_skipped += other.chunks_skipped
 
 
 def _skip_reason(exc: Exception) -> str:
@@ -297,11 +336,56 @@ class SpatialReader:
             out.append(prefixes[i])
         return out
 
+    def _normalize_projection(
+        self,
+        attrs: tuple[str, ...] | list[str] | None,
+        where: dict[str, tuple[float, float]] | None,
+    ) -> tuple[tuple[str, ...] | None, dict[str, tuple[float, float]]]:
+        """Validate and canonicalise ``attrs`` / ``where`` query arguments.
+
+        ``attrs`` come back deduplicated in file-dtype field order;
+        ``where`` bounds come back as closed float intervals.  Both are
+        checked against the dataset dtype up front so a typo'd attribute
+        fails at plan time, not deep inside execution.
+        """
+        names = self.dtype.names or ()
+        attrs_norm: tuple[str, ...] | None = None
+        if attrs is not None:
+            requested = set(attrs)
+            unknown = requested - set(names)
+            if unknown:
+                raise QueryError(
+                    f"unknown projection attribute(s) {sorted(unknown)!r}; "
+                    f"dataset fields are {list(names)!r}"
+                )
+            attrs_norm = tuple(n for n in names if n != "position" and n in requested)
+        where_norm: dict[str, tuple[float, float]] = {}
+        for name, bounds in (where or {}).items():
+            if name not in names:
+                raise QueryError(
+                    f"unknown where attribute {name!r}; "
+                    f"dataset fields are {list(names)!r}"
+                )
+            sub = self.dtype.fields[name][0]  # type: ignore[index]
+            if sub.shape:
+                raise QueryError(
+                    f"where attribute {name!r} is not scalar (shape {sub.shape})"
+                )
+            lo, hi = float(bounds[0]), float(bounds[1])
+            if not lo <= hi:
+                raise QueryError(
+                    f"where range for {name!r} is empty: lo {lo} > hi {hi}"
+                )
+            where_norm[name] = (lo, hi)
+        return attrs_norm, where_norm
+
     def plan_box_read(
         self,
         box: Box,
         max_level: int | None = None,
         nreaders: int = 1,
+        attrs: tuple[str, ...] | list[str] | None = None,
+        where: dict[str, tuple[float, float]] | None = None,
     ) -> ReadPlan:
         """Plan a spatial query: metadata pruning + optional LOD prefixes.
 
@@ -310,17 +394,45 @@ class SpatialReader:
         (recorded in :attr:`ReadPlan.chunk_runs` when that is fewer
         particles than the whole file).  LOD-prefix entries are exempt — a
         prefix read must be the contiguous head of the file.
+
+        ``attrs`` projects the result to ``position`` plus the named fields
+        (columnar files then skip the other columns' bytes entirely).
+        ``where`` maps scalar attribute names to closed ``(lo, hi)`` value
+        ranges; files and chunks whose recorded min/max for an indexed
+        attribute miss the range are pruned before any I/O, and the exact
+        value filter is re-applied to whatever is read, so the result
+        equals post-hoc filtering regardless of indexing.
         """
+        attrs_norm, where_norm = self._normalize_projection(attrs, where)
         records = self.metadata.files_intersecting(box)
+        if where_norm:
+            records = [
+                rec
+                for rec in records
+                if all(
+                    rec.attr_ranges.get(name) is None
+                    or (
+                        rec.attr_ranges[name][0] <= hi
+                        and lo <= rec.attr_ranges[name][1]
+                    )
+                    for name, (lo, hi) in where_norm.items()
+                )
+            ]
         counts = self._prefix_for(records, max_level, nreaders)
-        plan = ReadPlan(list(zip(records, counts)), box=box, max_level=max_level)
+        plan = ReadPlan(
+            list(zip(records, counts)),
+            box=box,
+            max_level=max_level,
+            attrs=attrs_norm,
+            where=where_norm,
+        )
         for i, (rec, count) in enumerate(plan.entries):
             if count == 0 or count != rec.particle_count:
                 continue
             index = self.dataset.chunk_index(rec)
             if index is None:
                 continue
-            runs = index.select_runs(box)
+            runs = index.select_runs(box, where=where_norm)
             if sum(c for _s, c in runs) < count:
                 plan.chunk_runs[i] = runs
         return plan
@@ -365,43 +477,112 @@ class SpatialReader:
         costs exactly one retry, as on the legacy one-op path.  ``recorder``
         is the entry's child recorder when run on an executor; retry and
         verification events land there and are merged back in plan order by
-        :meth:`execute`.  Returns the particles delivered (``len(dest)``).
+        :meth:`execute`.  Returns the particles delivered.
+
+        ``dest`` may carry a *projected* dtype (a field subset of the file
+        dtype).  Columnar (v4) files then fetch only the projected columns'
+        segments; row files read whole records into a scratch buffer and
+        copy the projected fields out.  Columnar files are detected by the
+        chunk index carrying a codec and always route through
+        :func:`read_columnar_runs_into` — in non-strict mode that read can
+        *degrade at chunk granularity*: surviving chunks are packed at the
+        head of ``dest``, each lost chunk is logged as an
+        ``EV_CHUNK_SKIPPED`` event, and the packed count is returned.
         """
         recorder = recorder if recorder is not None else self.recorder
+        if runs is not None and not runs:
+            return 0  # file intersects the box, but no chunk does
+        index = self.dataset.chunk_index(rec)
+        if index is not None and index.codec is not None:
+            # Columnar file: runs and whole-file reads are chunk-aligned by
+            # construction.  LOD prefix counts are apportioned globally and
+            # can land mid-chunk, so a prefix read rounds up to the covering
+            # chunk boundary, decodes into a scratch, and trims.
+            prefix = runs is None and count < rec.particle_count
+            if prefix:
+                if count == 0:
+                    return 0
+                ends = np.asarray(index.starts) + np.asarray(index.counts)
+                pos = int(np.searchsorted(ends, count, side="left"))
+                aligned = int(ends[min(pos, len(ends) - 1)])
+                eff_runs: tuple[tuple[int, int], ...] = ((0, aligned),)
+                target = np.empty(aligned, dtype=dest.dtype)
+            else:
+                eff_runs = runs if runs is not None else ((0, count),)
+                target = dest
+            skipped: list[tuple[int, str, str]] = []
+            got = self.retry.call(
+                read_columnar_runs_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                index,
+                eff_runs,
+                target,
+                actor=self.actor,
+                strict=self.strict,
+                skipped=skipped,
+                recorder=recorder,
+            )
+            if prefix:
+                got = min(count, got)
+                dest[:got] = target[:got]
+            for ci, column, error in skipped:
+                recorder.event(
+                    EV_CHUNK_SKIPPED,
+                    path=rec.file_path,
+                    box_id=rec.box_id,
+                    chunk=ci,
+                    column=column,
+                    error=error,
+                )
+            if (
+                runs is None
+                and count < rec.particle_count
+                and not skipped
+                and dest.dtype == self.dtype
+            ):
+                self._verify_prefix(rec.file_path, dest, recorder)
+            return got
+        projected = dest.dtype != self.dtype
+        scratch = np.empty(len(dest), dtype=self.dtype) if projected else dest
         if runs is not None:
-            if not runs:
-                return 0  # file intersects the box, but no chunk does
-            return self.retry.call(
+            got = self.retry.call(
                 read_particle_runs_into,
                 self.backend,
                 rec.file_path,
                 self.dtype,
                 runs,
-                dest,
+                scratch,
                 actor=self.actor,
                 recorder=recorder,
             )
-        if count == rec.particle_count:
-            return self.retry.call(
+        elif count == rec.particle_count:
+            got = self.retry.call(
                 read_data_file_into,
                 self.backend,
                 rec.file_path,
                 self.dtype,
-                dest,
+                scratch,
                 actor=self.actor,
                 recorder=recorder,
             )
-        self.retry.call(
-            read_data_prefix_into,
-            self.backend,
-            rec.file_path,
-            self.dtype,
-            dest,
-            actor=self.actor,
-            recorder=recorder,
-        )
-        self._verify_prefix(rec.file_path, dest, recorder)
-        return count
+        else:
+            self.retry.call(
+                read_data_prefix_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                scratch,
+                actor=self.actor,
+                recorder=recorder,
+            )
+            self._verify_prefix(rec.file_path, scratch, recorder)
+            got = count
+        if projected:
+            for name in dest.dtype.names or ():
+                dest[name] = scratch[name]
+        return got
 
     def _verify_prefix(
         self, path: str, data, recorder: Recorder | None = None
@@ -470,7 +651,7 @@ class SpatialReader:
         for i, n in enumerate(expected):
             offsets[i] = pos
             pos += n
-        out = np.empty(pos, dtype=self.dtype)
+        out = np.empty(pos, dtype=plan.result_dtype(self.dtype))
         #: particles delivered per entry (None = skipped / not run).
         delivered: list[int | None] = [None] * len(entries)
         mark = self.recorder.event_mark()
@@ -525,9 +706,14 @@ class SpatialReader:
             self.last_report = ReadReport.from_events(
                 self.recorder.events_since(mark)
             )
-        if all(d is not None for d in delivered):
+        if all(
+            d is not None and d == e for d, e in zip(delivered, expected)
+        ):
             result = out  # every slice filled: the preallocation IS the result
         else:
+            # A chunk-degraded columnar read can deliver *fewer* particles
+            # than its slice (survivors packed at the slice head), so any
+            # short delivery also routes through the compacting branch.
             kept = [
                 out[offsets[i] : offsets[i] + d]
                 for i, d in enumerate(delivered)
@@ -536,12 +722,21 @@ class SpatialReader:
             result = (
                 np.concatenate(kept)
                 if kept
-                else np.empty(0, dtype=self.dtype)
+                else np.empty(0, dtype=out.dtype)
             )
         if exact and plan.box is not None and len(result):
             batch = ParticleBatch(result)
             mask = plan.box.contains_points(batch.positions, closed=True)
-            return ParticleBatch(batch.data[mask])
+            result = batch.data[mask]
+        if plan.where and len(result):
+            # Exact predicate re-application: chunk/file pruning only
+            # discards provably-disjoint data, so filtering here makes the
+            # pushdown result equal post-hoc filtering by construction.
+            mask = np.ones(len(result), dtype=bool)
+            for name, (lo, hi) in plan.where.items():
+                vals = result[name].astype(np.float64, copy=False)
+                mask &= (vals >= lo) & (vals <= hi)
+            result = result[mask]
         return ParticleBatch(result)
 
     # -- the three read styles ------------------------------------------------------

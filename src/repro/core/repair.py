@@ -47,6 +47,8 @@ import re
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.scrub import QUARANTINE_DIR, ScrubReport
 from repro.dataset import Dataset, as_dataset
 from repro.errors import (
@@ -74,14 +76,18 @@ from repro.format.chunks import (
     chunks_to_entry,
 )
 from repro.format.datafile import (
+    DATA_VERSION_COLUMNAR,
     FOOTER_BYTES,
     HEADER_BYTES,
     RecoveryTrailer,
     build_data_blob,
+    columnar_payload_length,
+    decode_columnar_payload,
     extract_recovery_trailer,
     parse_data_header,
     payload_prefix_checksums,
     prefix_checksum_boundaries,
+    scan_columnar_segments,
     verify_data_footer,
 )
 from repro.format.manifest import (
@@ -263,6 +269,10 @@ class _FileState:
     salvage_count: int = 0
     salvage_crc: int = 0
     salvage_prefixes: list = field(default_factory=list)
+    #: Columnar (v4) facts: the segment codec (None marks a row file) and,
+    #: after salvage, the kept segment-bearing chunk entries.
+    codec: str | None = None
+    keep_chunks: list = field(default_factory=list)
 
 
 def _inspect_file(
@@ -312,6 +322,9 @@ def _inspect_file(
     if st.rec_size <= 0:
         st.status, st.detail = "corrupt", f"record size {st.rec_size}"
         return st
+
+    if st.version >= DATA_VERSION_COLUMNAR:
+        return _inspect_columnar(st, raw, entry, dtype, lod, attr_names)
 
     footer = FOOTER_BYTES if st.version >= 2 else 0
     expected = HEADER_BYTES + st.header_count * st.rec_size + footer
@@ -391,6 +404,230 @@ def _inspect_file(
     return st
 
 
+def _inspect_columnar(
+    st: _FileState,
+    raw: bytes,
+    entry: dict | None,
+    dtype,
+    lod: tuple[int, int] | None,
+    attr_names: tuple[str, ...] | None,
+) -> _FileState:
+    """Classify a columnar (v4) file from its raw bytes.
+
+    Verification runs at *segment* granularity: segment descriptors come
+    from the recovery trailer (or the manifest entry when the trailer is
+    damaged), every segment is CRC-checked, and a file with damaged or
+    missing tail segments is treated as torn — salvage keeps whole leading
+    chunks up to the longest LOD boundary whose decoded logical prefix
+    still verifies.  A valid file gets a recomputed v4 checksum entry
+    (encoded-payload CRC, logical prefix CRCs, segment-bearing chunks,
+    codec).
+    """
+    path = st.path
+    try:
+        st.trailer = extract_recovery_trailer(raw, path)
+    except (ChecksumError, DataFileError) as exc:
+        st.trailer_detail = str(exc)
+    else:
+        if st.trailer.particle_count != st.header_count:
+            st.trailer_detail = (
+                f"trailer says {st.trailer.particle_count} particles, "
+                f"header says {st.header_count}"
+            )
+            st.trailer = None
+    chunks: tuple = ()
+    codec: str | None = None
+    if st.trailer is not None and st.trailer.chunks:
+        chunks, codec = st.trailer.chunks, st.trailer.codec or "none"
+    elif entry and entry.get("chunks"):
+        try:
+            chunks = chunks_from_entry(entry["chunks"])
+        except DataFileError:
+            chunks = ()
+        codec = str(entry.get("codec") or "none")
+    if not chunks or any(len(c) < 6 for c in chunks):
+        if entry is None:
+            # Nothing ever recorded this file (aborted-write orphan cut
+            # before its trailer): torn with nothing salvageable, so it
+            # quarantines without billing the header count as data loss —
+            # same accounting as a row orphan.
+            st.status = "torn"
+            st.detail = (
+                "columnar file has no usable segment descriptors "
+                "(torn before its recovery trailer)"
+            )
+            return st
+        st.status = "corrupt"
+        st.detail = (
+            "columnar file has no usable segment descriptors "
+            "(recovery trailer and manifest entry both lost)"
+        )
+        return st
+    st.codec = codec
+    if dtype is None and st.trailer is not None:
+        try:
+            dtype = descr_to_dtype(st.trailer.dtype_descr)
+        except FormatError:
+            dtype = None
+        else:
+            if dtype.itemsize != st.rec_size:
+                dtype = None
+    if dtype is None:
+        st.status = "corrupt"
+        st.detail = (
+            "columnar file cannot be verified without a dtype and none "
+            "survives (manifest and trailer both lost)"
+        )
+        return st
+    if lod is None and st.trailer is not None:
+        lod = (st.trailer.lod_base, st.trailer.lod_scale)
+    try:
+        enc_len = columnar_payload_length(chunks)
+    except DataFileError as exc:
+        st.status, st.detail = "corrupt", str(exc)
+        return st
+    expected = HEADER_BYTES + enc_len + FOOTER_BYTES
+    bad = scan_columnar_segments(raw, chunks, dtype)
+    if len(raw) < expected or bad:
+        st.status = "torn"
+        if len(raw) < expected:
+            st.detail = (
+                f"expected {expected} bytes for {st.header_count} "
+                f"particles, found {len(raw)}"
+            )
+        else:
+            st.detail = (
+                f"{len(bad)} damaged column segment(s); first: {bad[0][2]}"
+            )
+        _find_columnar_salvage(st, raw, entry, dtype, chunks, codec)
+        return st
+    try:
+        verify_data_footer(raw[:expected], path)
+    except ChecksumError as exc:
+        st.status, st.detail = "corrupt", str(exc)
+        return st
+    payload = raw[HEADER_BYTES : HEADER_BYTES + enc_len]
+    try:
+        arr = decode_columnar_payload(payload, chunks, codec, dtype, path)
+    except (ChecksumError, DataFileError) as exc:
+        st.status, st.detail = "corrupt", str(exc)
+        return st
+    if len(arr) != st.header_count:
+        st.status = "corrupt"
+        st.detail = (
+            f"chunk index covers {len(arr)} particles, header says "
+            f"{st.header_count}"
+        )
+        return st
+    st.status = "valid"
+    st.payload_crc32 = zlib.crc32(payload)
+    if lod is None:
+        return st
+    boundaries = prefix_checksum_boundaries(st.header_count, *lod)
+    prefixes = payload_prefix_checksums(
+        np.ascontiguousarray(arr).tobytes(), st.rec_size, boundaries
+    )
+    st.actual_entry = {
+        "payload_crc32": st.payload_crc32,
+        "prefixes": [[c, crc] for c, crc in prefixes],
+        "codec": codec,
+    }
+    if attr_names is None and st.trailer is not None:
+        attr_names = tuple(n for n, _lo, _hi in st.trailer.attr_ranges)
+    # Regraft the chunk geometry from the decoded payload (the truth) and
+    # keep the verified stored segment descriptors — same partition, so
+    # they line up one-to-one.  A geometry whose partition no longer
+    # matches keeps the stored entry wholesale (it verified byte-level).
+    from repro.particles.batch import ParticleBatch
+
+    chunk_size = max(int(c[1]) for c in chunks)
+    geo = build_chunk_entry(
+        ParticleBatch(arr), chunk_size, boundaries, tuple(attr_names or ())
+    )
+    stored = chunks_to_entry(chunks)
+    if len(geo) == len(stored) and all(
+        int(g[0]) == int(s[0]) and int(g[1]) == int(s[1])
+        for g, s in zip(geo, stored)
+    ):
+        st.actual_entry["chunks"] = [
+            list(g) + [s[5]] for g, s in zip(geo, stored)
+        ]
+    else:
+        st.actual_entry["chunks"] = stored
+    return st
+
+
+def _find_columnar_salvage(
+    st: _FileState,
+    raw: bytes,
+    entry: dict | None,
+    dtype,
+    chunks: tuple,
+    codec: str,
+) -> None:
+    """Salvage for a torn/segment-damaged v4 file: keep whole leading
+    chunks whose segments all verify and decode, up to the longest
+    recorded LOD boundary whose decoded logical prefix CRC matches.
+    Chunks never straddle LOD boundaries, so every recorded boundary is
+    chunk-aligned and the kept encoded bytes are a payload prefix whose
+    segment offsets stay valid."""
+    eff = entry
+    if eff is None and st.trailer is not None:
+        eff = st.trailer.checksum_entry
+    if eff is None:
+        return
+    payload = raw[HEADER_BYTES:]
+    parts = []
+    good = 0
+    for chunk in chunks:
+        if len(chunk) < 6 or int(chunk[0]) != good:
+            break
+        solo = (0, int(chunk[1])) + tuple(chunk[2:])
+        try:
+            rows = decode_columnar_payload(
+                payload, (solo,), codec, dtype, st.path
+            )
+        except (ChecksumError, DataFileError):
+            break
+        parts.append(rows)
+        good += int(chunk[1])
+    if not good:
+        return
+    logical = np.concatenate(parts).tobytes()
+    crc, pos, kept = 0, 0, 0
+    prefixes = []
+    for count, stored in eff.get("prefixes", []):
+        count, stored = int(count), int(stored)
+        if count > good:
+            break
+        crc = zlib.crc32(
+            logical[pos * st.rec_size : count * st.rec_size], crc
+        )
+        pos = count
+        if crc != stored:
+            break
+        kept = count
+        prefixes.append([count, crc])
+    if not kept:
+        return
+    k, covered = 0, 0
+    for chunk in chunks:
+        if covered >= kept:
+            break
+        covered += int(chunk[1])
+        k += 1
+    if covered != kept:
+        return  # boundary not chunk-aligned; refuse to guess
+    kept_chunks = chunks[:k]
+    enc_end = max(
+        int(off) + int(ln) for c in kept_chunks for off, ln, _crc in c[5]
+    )
+    st.salvage_count = kept
+    st.salvage_crc = zlib.crc32(payload[:enc_end])
+    st.salvage_prefixes = prefixes
+    st.keep_chunks = chunks_to_entry(kept_chunks)
+
+
 def _find_salvage_prefix(st: _FileState, raw: bytes, entry: dict | None) -> None:
     """Longest prefix of a torn file that verifies against the manifest's
     per-LOD prefix checksums.  Levels-are-subsets makes that prefix a valid
@@ -462,6 +699,8 @@ def _norm_entry(entry: dict | None) -> dict | None:
             out["chunks"] = chunks_to_entry(chunks_from_entry(entry["chunks"]))
         except DataFileError:
             pass  # malformed — drop it; the plan regrafts from the payload
+    if entry.get("codec") is not None:
+        out["codec"] = str(entry["codec"])
     return out
 
 
@@ -771,6 +1010,7 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
             payload_crc32=entry["payload_crc32"],
             prefixes=entry["prefixes"],
             chunks=entry.get("chunks", []),
+            codec=entry.get("codec"),
         )
 
     for path in ordered_paths:
@@ -828,6 +1068,13 @@ def _plan(ds: Dataset, report: ScrubReport) -> _RepairPlan:
                     "payload_crc32": st.salvage_crc,
                     "prefixes": list(st.salvage_prefixes),
                 }
+                if st.codec is not None:
+                    # v4 salvage keeps whole chunks: the truncated file's
+                    # entry carries the surviving segment descriptors and
+                    # the codec, so it stays a self-describing columnar
+                    # file at reduced fidelity.
+                    entry["chunks"] = list(st.keep_chunks)
+                    entry["codec"] = st.codec
                 plan.truncate[path] = (st.salvage_count, st.rec_size)
                 plan.trailers[path] = want_trailer(record, entry)
                 keep(record, entry)
@@ -1115,10 +1362,21 @@ def _rewrite_file(
     rec: Recorder,
 ) -> None:
     """Rebuild a file image around the (verified) first ``count`` records —
-    the truncate and rewrite-trailer primitive."""
+    the truncate and rewrite-trailer primitive.  A trailer carrying a codec
+    marks a columnar (v4) file: the kept payload length comes from its
+    segment descriptors (encoded bytes, not ``count * rec_size``)."""
     raw = bytes(ds.retry.call(ds.backend.read_file, path, recorder=rec))
-    payload = raw[HEADER_BYTES : HEADER_BYTES + count * rec_size]
-    blob = build_data_blob(payload, rec_size, count, trailer)
+    if trailer.codec is not None:
+        enc_len = (
+            columnar_payload_length(trailer.chunks) if trailer.chunks else 0
+        )
+        payload = raw[HEADER_BYTES : HEADER_BYTES + enc_len]
+        blob = build_data_blob(
+            payload, rec_size, count, trailer, version=DATA_VERSION_COLUMNAR
+        )
+    else:
+        payload = raw[HEADER_BYTES : HEADER_BYTES + count * rec_size]
+        blob = build_data_blob(payload, rec_size, count, trailer)
     ds.retry.call(
         ds.backend.write_file, path, blob, actor=ds.actor, recorder=rec
     )

@@ -59,11 +59,19 @@ from repro.errors import (
 )
 from repro.format.chunks import FileChunkIndex, build_chunk_entry, chunks_from_entry
 from repro.format.datafile import (
+    DATA_VERSION_COLUMNAR,
+    FOOTER_BYTES,
+    HEADER_BYTES,
+    columnar_payload_length,
     compute_file_checksums,
+    decode_columnar_payload,
+    extract_recovery_trailer,
     peek_data_header,
     prefix_checksum_boundaries,
     read_data_file,
     read_recovery_trailer,
+    scan_columnar_segments,
+    verify_data_footer,
 )
 from repro.format.generations import (
     CURRENT_PATH,
@@ -79,6 +87,7 @@ from repro.format.generations import (
 from repro.format.manifest import MANIFEST_PATH, Manifest
 from repro.format.metadata import META_PATH, SpatialMetadata
 from repro.io.backend import FileBackend
+from repro.particles.batch import ParticleBatch
 
 #: Where repair parks unrecoverable bytes instead of deleting them (defined
 #: here, next to the inventory scan; re-exported by :mod:`repro.core.repair`).
@@ -349,7 +358,11 @@ def _chunk_entry_error(entry, batch, manifest: Manifest, attr_names, path: str) 
         ),
         tuple(attr_names),
     )
-    if recorded != chunks_from_entry(expected):
+    # Compare the geometry (start/count/bounds/attr-range) elements only:
+    # columnar entries carry a sixth segment-descriptor element that the
+    # decoded payload cannot reproduce (it describes *encoded* bytes, which
+    # the per-segment CRC scan verifies instead).
+    if tuple(c[:5] for c in recorded) != chunks_from_entry(expected):
         return (
             "recorded chunk bounds/ranges disagree with the payload "
             f"({len(recorded)} chunks, size {chunk_size})"
@@ -391,31 +404,110 @@ def _scrub_data_file(
         )
         return report
 
-    try:
-        batch = read_data_file(backend, path, manifest.dtype)
-    except ChecksumError as exc:
-        report.add(path, "data-checksum", str(exc))
-        return report
-    except DataFileError as exc:
-        msg = str(exc)
-        if "expected" in msg and "bytes" in msg:
-            code = "data-truncated"
-        elif "record size" in msg:
-            code = "dtype-mismatch"
-        else:
-            code = "data-corrupt"
-        report.add(path, code, msg)
-        return report
-    except BackendError as exc:
-        report.add(path, "data-unreadable", str(exc))
-        return report
+    recorded = manifest.checksums.get(path)
+    stored_payload_crc: int | None = None
+    if version >= DATA_VERSION_COLUMNAR:
+        # v4: verify at *segment* granularity first, so damage is pinpointed
+        # to one chunk/column instead of "the file's CRC is wrong".  The
+        # segment descriptors come from the recovery trailer (self-describing
+        # path) or, when the trailer is damaged, from the manifest entry —
+        # the bottom-of-function trailer checks still flag the damage.
+        try:
+            raw = backend.read_file(path)
+        except BackendError as exc:
+            report.add(path, "data-unreadable", str(exc))
+            return report
+        chunks: tuple = ()
+        codec = "none"
+        try:
+            trailer = extract_recovery_trailer(raw, path)
+            chunks, codec = trailer.chunks, trailer.codec or "none"
+        except (ChecksumError, DataFileError):
+            pass  # reported by the shared trailer checks below
+        if not chunks and recorded and recorded.get("chunks"):
+            chunks = chunks_from_entry(recorded["chunks"])
+            codec = str(recorded.get("codec") or "none")
+        if header_count and not chunks:
+            report.add(
+                path,
+                "data-corrupt",
+                "columnar file has no usable segment descriptors "
+                "(recovery trailer and manifest entry both lost)",
+            )
+            return report
+        try:
+            enc_len = columnar_payload_length(chunks) if chunks else 0
+        except DataFileError as exc:
+            report.add(path, "data-corrupt", str(exc))
+            return report
+        expected_len = HEADER_BYTES + enc_len + FOOTER_BYTES
+        if len(raw) < expected_len:
+            report.add(
+                path,
+                "data-truncated",
+                f"expected {expected_len} bytes for {header_count} "
+                f"particles, found {len(raw)}",
+            )
+            return report
+        bad = scan_columnar_segments(raw, chunks, manifest.dtype)
+        if bad:
+            for _ci, _col, detail in bad:
+                report.add(path, "segment-checksum", detail)
+            return report
+        try:
+            verify_data_footer(raw[:expected_len], path)
+        except ChecksumError as exc:
+            report.add(path, "data-checksum", str(exc))
+            return report
+        try:
+            arr = decode_columnar_payload(
+                raw[HEADER_BYTES : HEADER_BYTES + enc_len],
+                chunks,
+                codec,
+                manifest.dtype,
+                path,
+            )
+        except (ChecksumError, DataFileError) as exc:
+            report.add(path, "data-corrupt", str(exc))
+            return report
+        if len(arr) != header_count:
+            report.add(
+                path,
+                "data-corrupt",
+                f"chunk index covers {len(arr)} particles, header says "
+                f"{header_count}",
+            )
+            return report
+        batch = ParticleBatch(arr)
+        stored_payload_crc = zlib.crc32(raw[HEADER_BYTES : HEADER_BYTES + enc_len])
+    else:
+        try:
+            batch = read_data_file(backend, path, manifest.dtype)
+        except ChecksumError as exc:
+            report.add(path, "data-checksum", str(exc))
+            return report
+        except DataFileError as exc:
+            msg = str(exc)
+            if "expected" in msg and "bytes" in msg:
+                code = "data-truncated"
+            elif "record size" in msg:
+                code = "dtype-mismatch"
+            else:
+                code = "data-corrupt"
+            report.add(path, code, msg)
+            return report
+        except BackendError as exc:
+            report.add(path, "data-unreadable", str(exc))
+            return report
     report.bytes_verified += size
 
-    recorded = manifest.checksums.get(path)
     if recorded is not None:
         actual = compute_file_checksums(
             batch, manifest.lod_base, manifest.lod_scale
         )
+        if stored_payload_crc is not None:
+            # v4 manifests record the CRC of the *encoded* payload bytes.
+            actual["payload_crc32"] = stored_payload_crc
         if int(recorded.get("payload_crc32", -1)) != actual["payload_crc32"]:
             report.add(
                 path,
@@ -472,6 +564,14 @@ def _scrub_data_file(
                     "trailer-mismatch",
                     "recovery trailer chunk index disagrees with the "
                     "manifest's",
+                    repairable=True,
+                )
+            elif recorded is not None and trailer.codec != recorded.get("codec"):
+                report.add(
+                    path,
+                    "trailer-mismatch",
+                    f"recovery trailer codec {trailer.codec!r} disagrees "
+                    f"with the manifest's {recorded.get('codec')!r}",
                     repairable=True,
                 )
     return report

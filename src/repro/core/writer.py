@@ -35,7 +35,9 @@ from repro.format.chunks import build_chunk_entry
 from repro.format.datafile import (
     compute_file_checksums,
     data_file_name,
+    encode_columnar_payload,
     prefix_checksum_boundaries,
+    write_columnar_data_file,
     write_data_file,
 )
 from repro.format.generations import (
@@ -416,6 +418,28 @@ class SpatialWriter:
                             ),
                             cfg.attr_index,
                         )
+                    # Columnar layout (format v4): transpose the chunked
+                    # payload into encoded per-attribute column segments.
+                    # The prefix checksums above stay *logical* (row-payload
+                    # CRCs at LOD boundaries) while payload_crc32 switches
+                    # to the stored encoded bytes, and the chunk entries
+                    # grow per-segment [offset, length, crc32] descriptors.
+                    columnar = (
+                        cfg.layout == "columnar"
+                        and bool(cfg.chunk_size)
+                        and len(agg_batch) > 0
+                    )
+                    payload = b""
+                    if columnar:
+                        payload, seg_lists = encode_columnar_payload(
+                            agg_batch, sums["chunks"], cfg.codec
+                        )
+                        sums["chunks"] = [
+                            chunk + [segs]
+                            for chunk, segs in zip(sums["chunks"], seg_lists)
+                        ]
+                        sums["payload_crc32"] = zlib.crc32(payload)
+                        sums["codec"] = cfg.codec
                     record = MetadataRecord(
                         box_id=pid + (commit.box_id_offset if commit else 0),
                         agg_rank=comm.rank,
@@ -424,9 +448,9 @@ class SpatialWriter:
                         attr_ranges=self._attr_ranges(agg_batch),
                         gen=gen,
                     )
-                    # Format v3: every data file carries a recovery trailer
-                    # duplicating its metadata record + manifest checksum
-                    # entry, so the dataset survives losing both.
+                    # Format v3/v4: every data file carries a recovery
+                    # trailer duplicating its metadata record + manifest
+                    # checksum entry, so the dataset survives losing both.
                     trailer = trailer_for_record(
                         record,
                         dtype_descr=dtype_to_descr(agg_batch.dtype),
@@ -437,16 +461,30 @@ class SpatialWriter:
                         payload_crc32=sums["payload_crc32"],
                         prefixes=sums["prefixes"],
                         chunks=sums.get("chunks", ()),
+                        codec=cfg.codec if columnar else None,
                     )
-                    result.bytes_written += self.retry.call(
-                        write_data_file,
-                        backend,
-                        path,
-                        agg_batch,
-                        actor=comm.rank,
-                        trailer=trailer,
-                        recorder=rec,
-                    )
+                    if columnar:
+                        result.bytes_written += self.retry.call(
+                            write_columnar_data_file,
+                            backend,
+                            path,
+                            payload,
+                            agg_batch.dtype.itemsize,
+                            len(agg_batch),
+                            trailer,
+                            actor=comm.rank,
+                            recorder=rec,
+                        )
+                    else:
+                        result.bytes_written += self.retry.call(
+                            write_data_file,
+                            backend,
+                            path,
+                            agg_batch,
+                            actor=comm.rank,
+                            trailer=trailer,
+                            recorder=rec,
+                        )
                     result.files_written.append(path)
                     local_checksums[path] = sums
                     local_records.append(record)

@@ -310,12 +310,17 @@ class Dataset:
             from repro.errors import FormatError
             from repro.format.chunks import FileChunkIndex
 
-            entry = self.manifest.checksums.get(path, {}).get("chunks")
+            centry = self.manifest.checksums.get(path, {})
+            chunks = centry.get("chunks")
             index = None
-            if entry:
+            if chunks:
                 try:
                     index = FileChunkIndex.from_entry(
-                        entry, rec.particle_count, path=path
+                        chunks,
+                        rec.particle_count,
+                        path=path,
+                        codec=centry.get("codec"),
+                        attr_names=tuple(self.metadata.attr_names),
                     )
                 except FormatError:
                     index = None

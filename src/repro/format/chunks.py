@@ -95,35 +95,55 @@ def build_chunk_entry(
 def chunks_from_entry(entry) -> tuple:
     """Parse the JSON ``chunks`` list into the canonical tuple form the
     :class:`~repro.format.datafile.RecoveryTrailer` carries (hashable,
-    comparable field-by-field)."""
+    comparable field-by-field).
+
+    Columnar (format v4) chunks carry a sixth element — the per-column
+    segment descriptors ``[[offset, encoded_length, crc32], ...]`` — which
+    round-trips as a nested tuple; five-element row-format chunks parse to
+    five-element tuples, keeping pre-v4 trailers and manifests
+    byte-identical.
+    """
+    out: list[tuple] = []
     try:
-        return tuple(
-            (
+        for item in entry:
+            start, count, lo, hi, attrs = item[0], item[1], item[2], item[3], item[4]
+            chunk = (
                 int(start),
                 int(count),
                 tuple(float(v) for v in lo),
                 tuple(float(v) for v in hi),
                 tuple((float(mn), float(mx)) for mn, mx in attrs),
             )
-            for start, count, lo, hi, attrs in entry
-        )
-    except (TypeError, ValueError) as exc:
+            if len(item) > 5:
+                chunk = chunk + (
+                    tuple(
+                        (int(off), int(ln), int(crc))
+                        for off, ln, crc in item[5]
+                    ),
+                )
+            out.append(chunk)
+        return tuple(out)
+    except (TypeError, ValueError, IndexError) as exc:
         raise DataFileError(f"malformed chunk index entry: {exc}") from exc
 
 
 def chunks_to_entry(chunks: tuple) -> list:
     """Inverse of :func:`chunks_from_entry`: the JSON list form, bit-exact
     (floats round-trip through JSON unchanged)."""
-    return [
-        [
+    out: list = []
+    for chunk in chunks:
+        start, count, lo, hi, attrs = chunk[0], chunk[1], chunk[2], chunk[3], chunk[4]
+        item: list = [
             int(start),
             int(count),
             [float(v) for v in lo],
             [float(v) for v in hi],
             [[float(mn), float(mx)] for mn, mx in attrs],
         ]
-        for start, count, lo, hi, attrs in chunks
-    ]
+        if len(chunk) > 5:
+            item.append([[int(off), int(ln), int(crc)] for off, ln, crc in chunk[5]])
+        out.append(item)
+    return out
 
 
 class FileChunkIndex:
@@ -135,7 +155,10 @@ class FileChunkIndex:
     the result) so per-query pruning is pure numpy broadcasting.
     """
 
-    __slots__ = ("starts", "counts", "lo", "hi", "attr_ranges")
+    __slots__ = (
+        "starts", "counts", "lo", "hi", "attr_ranges",
+        "segments", "codec", "attr_names",
+    )
 
     def __init__(
         self,
@@ -144,6 +167,9 @@ class FileChunkIndex:
         lo: np.ndarray,
         hi: np.ndarray,
         attr_ranges: np.ndarray | None = None,
+        segments: tuple | None = None,
+        codec: str | None = None,
+        attr_names: tuple[str, ...] = (),
     ):
         self.starts = starts
         self.counts = counts
@@ -151,6 +177,15 @@ class FileChunkIndex:
         self.hi = hi
         #: float64 (N, num_attrs, 2) per-chunk attribute (min, max), or None.
         self.attr_ranges = attr_ranges
+        #: Per-chunk ``((offset, encoded_length, crc32), ...)`` column
+        #: segment descriptors for columnar (v4) files, or None for row
+        #: layouts.
+        self.segments = segments
+        #: Codec name the segments were encoded with, or None (row layout).
+        self.codec = codec
+        #: Names behind ``attr_ranges`` columns (the dataset's attr_index
+        #: order); empty when the caller did not supply them.
+        self.attr_names = tuple(attr_names)
 
     def __len__(self) -> int:
         return len(self.starts)
@@ -161,7 +196,12 @@ class FileChunkIndex:
 
     @classmethod
     def from_entry(
-        cls, entry, particle_count: int, path: str = "<chunk index>"
+        cls,
+        entry,
+        particle_count: int,
+        path: str = "<chunk index>",
+        codec: str | None = None,
+        attr_names: tuple[str, ...] = (),
     ) -> "FileChunkIndex":
         """Parse and validate one JSON ``chunks`` entry.
 
@@ -170,6 +210,10 @@ class FileChunkIndex:
         begins where the previous ended, and together they cover exactly
         ``particle_count`` particles.  A reader must never prune against an
         index that silently skips or double-counts particles.
+
+        ``codec`` marks the file columnar (format v4); every chunk must
+        then carry a consistent segment-descriptor list with non-negative,
+        non-overlapping extents.
         """
         chunks = chunks_from_entry(entry)
         if not chunks:
@@ -183,6 +227,8 @@ class FileChunkIndex:
                 np.empty(0, dtype=np.int64),
                 empty3,
                 empty3,
+                codec=codec,
+                attr_names=attr_names,
             )
         starts = np.array([c[0] for c in chunks], dtype=np.int64)
         counts = np.array([c[1] for c in chunks], dtype=np.int64)
@@ -214,21 +260,68 @@ class FileChunkIndex:
             )
         if nattrs:
             attr_ranges = np.array([c[4] for c in chunks], dtype=np.float64)
-        return cls(starts, counts, lo, hi, attr_ranges)
+        segments: tuple | None = None
+        has_segs = [len(c) > 5 for c in chunks]
+        if any(has_segs):
+            if not all(has_segs):
+                raise DataFileError(
+                    f"{path}: chunk index mixes segment-bearing and bare chunks"
+                )
+            ncols = len(chunks[0][5])
+            prev_end = 0
+            for i, c in enumerate(chunks):
+                if len(c[5]) != ncols:
+                    raise DataFileError(
+                        f"{path}: chunk {i} has {len(c[5])} column segments, "
+                        f"chunk 0 has {ncols}"
+                    )
+                for off, ln, _crc in c[5]:
+                    if off < 0 or ln < 0 or off < prev_end:
+                        raise DataFileError(
+                            f"{path}: chunk {i} segment [{off}, {off + ln}) "
+                            "overlaps or regresses in the payload"
+                        )
+                    prev_end = off + ln
+            segments = tuple(c[5] for c in chunks)
+        if codec is not None and segments is None and len(chunks):
+            raise DataFileError(
+                f"{path}: codec {codec!r} recorded but chunks carry no "
+                "column segments"
+            )
+        return cls(
+            starts, counts, lo, hi, attr_ranges,
+            segments=segments, codec=codec, attr_names=attr_names,
+        )
 
-    def select_runs(self, box: Box) -> tuple[tuple[int, int], ...]:
+    def select_runs(
+        self,
+        box: Box,
+        where: dict[str, tuple[float, float]] | None = None,
+    ) -> tuple[tuple[int, int], ...]:
         """Coalesced ``(start, count)`` particle runs a closed-box query needs.
 
         Chunk bounds are tight, so a chunk holds a candidate particle iff
         its bounds and the query box intersect as *closed* intervals (the
-        reader's exact filter is ``lo <= p <= hi``).  Adjacent selected
-        chunks merge into one run — one ranged read each.
+        reader's exact filter is ``lo <= p <= hi``).  ``where`` maps indexed
+        attribute names to ``(lo, hi)`` value ranges — predicate pushdown:
+        a chunk whose recorded ``[min, max]`` for that attribute misses the
+        range (closed-interval test, matching the reader's post-filter)
+        is pruned before any I/O, composing with the spatial test.  Adjacent
+        selected chunks merge into one run — one ranged read each.
         """
         if not len(self.starts):
             return ()
         qlo = np.asarray(box.lo, dtype=np.float64)
         qhi = np.asarray(box.hi, dtype=np.float64)
         mask = (self.lo <= qhi).all(axis=1) & (qlo <= self.hi).all(axis=1)
+        if where:
+            for name, (alo, ahi) in where.items():
+                if name not in self.attr_names or self.attr_ranges is None:
+                    continue  # not indexed at chunk level: no pruning
+                k = self.attr_names.index(name)
+                amin = self.attr_ranges[:, k, 0]
+                amax = self.attr_ranges[:, k, 1]
+                mask &= (amin <= float(ahi)) & (float(alo) <= amax)
         sel = np.flatnonzero(mask)
         if not len(sel):
             return ()

@@ -33,6 +33,20 @@ can be rebuilt purely from surviving data files (:mod:`repro.core.repair`).
 It sits entirely past the footer: the version gate lets v3 length checks
 tolerate the extra tail, and v1/v2 files simply have none.
 
+**Version 4** keeps the same header/footer/trailer framing but stores the
+payload *column-oriented*: for each spatial chunk (the sub-file chunk index
+of :mod:`repro.format.chunks`), one contiguous *segment* per attribute
+column — ``x``, ``y``, ``z``, then every other dtype field — each passed
+through a named codec (:mod:`repro.format.codecs`) before storage.  The
+header's record size still records the *logical* row itemsize (the dtype
+guard), while the chunk entries grow a sixth element holding per-segment
+``[offset, encoded_length, crc32]`` descriptors (offsets relative to the
+payload start).  The footer CRC and ``payload_crc32`` cover the *stored*
+(encoded) payload; the per-LOD prefix checksums keep covering the *logical*
+row payload, so LOD salvage semantics carry over unchanged.  A v4 file is
+self-describing through its trailer (chunk geometry + segment table +
+codec name), honouring the same recovery contract as v3.
+
 The header stores only the record *size*; the full dtype lives in the
 dataset manifest.  Keeping it in both places lets a reader detect a manifest
 / data-file mismatch without decoding garbage.
@@ -56,6 +70,7 @@ import numpy as np
 from repro.domain.box import Box
 from repro.errors import DataChecksumError, DataFileError
 from repro.format.chunks import chunks_from_entry, chunks_to_entry
+from repro.format.codecs import get_codec
 from repro.io.backend import FileBackend
 from repro.particles.batch import ParticleBatch
 
@@ -64,6 +79,8 @@ DATA_MAGIC = b"SPIODATA"
 DATA_VERSION = 3
 #: Version written for bare files with no trailer (baseline formats).
 DATA_VERSION_PLAIN = 2
+#: Version written for columnar (per-chunk column segment) payloads.
+DATA_VERSION_COLUMNAR = 4
 _HEADER = struct.Struct("<8sIIQ")
 HEADER_BYTES = _HEADER.size
 
@@ -76,7 +93,7 @@ _TRAILER_FOOTER = struct.Struct("<4sII")
 TRAILER_FOOTER_BYTES = _TRAILER_FOOTER.size
 
 #: Versions this reader understands.
-SUPPORTED_DATA_VERSIONS = (1, 2, 3)
+SUPPORTED_DATA_VERSIONS = (1, 2, 3, 4)
 
 
 def data_file_name(agg_rank: int, gen: int = 0) -> str:
@@ -143,6 +160,11 @@ class RecoveryTrailer:
     #: Generation that wrote this file (0 = classic layout).  Serialised
     #: only when nonzero so generation-0 trailers stay byte-identical.
     gen: int = 0
+    #: Codec every column segment of a columnar (v4) file was encoded
+    #: with (see :mod:`repro.format.codecs`); ``None`` for row-oriented
+    #: files, and serialised only when set so v1–v3 trailers stay
+    #: byte-identical.
+    codec: str | None = None
 
     @property
     def bounds(self) -> Box:
@@ -161,6 +183,8 @@ class RecoveryTrailer:
         }
         if self.chunks:
             entry["chunks"] = chunks_to_entry(self.chunks)
+        if self.codec is not None:
+            entry["codec"] = str(self.codec)
         return entry
 
     def to_bytes(self) -> bytes:
@@ -184,6 +208,8 @@ class RecoveryTrailer:
             doc["chunks"] = chunks_to_entry(self.chunks)
         if self.gen:
             doc["gen"] = self.gen
+        if self.codec is not None:
+            doc["codec"] = str(self.codec)
         body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return body + _TRAILER_FOOTER.pack(TRAILER_MAGIC, len(body), zlib.crc32(body))
 
@@ -212,6 +238,7 @@ class RecoveryTrailer:
                 prefixes=tuple((int(c), int(crc)) for c, crc in doc["prefixes"]),
                 chunks=chunks_from_entry(doc.get("chunks", [])),
                 gen=int(doc.get("gen", 0)),
+                codec=(None if doc.get("codec") is None else str(doc["codec"])),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise DataFileError(
@@ -270,13 +297,21 @@ def build_data_blob(
     itemsize: int,
     count: int,
     trailer: RecoveryTrailer | None = None,
+    version: int | None = None,
 ) -> bytes:
     """Assemble a complete data-file image from a raw payload.
 
     Shared by :func:`write_data_file` and the repair subsystem's torn-file
     truncation, which rebuilds a shorter file from salvaged payload bytes.
+    Without an explicit ``version`` the presence of a trailer selects v3
+    over v2; columnar writers pass ``version=DATA_VERSION_COLUMNAR`` with
+    an already-encoded ``payload`` (``itemsize`` stays the logical row
+    itemsize — the dtype guard).
     """
-    version = DATA_VERSION if trailer is not None else DATA_VERSION_PLAIN
+    if version is None:
+        version = DATA_VERSION if trailer is not None else DATA_VERSION_PLAIN
+    if version >= DATA_VERSION_COLUMNAR and trailer is None:
+        raise DataFileError("columnar (v4) files require a recovery trailer")
     header = _HEADER.pack(DATA_MAGIC, version, itemsize, count)
     footer = _FOOTER.pack(FOOTER_MAGIC, zlib.crc32(payload, zlib.crc32(header)))
     blob = header + payload + footer
@@ -299,6 +334,29 @@ def write_data_file(
     to what earlier writers produced.
     """
     blob = build_data_blob(batch.tobytes(), batch.dtype.itemsize, len(batch), trailer)
+    backend.write_file(path, blob, actor=actor)
+    return len(blob)
+
+
+def write_columnar_data_file(
+    backend: FileBackend,
+    path: str,
+    payload: bytes,
+    itemsize: int,
+    count: int,
+    trailer: RecoveryTrailer,
+    actor: int = -1,
+) -> int:
+    """Write an already-encoded columnar payload as a v4 file.
+
+    ``payload`` comes from :func:`encode_columnar_payload`; ``itemsize`` is
+    the *logical* row itemsize (the header's dtype guard) and ``trailer``
+    must carry the segment-bearing chunk list plus the codec name — a v4
+    file without them is unreadable.  Returns bytes written.
+    """
+    blob = build_data_blob(
+        payload, itemsize, count, trailer, version=DATA_VERSION_COLUMNAR
+    )
     backend.write_file(path, blob, actor=actor)
     return len(blob)
 
@@ -331,6 +389,15 @@ def _parse_header(raw: bytes, path: str, dtype: np.dtype) -> tuple[int, int]:
     return version, count
 
 
+def _reject_columnar(version: int, path: str) -> None:
+    """Row-oriented ranged primitives cannot interpret encoded segments."""
+    if version >= DATA_VERSION_COLUMNAR:
+        raise DataFileError(
+            f"{path}: columnar (v4) file requires a segment-aware read "
+            "(see read_columnar_runs_into)"
+        )
+
+
 def verify_data_footer(raw: bytes, path: str) -> None:
     """Check the v2+ CRC footer of a complete file image (header + records +
     footer, no trailer).  Shared with the repair subsystem's inspection."""
@@ -353,10 +420,14 @@ def read_data_file(
 
     Version gating of the length check: v1/v2 files must match the expected
     byte count exactly, while v3 files may carry extra bytes past the footer
-    (the recovery trailer), which a plain read ignores.
+    (the recovery trailer), which a plain read ignores.  Columnar (v4) files
+    are decoded through their trailer's segment table — every segment CRC is
+    verified — and return the same logical row batch a v3 file would.
     """
     raw = backend.read_file(path, actor=actor)
     version, count = _parse_header(raw, path, dtype)
+    if version >= DATA_VERSION_COLUMNAR:
+        return _read_columnar_image(raw, path, dtype, count)
     footer = FOOTER_BYTES if version >= 2 else 0
     expected = HEADER_BYTES + count * dtype.itemsize + footer
     if (len(raw) < expected) if version >= 3 else (len(raw) != expected):
@@ -393,6 +464,7 @@ def read_data_prefix(
         )
     header = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
     _version, total = _parse_header(header, path, dtype)
+    _reject_columnar(_version, path)
     if offset_particles + count > total:
         raise DataFileError(
             f"{path}: slice [{offset_particles}, {offset_particles + count}) "
@@ -445,6 +517,7 @@ def read_data_file_into(
     else:
         header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
     version, count = _parse_header(bytes(header), path, dtype)
+    _reject_columnar(version, path)
     footer = FOOTER_BYTES if version >= 2 else 0
     expected = HEADER_BYTES + count * dtype.itemsize + footer
     if (size < expected) if version >= 3 else (size != expected):
@@ -505,6 +578,7 @@ def read_data_prefix_into(
     else:
         header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
     _version, total = _parse_header(bytes(header), path, dtype)
+    _reject_columnar(_version, path)
     if offset_particles + count > total:
         raise DataFileError(
             f"{path}: slice [{offset_particles}, {offset_particles + count}) "
@@ -560,6 +634,7 @@ def read_particle_runs_into(
     else:
         header[:] = backend.read_range(path, 0, HEADER_BYTES, actor=actor)
     _version, total = _parse_header(bytes(header), path, dtype)
+    _reject_columnar(_version, path)
     pos = 0
     for start, count in runs:
         if start < 0 or count < 0 or start + count > total:
@@ -593,6 +668,379 @@ def peek_data_header(
 def peek_particle_count(backend: FileBackend, path: str, actor: int = -1) -> int:
     """Particle count from the header alone (no payload read)."""
     return peek_data_header(backend, path, actor=actor)[1]
+
+
+# -- columnar payloads (format v4) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One attribute column of a columnar payload.
+
+    The canonical column order of a dtype is ``x``, ``y``, ``z`` (the three
+    position components, each its own column) followed by every other field
+    in dtype order, one column per field (subarray fields like a stress
+    tensor stay one contiguous column).  ``itemsize`` is the scalar width —
+    the codec shuffle stride — and ``nbytes`` the raw bytes one particle
+    contributes to this column.
+    """
+
+    name: str
+    field: str
+    comp: int | None
+    base: np.dtype
+    shape: tuple
+    itemsize: int
+    nbytes: int
+
+
+def columnar_columns(dtype: np.dtype) -> tuple[ColumnSpec, ...]:
+    """The canonical column list for a particle ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype.names is None or "position" not in dtype.names:
+        raise DataFileError(f"not a particle dtype: {dtype}")
+    cols: list[ColumnSpec] = []
+    for field in dtype.names:
+        sub = dtype.fields[field][0]  # type: ignore[index]
+        base = sub.base
+        if field == "position":
+            for comp, axis in enumerate("xyz"):
+                cols.append(
+                    ColumnSpec(
+                        axis, field, comp, base, (), base.itemsize, base.itemsize
+                    )
+                )
+        else:
+            cols.append(
+                ColumnSpec(
+                    field, field, None, base, sub.shape,
+                    base.itemsize, sub.itemsize,
+                )
+            )
+    return tuple(cols)
+
+
+def _column_bytes(rows: np.ndarray, col: ColumnSpec) -> bytes:
+    """Raw little-endian bytes of one column over ``rows``."""
+    if col.comp is not None:
+        return np.ascontiguousarray(rows[col.field][:, col.comp]).tobytes()
+    return np.ascontiguousarray(rows[col.field]).tobytes()
+
+
+def _column_scatter(
+    out: np.ndarray, pos: int, count: int, col: ColumnSpec, raw: bytes
+) -> None:
+    """Land one decoded column segment into rows ``[pos, pos+count)``."""
+    vals = np.frombuffer(raw, dtype=col.base)
+    if col.comp is not None:
+        out[col.field][pos : pos + count, col.comp] = vals
+    elif col.shape:
+        out[col.field][pos : pos + count] = vals.reshape((count,) + col.shape)
+    else:
+        out[col.field][pos : pos + count] = vals
+
+
+def encode_columnar_payload(
+    batch: ParticleBatch, chunk_entry: list, codec_name: str
+) -> tuple[bytes, list]:
+    """Transpose ``batch`` into the v4 encoded payload.
+
+    ``chunk_entry`` is the (five-element) JSON chunk list from
+    :func:`repro.format.chunks.build_chunk_entry`.  Returns the stored
+    payload bytes and, per chunk, the segment descriptor list
+    ``[[offset, encoded_length, crc32], ...]`` in canonical column order
+    (offsets relative to the payload start).
+    """
+    codec = get_codec(codec_name)
+    cols = columnar_columns(batch.dtype)
+    rowsv = batch.data
+    parts: list[bytes] = []
+    seg_lists: list[list] = []
+    off = 0
+    for start, count, *_rest in chunk_entry:
+        rows = rowsv[int(start) : int(start) + int(count)]
+        segs: list = []
+        for col in cols:
+            enc = codec.encode(_column_bytes(rows, col), col.itemsize)
+            segs.append([off, len(enc), zlib.crc32(enc)])
+            parts.append(enc)
+            off += len(enc)
+        seg_lists.append(segs)
+    return b"".join(parts), seg_lists
+
+
+def columnar_payload_length(chunks: tuple) -> int:
+    """Stored payload byte length implied by a segment-bearing chunk list."""
+    end = 0
+    for chunk in chunks:
+        if len(chunk) < 6:
+            raise DataFileError("chunk entry carries no column segments")
+        for off, ln, _crc in chunk[5]:
+            end = max(end, int(off) + int(ln))
+    return end
+
+
+def decode_columnar_payload(
+    payload: bytes,
+    chunks: tuple,
+    codec_name: str,
+    dtype: np.dtype,
+    path: str,
+) -> np.ndarray:
+    """Decode a full v4 payload back into logical row records.
+
+    ``chunks`` is the canonical segment-bearing chunk tuple (from a trailer
+    or manifest entry).  Every segment's CRC32 is verified before decode;
+    a mismatch raises :class:`~repro.errors.DataChecksumError` naming the
+    chunk and column.
+    """
+    cols = columnar_columns(dtype)
+    total = sum(int(c[1]) for c in chunks)
+    out = np.empty(total, dtype=dtype)
+    for ci, chunk in enumerate(chunks):
+        start, count = int(chunk[0]), int(chunk[1])
+        if len(chunk) < 6 or len(chunk[5]) != len(cols):
+            raise DataFileError(
+                f"{path}: chunk {ci} lacks segment descriptors for "
+                f"{len(cols)} columns"
+            )
+        for col, (off, ln, crc) in zip(cols, chunk[5]):
+            off, ln = int(off), int(ln)
+            enc = payload[off : off + ln]
+            if len(enc) != ln:
+                raise DataFileError(
+                    f"{path}: chunk {ci} column {col.name!r} segment "
+                    f"[{off}, {off + ln}) exceeds payload ({len(payload)} bytes)"
+                )
+            actual = zlib.crc32(enc)
+            if actual != int(crc):
+                raise DataChecksumError(
+                    f"{path}: chunk {ci} column {col.name!r} segment CRC32 "
+                    f"mismatch — stored {int(crc):#010x}, computed {actual:#010x}"
+                )
+            raw = get_codec(codec_name).decode(
+                enc, col.itemsize, count * col.nbytes
+            )
+            _column_scatter(out, start, count, col, raw)
+    return out
+
+
+def scan_columnar_segments(
+    raw: bytes, chunks: tuple, dtype: np.dtype
+) -> list[tuple[int, str, str]]:
+    """CRC-verify every column segment of a v4 file image.
+
+    Returns one ``(chunk, column-name, detail)`` triple per failing segment
+    (bad extent or CRC32 mismatch) — empty when the stored payload is
+    intact.  Unlike :func:`decode_columnar_payload` this keeps going after
+    a failure, so a scrub can pinpoint *all* damaged segments in one pass.
+    """
+    cols = columnar_columns(dtype)
+    bad: list[tuple[int, str, str]] = []
+    for ci, chunk in enumerate(chunks):
+        if len(chunk) < 6 or len(chunk[5]) != len(cols):
+            bad.append(
+                (
+                    ci,
+                    "*",
+                    f"chunk {ci} lacks segment descriptors for "
+                    f"{len(cols)} columns",
+                )
+            )
+            continue
+        for col, (off, ln, crc) in zip(cols, chunk[5]):
+            off, ln = int(off), int(ln)
+            seg = raw[HEADER_BYTES + off : HEADER_BYTES + off + ln]
+            if len(seg) != ln:
+                bad.append(
+                    (
+                        ci,
+                        col.name,
+                        f"chunk {ci} column {col.name!r} segment "
+                        f"[{off}, {off + ln}) exceeds the file",
+                    )
+                )
+                continue
+            actual = zlib.crc32(seg)
+            if actual != int(crc):
+                bad.append(
+                    (
+                        ci,
+                        col.name,
+                        f"chunk {ci} column {col.name!r} segment CRC32 "
+                        f"mismatch — stored {int(crc):#010x}, "
+                        f"computed {actual:#010x}",
+                    )
+                )
+    return bad
+
+
+def _read_columnar_image(
+    raw: bytes, path: str, dtype: np.dtype, count: int
+) -> ParticleBatch:
+    """Decode a complete v4 file image (the read_data_file slow path)."""
+    trailer = extract_recovery_trailer(raw, path)
+    if count and not trailer.chunks:
+        raise DataFileError(
+            f"{path}: columnar file trailer carries no chunk index"
+        )
+    enc_len = columnar_payload_length(trailer.chunks) if trailer.chunks else 0
+    expected = HEADER_BYTES + enc_len + FOOTER_BYTES
+    if len(raw) < expected:
+        raise DataFileError(
+            f"{path}: expected {expected} bytes for {count} particles, "
+            f"found {len(raw)}"
+        )
+    verify_data_footer(raw[:expected], path)
+    arr = decode_columnar_payload(
+        raw[HEADER_BYTES : HEADER_BYTES + enc_len],
+        trailer.chunks,
+        trailer.codec or "none",
+        dtype,
+        path,
+    )
+    if len(arr) != count:
+        raise DataFileError(
+            f"{path}: chunk index covers {len(arr)} particles, "
+            f"header says {count}"
+        )
+    return ParticleBatch(arr)
+
+
+def read_columnar_runs_into(
+    backend: FileBackend,
+    path: str,
+    dtype: np.dtype,
+    index,
+    runs,
+    out: np.ndarray,
+    actor: int = -1,
+    strict: bool = True,
+    skipped: list | None = None,
+) -> int:
+    """Projected scatter-gather read of a columnar (v4) file.
+
+    The v4 counterpart of :func:`read_particle_runs_into`: ``runs`` are
+    chunk-aligned ``(start, count)`` particle runs, ``index`` the file's
+    :class:`~repro.format.chunks.FileChunkIndex` carrying segment
+    descriptors and the codec name, and ``out`` a structured destination
+    whose fields select which columns are fetched (*attribute projection* —
+    only the segments of fields present in ``out.dtype`` are read at all).
+    ``dtype`` is the file's full logical dtype (the header guard).
+
+    Header plus every needed segment arrive in one :meth:`FileBackend.readv`
+    (a single open); each segment is CRC32-verified and decoded here, in the
+    caller's thread — the reader submits this function as an executor task,
+    which is what moves decode work off the submitting thread.
+
+    With ``strict=False`` a segment that fails its CRC (or decode) drops
+    only its *chunk*: surviving chunks pack to the front of ``out`` and the
+    damaged ones are appended to ``skipped`` as ``(chunk, column, detail)``.
+    Returns the number of particles delivered.
+    """
+    if skipped is not None:
+        skipped.clear()
+    if index.segments is None or index.codec is None:
+        raise DataFileError(f"{path}: chunk index carries no column segments")
+    codec = get_codec(index.codec)
+    cols = columnar_columns(dtype)
+    fields = {col.field for col in cols}
+    names = out.dtype.names or ()
+    for name in names:
+        if name not in fields:
+            raise DataFileError(
+                f"{path}: projected field {name!r} is not in the file dtype"
+            )
+    need = [j for j, col in enumerate(cols) if col.field in names]
+    starts, counts = index.starts, index.counts
+    sel: list[int] = []
+    for rstart, rcount in runs:
+        rstart, rcount = int(rstart), int(rcount)
+        if rcount <= 0:
+            continue
+        i = int(np.searchsorted(starts, rstart))
+        at = rstart
+        while at < rstart + rcount:
+            if i >= len(starts) or int(starts[i]) != at:
+                raise DataFileError(
+                    f"{path}: run [{rstart}, {rstart + rcount}) is not "
+                    "aligned to chunk boundaries"
+                )
+            sel.append(i)
+            at += int(counts[i])
+            i += 1
+        if at != rstart + rcount:
+            raise DataFileError(
+                f"{path}: run [{rstart}, {rstart + rcount}) is not "
+                "aligned to chunk boundaries"
+            )
+    expected = sum(int(counts[i]) for i in sel)
+    if expected != len(out):
+        raise DataFileError(
+            f"{path}: runs cover {expected} particles, destination holds "
+            f"{len(out)}"
+        )
+    header = bytearray(HEADER_BYTES)
+    segments: list = [(0, header)]
+    bufs: dict[tuple[int, int], bytearray] = {}
+    for ci in sel:
+        segs = index.segments[ci]
+        if len(segs) != len(cols):
+            raise DataFileError(
+                f"{path}: chunk {ci} has {len(segs)} segments for "
+                f"{len(cols)} columns"
+            )
+        for j in need:
+            off, ln, _crc = segs[j]
+            buf = bytearray(int(ln))
+            bufs[(ci, j)] = buf
+            segments.append((HEADER_BYTES + int(off), buf))
+    backend.readv(path, segments, actor=actor)
+    version, total = _parse_header(bytes(header), path, dtype)
+    if version < DATA_VERSION_COLUMNAR:
+        raise DataFileError(
+            f"{path}: expected a columnar (v4) file, found version {version}"
+        )
+    if total != index.total_particles:
+        raise DataFileError(
+            f"{path}: chunk index covers {index.total_particles} particles, "
+            f"header says {total}"
+        )
+    pos = 0
+    for ci in sel:
+        count = int(counts[ci])
+        segs = index.segments[ci]
+        decoded: dict[int, bytes] = {}
+        bad: tuple[str, str] | None = None
+        for j in need:
+            col = cols[j]
+            off, ln, crc = segs[j]
+            enc = bytes(bufs[(ci, j)])
+            actual = zlib.crc32(enc)
+            if actual != int(crc):
+                detail = (
+                    f"chunk {ci} column {col.name!r} segment CRC32 mismatch "
+                    f"— stored {int(crc):#010x}, computed {actual:#010x}"
+                )
+                if strict:
+                    raise DataChecksumError(f"{path}: {detail}")
+                bad = (col.name, detail)
+                break
+            try:
+                decoded[j] = codec.decode(enc, col.itemsize, count * col.nbytes)
+            except DataFileError as exc:
+                if strict:
+                    raise
+                bad = (col.name, f"chunk {ci} column {col.name!r}: {exc}")
+                break
+        if bad is not None:
+            if skipped is not None:
+                skipped.append((ci, bad[0], bad[1]))
+            continue
+        for j in need:
+            _column_scatter(out, pos, count, cols[j], decoded[j])
+        pos += count
+    return pos
 
 
 # -- prefix checksums ----------------------------------------------------------

@@ -111,6 +111,7 @@ def trailer_for_record(
     payload_crc32: int,
     prefixes: list,
     chunks: list = (),
+    codec: str | None = None,
 ) -> RecoveryTrailer:
     """Build the recovery trailer describing ``rec``'s data file.
 
@@ -138,6 +139,7 @@ def trailer_for_record(
         prefixes=tuple((int(c), int(crc)) for c, crc in prefixes),
         chunks=chunks_from_entry(chunks),
         gen=rec.gen,
+        codec=codec,
     )
 
 

@@ -342,13 +342,20 @@ class FaultInjectingBackend(FileBackend):
             flips = self._check_read(path)
         total = self.inner.readv(path, segs, actor=actor)
         if flips:
+            # Flip inside the *data* segments: segment 0 of every
+            # scatter-gather read is the fixed-size header, and a header
+            # flip fails fast at parse time instead of exercising the
+            # per-segment checksum isolation the format promises.  With
+            # encoded columnar extents this lands the flip in compressed
+            # segment bytes.
+            targets = segs[1:] if len(segs) > 1 else segs
             blob = bytearray()
-            for _off, out in segs:
+            for _off, out in targets:
                 blob += out
             with self._lock:
                 blob = bytearray(self._apply_flips(path, bytes(blob), flips))
             pos = 0
-            for _off, out in segs:
+            for _off, out in targets:
                 out[:] = blob[pos : pos + len(out)]
                 pos += len(out)
         return total

@@ -129,6 +129,7 @@ EV_GIVEUP = "io.giveup"
 EV_FAULT = "io.fault"
 EV_PARTITION_READ = "read.partition"
 EV_PARTITION_SKIPPED = "read.skip"
+EV_CHUNK_SKIPPED = "read.chunk_skip"
 EV_PREFIX_VERIFIED = "read.prefix_verified"
 EV_REPAIR_ACTION = "repair.action"
 EV_GENERATION_COMMIT = "generation.commit"
