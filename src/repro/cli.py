@@ -1,6 +1,6 @@
 """Command-line utilities over spio datasets.
 
-Eight subcommands, mirroring what a user pokes at day to day::
+Nine subcommands, mirroring what a user pokes at day to day::
 
     python -m repro.cli info <dataset-dir>
         Manifest, LOD parameters, per-file table.
@@ -30,6 +30,13 @@ Eight subcommands, mirroring what a user pokes at day to day::
         consolidated chunk-indexed ones as a new generation, then drop
         generations beyond the retention window (``--keep``, default 2).
         Readers pinned to a retained generation are unaffected.
+
+    python -m repro.cli serve <dataset-dir> --clients 4 --queries 8 ...
+        Closed-loop serving demo: start a QueryService over the dataset,
+        drive N client threads issuing seeded random box queries through
+        the admission/batching pipeline, and print throughput, latency
+        percentiles, batch widths, and backend ops saved by cross-query
+        staging.  Exits 0 after a clean shutdown.
 
     python -m repro.cli estimate --machine Theta --procs 262144 ...
         Performance-model estimate for a write at HPC scale.
@@ -244,6 +251,87 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    import numpy as np
+
+    from repro.dataset import Dataset
+    from repro.domain.box import Box
+    from repro.errors import AdmissionError
+    from repro.io.executor import executor_for
+    from repro.serve import ClientQuota, QueryService
+
+    ds = Dataset.open(
+        args.dataset,
+        strict=not args.degraded,
+        executor=executor_for(args.workers),
+        cache_bytes=int(args.cache_mb * 2**20),
+    )
+    domain = ds.domain()
+    lo = np.asarray(domain.lo, dtype=np.float64)
+    hi = np.asarray(domain.hi, dtype=np.float64)
+    span = hi - lo
+
+    results: dict[str, int] = {"queries": 0, "particles": 0, "rejected": 0}
+    results_lock = threading.Lock()
+
+    def client_loop(service: QueryService, name: str, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        done = 0
+        while done < args.queries:
+            blo = lo + rng.uniform(0.0, 0.6, lo.shape) * span
+            bhi = np.minimum(blo + rng.uniform(0.2, 0.5, lo.shape) * span, hi)
+            try:
+                result = service.query(Box(blo, bhi), client=name)
+            except AdmissionError:
+                with results_lock:
+                    results["rejected"] += 1
+                continue
+            done += 1
+            with results_lock:
+                results["queries"] += 1
+                results["particles"] += len(result.batch)
+
+    quota = ClientQuota(
+        max_inflight=args.max_inflight if args.max_inflight > 0 else None
+    )
+    with QueryService(
+        ds,
+        max_workers=args.workers,
+        batch_window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        quota=quota,
+    ) as service:
+        threads = [
+            threading.Thread(
+                target=client_loop,
+                args=(service, f"client-{i}", args.seed + i),
+                name=f"serve-client-{i}",
+            )
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = service.stats()
+    print(f"dataset         : {args.dataset}")
+    print(f"clients         : {args.clients} x {args.queries} queries")
+    print(f"queries served  : {results['queries']}")
+    print(f"particles       : {results['particles']}")
+    print(f"rejections      : {results['rejected']} (admission retried)")
+    print(f"batches         : {stats['batches']} "
+          f"(mean width {stats['mean_batch_width']:.2f})")
+    print(f"staged files    : {stats['staged_files']}")
+    print(f"backend ops saved: {stats['ops_saved']}")
+    print(f"p50 latency     : {stats['p50_latency_s'] * 1e3:.2f} ms")
+    print(f"p99 latency     : {stats['p99_latency_s'] * 1e3:.2f} ms")
+    for client, nbytes in sorted(stats["client_bytes"].items()):
+        print(f"bytes[{client}] : {format_bytes(nbytes)}")
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.perf import MACHINES, simulate_baseline_write, simulate_write
 
@@ -437,6 +525,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-gc", action="store_true",
                    help="skip the retention pass; old generations stay")
     p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser(
+        "serve",
+        help="closed-loop multi-client serving demo over a dataset",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads (default 4)")
+    p.add_argument("--queries", type=int, default=8,
+                   help="queries issued per client (default 8)")
+    p.add_argument("--window-ms", type=float, default=5.0,
+                   help="batching window in milliseconds (default 5)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max queries coalesced per batch (default 16)")
+    p.add_argument("--max-inflight", type=int, default=0,
+                   help="per-client inflight quota (0 = unlimited)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="service worker threads (default 4)")
+    p.add_argument("--cache-mb", type=float, default=0.0,
+                   help="shared block-cache budget in MiB (0 disables)")
+    p.add_argument("--degraded", action="store_true",
+                   help="serve degraded reads (skip damaged partitions)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed for the clients' query streams")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("estimate", help="performance-model write estimate")
     p.add_argument("--machine", default="Theta")

@@ -1,11 +1,16 @@
-"""Metadata-driven parallel reads (paper §4).
+"""Metadata-driven parallel reads (paper §4) — the reader facade.
 
-Reads are planned, then executed:
+Planning and execution live in :mod:`repro.query.engine`; this module
+keeps the historic :class:`SpatialReader` surface as a thin adapter over
+the dataset's shared :class:`~repro.query.engine.QueryEngine`.  Reads are
+planned, then executed:
 
-* **planning** intersects the query box with the spatial metadata table and
-  computes, per matching file, how many particles to read (all of them, or
-  an LOD prefix for multi-resolution access).  A :class:`ReadPlan` is a
-  plain description — tests and the performance models consume it directly.
+* **planning** intersects the query box with the spatial metadata table
+  and computes, per matching file, how many particles to read (all of
+  them, or an LOD prefix for multi-resolution access).  The result is a
+  first-class :class:`~repro.query.engine.QueryPlan` (re-exported here
+  under its historic name ``ReadPlan``) — tests, the performance models,
+  and the serving layer's cross-query batch planner consume it directly.
 * **execution** issues the ranged reads against the backend and
   (optionally) filters the decoded particles exactly to the query box.
 
@@ -18,221 +23,48 @@ The three read styles of the paper's evaluation are all here:
 * ``read_assigned`` — full-dataset strong-scaling reads, where ``nreaders``
   processes split the file list (Fig. 7's per-process file counts).
 
-Fault tolerance: per-file reads go through a
-:class:`~repro.io.retry.RetryPolicy` (transient backend faults absorbed
-with deterministic backoff), and a reader constructed with ``strict=False``
-*degrades* instead of raising — corrupt or missing partitions are skipped,
-and :attr:`SpatialReader.last_report` (a :class:`ReadReport`) records
-exactly which partitions were read, which were skipped and why, and how
-many retries were spent.  Strict mode (the default) raises on the first
-unrecoverable error, as before.
-
-Instrumentation: every reader owns an obs
-:class:`~repro.obs.recorder.Recorder`.  Plan execution records a
-``file_io`` span plus per-partition events (read / skipped / prefix
-verified), and the retry policy deposits retry events into the same
-recorder — :class:`ReadReport` is *derived* from that event stream
-(:meth:`ReadReport.from_events`), not maintained as parallel state.
-
-Concurrency: per-file plan entries are independent, so execution routes
-through the dataset's :class:`~repro.io.executor.IoExecutor`.  The
-default :class:`~repro.io.executor.SerialExecutor` reproduces the
-historic inline loop; a :class:`~repro.io.executor.ThreadedExecutor`
-overlaps the per-file reads (POSIX I/O and CRC verification release the
-GIL).  Each entry runs against a child recorder that is merged back in
-plan order, so the event stream — and therefore ``ReadReport`` and any
-exported trace — is bit-identical whichever executor ran the plan.
+Fault tolerance, instrumentation, and concurrency semantics are the
+engine's (see :mod:`repro.query.engine`): per-file reads go through the
+dataset's :class:`~repro.io.retry.RetryPolicy`, a reader constructed with
+``strict=False`` degrades instead of raising, and
+:attr:`SpatialReader.last_report` (a
+:class:`~repro.query.engine.ReadReport`) records exactly which partitions
+were read, which were skipped and why, and how many retries were spent —
+derived from the recorder's event stream, never maintained as parallel
+state.  Unlike the stateless engine, the reader keeps ``last_report`` as
+mutable convenience state, which is why a multi-tenant service uses the
+engine directly and readers stay single-caller.
 """
 
 from __future__ import annotations
-
-import zlib
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.dataset import Dataset
 from repro.domain.box import Box
-from repro.errors import (
-    BackendError,
-    DataChecksumError,
-    FormatError,
-    QueryError,
-    TransientBackendError,
-)
-from repro.format.datafile import (
-    read_columnar_runs_into,
-    read_data_file_into,
-    read_data_prefix_into,
-    read_particle_runs_into,
-)
 from repro.format.metadata import MetadataRecord
 from repro.io.backend import FileBackend
 from repro.io.retry import RetryPolicy
-from repro.obs.names import (
-    EV_CHUNK_SKIPPED,
-    EV_PARTITION_READ,
-    EV_PARTITION_SKIPPED,
-    EV_PREFIX_VERIFIED,
-    EV_RETRY,
-    PHASE_FILE_IO,
-)
-from repro.obs.recorder import Event, Recorder
+from repro.obs.recorder import Recorder
 from repro.particles.batch import ParticleBatch
+from repro.query.engine import (
+    QueryPlan,
+    ReadPlan,
+    ReadReport,
+    SkippedPartition,
+    _skip_reason,
+)
 
+__all__ = [
+    "ReadPlan",
+    "QueryPlan",
+    "ReadReport",
+    "SkippedPartition",
+    "SpatialReader",
+]
 
-@dataclass
-class ReadPlan:
-    """A fully resolved read: which files, how many particles from each."""
-
-    #: (metadata record, particles to read from the file's head).
-    entries: list[tuple[MetadataRecord, int]] = field(default_factory=list)
-    #: the query box (None for full-dataset reads).
-    box: Box | None = None
-    #: LOD ceiling used when planning (None = full resolution).
-    max_level: int | None = None
-    #: Sub-file pruning: entry position -> coalesced ``(start, count)``
-    #: particle runs selected by the file's chunk index.  Only recorded when
-    #: pruning actually shrinks the read; applied by :meth:`execute` for
-    #: exact box queries (a pruned read is a superset of the box but a
-    #: subset of the file, so it is only equivalent after the exact filter).
-    chunk_runs: dict[int, tuple[tuple[int, int], ...]] = field(
-        default_factory=dict
-    )
-    #: Attribute projection: extra field names to materialise alongside
-    #: ``position`` (None = all fields).  Columnar (v4) files fetch only
-    #: the projected columns' segments; row files read whole records and
-    #: copy the projected fields out.
-    attrs: tuple[str, ...] | None = None
-    #: Predicate pushdown: scalar attribute -> closed ``(lo, hi)`` value
-    #: range.  Pruned against per-file and per-chunk attr min/max at plan
-    #: time; re-applied exactly (post-filter) at execution, so results
-    #: equal post-hoc filtering by construction.
-    where: dict[str, tuple[float, float]] = field(default_factory=dict)
-
-    @property
-    def num_files(self) -> int:
-        return sum(1 for _rec, n in self.entries if n > 0)
-
-    @property
-    def total_particles(self) -> int:
-        return sum(n for _rec, n in self.entries)
-
-    @property
-    def pruned_particles(self) -> int:
-        """Particles an exact chunk-pruned execution actually reads."""
-        total = 0
-        for i, (_rec, n) in enumerate(self.entries):
-            runs = self.chunk_runs.get(i)
-            total += sum(c for _s, c in runs) if runs is not None else n
-        return total
-
-    def bytes_to_read(self, particle_bytes: int) -> int:
-        return self.pruned_particles * particle_bytes
-
-    def result_dtype(self, full_dtype: np.dtype) -> np.dtype:
-        """The structured dtype execution materialises for this plan.
-
-        ``position`` is always present (the exact box filter needs it);
-        ``where`` attributes are implicitly projected (the exact value
-        filter needs them); field order follows the file dtype.
-        """
-        if self.attrs is None:
-            return full_dtype
-        keep = {"position", *self.attrs, *self.where}
-        fields: list[tuple] = []
-        for name in full_dtype.names or ():
-            if name not in keep:
-                continue
-            sub = full_dtype.fields[name][0]  # type: ignore[index]
-            if sub.shape:
-                fields.append((name, sub.base, sub.shape))
-            else:
-                fields.append((name, sub.base))
-        return np.dtype(fields)
-
-
-@dataclass(frozen=True)
-class SkippedPartition:
-    """One partition a degraded read could not deliver."""
-
-    path: str
-    box_id: int
-    reason: str      # "missing" | "transient-exhausted" | "checksum" | "corrupt"
-    error: str       # the stringified underlying exception
-
-
-@dataclass
-class ReadReport:
-    """What one plan execution actually did — the degraded-read ledger.
-
-    Built from the reader's recorder events (:meth:`from_events`), so the
-    report and an exported trace can never disagree.
-    """
-
-    partitions_read: int = 0
-    particles_read: int = 0
-    skipped: list[SkippedPartition] = field(default_factory=list)
-    retries: int = 0
-    #: prefix reads verified against the manifest's per-LOD checksums.
-    prefixes_verified: int = 0
-    #: columnar chunks dropped at segment granularity by a degraded read
-    #: (the partition itself still delivered its surviving chunks).
-    chunks_skipped: int = 0
-
-    @classmethod
-    def from_events(cls, events: list[Event]) -> "ReadReport":
-        """Derive the ledger from one execution window of recorder events."""
-        report = cls()
-        for ev in events:
-            if ev.name == EV_PARTITION_READ:
-                report.partitions_read += 1
-                report.particles_read += int(ev.args["particles"])  # type: ignore[call-overload]
-            elif ev.name == EV_PARTITION_SKIPPED:
-                report.skipped.append(
-                    SkippedPartition(
-                        path=str(ev.args["path"]),
-                        box_id=int(ev.args["box_id"]),  # type: ignore[call-overload]
-                        reason=str(ev.args["reason"]),
-                        error=str(ev.args["error"]),
-                    )
-                )
-            elif ev.name == EV_PREFIX_VERIFIED:
-                report.prefixes_verified += 1
-            elif ev.name == EV_CHUNK_SKIPPED:
-                report.chunks_skipped += 1
-            elif ev.name == EV_RETRY:
-                report.retries += 1
-        return report
-
-    @property
-    def complete(self) -> bool:
-        return not self.skipped and not self.chunks_skipped
-
-    @property
-    def partitions_skipped(self) -> int:
-        return len(self.skipped)
-
-    def skipped_boxes(self) -> list[int]:
-        return [s.box_id for s in self.skipped]
-
-    def merge(self, other: "ReadReport") -> None:
-        self.partitions_read += other.partitions_read
-        self.particles_read += other.particles_read
-        self.skipped.extend(other.skipped)
-        self.retries += other.retries
-        self.prefixes_verified += other.prefixes_verified
-        self.chunks_skipped += other.chunks_skipped
-
-
-def _skip_reason(exc: Exception) -> str:
-    if isinstance(exc, DataChecksumError):
-        return "checksum"
-    if isinstance(exc, TransientBackendError):
-        return "transient-exhausted"
-    if isinstance(exc, BackendError):
-        return "missing"
-    return "corrupt"
+# Re-exported for importers of the historic module layout.
+_ = _skip_reason
 
 
 class SpatialReader:
@@ -249,6 +81,10 @@ class SpatialReader:
     :attr:`last_report` says what is missing.  Transient backend faults are
     retried under ``retry`` in both modes.  Per-file plan entries execute
     on the dataset's :class:`~repro.io.executor.IoExecutor`.
+
+    All planning and execution delegates to the dataset's shared
+    :class:`~repro.query.engine.QueryEngine`; the reader adds only the
+    convenience state (``last_report``) and the historic method names.
     """
 
     def __init__(
@@ -273,6 +109,8 @@ class SpatialReader:
             )
         #: the facade owning the open/validate lifecycle and policy bundle.
         self.dataset = dataset.load()
+        #: the shared stateless engine every consumer of this facade uses.
+        self.engine = dataset.engine()
         self.backend = dataset.backend
         self.actor = dataset.actor
         self.strict = dataset.strict
@@ -302,82 +140,19 @@ class SpatialReader:
     def domain(self) -> Box:
         return self.metadata.domain()
 
-    # -- planning ----------------------------------------------------------------
+    # -- planning (delegated to the engine) ------------------------------------
 
     def _prefix_for(
         self, records: list[MetadataRecord], max_level: int | None, nreaders: int
     ) -> list[int]:
-        """Per-file particle counts honouring an optional LOD ceiling.
-
-        LOD prefix lengths are computed against the *whole dataset's* file
-        counts (levels are a global notion), then restricted to the files
-        the query actually touches.
-        """
-        if max_level is None:
-            return [rec.particle_count for rec in records]
-        if max_level < 0:
-            raise QueryError(f"max_level must be >= 0, got {max_level}")
-        # Both tables are pure functions of the loaded metadata, memoized on
-        # the facade so repeated plans share one computation.
-        prefixes = self.dataset.lod_prefix_table(max_level, nreaders)
-        # Index by box_id (unique per table — validated on load), so plans
-        # built from copied or sliced record lists still resolve; an
-        # identity (id()) index silently KeyErrors on equal-but-distinct
-        # record objects.
-        index = self.dataset.box_id_index()
-        out = []
-        for rec in records:
-            i = index.get(rec.box_id)
-            if i is None:
-                raise QueryError(
-                    f"record box_id {rec.box_id} is not in this dataset's "
-                    "spatial metadata table"
-                )
-            out.append(prefixes[i])
-        return out
+        return self.engine._prefix_for(records, max_level, nreaders)
 
     def _normalize_projection(
         self,
         attrs: tuple[str, ...] | list[str] | None,
         where: dict[str, tuple[float, float]] | None,
     ) -> tuple[tuple[str, ...] | None, dict[str, tuple[float, float]]]:
-        """Validate and canonicalise ``attrs`` / ``where`` query arguments.
-
-        ``attrs`` come back deduplicated in file-dtype field order;
-        ``where`` bounds come back as closed float intervals.  Both are
-        checked against the dataset dtype up front so a typo'd attribute
-        fails at plan time, not deep inside execution.
-        """
-        names = self.dtype.names or ()
-        attrs_norm: tuple[str, ...] | None = None
-        if attrs is not None:
-            requested = set(attrs)
-            unknown = requested - set(names)
-            if unknown:
-                raise QueryError(
-                    f"unknown projection attribute(s) {sorted(unknown)!r}; "
-                    f"dataset fields are {list(names)!r}"
-                )
-            attrs_norm = tuple(n for n in names if n != "position" and n in requested)
-        where_norm: dict[str, tuple[float, float]] = {}
-        for name, bounds in (where or {}).items():
-            if name not in names:
-                raise QueryError(
-                    f"unknown where attribute {name!r}; "
-                    f"dataset fields are {list(names)!r}"
-                )
-            sub = self.dtype.fields[name][0]  # type: ignore[index]
-            if sub.shape:
-                raise QueryError(
-                    f"where attribute {name!r} is not scalar (shape {sub.shape})"
-                )
-            lo, hi = float(bounds[0]), float(bounds[1])
-            if not lo <= hi:
-                raise QueryError(
-                    f"where range for {name!r} is empty: lo {lo} > hi {hi}"
-                )
-            where_norm[name] = (lo, hi)
-        return attrs_norm, where_norm
+        return self.engine._normalize_projection(attrs, where)
 
     def plan_box_read(
         self,
@@ -387,357 +162,43 @@ class SpatialReader:
         attrs: tuple[str, ...] | list[str] | None = None,
         where: dict[str, tuple[float, float]] | None = None,
     ) -> ReadPlan:
-        """Plan a spatial query: metadata pruning + optional LOD prefixes.
-
-        Files carrying a chunk index are pruned further: only the coalesced
-        runs of chunks whose tight bounds intersect ``box`` are planned
-        (recorded in :attr:`ReadPlan.chunk_runs` when that is fewer
-        particles than the whole file).  LOD-prefix entries are exempt — a
-        prefix read must be the contiguous head of the file.
-
-        ``attrs`` projects the result to ``position`` plus the named fields
-        (columnar files then skip the other columns' bytes entirely).
-        ``where`` maps scalar attribute names to closed ``(lo, hi)`` value
-        ranges; files and chunks whose recorded min/max for an indexed
-        attribute miss the range are pruned before any I/O, and the exact
-        value filter is re-applied to whatever is read, so the result
-        equals post-hoc filtering regardless of indexing.
-        """
-        attrs_norm, where_norm = self._normalize_projection(attrs, where)
-        records = self.metadata.files_intersecting(box)
-        if where_norm:
-            records = [
-                rec
-                for rec in records
-                if all(
-                    rec.attr_ranges.get(name) is None
-                    or (
-                        rec.attr_ranges[name][0] <= hi
-                        and lo <= rec.attr_ranges[name][1]
-                    )
-                    for name, (lo, hi) in where_norm.items()
-                )
-            ]
-        counts = self._prefix_for(records, max_level, nreaders)
-        plan = ReadPlan(
-            list(zip(records, counts)),
-            box=box,
-            max_level=max_level,
-            attrs=attrs_norm,
-            where=where_norm,
+        """Plan a spatial query; see :meth:`repro.query.engine.QueryEngine.plan_box`."""
+        return self.engine.plan_box(
+            box, max_level=max_level, nreaders=nreaders, attrs=attrs, where=where
         )
-        for i, (rec, count) in enumerate(plan.entries):
-            if count == 0 or count != rec.particle_count:
-                continue
-            index = self.dataset.chunk_index(rec)
-            if index is None:
-                continue
-            runs = index.select_runs(box, where=where_norm)
-            if sum(c for _s, c in runs) < count:
-                plan.chunk_runs[i] = runs
-        return plan
 
     def plan_full_read(
         self, max_level: int | None = None, nreaders: int = 1
     ) -> ReadPlan:
-        records = list(self.metadata.records)
-        counts = self._prefix_for(records, max_level, nreaders)
-        return ReadPlan(list(zip(records, counts)), box=None, max_level=max_level)
+        return self.engine.plan_full(max_level=max_level, nreaders=nreaders)
 
     def assign_files(self, nreaders: int, reader_rank: int) -> list[MetadataRecord]:
-        """Contiguous file assignment for an ``nreaders``-way parallel read.
-
-        File i goes to reader ``i * nreaders // num_files``-ish; we use the
-        balanced contiguous split so each reader touches a spatially
-        coherent run of files (metadata records are written in partition
-        order, which is a spatial order).
-        """
-        if not 0 <= reader_rank < nreaders:
-            raise QueryError(f"reader rank {reader_rank} out of range ({nreaders})")
-        n = len(self.metadata)
-        lo = reader_rank * n // nreaders
-        hi = (reader_rank + 1) * n // nreaders
-        return self.metadata.records[lo:hi]
+        """Contiguous file assignment for an ``nreaders``-way parallel read."""
+        return self.engine.assign_files(nreaders, reader_rank)
 
     # -- execution --------------------------------------------------------------
-
-    def _read_entry_into(
-        self,
-        rec: MetadataRecord,
-        count: int,
-        runs: tuple[tuple[int, int], ...] | None,
-        dest: np.ndarray,
-        recorder: Recorder | None = None,
-    ) -> int:
-        """Read one plan entry directly into its slice of the result.
-
-        ``dest`` is the entry's preallocated destination (sized to ``count``
-        particles, or to the run total when ``runs`` prunes the file); the
-        whole multi-op read runs under one retry call so a transient fault
-        costs exactly one retry, as on the legacy one-op path.  ``recorder``
-        is the entry's child recorder when run on an executor; retry and
-        verification events land there and are merged back in plan order by
-        :meth:`execute`.  Returns the particles delivered.
-
-        ``dest`` may carry a *projected* dtype (a field subset of the file
-        dtype).  Columnar (v4) files then fetch only the projected columns'
-        segments; row files read whole records into a scratch buffer and
-        copy the projected fields out.  Columnar files are detected by the
-        chunk index carrying a codec and always route through
-        :func:`read_columnar_runs_into` — in non-strict mode that read can
-        *degrade at chunk granularity*: surviving chunks are packed at the
-        head of ``dest``, each lost chunk is logged as an
-        ``EV_CHUNK_SKIPPED`` event, and the packed count is returned.
-        """
-        recorder = recorder if recorder is not None else self.recorder
-        if runs is not None and not runs:
-            return 0  # file intersects the box, but no chunk does
-        index = self.dataset.chunk_index(rec)
-        if index is not None and index.codec is not None:
-            # Columnar file: runs and whole-file reads are chunk-aligned by
-            # construction.  LOD prefix counts are apportioned globally and
-            # can land mid-chunk, so a prefix read rounds up to the covering
-            # chunk boundary, decodes into a scratch, and trims.
-            prefix = runs is None and count < rec.particle_count
-            if prefix:
-                if count == 0:
-                    return 0
-                ends = np.asarray(index.starts) + np.asarray(index.counts)
-                pos = int(np.searchsorted(ends, count, side="left"))
-                aligned = int(ends[min(pos, len(ends) - 1)])
-                eff_runs: tuple[tuple[int, int], ...] = ((0, aligned),)
-                target = np.empty(aligned, dtype=dest.dtype)
-            else:
-                eff_runs = runs if runs is not None else ((0, count),)
-                target = dest
-            skipped: list[tuple[int, str, str]] = []
-            got = self.retry.call(
-                read_columnar_runs_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                index,
-                eff_runs,
-                target,
-                actor=self.actor,
-                strict=self.strict,
-                skipped=skipped,
-                recorder=recorder,
-            )
-            if prefix:
-                got = min(count, got)
-                dest[:got] = target[:got]
-            for ci, column, error in skipped:
-                recorder.event(
-                    EV_CHUNK_SKIPPED,
-                    path=rec.file_path,
-                    box_id=rec.box_id,
-                    chunk=ci,
-                    column=column,
-                    error=error,
-                )
-            if (
-                runs is None
-                and count < rec.particle_count
-                and not skipped
-                and dest.dtype == self.dtype
-            ):
-                self._verify_prefix(rec.file_path, dest, recorder)
-            return got
-        projected = dest.dtype != self.dtype
-        scratch = np.empty(len(dest), dtype=self.dtype) if projected else dest
-        if runs is not None:
-            got = self.retry.call(
-                read_particle_runs_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                runs,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-        elif count == rec.particle_count:
-            got = self.retry.call(
-                read_data_file_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-        else:
-            self.retry.call(
-                read_data_prefix_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-            self._verify_prefix(rec.file_path, scratch, recorder)
-            got = count
-        if projected:
-            for name in dest.dtype.names or ():
-                dest[name] = scratch[name]
-        return got
-
-    def _verify_prefix(
-        self, path: str, data, recorder: Recorder | None = None
-    ) -> None:
-        """Check a prefix read against the manifest's per-LOD checksums.
-
-        Ranged reads never see the v2 file footer, so this is the only
-        integrity check they get.  Verification happens when the read count
-        lands exactly on a recorded LOD boundary (checksums are prefix CRCs
-        — they cannot verify arbitrary lengths).  ``data`` is the decoded
-        particle array (or a :class:`ParticleBatch`); the CRC streams over
-        its contiguous byte view, so no copy of the payload is made.
-        """
-        recorder = recorder if recorder is not None else self.recorder
-        entry = self.manifest.checksums.get(path)
-        if not entry:
-            return
-        arr = data.data if isinstance(data, ParticleBatch) else data
-        for rec_count, rec_crc in entry.get("prefixes", ()):
-            if rec_count == len(arr):
-                actual = zlib.crc32(np.ascontiguousarray(arr).view(np.uint8))
-                if actual != int(rec_crc):
-                    raise DataChecksumError(
-                        f"{path}: prefix of {len(arr)} particles has "
-                        f"CRC32 {actual:#010x}, manifest records "
-                        f"{int(rec_crc):#010x}"
-                    )
-                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(arr))
-                return
 
     def execute(self, plan: ReadPlan, exact: bool = False) -> ParticleBatch:
         """Run a plan.  ``exact=True`` filters particles to the plan's box.
 
-        Execution is zero-copy scatter-gather: one result array is
-        preallocated from the plan's totals and every per-file read lands
-        directly in its slice via the backend's ``readinto`` — no per-file
-        allocation and no concatenate copy on the complete-read path.
-        Chunk-pruned runs (:attr:`ReadPlan.chunk_runs`) are honoured only
-        for exact box reads; a non-exact read must deliver whole files.
-
-        Per-file entries are independent, so they run on the dataset's
-        :class:`~repro.io.executor.IoExecutor` (fail-fast in strict
-        mode).  Outcomes are consumed in plan order and each entry's
-        child recorder is merged back before its partition event is
-        emitted, so batches, :attr:`last_report`, and the recorder's
-        event stream are identical whichever executor ran the plan.
-
-        Strict readers raise on the first (in plan order) unrecoverable
-        error; non-strict readers skip the partition and log it in
-        :attr:`last_report`.
+        Delegates to :meth:`repro.query.engine.QueryEngine.run` with this
+        reader's policy bundle, then stows the delivery ledger in
+        :attr:`last_report`.  On a strict-mode raise the report is still
+        derived from whatever events the aborted execution recorded, so a
+        caller catching the error can see how far the read got.
         """
-        use_runs = exact and plan.box is not None
-        entries: list[tuple[MetadataRecord, int]] = []
-        runs_for: list[tuple[tuple[int, int], ...] | None] = []
-        for i, (rec, count) in enumerate(plan.entries):
-            if count <= 0:
-                continue
-            entries.append((rec, count))
-            runs_for.append(plan.chunk_runs.get(i) if use_runs else None)
-        expected = [
-            sum(c for _s, c in runs) if runs is not None else count
-            for (_rec, count), runs in zip(entries, runs_for)
-        ]
-        offsets = [0] * len(entries)
-        pos = 0
-        for i, n in enumerate(expected):
-            offsets[i] = pos
-            pos += n
-        out = np.empty(pos, dtype=plan.result_dtype(self.dtype))
-        #: particles delivered per entry (None = skipped / not run).
-        delivered: list[int | None] = [None] * len(entries)
         mark = self.recorder.event_mark()
         try:
-            with self.recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
-                tasks = [
-                    (
-                        lambda r, rec=rec, count=count, runs=runs, dest=dest:
-                        self._read_entry_into(rec, count, runs, dest, r)
-                    )
-                    for (rec, count), runs, dest in zip(
-                        entries,
-                        runs_for,
-                        (
-                            out[offsets[i] : offsets[i] + expected[i]]
-                            for i in range(len(entries))
-                        ),
-                    )
-                ]
-                outcomes = self.executor.run(
-                    tasks, self.recorder, fail_fast=self.strict
-                )
-                for i, ((rec, _count), outcome) in enumerate(
-                    zip(entries, outcomes)
-                ):
-                    if not outcome.ran:
-                        break  # fail-fast cut the tail; the error already raised
-                    if outcome.recorder is not None:
-                        self.recorder.merge(outcome.recorder)
-                    if outcome.error is not None:
-                        exc = outcome.error
-                        if self.strict or not isinstance(
-                            exc, (BackendError, FormatError)
-                        ):
-                            raise exc
-                        self.recorder.event(
-                            EV_PARTITION_SKIPPED,
-                            path=rec.file_path,
-                            box_id=rec.box_id,
-                            reason=_skip_reason(exc),
-                            error=str(exc),
-                        )
-                        continue
-                    delivered[i] = int(outcome.value)
-                    self.recorder.event(
-                        EV_PARTITION_READ,
-                        path=rec.file_path,
-                        box_id=rec.box_id,
-                        particles=delivered[i],
-                    )
-        finally:
+            result = self.engine.run(
+                plan, exact, recorder=self.recorder, strict=self.strict
+            )
+        except Exception:
             self.last_report = ReadReport.from_events(
                 self.recorder.events_since(mark)
             )
-        if all(
-            d is not None and d == e for d, e in zip(delivered, expected)
-        ):
-            result = out  # every slice filled: the preallocation IS the result
-        else:
-            # A chunk-degraded columnar read can deliver *fewer* particles
-            # than its slice (survivors packed at the slice head), so any
-            # short delivery also routes through the compacting branch.
-            kept = [
-                out[offsets[i] : offsets[i] + d]
-                for i, d in enumerate(delivered)
-                if d is not None
-            ]
-            result = (
-                np.concatenate(kept)
-                if kept
-                else np.empty(0, dtype=out.dtype)
-            )
-        if exact and plan.box is not None and len(result):
-            batch = ParticleBatch(result)
-            mask = plan.box.contains_points(batch.positions, closed=True)
-            result = batch.data[mask]
-        if plan.where and len(result):
-            # Exact predicate re-application: chunk/file pruning only
-            # discards provably-disjoint data, so filtering here makes the
-            # pushdown result equal post-hoc filtering by construction.
-            mask = np.ones(len(result), dtype=bool)
-            for name, (lo, hi) in plan.where.items():
-                vals = result[name].astype(np.float64, copy=False)
-                mask &= (vals >= lo) & (vals <= hi)
-            result = result[mask]
-        return ParticleBatch(result)
+            raise
+        self.last_report = result.report
+        return result.batch
 
     # -- the three read styles ------------------------------------------------------
 
@@ -761,10 +222,9 @@ class SpatialReader:
         max_level: int | None = None,
     ) -> ParticleBatch:
         """This reader's share of a full parallel read (Fig. 7 style)."""
-        records = self.assign_files(nreaders, reader_rank)
-        counts = self._prefix_for(records, max_level, nreaders)
-        plan = ReadPlan(list(zip(records, counts)), max_level=max_level)
-        return self.execute(plan)
+        return self.execute(
+            self.engine.plan_assigned(nreaders, reader_rank, max_level=max_level)
+        )
 
     def read_box_without_metadata(self, box: Box) -> ParticleBatch:
         """The degraded path: no spatial table, so read *everything* and filter.

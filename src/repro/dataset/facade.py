@@ -42,6 +42,7 @@ next access re-resolves and observes new commits.
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING
 
 from repro.format.generations import ResolvedGeneration, resolve_generation
@@ -57,6 +58,7 @@ if TYPE_CHECKING:  # circular at runtime: core imports repro.dataset
     from repro.core.reader import SpatialReader
     from repro.core.repair import RepairReport
     from repro.core.scrub import ScrubReport
+    from repro.query.engine import QueryEngine
 
 __all__ = ["Dataset", "open_dataset", "as_dataset"]
 
@@ -107,6 +109,13 @@ class Dataset:
         self.executor = executor if executor is not None else SerialExecutor()
         #: Explicit generation pin (snapshot reads); None = follow CURRENT.
         self._pin_generation = generation
+        # One facade is shared by every reader/engine/service client, so all
+        # lazy state below — generation resolution, manifest/metadata load,
+        # planning memos — is guarded by one reentrant lock.  Reentrant
+        # because the memoized pieces compose (load() resolves, planning
+        # tables read the loaded metadata) and per-piece locks would either
+        # deadlock or leave observable half-initialised windows.
+        self._memo_lock = threading.RLock()
         self._resolved: ResolvedGeneration | None = None
         self._manifest: Manifest | None = None
         self._metadata: SpatialMetadata | None = None
@@ -114,6 +123,7 @@ class Dataset:
         self._lod_tables: dict[tuple[int, int], list[int]] = {}
         self._box_index: dict[int, int] | None = None
         self._chunk_indexes: dict[str, object] = {}
+        self._engine: "QueryEngine | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -133,19 +143,20 @@ class Dataset:
         event); a dataset with neither pointer nor chain is the classic
         generation-0 layout.
         """
-        if self._resolved is None:
-            resolved = resolve_generation(
-                self.backend, pin=self._pin_generation, actor=self.actor
-            )
-            if resolved.fallback:
-                self.recorder.add(GEN_FALLBACKS)
-                self.recorder.event(
-                    EV_CURRENT_FALLBACK,
-                    generation=resolved.generation,
-                    detail=resolved.detail,
+        with self._memo_lock:
+            if self._resolved is None:
+                resolved = resolve_generation(
+                    self.backend, pin=self._pin_generation, actor=self.actor
                 )
-            self._resolved = resolved
-        return self._resolved
+                if resolved.fallback:
+                    self.recorder.add(GEN_FALLBACKS)
+                    self.recorder.event(
+                        EV_CURRENT_FALLBACK,
+                        generation=resolved.generation,
+                        detail=resolved.detail,
+                    )
+                self._resolved = resolved
+            return self._resolved
 
     def load(self) -> "Dataset":
         """Read + validate manifest and spatial metadata (idempotent).
@@ -156,15 +167,16 @@ class Dataset:
         inside the format layer and surfaces as
         :class:`~repro.errors.FormatError` subclasses.
         """
-        if self._manifest is None or self._metadata is None:
-            with self.recorder.span(PHASE_METADATA, cat="read"):
-                resolved = self.resolution()
-                self._manifest = Manifest.read(
-                    self.backend, resolved.manifest_path, actor=self.actor
-                )
-                self._metadata = SpatialMetadata.read(
-                    self.backend, resolved.meta_path, actor=self.actor
-                )
+        with self._memo_lock:
+            if self._manifest is None or self._metadata is None:
+                with self.recorder.span(PHASE_METADATA, cat="read"):
+                    resolved = self.resolution()
+                    self._manifest = Manifest.read(
+                        self.backend, resolved.manifest_path, actor=self.actor
+                    )
+                    self._metadata = SpatialMetadata.read(
+                        self.backend, resolved.meta_path, actor=self.actor
+                    )
         return self
 
     @property
@@ -274,27 +286,29 @@ class Dataset:
         """Per-file particle counts for levels ``0..max_level`` split over
         ``nreaders`` (memoized :func:`repro.core.lod.lod_prefix_counts`)."""
         key = (int(max_level), int(nreaders))
-        table = self._lod_tables.get(key)
-        if table is None:
-            import repro.core.lod as lod
+        with self._memo_lock:
+            table = self._lod_tables.get(key)
+            if table is None:
+                import repro.core.lod as lod
 
-            table = lod.lod_prefix_counts(
-                [r.particle_count for r in self.metadata.records],
-                nreaders,
-                max_level,
-                base=self.manifest.lod_base,
-                scale=self.manifest.lod_scale,
-            )
-            self._lod_tables[key] = table
-        return table
+                table = lod.lod_prefix_counts(
+                    [r.particle_count for r in self.metadata.records],
+                    nreaders,
+                    max_level,
+                    base=self.manifest.lod_base,
+                    scale=self.manifest.lod_scale,
+                )
+                self._lod_tables[key] = table
+            return table
 
     def box_id_index(self) -> dict[int, int]:
         """``box_id -> position`` over the metadata table (memoized)."""
-        if self._box_index is None:
-            self._box_index = {
-                r.box_id: i for i, r in enumerate(self.metadata.records)
-            }
-        return self._box_index
+        with self._memo_lock:
+            if self._box_index is None:
+                self._box_index = {
+                    r.box_id: i for i, r in enumerate(self.metadata.records)
+                }
+            return self._box_index
 
     def chunk_index(self, rec) -> "object | None":
         """The validated :class:`~repro.format.chunks.FileChunkIndex` for
@@ -306,26 +320,27 @@ class Dataset:
         damaged index to the scrubber.  Memoized per file path.
         """
         path = rec.file_path
-        if path not in self._chunk_indexes:
-            from repro.errors import FormatError
-            from repro.format.chunks import FileChunkIndex
+        with self._memo_lock:
+            if path not in self._chunk_indexes:
+                from repro.errors import FormatError
+                from repro.format.chunks import FileChunkIndex
 
-            centry = self.manifest.checksums.get(path, {})
-            chunks = centry.get("chunks")
-            index = None
-            if chunks:
-                try:
-                    index = FileChunkIndex.from_entry(
-                        chunks,
-                        rec.particle_count,
-                        path=path,
-                        codec=centry.get("codec"),
-                        attr_names=tuple(self.metadata.attr_names),
-                    )
-                except FormatError:
-                    index = None
-            self._chunk_indexes[path] = index
-        return self._chunk_indexes[path]
+                centry = self.manifest.checksums.get(path, {})
+                chunks = centry.get("chunks")
+                index = None
+                if chunks:
+                    try:
+                        index = FileChunkIndex.from_entry(
+                            chunks,
+                            rec.particle_count,
+                            path=path,
+                            codec=centry.get("codec"),
+                            attr_names=tuple(self.metadata.attr_names),
+                        )
+                    except FormatError:
+                        index = None
+                self._chunk_indexes[path] = index
+            return self._chunk_indexes[path]
 
     # -- consumers -----------------------------------------------------------
 
@@ -334,6 +349,22 @@ class Dataset:
         from repro.core.reader import SpatialReader
 
         return SpatialReader(self)
+
+    def engine(self) -> "QueryEngine":
+        """The shared stateless :class:`~repro.query.engine.QueryEngine`.
+
+        Memoized: every reader, series step, CLI command, and serving-layer
+        client executing against this facade shares one engine (the engine
+        holds no per-query state, so sharing is free and keeps the planning
+        memos hot).  Survives :meth:`invalidate_cache` — the engine proxies
+        the facade, so it observes re-resolved state automatically.
+        """
+        with self._memo_lock:
+            if self._engine is None:
+                from repro.query.engine import QueryEngine
+
+                self._engine = QueryEngine(self)
+            return self._engine
 
     def scrub(self) -> "ScrubReport":
         """Verify every on-disk invariant (per-file work on the executor)."""
@@ -358,12 +389,13 @@ class Dataset:
         re-resolves and observes the newly committed state.  Called
         automatically after :meth:`repair` executes any action; harmless
         otherwise."""
-        self._resolved = None
-        self._manifest = None
-        self._metadata = None
-        self._lod_tables = {}
-        self._box_index = None
-        self._chunk_indexes = {}
+        with self._memo_lock:
+            self._resolved = None
+            self._manifest = None
+            self._metadata = None
+            self._lod_tables = {}
+            self._box_index = None
+            self._chunk_indexes = {}
         return self
 
     def is_complete(self) -> bool:

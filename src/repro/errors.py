@@ -94,6 +94,24 @@ class TransientBackendError(BackendError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The serving layer failed, was misconfigured, or was used after close."""
+
+
+class AdmissionError(ServiceError):
+    """A query was refused admission by the serving layer.
+
+    Carries the rejection ``reason`` the service counted under the
+    ``server.rejected`` counter: the service is closed, the pending queue
+    is full, or the client exhausted an inflight/byte quota.  Admission
+    control sheds load at the door — an admitted query is always run.
+    """
+
+    def __init__(self, reason: str, detail: str):
+        self.reason = reason
+        super().__init__(detail)
+
+
 class IncompleteDatasetError(ReproError, RuntimeError):
     """A dataset is missing its commit marker or parts of its payload.
 

@@ -19,6 +19,11 @@ Design points:
 * **Write/delete invalidation.**  Mutating a path drops every cached range
   of that path before the write reaches the base backend, so the cache can
   never serve stale bytes (repair rewrites files under live facades).
+  Invalidation also bumps a per-path *epoch*; a read snapshots the epoch
+  before touching the base backend and its result is only stored if the
+  epoch is unchanged, so a write that interleaves with an in-flight read
+  can never get pre-write bytes re-cached behind it (the concurrent
+  serving layer reads while repair/compaction writes).
 * **Observable.**  With a recorder attached, ``cache.hit`` / ``cache.miss``
   counters accumulate per path and ``cache.evict`` counts discarded
   entries; the plain ``hits``/``misses``/``evictions`` attributes work
@@ -52,6 +57,7 @@ class CachingBackend(FileBackend):
         self.max_bytes = int(max_bytes)
         self._lock = threading.Lock()
         self._entries: OrderedDict[_Key, bytes] = OrderedDict()
+        self._epochs: dict[str, int] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -75,11 +81,20 @@ class CachingBackend(FileBackend):
             self.recorder.add(CACHE_HIT, 1, key=(path,))
         return data
 
-    def _store(self, key: _Key, path: str, data: bytes) -> None:
+    def _epoch(self, path: str) -> int:
+        """Snapshot the path's invalidation epoch before a base-backend read."""
+        with self._lock:
+            return self._epochs.get(path, 0)
+
+    def _store(self, key: _Key, path: str, data: bytes, epoch: int) -> None:
         evicted: list[_Key] = []
         with self._lock:
             self.misses += 1
-            if len(data) <= self.max_bytes and key not in self._entries:
+            if (
+                self._epochs.get(path, 0) == epoch
+                and len(data) <= self.max_bytes
+                and key not in self._entries
+            ):
                 self._entries[key] = data
                 self._bytes += len(data)
                 while self._bytes > self.max_bytes:
@@ -94,6 +109,7 @@ class CachingBackend(FileBackend):
 
     def _invalidate(self, path: str) -> None:
         with self._lock:
+            self._epochs[path] = self._epochs.get(path, 0) + 1
             stale = [k for k in self._entries if k[1] == path]
             for key in stale:
                 self._bytes -= len(self._entries.pop(key))
@@ -116,8 +132,9 @@ class CachingBackend(FileBackend):
         data = self._lookup(key, path)
         if data is not None:
             return data
+        epoch = self._epoch(path)
         data = self.base.read_file(path, actor=actor)
-        self._store(key, path, data)
+        self._store(key, path, data, epoch)
         return data
 
     def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
@@ -126,8 +143,9 @@ class CachingBackend(FileBackend):
         data = self._lookup(key, path)
         if data is not None:
             return data
+        epoch = self._epoch(path)
         data = self.base.read_range(path, offset, length, actor=actor)
-        self._store(key, path, data)
+        self._store(key, path, data, epoch)
         return data
 
     def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
@@ -159,9 +177,12 @@ class CachingBackend(FileBackend):
             else:
                 missing.append((int(offset), out))
         if missing:
+            epoch = self._epoch(path)
             total += self.base.readv(path, missing, actor=actor)
             for offset, out in missing:
-                self._store(("range", path, offset, len(out)), path, bytes(out))
+                self._store(
+                    ("range", path, offset, len(out)), path, bytes(out), epoch
+                )
         return total
 
     # -- mutations (invalidate, then forward) --------------------------------

@@ -39,10 +39,23 @@ already-started tasks still complete, and unstarted ones come back with
 ``ran=False``.  Callers that fail fast must therefore stop consuming
 outcomes at the first error, which both executors guarantee to place at
 the same (earliest failing) index.
+
+Concurrent submitters (the serving layer): one :class:`ThreadedExecutor`
+is shared by every query of a multi-tenant service, so :meth:`run` is
+fully reentrant across *threads* — each call keeps its own bounded
+window and outcome slots over one shared, lazily created worker pool.
+Sharing the pool is what bounds total thread count; per-call state is
+what keeps callers isolated: a poisoned task fails only its own call's
+outcome, never a sibling's window (each window tracks only its own
+futures, and a worker that captured one call's failure moves straight on
+to whatever task — anyone's — is queued next).  Calls from *inside* a
+worker thread (nested per-file fan-out) run inline serially instead of
+submitting, so recursion can never deadlock the pool waiting on itself.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -112,6 +125,13 @@ class IoExecutor(ABC):
         merged stream is executor-independent.
         """
 
+    def shutdown(self) -> None:
+        """Release any pooled resources (idempotent; no-op by default).
+
+        An executor stays usable after shutdown — the next :meth:`run`
+        recreates what it needs.
+        """
+
 
 class SerialExecutor(IoExecutor):
     """Tasks run inline, one at a time, on the calling thread."""
@@ -139,13 +159,19 @@ class SerialExecutor(IoExecutor):
 
 
 class ThreadedExecutor(IoExecutor):
-    """A thread pool with a bounded submission window.
+    """A shared thread pool with a per-call bounded submission window.
 
-    ``max_workers`` threads execute tasks; at most ``max_inflight``
-    (default ``2 * max_workers``) tasks are submitted at once, so plans of
-    any length run in constant executor memory.  One pool is created per
-    :meth:`run` call — executors hold no threads between runs and are
-    safe to share across readers.
+    ``max_workers`` threads execute tasks; each :meth:`run` call submits
+    at most ``max_inflight`` (default ``2 * max_workers``) tasks at once,
+    so plans of any length run in constant executor memory.  The pool is
+    created lazily on first use and **persists across runs** — concurrent
+    :meth:`run` calls (many queries of a serving layer) share the same
+    ``max_workers`` threads instead of spawning a pool each, which bounds
+    total thread count no matter how many callers are in flight.  All
+    per-call state (window, outcome slots, fail-fast flag) is local to
+    the call: one caller's failed task never wedges or fails a sibling
+    caller's window.  :meth:`shutdown` joins the pool; the next run
+    recreates it.
     """
 
     def __init__(self, max_workers: int = 4, max_inflight: int | None = None):
@@ -160,6 +186,30 @@ class ThreadedExecutor(IoExecutor):
                 f"max_inflight ({self.max_inflight}) must be >= max_workers "
                 f"({self.max_workers})"
             )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Reentrancy marker: set while a pool worker is executing one of
+        # our tasks, so a nested run() from inside a task degrades to an
+        # inline serial loop instead of deadlocking the pool on itself.
+        self._in_worker = threading.local()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-io",
+                )
+            return self._pool
+
+    def _run_in_worker(
+        self, index: int, task: IoTask, parent: Recorder
+    ) -> TaskOutcome:
+        self._in_worker.active = True
+        try:
+            return _run_one(index, task, parent)
+        finally:
+            self._in_worker.active = False
 
     def run(
         self,
@@ -170,20 +220,29 @@ class ThreadedExecutor(IoExecutor):
         tasks = list(tasks)
         if not tasks:
             return []
+        if getattr(self._in_worker, "active", False):
+            # Called from one of our own worker threads: submitting would
+            # wait on a pool slot this very thread occupies.  Inline serial
+            # execution preserves the contract (same outcomes, same child-
+            # recorder discipline) without consuming a second slot.
+            return SerialExecutor().run(tasks, recorder, fail_fast)
+        pool = self._ensure_pool()
         outcomes: list[TaskOutcome] = [
             TaskOutcome(i, ran=False) for i in range(len(tasks))
         ]
         failed = False
         next_index = 0
         pending: dict[Future[TaskOutcome], int] = {}
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+        try:
             while True:
                 while (
                     next_index < len(tasks)
                     and len(pending) < self.max_inflight
                     and not (fail_fast and failed)
                 ):
-                    future = pool.submit(_run_one, next_index, tasks[next_index], recorder)
+                    future = pool.submit(
+                        self._run_in_worker, next_index, tasks[next_index], recorder
+                    )
                     pending[future] = next_index
                     next_index += 1
                 if not pending:
@@ -195,7 +254,26 @@ class ThreadedExecutor(IoExecutor):
                     outcomes[outcome.index] = outcome
                     if outcome.error is not None:
                         failed = True
+        finally:
+            # Never leave this call's futures running loose on the shared
+            # pool (a BaseException — e.g. KeyboardInterrupt — in the loop
+            # above must not let orphaned tasks race a sibling caller).
+            if pending:
+                for future in pending:
+                    future.cancel()
+                done, _ = wait(set(pending))
+                for future in done:
+                    if future.cancelled():
+                        continue
+                    outcome = future.result()
+                    outcomes[outcome.index] = outcome
         return outcomes
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return (

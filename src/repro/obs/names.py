@@ -114,6 +114,29 @@ CACHE_HIT = "cache.hit"
 CACHE_MISS = "cache.miss"
 CACHE_EVICT = "cache.evict"
 
+# -- serving layer (spans / counters; see repro.serve) ----------------------
+
+#: One dispatched batch of admitted queries (span; args: width, queue_depth).
+SPAN_SERVER_BATCH = "server.batch"
+
+#: Queries admitted, keyed by (client,).
+SERVER_QUERIES = "server.queries"
+#: Admission rejections, keyed by (reason,): "closed", "queue-full",
+#: "client-inflight", "client-bytes", "unknown-dataset".
+SERVER_REJECTED = "server.rejected"
+#: Batches dispatched, keyed by ().
+SERVER_BATCHES = "server.batches"
+#: Sum of batch widths, keyed by () (divide by SERVER_BATCHES for the mean).
+SERVER_BATCH_WIDTH = "server.batch_width"
+#: Sum of queue depths sampled at each dispatch, keyed by ().
+SERVER_QUEUE_DEPTH = "server.queue_depth"
+#: Result bytes delivered, keyed by (client,).
+SERVER_CLIENT_BYTES = "server.client_bytes"
+#: Backend read ops avoided by cross-query staging, keyed by ().
+SERVER_OPS_SAVED = "server.ops_saved"
+#: Files pre-read once for multiple queries by the batch planner, keyed by ().
+SERVER_STAGED_FILES = "server.staged_files"
+
 # -- retry / fault counters -------------------------------------------------
 
 IO_ATTEMPTS = "io.attempts"
@@ -134,3 +157,4 @@ EV_PREFIX_VERIFIED = "read.prefix_verified"
 EV_REPAIR_ACTION = "repair.action"
 EV_GENERATION_COMMIT = "generation.commit"
 EV_CURRENT_FALLBACK = "generation.fallback"
+EV_SERVER_REJECT = "server.reject"

@@ -1,0 +1,948 @@
+"""The extracted query engine: first-class plans, shared execution.
+
+Planning and execution used to live inside
+:class:`~repro.core.reader.SpatialReader`; this module lifts them into a
+reusable engine so every read-side consumer — the reader facade, series
+reads, the CLI, and the multi-tenant :mod:`repro.serve` layer — consumes
+the *same* plan objects instead of re-deriving state:
+
+* :class:`QueryPlan` is a plain, first-class value: which files, how many
+  particles from each, the coalesced per-file chunk runs, the attribute
+  projection, the predicate pushdown, and the **generation pin** the plan
+  was built against.  Plans are inert data — tests, the performance
+  models, and the cross-query batch planner all consume them directly.
+* :class:`QueryEngine` is stateless per query: planning reads the
+  dataset's memoized tables (LOD prefix apportionment, box-id index,
+  chunk indexes), and :meth:`QueryEngine.run` executes a plan against an
+  explicit recorder, returning a :class:`QueryResult` (batch + report +
+  plan).  Nothing is stored on the engine between calls, so one engine
+  can serve many concurrent queries over one shared :class:`Dataset`.
+
+Cross-query batching hooks in through :class:`StagedReads`: a batch
+planner (see :mod:`repro.serve.batch`) merges the chunk runs of many
+in-flight plans per file, performs one coalesced ``readv`` pass, and
+parks the decoded particles here; execution then *scatters* each query's
+slices out of the staged buffers instead of touching the backend.  The
+staged copy is taken from the same decode path a direct read would run,
+so batched results are bit-identical to serial execution by construction.
+
+Generation pinning: plans record the generation the dataset resolved at
+plan time.  Executing a plan against a facade that has since re-resolved
+to a different generation raises — a plan is only meaningful against the
+snapshot it was planned on (MVCC discipline, same as the facade's own
+pinning).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.domain.box import Box
+from repro.errors import (
+    BackendError,
+    DataChecksumError,
+    FormatError,
+    QueryError,
+    TransientBackendError,
+)
+from repro.format.datafile import (
+    read_columnar_runs_into,
+    read_data_file_into,
+    read_data_prefix_into,
+    read_particle_runs_into,
+)
+from repro.format.metadata import MetadataRecord
+from repro.obs.names import (
+    EV_CHUNK_SKIPPED,
+    EV_PARTITION_READ,
+    EV_PARTITION_SKIPPED,
+    EV_PREFIX_VERIFIED,
+    EV_RETRY,
+    PHASE_FILE_IO,
+)
+from repro.obs.recorder import Event, Recorder
+from repro.particles.batch import ParticleBatch
+
+__all__ = [
+    "QueryPlan",
+    "ReadPlan",
+    "SkippedPartition",
+    "ReadReport",
+    "QueryResult",
+    "StagedReads",
+    "QueryEngine",
+]
+
+
+@dataclass
+class QueryPlan:
+    """A fully resolved read: which files, how many particles from each."""
+
+    #: (metadata record, particles to read from the file's head).
+    entries: list[tuple[MetadataRecord, int]] = field(default_factory=list)
+    #: the query box (None for full-dataset reads).
+    box: Box | None = None
+    #: LOD ceiling used when planning (None = full resolution).
+    max_level: int | None = None
+    #: Sub-file pruning: entry position -> coalesced ``(start, count)``
+    #: particle runs selected by the file's chunk index.  Only recorded when
+    #: pruning actually shrinks the read; applied by :meth:`QueryEngine.run`
+    #: for exact box queries (a pruned read is a superset of the box but a
+    #: subset of the file, so it is only equivalent after the exact filter).
+    chunk_runs: dict[int, tuple[tuple[int, int], ...]] = field(
+        default_factory=dict
+    )
+    #: Attribute projection: extra field names to materialise alongside
+    #: ``position`` (None = all fields).  Columnar (v4) files fetch only
+    #: the projected columns' segments; row files read whole records and
+    #: copy the projected fields out.
+    attrs: tuple[str, ...] | None = None
+    #: Predicate pushdown: scalar attribute -> closed ``(lo, hi)`` value
+    #: range.  Pruned against per-file and per-chunk attr min/max at plan
+    #: time; re-applied exactly (post-filter) at execution, so results
+    #: equal post-hoc filtering by construction.
+    where: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: The dataset generation this plan was resolved against (None for
+    #: hand-built plans).  Execution refuses a plan whose pin disagrees
+    #: with the facade's current resolution — a plan only describes the
+    #: snapshot it was planned on.
+    generation: int | None = None
+
+    @property
+    def num_files(self) -> int:
+        return sum(1 for _rec, n in self.entries if n > 0)
+
+    @property
+    def total_particles(self) -> int:
+        return sum(n for _rec, n in self.entries)
+
+    @property
+    def pruned_particles(self) -> int:
+        """Particles an exact chunk-pruned execution actually reads."""
+        total = 0
+        for i, (_rec, n) in enumerate(self.entries):
+            runs = self.chunk_runs.get(i)
+            total += sum(c for _s, c in runs) if runs is not None else n
+        return total
+
+    def bytes_to_read(self, particle_bytes: int) -> int:
+        return self.pruned_particles * particle_bytes
+
+    def result_dtype(self, full_dtype: np.dtype) -> np.dtype:
+        """The structured dtype execution materialises for this plan.
+
+        ``position`` is always present (the exact box filter needs it);
+        ``where`` attributes are implicitly projected (the exact value
+        filter needs them); field order follows the file dtype.
+        """
+        if self.attrs is None:
+            return full_dtype
+        keep = {"position", *self.attrs, *self.where}
+        fields: list[tuple] = []
+        for name in full_dtype.names or ():
+            if name not in keep:
+                continue
+            sub = full_dtype.fields[name][0]  # type: ignore[index]
+            if sub.shape:
+                fields.append((name, sub.base, sub.shape))
+            else:
+                fields.append((name, sub.base))
+        return np.dtype(fields)
+
+
+#: Historic name — the plan predates its extraction into the engine.
+ReadPlan = QueryPlan
+
+
+@dataclass(frozen=True)
+class SkippedPartition:
+    """One partition a degraded read could not deliver."""
+
+    path: str
+    box_id: int
+    reason: str      # "missing" | "transient-exhausted" | "checksum" | "corrupt"
+    error: str       # the stringified underlying exception
+
+
+@dataclass
+class ReadReport:
+    """What one plan execution actually did — the degraded-read ledger.
+
+    Built from the execution recorder's events (:meth:`from_events`), so
+    the report and an exported trace can never disagree.
+    """
+
+    partitions_read: int = 0
+    particles_read: int = 0
+    skipped: list[SkippedPartition] = field(default_factory=list)
+    retries: int = 0
+    #: prefix reads verified against the manifest's per-LOD checksums.
+    prefixes_verified: int = 0
+    #: columnar chunks dropped at segment granularity by a degraded read
+    #: (the partition itself still delivered its surviving chunks).
+    chunks_skipped: int = 0
+
+    @classmethod
+    def from_events(cls, events: list[Event]) -> "ReadReport":
+        """Derive the ledger from one execution window of recorder events."""
+        report = cls()
+        for ev in events:
+            if ev.name == EV_PARTITION_READ:
+                report.partitions_read += 1
+                report.particles_read += int(ev.args["particles"])  # type: ignore[call-overload]
+            elif ev.name == EV_PARTITION_SKIPPED:
+                report.skipped.append(
+                    SkippedPartition(
+                        path=str(ev.args["path"]),
+                        box_id=int(ev.args["box_id"]),  # type: ignore[call-overload]
+                        reason=str(ev.args["reason"]),
+                        error=str(ev.args["error"]),
+                    )
+                )
+            elif ev.name == EV_PREFIX_VERIFIED:
+                report.prefixes_verified += 1
+            elif ev.name == EV_CHUNK_SKIPPED:
+                report.chunks_skipped += 1
+            elif ev.name == EV_RETRY:
+                report.retries += 1
+        return report
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped and not self.chunks_skipped
+
+    @property
+    def partitions_skipped(self) -> int:
+        return len(self.skipped)
+
+    def skipped_boxes(self) -> list[int]:
+        return [s.box_id for s in self.skipped]
+
+    def merge(self, other: "ReadReport") -> None:
+        self.partitions_read += other.partitions_read
+        self.particles_read += other.particles_read
+        self.skipped.extend(other.skipped)
+        self.retries += other.retries
+        self.prefixes_verified += other.prefixes_verified
+        self.chunks_skipped += other.chunks_skipped
+
+    def equivalent(self, other: "ReadReport") -> bool:
+        """Delivery-equivalence: same partitions, particles, and losses.
+
+        Retry counts are excluded — a batched execution may absorb a
+        transient fault once for many queries where serial execution
+        would retry per query, without changing what was delivered.
+        """
+        return (
+            self.partitions_read == other.partitions_read
+            and self.particles_read == other.particles_read
+            and self.prefixes_verified == other.prefixes_verified
+            and self.chunks_skipped == other.chunks_skipped
+            and sorted((s.path, s.box_id, s.reason) for s in self.skipped)
+            == sorted((s.path, s.box_id, s.reason) for s in other.skipped)
+        )
+
+
+@dataclass
+class QueryResult:
+    """One executed plan: the particles plus the delivery ledger."""
+
+    batch: ParticleBatch
+    report: ReadReport
+    plan: QueryPlan
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+def _skip_reason(exc: Exception) -> str:
+    if isinstance(exc, DataChecksumError):
+        return "checksum"
+    if isinstance(exc, TransientBackendError):
+        return "transient-exhausted"
+    if isinstance(exc, BackendError):
+        return "missing"
+    return "corrupt"
+
+
+@dataclass
+class _StagedFile:
+    """One file's pre-read, decoded particles (merged across queries)."""
+
+    #: merged ascending, non-overlapping ``(start, count)`` particle runs.
+    runs: tuple[tuple[int, int], ...]
+    #: run start positions (for bisection) and buffer offsets per run.
+    starts: tuple[int, ...]
+    offsets: tuple[int, ...]
+    #: decoded particles of every merged run, in run order.  The dtype is
+    #: the union of every demanding query's result dtype (full dtype for
+    #: row files), so any one query's fields are a subset.
+    buf: np.ndarray
+
+
+class StagedReads:
+    """Decoded per-file buffers a batch planner pre-read for many queries.
+
+    Execution consults :meth:`fetch` before touching the backend: a hit
+    copies the entry's runs out of the staged buffer (field-by-field when
+    the query projects a dtype subset) and costs zero backend I/O.  A
+    miss — file not staged, runs not covered, fields not decoded, or an
+    LOD-prefix entry (never staged; prefix reads carry their own
+    verification) — returns ``None`` and the caller reads normally, so a
+    partially applicable stage degrades to exactly serial behaviour.
+
+    Thread-safe: one stage is shared by every query of a batch, and each
+    query's entries may themselves run on a threaded executor.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, _StagedFile] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    @property
+    def staged_files(self) -> int:
+        return len(self._files)
+
+    def stage(
+        self,
+        path: str,
+        runs: tuple[tuple[int, int], ...],
+        buf: np.ndarray,
+    ) -> None:
+        """Park ``buf`` (the decoded particles of ``runs``, in order)."""
+        offsets: list[int] = []
+        pos = 0
+        for _start, count in runs:
+            offsets.append(pos)
+            pos += count
+        if pos != len(buf):
+            raise ValueError(
+                f"{path}: staged buffer holds {len(buf)} particles, "
+                f"runs cover {pos}"
+            )
+        staged = _StagedFile(
+            runs=tuple(runs),
+            starts=tuple(s for s, _c in runs),
+            offsets=tuple(offsets),
+            buf=buf,
+        )
+        with self._lock:
+            self._files[path] = staged
+
+    def fetch(
+        self,
+        rec: MetadataRecord,
+        count: int,
+        runs: tuple[tuple[int, int], ...] | None,
+        dest: np.ndarray,
+    ) -> int | None:
+        """Copy one plan entry out of the stage, or ``None`` on a miss."""
+        staged = self._files.get(rec.file_path)
+        if staged is None:
+            self._miss()
+            return None
+        if runs is None and count < rec.particle_count:
+            # LOD prefix entry: never staged (prefix checksum verification
+            # and columnar boundary rounding belong to the direct path).
+            self._miss()
+            return None
+        want = runs if runs is not None else ((0, count),)
+        names = dest.dtype.names or ()
+        buf_names = set(staged.buf.dtype.names or ())
+        if not set(names) <= buf_names:
+            self._miss()
+            return None
+        copies: list[tuple[int, int, int]] = []
+        pos = 0
+        for start, n in want:
+            i = bisect_right(staged.starts, start) - 1
+            if i < 0:
+                self._miss()
+                return None
+            mstart, mcount = staged.runs[i]
+            if not (mstart <= start and start + n <= mstart + mcount):
+                self._miss()
+                return None
+            copies.append((pos, staged.offsets[i] + (start - mstart), n))
+            pos += n
+        if pos != len(dest):
+            self._miss()
+            return None
+        if dest.dtype == staged.buf.dtype:
+            for dpos, spos, n in copies:
+                dest[dpos : dpos + n] = staged.buf[spos : spos + n]
+        else:
+            for name in names:
+                dcol = dest[name]
+                scol = staged.buf[name]
+                for dpos, spos, n in copies:
+                    dcol[dpos : dpos + n] = scol[spos : spos + n]
+        with self._lock:
+            self.hits += 1
+        return pos
+
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"StagedReads(files={len(self._files)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+class QueryEngine:
+    """Plans and executes reads over one :class:`~repro.dataset.Dataset`.
+
+    The engine holds no per-query state: planning consults the facade's
+    memoized tables, and :meth:`run` takes the recorder to record into
+    (defaulting to the dataset's), so one engine instance — shared via
+    :meth:`repro.dataset.Dataset.engine` — safely serves concurrent
+    queries from many clients.
+    """
+
+    def __init__(self, dataset) -> None:
+        from repro.dataset import Dataset, as_dataset
+
+        self.dataset: Dataset = as_dataset(dataset)
+
+    # -- policy bundle (proxied so invalidation/re-resolution is honoured) ---
+
+    @property
+    def backend(self):
+        return self.dataset.backend
+
+    @property
+    def strict(self) -> bool:
+        return self.dataset.strict
+
+    @property
+    def retry(self):
+        return self.dataset.retry
+
+    @property
+    def executor(self):
+        return self.dataset.executor
+
+    @property
+    def recorder(self) -> Recorder:
+        return self.dataset.recorder
+
+    @property
+    def actor(self) -> int:
+        return self.dataset.actor
+
+    @property
+    def manifest(self):
+        return self.dataset.manifest
+
+    @property
+    def metadata(self):
+        return self.dataset.metadata
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.manifest.dtype
+
+    # -- planning ------------------------------------------------------------
+
+    def _prefix_for(
+        self, records: list[MetadataRecord], max_level: int | None, nreaders: int
+    ) -> list[int]:
+        """Per-file particle counts honouring an optional LOD ceiling.
+
+        LOD prefix lengths are computed against the *whole dataset's* file
+        counts (levels are a global notion), then restricted to the files
+        the query actually touches.
+        """
+        if max_level is None:
+            return [rec.particle_count for rec in records]
+        if max_level < 0:
+            raise QueryError(f"max_level must be >= 0, got {max_level}")
+        # Both tables are pure functions of the loaded metadata, memoized on
+        # the facade so repeated plans share one computation.
+        prefixes = self.dataset.lod_prefix_table(max_level, nreaders)
+        # Index by box_id (unique per table — validated on load), so plans
+        # built from copied or sliced record lists still resolve; an
+        # identity (id()) index silently KeyErrors on equal-but-distinct
+        # record objects.
+        index = self.dataset.box_id_index()
+        out = []
+        for rec in records:
+            i = index.get(rec.box_id)
+            if i is None:
+                raise QueryError(
+                    f"record box_id {rec.box_id} is not in this dataset's "
+                    "spatial metadata table"
+                )
+            out.append(prefixes[i])
+        return out
+
+    def _normalize_projection(
+        self,
+        attrs: tuple[str, ...] | list[str] | None,
+        where: dict[str, tuple[float, float]] | None,
+    ) -> tuple[tuple[str, ...] | None, dict[str, tuple[float, float]]]:
+        """Validate and canonicalise ``attrs`` / ``where`` query arguments.
+
+        ``attrs`` come back deduplicated in file-dtype field order;
+        ``where`` bounds come back as closed float intervals.  Both are
+        checked against the dataset dtype up front so a typo'd attribute
+        fails at plan time, not deep inside execution.
+        """
+        names = self.dtype.names or ()
+        attrs_norm: tuple[str, ...] | None = None
+        if attrs is not None:
+            requested = set(attrs)
+            unknown = requested - set(names)
+            if unknown:
+                raise QueryError(
+                    f"unknown projection attribute(s) {sorted(unknown)!r}; "
+                    f"dataset fields are {list(names)!r}"
+                )
+            attrs_norm = tuple(n for n in names if n != "position" and n in requested)
+        where_norm: dict[str, tuple[float, float]] = {}
+        for name, bounds in (where or {}).items():
+            if name not in names:
+                raise QueryError(
+                    f"unknown where attribute {name!r}; "
+                    f"dataset fields are {list(names)!r}"
+                )
+            sub = self.dtype.fields[name][0]  # type: ignore[index]
+            if sub.shape:
+                raise QueryError(
+                    f"where attribute {name!r} is not scalar (shape {sub.shape})"
+                )
+            lo, hi = float(bounds[0]), float(bounds[1])
+            if not lo <= hi:
+                raise QueryError(
+                    f"where range for {name!r} is empty: lo {lo} > hi {hi}"
+                )
+            where_norm[name] = (lo, hi)
+        return attrs_norm, where_norm
+
+    def plan_box(
+        self,
+        box: Box,
+        max_level: int | None = None,
+        nreaders: int = 1,
+        attrs: tuple[str, ...] | list[str] | None = None,
+        where: dict[str, tuple[float, float]] | None = None,
+    ) -> QueryPlan:
+        """Plan a spatial query: metadata pruning + optional LOD prefixes.
+
+        Files carrying a chunk index are pruned further: only the coalesced
+        runs of chunks whose tight bounds intersect ``box`` are planned
+        (recorded in :attr:`QueryPlan.chunk_runs` when that is fewer
+        particles than the whole file).  LOD-prefix entries are exempt — a
+        prefix read must be the contiguous head of the file.
+
+        ``attrs`` projects the result to ``position`` plus the named fields
+        (columnar files then skip the other columns' bytes entirely).
+        ``where`` maps scalar attribute names to closed ``(lo, hi)`` value
+        ranges; files and chunks whose recorded min/max for an indexed
+        attribute miss the range are pruned before any I/O, and the exact
+        value filter is re-applied to whatever is read, so the result
+        equals post-hoc filtering regardless of indexing.
+        """
+        attrs_norm, where_norm = self._normalize_projection(attrs, where)
+        records = self.metadata.files_intersecting(box)
+        if where_norm:
+            records = [
+                rec
+                for rec in records
+                if all(
+                    rec.attr_ranges.get(name) is None
+                    or (
+                        rec.attr_ranges[name][0] <= hi
+                        and lo <= rec.attr_ranges[name][1]
+                    )
+                    for name, (lo, hi) in where_norm.items()
+                )
+            ]
+        counts = self._prefix_for(records, max_level, nreaders)
+        plan = QueryPlan(
+            list(zip(records, counts)),
+            box=box,
+            max_level=max_level,
+            attrs=attrs_norm,
+            where=where_norm,
+            generation=self.dataset.generation,
+        )
+        for i, (rec, count) in enumerate(plan.entries):
+            if count == 0 or count != rec.particle_count:
+                continue
+            index = self.dataset.chunk_index(rec)
+            if index is None:
+                continue
+            runs = index.select_runs(box, where=where_norm)
+            if sum(c for _s, c in runs) < count:
+                plan.chunk_runs[i] = runs
+        return plan
+
+    def plan_full(
+        self, max_level: int | None = None, nreaders: int = 1
+    ) -> QueryPlan:
+        records = list(self.metadata.records)
+        counts = self._prefix_for(records, max_level, nreaders)
+        return QueryPlan(
+            list(zip(records, counts)),
+            box=None,
+            max_level=max_level,
+            generation=self.dataset.generation,
+        )
+
+    def assign_files(self, nreaders: int, reader_rank: int) -> list[MetadataRecord]:
+        """Contiguous file assignment for an ``nreaders``-way parallel read.
+
+        File i goes to reader ``i * nreaders // num_files``-ish; we use the
+        balanced contiguous split so each reader touches a spatially
+        coherent run of files (metadata records are written in partition
+        order, which is a spatial order).
+        """
+        if not 0 <= reader_rank < nreaders:
+            raise QueryError(f"reader rank {reader_rank} out of range ({nreaders})")
+        n = len(self.metadata)
+        lo = reader_rank * n // nreaders
+        hi = (reader_rank + 1) * n // nreaders
+        return self.metadata.records[lo:hi]
+
+    def plan_assigned(
+        self, nreaders: int, reader_rank: int, max_level: int | None = None
+    ) -> QueryPlan:
+        """One reader's share of a full parallel read (Fig. 7 style)."""
+        records = self.assign_files(nreaders, reader_rank)
+        counts = self._prefix_for(records, max_level, nreaders)
+        return QueryPlan(
+            list(zip(records, counts)),
+            max_level=max_level,
+            generation=self.dataset.generation,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def _read_entry_into(
+        self,
+        rec: MetadataRecord,
+        count: int,
+        runs: tuple[tuple[int, int], ...] | None,
+        dest: np.ndarray,
+        recorder: Recorder,
+        strict: bool,
+        staged: StagedReads | None = None,
+    ) -> int:
+        """Read one plan entry directly into its slice of the result.
+
+        ``dest`` is the entry's preallocated destination (sized to ``count``
+        particles, or to the run total when ``runs`` prunes the file); the
+        whole multi-op read runs under one retry call so a transient fault
+        costs exactly one retry, as on the legacy one-op path.  ``recorder``
+        is the entry's child recorder when run on an executor; retry and
+        verification events land there and are merged back in plan order by
+        :meth:`run`.  Returns the particles delivered.
+
+        ``dest`` may carry a *projected* dtype (a field subset of the file
+        dtype).  Columnar (v4) files then fetch only the projected columns'
+        segments; row files read whole records into a scratch buffer and
+        copy the projected fields out.  Columnar files are detected by the
+        chunk index carrying a codec and always route through
+        :func:`read_columnar_runs_into` — in non-strict mode that read can
+        *degrade at chunk granularity*: surviving chunks are packed at the
+        head of ``dest``, each lost chunk is logged as an
+        ``EV_CHUNK_SKIPPED`` event, and the packed count is returned.
+
+        With ``staged`` (cross-query batching), the stage is consulted
+        first: a hit scatters the decoded particles out of the shared
+        batch buffer and performs zero backend I/O.
+        """
+        if runs is not None and not runs:
+            return 0  # file intersects the box, but no chunk does
+        if staged is not None:
+            got = staged.fetch(rec, count, runs, dest)
+            if got is not None:
+                return got
+        index = self.dataset.chunk_index(rec)
+        if index is not None and index.codec is not None:
+            # Columnar file: runs and whole-file reads are chunk-aligned by
+            # construction.  LOD prefix counts are apportioned globally and
+            # can land mid-chunk, so a prefix read rounds up to the covering
+            # chunk boundary, decodes into a scratch, and trims.
+            prefix = runs is None and count < rec.particle_count
+            if prefix:
+                if count == 0:
+                    return 0
+                ends = np.asarray(index.starts) + np.asarray(index.counts)
+                pos = int(np.searchsorted(ends, count, side="left"))
+                aligned = int(ends[min(pos, len(ends) - 1)])
+                eff_runs: tuple[tuple[int, int], ...] = ((0, aligned),)
+                target = np.empty(aligned, dtype=dest.dtype)
+            else:
+                eff_runs = runs if runs is not None else ((0, count),)
+                target = dest
+            skipped: list[tuple[int, str, str]] = []
+            got = self.retry.call(
+                read_columnar_runs_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                index,
+                eff_runs,
+                target,
+                actor=self.actor,
+                strict=strict,
+                skipped=skipped,
+                recorder=recorder,
+            )
+            if prefix:
+                got = min(count, got)
+                dest[:got] = target[:got]
+            for ci, column, error in skipped:
+                recorder.event(
+                    EV_CHUNK_SKIPPED,
+                    path=rec.file_path,
+                    box_id=rec.box_id,
+                    chunk=ci,
+                    column=column,
+                    error=error,
+                )
+            if (
+                runs is None
+                and count < rec.particle_count
+                and not skipped
+                and dest.dtype == self.dtype
+            ):
+                self._verify_prefix(rec.file_path, dest, recorder)
+            return got
+        projected = dest.dtype != self.dtype
+        scratch = np.empty(len(dest), dtype=self.dtype) if projected else dest
+        if runs is not None:
+            got = self.retry.call(
+                read_particle_runs_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                runs,
+                scratch,
+                actor=self.actor,
+                recorder=recorder,
+            )
+        elif count == rec.particle_count:
+            got = self.retry.call(
+                read_data_file_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                scratch,
+                actor=self.actor,
+                recorder=recorder,
+            )
+        else:
+            self.retry.call(
+                read_data_prefix_into,
+                self.backend,
+                rec.file_path,
+                self.dtype,
+                scratch,
+                actor=self.actor,
+                recorder=recorder,
+            )
+            self._verify_prefix(rec.file_path, scratch, recorder)
+            got = count
+        if projected:
+            for name in dest.dtype.names or ():
+                dest[name] = scratch[name]
+        return got
+
+    def _verify_prefix(
+        self, path: str, data, recorder: Recorder
+    ) -> None:
+        """Check a prefix read against the manifest's per-LOD checksums.
+
+        Ranged reads never see the v2 file footer, so this is the only
+        integrity check they get.  Verification happens when the read count
+        lands exactly on a recorded LOD boundary (checksums are prefix CRCs
+        — they cannot verify arbitrary lengths).  ``data`` is the decoded
+        particle array (or a :class:`ParticleBatch`); the CRC streams over
+        its contiguous byte view, so no copy of the payload is made.
+        """
+        entry = self.manifest.checksums.get(path)
+        if not entry:
+            return
+        arr = data.data if isinstance(data, ParticleBatch) else data
+        for rec_count, rec_crc in entry.get("prefixes", ()):
+            if rec_count == len(arr):
+                actual = zlib.crc32(np.ascontiguousarray(arr).view(np.uint8))
+                if actual != int(rec_crc):
+                    raise DataChecksumError(
+                        f"{path}: prefix of {len(arr)} particles has "
+                        f"CRC32 {actual:#010x}, manifest records "
+                        f"{int(rec_crc):#010x}"
+                    )
+                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(arr))
+                return
+
+    def check_generation(self, plan: QueryPlan) -> None:
+        """Refuse a plan built against a different generation snapshot."""
+        if plan.generation is None:
+            return
+        current = self.dataset.generation
+        if plan.generation != current:
+            raise QueryError(
+                f"plan was built against generation {plan.generation}, "
+                f"dataset now reads generation {current} — re-plan against "
+                "the current snapshot"
+            )
+
+    def run(
+        self,
+        plan: QueryPlan,
+        exact: bool = False,
+        *,
+        recorder: Recorder | None = None,
+        strict: bool | None = None,
+        staged: StagedReads | None = None,
+    ) -> QueryResult:
+        """Execute a plan.  ``exact=True`` filters particles to the plan's box.
+
+        Execution is zero-copy scatter-gather: one result array is
+        preallocated from the plan's totals and every per-file read lands
+        directly in its slice via the backend's ``readinto`` — no per-file
+        allocation and no concatenate copy on the complete-read path.
+        Chunk-pruned runs (:attr:`QueryPlan.chunk_runs`) are honoured only
+        for exact box reads; a non-exact read must deliver whole files.
+
+        Per-file entries are independent, so they run on the dataset's
+        :class:`~repro.io.executor.IoExecutor` (fail-fast in strict
+        mode).  Outcomes are consumed in plan order and each entry's
+        child recorder is merged back before its partition event is
+        emitted, so batches, the :class:`ReadReport`, and the recorder's
+        event stream are identical whichever executor ran the plan.
+
+        ``recorder`` defaults to the dataset's; a service passes each
+        query its own child so concurrent queries never interleave.
+        ``staged`` supplies cross-query pre-read buffers (see
+        :class:`StagedReads`).  Strict execution raises on the first (in
+        plan order) unrecoverable error; non-strict skips the partition
+        and logs it in the returned report.
+        """
+        self.check_generation(plan)
+        recorder = recorder if recorder is not None else self.recorder
+        strict = self.strict if strict is None else strict
+        use_runs = exact and plan.box is not None
+        entries: list[tuple[MetadataRecord, int]] = []
+        runs_for: list[tuple[tuple[int, int], ...] | None] = []
+        for i, (rec, count) in enumerate(plan.entries):
+            if count <= 0:
+                continue
+            entries.append((rec, count))
+            runs_for.append(plan.chunk_runs.get(i) if use_runs else None)
+        expected = [
+            sum(c for _s, c in runs) if runs is not None else count
+            for (_rec, count), runs in zip(entries, runs_for)
+        ]
+        offsets = [0] * len(entries)
+        pos = 0
+        for i, n in enumerate(expected):
+            offsets[i] = pos
+            pos += n
+        out = np.empty(pos, dtype=plan.result_dtype(self.dtype))
+        #: particles delivered per entry (None = skipped / not run).
+        delivered: list[int | None] = [None] * len(entries)
+        mark = recorder.event_mark()
+        try:
+            with recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
+                tasks = [
+                    (
+                        lambda r, rec=rec, count=count, runs=runs, dest=dest:
+                        self._read_entry_into(
+                            rec, count, runs, dest, r, strict, staged
+                        )
+                    )
+                    for (rec, count), runs, dest in zip(
+                        entries,
+                        runs_for,
+                        (
+                            out[offsets[i] : offsets[i] + expected[i]]
+                            for i in range(len(entries))
+                        ),
+                    )
+                ]
+                outcomes = self.executor.run(
+                    tasks, recorder, fail_fast=strict
+                )
+                for i, ((rec, _count), outcome) in enumerate(
+                    zip(entries, outcomes)
+                ):
+                    if not outcome.ran:
+                        break  # fail-fast cut the tail; the error already raised
+                    if outcome.recorder is not None:
+                        recorder.merge(outcome.recorder)
+                    if outcome.error is not None:
+                        exc = outcome.error
+                        if strict or not isinstance(
+                            exc, (BackendError, FormatError)
+                        ):
+                            raise exc
+                        recorder.event(
+                            EV_PARTITION_SKIPPED,
+                            path=rec.file_path,
+                            box_id=rec.box_id,
+                            reason=_skip_reason(exc),
+                            error=str(exc),
+                        )
+                        continue
+                    delivered[i] = int(outcome.value)
+                    recorder.event(
+                        EV_PARTITION_READ,
+                        path=rec.file_path,
+                        box_id=rec.box_id,
+                        particles=delivered[i],
+                    )
+        finally:
+            report = ReadReport.from_events(recorder.events_since(mark))
+        if all(
+            d is not None and d == e for d, e in zip(delivered, expected)
+        ):
+            result = out  # every slice filled: the preallocation IS the result
+        else:
+            # A chunk-degraded columnar read can deliver *fewer* particles
+            # than its slice (survivors packed at the slice head), so any
+            # short delivery also routes through the compacting branch.
+            kept = [
+                out[offsets[i] : offsets[i] + d]
+                for i, d in enumerate(delivered)
+                if d is not None
+            ]
+            result = (
+                np.concatenate(kept)
+                if kept
+                else np.empty(0, dtype=out.dtype)
+            )
+        if exact and plan.box is not None and len(result):
+            batch = ParticleBatch(result)
+            mask = plan.box.contains_points(batch.positions, closed=True)
+            result = batch.data[mask]
+        if plan.where and len(result):
+            # Exact predicate re-application: chunk/file pruning only
+            # discards provably-disjoint data, so filtering here makes the
+            # pushdown result equal post-hoc filtering by construction.
+            mask = np.ones(len(result), dtype=bool)
+            for name, (lo, hi) in plan.where.items():
+                vals = result[name].astype(np.float64, copy=False)
+                mask &= (vals >= lo) & (vals <= hi)
+            result = result[mask]
+        return QueryResult(ParticleBatch(result), report, plan)
+
+    def __repr__(self) -> str:
+        return f"QueryEngine({self.dataset!r})"

@@ -1,0 +1,232 @@
+"""Cross-query batched planning: one coalesced read pass serves many plans.
+
+The paper's core idea is spatial aggregation — merge many small scattered
+requests into few large well-placed I/O operations.  PR 5 applied it
+*within* one query (chunk runs coalesced per file); this module lifts it
+*across* queries: the :class:`~repro.serve.service.QueryService` collects
+the :class:`~repro.query.engine.QueryPlan`\\ s that are in flight during a
+small batching window, and :func:`stage_plans` merges their per-file
+demand into one coalesced scatter-gather read per file.  Execution then
+*scatters* each query's slices back out of the shared decoded buffers
+(:meth:`repro.query.engine.StagedReads.fetch`) instead of re-reading the
+backend — N overlapping queries cost one backend pass per shared file
+instead of N.
+
+Bit-identical by construction
+-----------------------------
+
+Parity with serial execution is not checked after the fact; it falls out
+of how the stage is built:
+
+* the staged read uses the **same decode path** a direct read would
+  (``read_columnar_runs_into`` for v4, ``read_data_file_into`` /
+  ``read_particle_runs_into`` for rows), under the engine's own retry
+  policy, with ``strict=True`` — the bytes landing in the stage are the
+  bytes a serial read would have produced, or the file is not staged;
+* each query run is provably contained in exactly one merged run (a
+  merged run is a connected component of the union of intervals, and any
+  single query run is itself one interval), so a fetch is a contiguous
+  copy, never a re-decode;
+* anything not stageable — LOD-prefix entries (their checksum
+  verification belongs to the direct path), files that fail the staged
+  read, plans whose fields are missing — simply **misses** and falls back
+  to its own direct read, i.e. exactly serial behaviour.
+
+Demand rules: a file is staged only when two or more distinct queries
+want it (staging a single-reader file would just add a copy); the merged
+dtype is the union of the demanding queries' projected fields (row files
+always decode full records, as their direct reads do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.format.datafile import (
+    read_columnar_runs_into,
+    read_data_file_into,
+    read_particle_runs_into,
+)
+from repro.format.metadata import MetadataRecord
+from repro.obs.recorder import Recorder
+from repro.query.engine import QueryEngine, QueryPlan, QueryResult, StagedReads
+
+__all__ = ["stage_plans", "execute_batch", "merge_runs"]
+
+
+def merge_runs(
+    runs: list[tuple[int, int]]
+) -> tuple[tuple[int, int], ...]:
+    """Coalesce ``(start, count)`` intervals: union, overlapping/adjacent
+    intervals merged, ascending.  The union of chunk-aligned intervals is
+    chunk-aligned (every component boundary is a boundary of some input
+    run), so merged runs stay valid for columnar reads."""
+    if not runs:
+        return ()
+    ordered = sorted((int(s), int(c)) for s, c in runs if c > 0)
+    merged: list[list[int]] = []
+    for start, count in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], start + count)
+        else:
+            merged.append([start, start + count])
+    return tuple((s, e - s) for s, e in merged)
+
+
+def _union_dtype(
+    full_dtype: np.dtype, field_sets: list[tuple[str, ...]]
+) -> np.dtype:
+    """The union of the demanding queries' projected fields, in file order."""
+    keep = set()
+    for names in field_sets:
+        keep.update(names)
+    if keep >= set(full_dtype.names or ()):
+        return full_dtype
+    fields: list[tuple] = []
+    for name in full_dtype.names or ():
+        if name not in keep:
+            continue
+        sub = full_dtype.fields[name][0]  # type: ignore[index]
+        if sub.shape:
+            fields.append((name, sub.base, sub.shape))
+        else:
+            fields.append((name, sub.base))
+    return np.dtype(fields)
+
+
+def _demand_for(
+    plan: QueryPlan, exact: bool
+) -> list[tuple[MetadataRecord, tuple[tuple[int, int], ...]]]:
+    """The per-file particle runs one plan's execution will request.
+
+    Mirrors :meth:`QueryEngine.run` exactly: chunk runs apply only to
+    exact box reads; empty-run entries read nothing; LOD-prefix entries
+    (a head read shorter than the file) are excluded — they are never
+    served from a stage.
+    """
+    use_runs = exact and plan.box is not None
+    demand = []
+    for i, (rec, count) in enumerate(plan.entries):
+        if count <= 0:
+            continue
+        runs = plan.chunk_runs.get(i) if use_runs else None
+        if runs is not None and not runs:
+            continue
+        if runs is None and count < rec.particle_count:
+            continue  # LOD prefix: direct path only
+        want = runs if runs is not None else ((0, count),)
+        demand.append((rec, want))
+    return demand
+
+
+def stage_plans(
+    engine: QueryEngine,
+    items: list[tuple[QueryPlan, bool]],
+    recorder: Recorder | None = None,
+) -> StagedReads:
+    """Pre-read every file that two or more of ``items`` will touch.
+
+    ``items`` are ``(plan, exact)`` pairs exactly as they will be passed
+    to :meth:`QueryEngine.run`.  Returns the :class:`StagedReads` to pass
+    to each of those runs; files whose staged read fails (after the
+    engine's own retries) are silently left unstaged, so every query
+    falls back to its direct read and overall behaviour — including
+    degraded-mode skipping — is exactly serial.
+
+    Staged-read retry events land on ``recorder`` (default: the engine's
+    recorder), not on any one query's — a transient fault absorbed once
+    for the whole batch is accounted to the batch.
+    """
+    recorder = recorder if recorder is not None else engine.recorder
+    full_dtype = engine.dtype
+    # path -> (record, [runs per demanding query], [projected field names]).
+    demand: dict[
+        str, tuple[MetadataRecord, list[tuple[tuple[int, int], ...]], list[tuple[str, ...]]]
+    ] = {}
+    for plan, exact in items:
+        names = tuple(plan.result_dtype(full_dtype).names or ())
+        for rec, want in _demand_for(plan, exact):
+            entry = demand.get(rec.file_path)
+            if entry is None:
+                demand[rec.file_path] = (rec, [want], [names])
+            else:
+                entry[1].append(want)
+                entry[2].append(names)
+    staged = StagedReads()
+    for path, (rec, wants, field_sets) in demand.items():
+        if len(wants) < 2:
+            continue  # nobody to share with: direct reads are already optimal
+        merged = merge_runs([r for want in wants for r in want])
+        total = sum(c for _s, c in merged)
+        if total == 0:
+            continue
+        index = engine.dataset.chunk_index(rec)
+        columnar = index is not None and getattr(index, "codec", None) is not None
+        try:
+            if columnar:
+                buf = np.empty(total, dtype=_union_dtype(full_dtype, field_sets))
+                discard: list[tuple[int, str, str]] = []
+                engine.retry.call(
+                    read_columnar_runs_into,
+                    engine.backend,
+                    path,
+                    full_dtype,
+                    index,
+                    merged,
+                    buf,
+                    actor=engine.actor,
+                    strict=True,
+                    skipped=discard,
+                    recorder=recorder,
+                )
+            else:
+                # Row files decode whole records whatever the projection,
+                # exactly as their direct reads do.
+                buf = np.empty(total, dtype=full_dtype)
+                if merged == ((0, rec.particle_count),):
+                    # Whole file: use the footer-verifying read, the same
+                    # primitive a direct whole-file read runs.
+                    engine.retry.call(
+                        read_data_file_into,
+                        engine.backend,
+                        path,
+                        full_dtype,
+                        buf,
+                        actor=engine.actor,
+                        recorder=recorder,
+                    )
+                else:
+                    engine.retry.call(
+                        read_particle_runs_into,
+                        engine.backend,
+                        path,
+                        full_dtype,
+                        merged,
+                        buf,
+                        actor=engine.actor,
+                        recorder=recorder,
+                    )
+        except Exception:  # noqa: BLE001 — any failure degrades to direct reads
+            continue
+        staged.stage(path, merged, buf)
+    return staged
+
+
+def execute_batch(
+    engine: QueryEngine,
+    items: list[tuple[QueryPlan, bool]],
+    recorder: Recorder | None = None,
+) -> tuple[list[QueryResult], StagedReads]:
+    """Stage, then run every plan against the shared stage, serially.
+
+    The deterministic single-threaded core of batched serving — the
+    service wraps this in admission control and worker threads, and the
+    parity tests call it directly.  Returns the per-query results in
+    ``items`` order plus the stage (for ops accounting).
+    """
+    staged = stage_plans(engine, items, recorder=recorder)
+    results = [
+        engine.run(plan, exact, recorder=recorder, staged=staged)
+        for plan, exact in items
+    ]
+    return results, staged

@@ -156,3 +156,105 @@ def test_repr_shows_state(backend):
     assert "unloaded" in repr(ds)
     ds.load()
     assert "loaded" in repr(ds)
+
+
+class TestConcurrentMemoization:
+    """The facade is shared by every serving-layer client: its lazy
+    resolution/load and planning-table memos must be safe (and stable)
+    under concurrent first access and concurrent invalidation."""
+
+    def test_memo_hammer(self, backend):
+        import threading
+
+        ds = Dataset(backend)  # deliberately unloaded: races the first load
+        errors: list[BaseException] = []
+        engines: list[object] = []
+        barrier = threading.Barrier(12, timeout=10)
+
+        def hammer(tid: int) -> None:
+            try:
+                barrier.wait()
+                for j in range(20):
+                    ds.load()
+                    ds.lod_prefix_table(0, 1)
+                    ds.box_id_index()
+                    for rec in ds.metadata.records[:2]:
+                        ds.chunk_index(rec)
+                    engines.append(ds.engine())
+                    if tid == 0 and j % 5 == 0:
+                        ds.invalidate_cache()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        # The engine memo survives invalidation: one engine, ever.
+        assert len(set(id(e) for e in engines)) == 1
+
+    def test_engine_memoized_and_survives_invalidate(self, backend):
+        ds = Dataset.open(backend)
+        engine = ds.engine()
+        assert ds.engine() is engine
+        ds.invalidate_cache()
+        assert ds.engine() is engine
+
+
+class TestCacheEpochGuard:
+    """A read that raced a write must not re-populate the cache with the
+    stale bytes it happened to observe."""
+
+    def test_store_after_invalidate_is_refused(self):
+        from repro.io.cache import CachingBackend
+
+        inner = VirtualBackend()
+        inner.write_file("a.bin", b"old")
+        cache = CachingBackend(inner, max_bytes=1 << 20)
+
+        real_read = inner.read_file
+        raced = []
+
+        def racing_read(path, actor=-1):
+            data = real_read(path, actor)
+            if path == "a.bin" and not raced:
+                raced.append(True)
+                # The write lands between the base read and the store.
+                cache.write_file("a.bin", b"new")
+            return data
+
+        inner.read_file = racing_read
+        try:
+            first = cache.read_file("a.bin")  # raced: sees the old bytes...
+            assert first == b"old"
+            # ...but must not have cached them past the interleaved write.
+            assert cache.read_file("a.bin") == b"new"
+            assert cache.read_file("a.bin") == b"new"  # and the new bytes cache
+        finally:
+            inner.read_file = real_read
+
+    def test_range_store_after_invalidate_is_refused(self):
+        from repro.io.cache import CachingBackend
+
+        inner = VirtualBackend()
+        inner.write_file("b.bin", b"0123456789")
+        cache = CachingBackend(inner, max_bytes=1 << 20)
+
+        real_range = inner.read_range
+        raced = []
+
+        def racing_range(path, offset, length, actor=-1):
+            data = real_range(path, offset, length, actor)
+            if path == "b.bin" and not raced:
+                raced.append(True)
+                cache.write_file("b.bin", b"ABCDEFGHIJ")
+            return data
+
+        inner.read_range = racing_range
+        try:
+            assert cache.read_range("b.bin", 2, 4) == b"2345"
+            assert cache.read_range("b.bin", 2, 4) == b"CDEF"
+        finally:
+            inner.read_range = real_range

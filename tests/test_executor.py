@@ -177,6 +177,103 @@ class TestThreaded:
         assert all(not o.ran for o in outcomes[1:])
 
 
+class TestThreadedShared:
+    """One ThreadedExecutor shared by concurrent submitters (the serving
+    layer's shape: every service worker runs queries through one dataset
+    executor).  Each run() call must stay isolated: its own outcome slots,
+    its own inflight window, and a poisoned sibling must not wedge it."""
+
+    def test_concurrent_runs_are_isolated(self):
+        executor = ThreadedExecutor(max_workers=4)
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def submitter(tid: int) -> None:
+            try:
+                tasks = [(lambda _r, i=i, t=tid: (t, i)) for i in range(16)]
+                outcomes = executor.run(tasks, Recorder())
+                results[tid] = [o.value for o in outcomes]
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        # No cross-talk: every submitter got exactly its own values, ordered.
+        for tid in range(6):
+            assert results[tid] == [(tid, i) for i in range(16)]
+
+    def test_poisoned_run_does_not_wedge_siblings(self):
+        """One fail-fast run hitting an error must not cancel, corrupt, or
+        block a concurrently submitted run on the same executor."""
+        executor = ThreadedExecutor(max_workers=4)
+        gate = threading.Event()
+
+        def boom(_r):
+            gate.wait(timeout=10)  # fail while the sibling is mid-flight
+            raise BackendError("poison")
+
+        sibling_done = []
+
+        def slow_ok(_r, i):
+            if i == 0:
+                gate.set()
+            time.sleep(0.002)
+            sibling_done.append(i)
+            return i
+
+        poisoned_out: list = []
+        sibling_out: list = []
+        t1 = threading.Thread(
+            target=lambda: poisoned_out.extend(
+                executor.run([boom] * 4, Recorder(), fail_fast=True)
+            )
+        )
+        t2 = threading.Thread(
+            target=lambda: sibling_out.extend(
+                executor.run(
+                    [(lambda _r, i=i: slow_ok(_r, i)) for i in range(24)],
+                    Recorder(),
+                )
+            )
+        )
+        t1.start()
+        t2.start()
+        t1.join(timeout=30)
+        t2.join(timeout=30)
+        assert not t1.is_alive() and not t2.is_alive()
+        # The poisoned run captured its own failure...
+        assert any(o.ran and isinstance(o.error, BackendError) for o in poisoned_out)
+        # ...and the sibling ran to completion, every task, correct values.
+        assert len(sibling_done) == 24
+        assert [o.value for o in sibling_out] == list(range(24))
+        assert all(o.ok for o in sibling_out)
+
+    def test_nested_run_from_worker_executes_inline(self):
+        """A task that itself calls run() (engine inside a service worker
+        inside an engine) must not deadlock waiting on its own pool."""
+        executor = ThreadedExecutor(max_workers=1)  # one worker: would self-deadlock
+
+        def outer(_r):
+            inner = executor.run([(lambda _r, i=i: i * 10) for i in range(3)], Recorder())
+            return [o.value for o in inner]
+
+        outcomes = executor.run([outer], Recorder())
+        assert outcomes[0].ok
+        assert outcomes[0].value == [0, 10, 20]
+
+    def test_shutdown_then_reuse_recreates_pool(self):
+        executor = ThreadedExecutor(max_workers=2)
+        assert [o.value for o in executor.run([lambda _r: 1], Recorder())] == [1]
+        executor.shutdown()
+        executor.shutdown()  # idempotent
+        assert [o.value for o in executor.run([lambda _r: 2], Recorder())] == [2]
+        executor.shutdown()
+
+
 class TestExecutorFor:
     def test_serial_at_or_below_one(self):
         assert isinstance(executor_for(1), SerialExecutor)
