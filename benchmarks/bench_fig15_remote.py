@@ -1,0 +1,174 @@
+"""Remote object-store reads through the resilience stack (Fig. 15).
+
+The remote extension of the paper's locality story: once a spatially-aware
+layout has made one query touch few files and few coalesced runs, the same
+plan becomes cheap to serve from a *remote, metered, occasionally-absent*
+object store — if the client stack turns repeat access into cache hits and
+outages into degraded (rather than failed) reads.  This benchmark drives
+one fixed spatial query through ``build_remote_stack`` (RAM LRU → disk
+tier → deadline/hedge/breaker/retry → simulated transport) and measures,
+on the transport's deterministic virtual clock:
+
+* **cold vs. warm latency vs. RTT** — the cold read pays per-request
+  round trips scaling with RTT; the warm repeat is served entirely from
+  the cache tiers (zero remote requests, zero virtual seconds);
+* **cost per query** — the metered request + per-byte cost of the cold
+  read, and the zero marginal cost of the warm one;
+* **availability under outage** — with the store hard-down, warm data is
+  still served bit-identically (the breaker open, no remote traffic) and
+  cold queries degrade to accounted skips instead of raising.
+
+Asserted shape: cold latency grows with RTT while warm latency stays flat
+at zero remote requests; cold cost is positive, warm cost zero; during the
+outage every query completes, the warm one bit-identically.
+
+``BENCH_fig15_remote.json`` carries the latency/cost series per RTT and
+the outage tally.
+"""
+
+from repro.dataset import Dataset
+from repro.domain import Box
+from repro.io import (
+    CircuitBreaker,
+    RetryPolicy,
+    SimulatedTransport,
+    build_remote_stack,
+)
+from repro.utils import Table
+
+from tests.conftest import write_dataset
+
+NPROCS = 8
+FACTOR = (2, 2, 2)
+PER_RANK = 1500
+RTTS_MS = (10.0, 50.0, 100.0)
+QUERY = Box([0.05, 0.05, 0.05], [0.55, 0.55, 0.55])
+COLD = Box([0.45, 0.45, 0.45], [0.95, 0.95, 0.95])
+
+
+def _stack(store, tmp_path, rtt_ms, tag):
+    transport = SimulatedTransport(store, rtt_s=rtt_ms / 1e3, seed=11)
+    stack = build_remote_stack(
+        transport,
+        ram_cache_bytes=64 << 20,
+        disk_cache_dir=str(tmp_path / f"dcache-{tag}"),
+        retry=RetryPolicy.immediate(2),
+        breaker=CircuitBreaker(failure_threshold=2),
+    )
+    return transport, stack
+
+
+def test_fig15_remote_resilient_reads(report, bench_json, tmp_path):
+    store, _decomp, _results = write_dataset(
+        nprocs=NPROCS, partition_factor=FACTOR, particles_per_rank=PER_RANK
+    )
+
+    table = Table(
+        ["rtt_ms", "cold_s", "warm_s", "cold_req", "warm_req", "cold_cost"],
+        title="fig15: remote read latency/cost vs. RTT (virtual clock)",
+    )
+    series = []
+    for rtt_ms in RTTS_MS:
+        transport, stack = _stack(store, tmp_path, rtt_ms, f"rtt{rtt_ms:g}")
+        engine = Dataset.open(stack, strict=False).engine()
+
+        t0, r0, c0 = (
+            transport.virtual_time_s,
+            transport.stats.requests,
+            transport.stats.cost,
+        )
+        cold = engine.run(engine.plan_box(QUERY), True)
+        cold_s = transport.virtual_time_s - t0
+        cold_req = transport.stats.requests - r0
+        cold_cost = transport.stats.cost - c0
+
+        t1, r1, c1 = (
+            transport.virtual_time_s,
+            transport.stats.requests,
+            transport.stats.cost,
+        )
+        warm = engine.run(engine.plan_box(QUERY), True)
+        warm_s = transport.virtual_time_s - t1
+        warm_req = transport.stats.requests - r1
+        warm_cost = transport.stats.cost - c1
+
+        assert warm.batch.data.tobytes() == cold.batch.data.tobytes()
+        assert warm_req == 0 and warm_cost == 0.0
+        table.add_row(
+            [
+                f"{rtt_ms:g}",
+                f"{cold_s:.3f}",
+                f"{warm_s:.3f}",
+                cold_req,
+                warm_req,
+                f"{cold_cost:.2e}",
+            ]
+        )
+        series.append(
+            {
+                "rtt_ms": rtt_ms,
+                "cold_latency_s": cold_s,
+                "warm_latency_s": warm_s,
+                "cold_requests": cold_req,
+                "warm_requests": warm_req,
+                "cold_cost": cold_cost,
+                "warm_cost": warm_cost,
+            }
+        )
+
+    # Cold latency scales with RTT; the warm repeat never leaves the cache.
+    cold_latencies = [s["cold_latency_s"] for s in series]
+    assert cold_latencies == sorted(cold_latencies)
+    assert cold_latencies[-1] > cold_latencies[0]
+    assert all(s["warm_latency_s"] == 0.0 for s in series)
+    assert all(s["cold_cost"] > 0.0 for s in series)
+
+    # Availability under a hard outage: warm data is served bit-identically
+    # with zero remote traffic; cold queries degrade to accounted skips.
+    transport, stack = _stack(store, tmp_path, 50.0, "outage")
+    engine = Dataset.open(stack, strict=False).engine()
+    healthy = engine.run(engine.plan_box(QUERY), True)
+    transport.fail()
+    requests_down = transport.stats.requests
+    outage_tally = {"queries": 0, "served_full": 0, "degraded": 0}
+    for box in (QUERY, COLD, QUERY, COLD, QUERY):
+        result = engine.run(engine.plan_box(box), True)
+        outage_tally["queries"] += 1
+        if result.report.skipped:
+            outage_tally["degraded"] += 1
+            assert {s.reason for s in result.report.skipped} <= {
+                "transient-exhausted",
+                "unavailable",
+            }
+        else:
+            outage_tally["served_full"] += 1
+            assert result.batch.data.tobytes() == healthy.batch.data.tobytes()
+    warm_outage_requests = transport.stats.requests - requests_down
+    assert outage_tally["served_full"] >= 3  # every warm repeat
+    assert outage_tally["degraded"] >= 1  # cold queries degrade, not raise
+
+    outage = Table(
+        ["queries", "served_full", "degraded", "breaker"],
+        title="fig15: availability under hard outage",
+    )
+    breaker_state = stack.base.base.breaker.state("data/file_0.pbin")
+    outage.add_row(
+        [
+            outage_tally["queries"],
+            outage_tally["served_full"],
+            outage_tally["degraded"],
+            breaker_state,
+        ]
+    )
+    report("fig15_remote", f"{table.render()}\n\n{outage.render()}")
+    bench_json(
+        "fig15_remote",
+        {
+            "latency_vs_rtt": series,
+            "outage": {
+                **outage_tally,
+                "breaker_state": breaker_state,
+                "warm_requests_during_outage": warm_outage_requests,
+            },
+        },
+    )

@@ -117,15 +117,73 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _remote_target(args: argparse.Namespace):
+    """Build the ``--remote`` read stack over the dataset directory.
+
+    The local directory plays the object store; a simulated transport adds
+    RTT/bandwidth/cost physics on top (``--rtt-ms``), and the resilient
+    stack (retry, hedging, circuit breaker, RAM cache) wraps it.  Returns
+    ``(open_target, transport)`` — the transport is kept so commands can
+    print the request/cost ledger afterwards.
+    """
+    from repro.io.posix import PosixBackend
+    from repro.io.remote import OutagePlan, SimulatedTransport
+    from repro.io.resilience import Hedger, build_remote_stack
+    from repro.io.retry import RetryPolicy
+
+    store = PosixBackend(args.dataset, create=False)
+    down = getattr(args, "outage", None)
+    slow = getattr(args, "slow", None)
+    outages = None
+    if down or slow:
+        outages = OutagePlan(
+            down=((int(down[0]), int(down[1])),) if down else (),
+            slow=(
+                ((int(slow[0]), int(slow[1]), float(slow[2])),) if slow else ()
+            ),
+        )
+    transport = SimulatedTransport(
+        store,
+        rtt_s=args.rtt_ms / 1000.0,
+        seed=getattr(args, "seed", 0),
+        outages=outages,
+    )
+    cache_bytes = int(args.cache_mb * 2**20)
+    stack = build_remote_stack(
+        transport,
+        ram_cache_bytes=cache_bytes if cache_bytes else 8 << 20,
+        disk_cache_dir=None,
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.001),
+        hedger=Hedger(),
+    )
+    return stack, transport
+
+
+def _print_remote_stats(transport) -> None:
+    stats = transport.stats
+    print(f"remote requests : {stats.requests} "
+          f"({stats.timeouts} timeouts, {stats.unavailable} refused)")
+    print(f"remote bytes    : {format_bytes(stats.bytes_moved)}")
+    print(f"remote cost     : ${stats.cost:.6f}")
+    print(f"remote time     : {transport.virtual_time_s * 1e3:.1f} ms simulated")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
     from repro.domain.box import Box
     from repro.io.executor import executor_for
+    from repro.io.resilience import Deadline, deadline_scope
 
+    transport = None
+    if args.remote:
+        target, transport = _remote_target(args)
+        cache_bytes = 0  # the remote stack carries its own RAM tier
+    else:
+        target, cache_bytes = args.dataset, int(args.cache_mb * 2**20)
     reader = Dataset.open(
-        args.dataset,
+        target,
         executor=executor_for(args.workers),
-        cache_bytes=int(args.cache_mb * 2**20),
+        cache_bytes=cache_bytes,
     ).reader()
     box = Box(args.box[:3], args.box[3:])
     attrs = None
@@ -144,11 +202,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"error: --where bounds must be numbers, got {clause!r}",
                   file=sys.stderr)
             return 2
-    plan = reader.plan_box_read(
-        box, max_level=args.level, nreaders=args.readers,
-        attrs=attrs, where=where or None,
+    deadline = (
+        Deadline.after(args.deadline_ms / 1000.0)
+        if args.deadline_ms is not None
+        else None
     )
-    hits = reader.execute(plan, exact=True)
+    with deadline_scope(deadline):
+        plan = reader.plan_box_read(
+            box, max_level=args.level, nreaders=args.readers,
+            attrs=attrs, where=where or None,
+        )
+        hits = reader.execute(plan, exact=True)
     print(f"query box       : {box}")
     if plan.attrs is not None:
         print(f"projection      : position, {', '.join(plan.attrs)}"
@@ -162,6 +226,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"particles in box: {len(hits)}")
     row_bytes = plan.result_dtype(reader.dtype).itemsize
     print(f"bytes read      : {format_bytes(plan.bytes_to_read(row_bytes))}")
+    if transport is not None:
+        _print_remote_stats(transport)
     return 0
 
 
@@ -258,23 +324,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.dataset import Dataset
     from repro.domain.box import Box
-    from repro.errors import AdmissionError
+    from repro.errors import AdmissionError, DeadlineExceededError
     from repro.io.executor import executor_for
     from repro.serve import ClientQuota, QueryService
 
+    transport = None
+    if args.remote:
+        target, transport = _remote_target(args)
+        cache_bytes = 0  # the remote stack carries its own RAM tier
+    else:
+        target, cache_bytes = args.dataset, int(args.cache_mb * 2**20)
     ds = Dataset.open(
-        args.dataset,
+        target,
         strict=not args.degraded,
         executor=executor_for(args.workers),
-        cache_bytes=int(args.cache_mb * 2**20),
+        cache_bytes=cache_bytes,
     )
     domain = ds.domain()
     lo = np.asarray(domain.lo, dtype=np.float64)
     hi = np.asarray(domain.hi, dtype=np.float64)
     span = hi - lo
 
-    results: dict[str, int] = {"queries": 0, "particles": 0, "rejected": 0}
+    results: dict[str, int] = {
+        "queries": 0, "particles": 0, "rejected": 0, "deadline": 0,
+    }
     results_lock = threading.Lock()
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
 
     def client_loop(service: QueryService, name: str, seed: int) -> None:
         rng = np.random.default_rng(seed)
@@ -283,10 +360,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             blo = lo + rng.uniform(0.0, 0.6, lo.shape) * span
             bhi = np.minimum(blo + rng.uniform(0.2, 0.5, lo.shape) * span, hi)
             try:
-                result = service.query(Box(blo, bhi), client=name)
+                result = service.query(
+                    Box(blo, bhi), client=name, deadline_s=deadline_s
+                )
             except AdmissionError:
                 with results_lock:
                     results["rejected"] += 1
+                continue
+            except DeadlineExceededError:
+                done += 1
+                with results_lock:
+                    results["deadline"] += 1
                 continue
             done += 1
             with results_lock:
@@ -315,12 +399,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             t.start()
         for t in threads:
             t.join()
+        service.close(drain_timeout=30.0)
         stats = service.stats()
     print(f"dataset         : {args.dataset}")
     print(f"clients         : {args.clients} x {args.queries} queries")
     print(f"queries served  : {results['queries']}")
     print(f"particles       : {results['particles']}")
     print(f"rejections      : {results['rejected']} (admission retried)")
+    if args.deadline_ms is not None:
+        print(f"deadline misses : {results['deadline']}")
+    if stats["cancelled"]:
+        print(f"cancelled       : {stats['cancelled']} (drain timeout)")
     print(f"batches         : {stats['batches']} "
           f"(mean width {stats['mean_batch_width']:.2f})")
     print(f"staged files    : {stats['staged_files']}")
@@ -329,6 +418,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"p99 latency     : {stats['p99_latency_s'] * 1e3:.2f} ms")
     for client, nbytes in sorted(stats["client_bytes"].items()):
         print(f"bytes[{client}] : {format_bytes(nbytes)}")
+    if transport is not None:
+        _print_remote_stats(transport)
     return 0
 
 
@@ -472,6 +563,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "chunk pruning (repeatable)")
     p.add_argument("--cache-mb", type=float, default=0.0,
                    help="block-cache budget in MiB (0 disables caching)")
+    p.add_argument("--remote", action="store_true",
+                   help="read through a simulated remote object store "
+                        "(resilient stack: retry, hedge, breaker, cache)")
+    p.add_argument("--rtt-ms", type=float, default=50.0,
+                   help="simulated remote round-trip time (with --remote)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="end-to-end query deadline in milliseconds")
+    p.add_argument("--outage", nargs=2, type=int, default=None,
+                   metavar=("START", "STOP"),
+                   help="refuse remote requests with ordinals in "
+                        "[START, STOP) (with --remote)")
+    p.add_argument("--slow", nargs=3, type=float, default=None,
+                   metavar=("START", "STOP", "FACTOR"),
+                   help="inflate remote latency by FACTOR for request "
+                        "ordinals in [START, STOP) (with --remote)")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file reads (1 = serial)")
     p.set_defaults(func=_cmd_query)
@@ -545,6 +651,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service worker threads (default 4)")
     p.add_argument("--cache-mb", type=float, default=0.0,
                    help="shared block-cache budget in MiB (0 disables)")
+    p.add_argument("--remote", action="store_true",
+                   help="serve through a simulated remote object store "
+                        "(resilient stack: retry, hedge, breaker, cache)")
+    p.add_argument("--rtt-ms", type=float, default=50.0,
+                   help="simulated remote round-trip time (with --remote)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-query end-to-end deadline in milliseconds")
+    p.add_argument("--outage", nargs=2, type=int, default=None,
+                   metavar=("START", "STOP"),
+                   help="refuse remote requests with ordinals in "
+                        "[START, STOP) (with --remote)")
+    p.add_argument("--slow", nargs=3, type=float, default=None,
+                   metavar=("START", "STOP", "FACTOR"),
+                   help="inflate remote latency by FACTOR for request "
+                        "ordinals in [START, STOP) (with --remote)")
     p.add_argument("--degraded", action="store_true",
                    help="serve degraded reads (skip damaged partitions)")
     p.add_argument("--seed", type=int, default=0,

@@ -94,6 +94,41 @@ class TransientBackendError(BackendError):
     """
 
 
+class RemoteUnavailableError(TransientBackendError):
+    """The remote object store refused or dropped a request (outage).
+
+    Transient by classification — a retry or a hedge *may* succeed — but
+    repeated occurrences are what trips the circuit breaker in
+    :mod:`repro.io.resilience` from hammering a dead store.
+    """
+
+
+class RequestTimeoutError(TransientBackendError):
+    """One remote request exceeded its per-request timeout budget.
+
+    Distinct from :class:`DeadlineExceededError`: the *request* ran out of
+    time (retry/hedge may still meet the query's deadline), not the query.
+    """
+
+
+class DeadlineExceededError(BackendError):
+    """The operation's end-to-end deadline expired.
+
+    Deliberately **not** transient: once a query's deadline has passed,
+    retrying cannot help, so :class:`~repro.io.retry.RetryPolicy` lets it
+    propagate immediately and degraded reads record the partition as shed.
+    """
+
+
+class BreakerOpenError(BackendError):
+    """The per-path circuit breaker is open; the request failed fast.
+
+    Raised without touching the remote store.  Not transient — the breaker
+    itself decides when to probe again (half-open), so retrying through an
+    open breaker would only burn the caller's deadline budget.
+    """
+
+
 class ServiceError(ReproError, RuntimeError):
     """The serving layer failed, was misconfigured, or was used after close."""
 

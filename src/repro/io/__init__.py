@@ -23,10 +23,20 @@ Execution lives here too: :class:`IoExecutor` (and its
 :class:`SerialExecutor` / :class:`ThreadedExecutor` implementations) runs
 independent per-file operations — serially or on a bounded thread pool —
 with deterministic result order and per-task child recorders.
+
+The remote tier rounds out the picture: :class:`RemoteBackend` speaks the
+same interface to a high-latency object store over a pluggable transport
+(:class:`SimulatedTransport` with RTT/bandwidth/cost physics, or a
+stdlib-only :class:`HttpTransport`); :class:`ResilientBackend` adds
+deadlines, hedged requests, and a per-path circuit breaker; and
+:class:`DiskCacheBackend` persists a crash-safe local cache tier so warm
+reads survive a remote outage.  :func:`build_remote_stack` assembles the
+whole composition.
 """
 
 from repro.io.backend import FileBackend, IoOp
 from repro.io.cache import CachingBackend
+from repro.io.diskcache import DiskCacheBackend
 from repro.io.executor import (
     IoExecutor,
     SerialExecutor,
@@ -37,6 +47,23 @@ from repro.io.executor import (
 from repro.io.faults import FaultInjectingBackend, FaultPlan, FaultSpec, InjectedCrashError
 from repro.io.posix import PosixBackend
 from repro.io.prefix import PrefixBackend
+from repro.io.remote import (
+    HttpTransport,
+    OutagePlan,
+    RemoteBackend,
+    SimulatedTransport,
+    Transport,
+    TransportStats,
+)
+from repro.io.resilience import (
+    CircuitBreaker,
+    Deadline,
+    Hedger,
+    ResilientBackend,
+    build_remote_stack,
+    current_deadline,
+    deadline_scope,
+)
 from repro.io.retry import RetryPolicy, RetryStats
 from repro.io.virtual import VirtualBackend
 
@@ -47,6 +74,7 @@ __all__ = [
     "PrefixBackend",
     "VirtualBackend",
     "CachingBackend",
+    "DiskCacheBackend",
     "FaultInjectingBackend",
     "FaultPlan",
     "FaultSpec",
@@ -58,4 +86,17 @@ __all__ = [
     "ThreadedExecutor",
     "TaskOutcome",
     "executor_for",
+    "Transport",
+    "TransportStats",
+    "OutagePlan",
+    "SimulatedTransport",
+    "HttpTransport",
+    "RemoteBackend",
+    "Deadline",
+    "current_deadline",
+    "deadline_scope",
+    "CircuitBreaker",
+    "Hedger",
+    "ResilientBackend",
+    "build_remote_stack",
 ]

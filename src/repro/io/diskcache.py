@@ -1,0 +1,380 @@
+"""A crash-safe local-disk cache tier under the block-cache interface.
+
+The RAM LRU (:class:`~repro.io.cache.CachingBackend`) is fast but small and
+dies with the process; the remote tier is durable but slow, metered, and
+occasionally *gone*.  :class:`DiskCacheBackend` is the tier between them: a
+bounded, LRU-evicted cache of read results persisted as one small file per
+entry in a local directory, wrapping any base backend exactly like the RAM
+cache does (same exact-request keys, same per-path invalidation epochs, same
+store-after-invalidate guard), so the two compose into the stack
+``RAM → disk → resilient remote`` with identical semantics at every tier.
+
+Crash safety is inherited from the library's one durable-write idiom: every
+entry is written to a temp file, fsynced, and renamed into place with
+``os.replace``, so the directory only ever contains whole entries.  Each
+entry file is self-describing — a one-line JSON header (path, offset,
+length, payload digest) followed by the payload — which is what makes
+recovery trivial: on construction the directory is scanned, entries that
+parse and match their digest are adopted into the LRU (ordered by mtime),
+and anything torn, truncated, or stale-format is deleted.  A cache that was
+warm before a crash (or a previous process) is warm after it — that is the
+"recently-warm queries survive a full remote outage" property the
+resilience stack leans on.
+
+Unlike the RAM tier, this tier also caches **metadata** — ``size``,
+``exists``, and ``listdir`` results — as ordinary entries.  Against a remote
+object store every metadata probe is a metered HEAD/LIST request, and the
+read path does a ``size`` preflight before each data read, so uncached
+metadata would both bill per query and make a fully-warm dataset unreadable
+the moment the store goes down.  Metadata entries obey the same invalidation
+rules as data: mutating a path drops its size/exists entries and every
+cached listing of an ancestor directory (and bumps their epochs, so an
+in-flight probe can never re-cache a pre-mutation answer).
+
+Counters mirror the RAM tier under distinct names (``cache.disk_hit`` /
+``cache.disk_miss`` / ``cache.disk_evict``, keyed by path) so a trace shows
+exactly which tier served every read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.io.backend import FileBackend
+from repro.obs.names import CACHE_DISK_EVICT, CACHE_DISK_HIT, CACHE_DISK_MISS
+from repro.obs.recorder import Recorder
+
+__all__ = ["DiskCacheBackend"]
+
+#: Entry-format magic; bump to orphan (and GC) entries from older layouts.
+_MAGIC = "repro-diskcache-v1"
+
+#: Process-wide counter so concurrent stores never share a temp file.
+_TMP_IDS = itertools.count()
+
+#: Cache key: ("file", path), ("range", path, offset, length), or a
+#: metadata probe — ("size", path), ("exists", path), ("list", dirpath).
+_Key = tuple
+
+
+def _ancestor_dirs(path: str) -> tuple[str, ...]:
+    """Every directory whose listing ``path`` appears under, root included:
+    ``"a/b/c" -> ("a/b", "a", "")``."""
+    parts = path.split("/")
+    return tuple("/".join(parts[:i]) for i in range(len(parts) - 1, -1, -1))
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _entry_name(key: _Key) -> str:
+    """Stable filename for a key (flat directory, collision-free)."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:32] + ".entry"
+
+
+class DiskCacheBackend(FileBackend):
+    """Wraps ``base`` with a bounded, persistent, LRU disk cache."""
+
+    def __init__(self, base: FileBackend, cache_dir: str | os.PathLike, max_bytes: int):
+        if max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.base = base
+        self.max_bytes = int(max_bytes)
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: key -> (entry filename, payload size); insertion order = LRU order.
+        self._entries: OrderedDict[_Key, tuple[str, int]] = OrderedDict()
+        self._epochs: dict[str, int] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Entries adopted / discarded by the recovery scan (observability
+        #: for crash tests).
+        self.recovered = 0
+        self.discarded = 0
+        self._recover()
+
+    def attach_recorder(self, recorder: Recorder | None) -> None:
+        """Disk-cache counters accumulate here; I/O counters on ``base``."""
+        self.recorder = recorder
+        self.base.attach_recorder(recorder)
+
+    # -- entry files ---------------------------------------------------------
+
+    def _write_entry(self, key: _Key, path: str, data: bytes) -> str:
+        """Atomically persist one entry; returns its filename."""
+        name = _entry_name(key)
+        header = json.dumps(
+            {
+                "magic": _MAGIC,
+                "key": list(key),
+                "path": path,
+                "size": len(data),
+                "digest": _digest(data),
+            },
+            separators=(",", ":"),
+        ).encode()
+        full = self.cache_dir / name
+        tmp = full.with_name(f".{name}.tmp-{os.getpid()}-{next(_TMP_IDS)}")
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(b"\n")
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, full)
+        return name
+
+    def _read_entry(self, name: str) -> tuple[_Key, str, bytes] | None:
+        """Parse one entry file; ``None`` (never an exception) if unusable."""
+        try:
+            raw = (self.cache_dir / name).read_bytes()
+            head, _, payload = raw.partition(b"\n")
+            meta = json.loads(head)
+            if meta.get("magic") != _MAGIC:
+                return None
+            if len(payload) != meta["size"] or _digest(payload) != meta["digest"]:
+                return None
+            return tuple(meta["key"]), meta["path"], payload
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _unlink(self, name: str) -> None:
+        try:
+            (self.cache_dir / name).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _recover(self) -> None:
+        """Adopt whole entries left by a previous process; GC everything else.
+
+        ``os.replace`` guarantees each surviving entry file is complete, so
+        recovery is just parse-or-delete.  Adopted entries are LRU-ordered
+        by mtime (the best available proxy for previous recency) and the
+        byte budget is re-enforced, evicting oldest-first if the directory
+        outgrew a smaller configured cap.
+        """
+        found: list[tuple[float, str, _Key, str, int]] = []
+        for entry in sorted(self.cache_dir.iterdir()):
+            if entry.name.startswith("."):
+                # A temp file is, by construction, an abandoned torn write.
+                self._unlink(entry.name)
+                self.discarded += 1
+                continue
+            if not entry.name.endswith(".entry"):
+                continue
+            parsed = self._read_entry(entry.name)
+            if parsed is None:
+                self._unlink(entry.name)
+                self.discarded += 1
+                continue
+            key, path, payload = parsed
+            try:
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue
+            found.append((mtime, entry.name, key, path, len(payload)))
+        for _mtime, name, key, _path, size in sorted(found):
+            if key in self._entries:
+                self._unlink(name)
+                continue
+            self._entries[key] = (name, size)
+            self._bytes += size
+            self.recovered += 1
+        while self._bytes > self.max_bytes and self._entries:
+            _key, (name, size) = self._entries.popitem(last=False)
+            self._bytes -= size
+            self._unlink(name)
+            self.recovered -= 1
+            self.discarded += 1
+
+    # -- cache machinery (mirrors CachingBackend) ----------------------------
+
+    def _lookup(self, key: _Key, path: str) -> bytes | None:
+        data: bytes | None = None
+        with self._lock:
+            slot = self._entries.get(key)
+            if slot is not None:
+                parsed = self._read_entry(slot[0])
+                if parsed is None:
+                    # Torn/vanished on disk: forget it and fall through to
+                    # a normal miss.
+                    self._bytes -= slot[1]
+                    del self._entries[key]
+                    self._unlink(slot[0])
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    data = parsed[2]
+        if data is not None and self.recorder is not None:
+            self.recorder.add(CACHE_DISK_HIT, 1, key=(path,))
+        return data
+
+    def _epoch(self, path: str) -> int:
+        with self._lock:
+            return self._epochs.get(path, 0)
+
+    def _store(self, key: _Key, path: str, data: bytes, epoch: int) -> None:
+        evicted: list[str] = []
+        with self._lock:
+            self.misses += 1
+            if (
+                self._epochs.get(path, 0) == epoch
+                and len(data) <= self.max_bytes
+                and key not in self._entries
+            ):
+                name = self._write_entry(key, path, data)
+                self._entries[key] = (name, len(data))
+                self._bytes += len(data)
+                while self._bytes > self.max_bytes:
+                    old_key, (old_name, old_size) = self._entries.popitem(last=False)
+                    self._bytes -= old_size
+                    self.evictions += 1
+                    self._unlink(old_name)
+                    evicted.append(old_key[1])
+        if self.recorder is not None:
+            self.recorder.add(CACHE_DISK_MISS, 1, key=(path,))
+            for old_path in evicted:
+                self.recorder.add(CACHE_DISK_EVICT, 1, key=(old_path,))
+
+    def _invalidate(self, path: str) -> None:
+        dirs = _ancestor_dirs(path)
+        with self._lock:
+            for p in (path, *dirs):
+                self._epochs[p] = self._epochs.get(p, 0) + 1
+            stale = [
+                k
+                for k in self._entries
+                if k[1] == path or (k[0] == "list" and k[1] in dirs)
+            ]
+            for key in stale:
+                name, size = self._entries.pop(key)
+                self._bytes -= size
+                self._unlink(name)
+
+    @property
+    def cached_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            for name, _size in self._entries.values():
+                self._unlink(name)
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- reads (cached) -----------------------------------------------------
+
+    def read_file(self, path: str, actor: int = -1) -> bytes:
+        path = self._normalize(path)
+        key = ("file", path)
+        data = self._lookup(key, path)
+        if data is not None:
+            return data
+        epoch = self._epoch(path)
+        data = self.base.read_file(path, actor=actor)
+        self._store(key, path, data, epoch)
+        return data
+
+    def read_range(self, path: str, offset: int, length: int, actor: int = -1) -> bytes:
+        path = self._normalize(path)
+        key = ("range", path, int(offset), int(length))
+        data = self._lookup(key, path)
+        if data is not None:
+            return data
+        epoch = self._epoch(path)
+        data = self.base.read_range(path, offset, length, actor=actor)
+        self._store(key, path, data, epoch)
+        return data
+
+    def readinto(self, path: str, offset: int, view, actor: int = -1) -> int:
+        out = memoryview(view).cast("B")
+        data = self.read_range(path, offset, len(out), actor=actor)
+        out[:] = data
+        return len(out)
+
+    def readv(self, path: str, segments, actor: int = -1) -> int:
+        """Serve cached segments from disk; fetch the misses in one
+        :meth:`FileBackend.readv` on the base, then persist what arrived."""
+        path = self._normalize(path)
+        total = 0
+        missing: list[tuple[int, memoryview]] = []
+        for offset, view in segments:
+            out = memoryview(view).cast("B")
+            key = ("range", path, int(offset), len(out))
+            data = self._lookup(key, path)
+            if data is not None:
+                out[:] = data
+                total += len(out)
+            else:
+                missing.append((int(offset), out))
+        if missing:
+            epoch = self._epoch(path)
+            total += self.base.readv(path, missing, actor=actor)
+            for offset, out in missing:
+                self._store(
+                    ("range", path, offset, len(out)), path, bytes(out), epoch
+                )
+        return total
+
+    # -- mutations (invalidate, then forward) --------------------------------
+
+    def write_file(self, path: str, data: bytes, actor: int = -1) -> None:
+        path = self._normalize(path)
+        self._invalidate(path)
+        self.base.write_file(path, data, actor=actor)
+
+    def delete(self, path: str, missing_ok: bool = False) -> None:
+        path = self._normalize(path)
+        self._invalidate(path)
+        self.base.delete(path, missing_ok=missing_ok)
+
+    # -- metadata (cached: every probe is a metered remote request) ----------
+
+    def exists(self, path: str) -> bool:
+        path = self._normalize(path)
+        key = ("exists", path)
+        data = self._lookup(key, path)
+        if data is None:
+            epoch = self._epoch(path)
+            data = b"1" if self.base.exists(path) else b"0"
+            self._store(key, path, data, epoch)
+        return data == b"1"
+
+    def size(self, path: str) -> int:
+        path = self._normalize(path)
+        key = ("size", path)
+        data = self._lookup(key, path)
+        if data is None:
+            epoch = self._epoch(path)
+            data = str(self.base.size(path)).encode()
+            self._store(key, path, data, epoch)
+        return int(data)
+
+    def listdir(self, path: str) -> list[str]:
+        path = self._normalize(path)
+        key = ("list", path)
+        data = self._lookup(key, path)
+        if data is None:
+            epoch = self._epoch(path)
+            data = json.dumps(self.base.listdir(path)).encode()
+            self._store(key, path, data, epoch)
+        return list(json.loads(data))
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskCacheBackend({self.base!r}, dir={str(self.cache_dir)!r}, "
+            f"max_bytes={self.max_bytes}, cached={self.cached_bytes}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

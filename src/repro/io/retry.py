@@ -74,6 +74,17 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.5
     seed: int = 0
+    #: Decorrelated jitter (the AWS architecture-blog recipe, made
+    #: deterministic): each delay is drawn between ``backoff_base`` and
+    #: ``3 * previous_delay``, which decorrelates concurrent retriers far
+    #: better than scaled exponential backoff.  Off by default so existing
+    #: call sites keep their exact historical delay sequences.
+    decorrelated: bool = False
+    #: Total *requested* sleep budget across one :meth:`call`.  A retry whose
+    #: backoff would push the cumulative requested sleep past this cap gives
+    #: up instead of sleeping — requested (not wall-clock) accounting keeps
+    #: the decision deterministic under injected ``sleep``.  ``None`` = no cap.
+    max_elapsed: float | None = None
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
@@ -82,6 +93,10 @@ class RetryPolicy:
         if self.backoff_base < 0 or self.backoff_factor < 1 or self.jitter < 0:
             raise ValueError(
                 "backoff_base must be >= 0, backoff_factor >= 1, jitter >= 0"
+            )
+        if self.max_elapsed is not None and self.max_elapsed < 0:
+            raise ValueError(
+                f"max_elapsed must be >= 0 or None, got {self.max_elapsed}"
             )
 
     @classmethod
@@ -99,12 +114,24 @@ class RetryPolicy:
             sleep=lambda _s: None,
         )
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retrying after 0-based failed ``attempt``."""
-        base = self.backoff_base * self.backoff_factor**attempt
+    def delay(self, attempt: int, previous: float | None = None) -> float:
+        """Backoff before retrying after 0-based failed ``attempt``.
+
+        With :attr:`decorrelated` set, the delay also depends on the
+        ``previous`` delay (pass the value this method returned last time;
+        ``None`` for the first retry) — still fully determined by
+        ``(seed, attempt, previous)``.
+        """
         # Knuth multiplicative hash of (seed, attempt) -> [0, 1).
         h = ((self.seed * 40503 + attempt + 1) * 2654435761) & 0xFFFFFFFF
-        return base * (1.0 + self.jitter * (h / 2**32))
+        unit = h / 2**32
+        if self.decorrelated:
+            low = self.backoff_base
+            prev = previous if previous is not None and previous > 0 else low
+            high = max(low, 3.0 * prev)
+            return low + (high - low) * unit
+        base = self.backoff_base * self.backoff_factor**attempt
+        return base * (1.0 + self.jitter * unit)
 
     def call(
         self,
@@ -123,8 +150,17 @@ class RetryPolicy:
         ``(attempt, error)`` before each backoff sleep.  Non-transient
         exceptions propagate immediately; a transient failure on the final
         attempt propagates as-is and counts as a giveup.
+
+        Retrying stops early — the current transient error propagates and
+        counts as a giveup — when the next backoff would overrun either
+        :attr:`max_elapsed` (cumulative requested sleep) or the ambient
+        :func:`~repro.io.resilience.current_deadline`'s remaining budget,
+        so a retry loop can never sleep through the very deadline its
+        caller is trying to meet.
         """
         stats = stats if stats is not None else RetryStats()
+        requested = 0.0
+        previous: float | None = None
         for attempt in range(self.max_attempts):
             stats.attempts += 1
             if recorder is not None:
@@ -132,7 +168,10 @@ class RetryPolicy:
             try:
                 return fn(*args, **kwargs)
             except TransientBackendError as exc:
-                if attempt + 1 >= self.max_attempts:
+                pause = self.delay(attempt, previous)
+                if attempt + 1 >= self.max_attempts or self._over_budget(
+                    requested + pause
+                ):
                     stats.giveups += 1
                     if recorder is not None:
                         recorder.add(IO_GIVEUPS)
@@ -144,7 +183,20 @@ class RetryPolicy:
                     recorder.event(EV_RETRY, attempt=attempt, error=str(exc))
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                pause = self.delay(attempt)
+                previous = pause
+                requested += pause
                 stats.slept += pause
                 self.sleep(pause)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _over_budget(self, requested_total: float) -> bool:
+        """Would sleeping up to ``requested_total`` break a budget?"""
+        if self.max_elapsed is not None and requested_total > self.max_elapsed:
+            return True
+        # Lazy import: resilience depends on nothing here, but importing it
+        # at module scope would make every retry user pay for the thread
+        # machinery it pulls in.
+        from repro.io.resilience import current_deadline
+
+        deadline = current_deadline()
+        return deadline is not None and requested_total > deadline.remaining()

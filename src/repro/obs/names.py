@@ -114,6 +114,46 @@ CACHE_HIT = "cache.hit"
 CACHE_MISS = "cache.miss"
 CACHE_EVICT = "cache.evict"
 
+# -- local-disk cache tier (keyed by (path,); see repro.io.diskcache) --------
+
+CACHE_DISK_HIT = "cache.disk_hit"
+CACHE_DISK_MISS = "cache.disk_miss"
+CACHE_DISK_EVICT = "cache.disk_evict"
+
+# -- remote object store (see repro.io.remote) -------------------------------
+
+#: Requests issued to the remote transport, keyed by (op,):
+#: "get", "get_range", "get_ranges", "put", "head", "list", "delete".
+REMOTE_REQUESTS = "remote.requests"
+#: Payload bytes moved over the transport, keyed by (op,).
+REMOTE_BYTES = "remote.bytes"
+#: Accumulated request cost in micro-units (1e-6 of the configured cost
+#: unit — integers keep counter sums exact), keyed by ().
+REMOTE_COST_MICRO = "remote.cost_micro"
+#: Simulated/observed seconds spent inside transport requests, keyed by ().
+REMOTE_TIME = "remote.time"
+#: Requests that exceeded their per-request timeout budget, keyed by ().
+REMOTE_TIMEOUTS = "remote.timeouts"
+#: Requests refused because the store was down (outage window), keyed by ().
+REMOTE_UNAVAILABLE = "remote.unavailable"
+
+# -- resilience layer (see repro.io.resilience) ------------------------------
+
+#: Circuit-breaker state transitions, keyed by (to_state,):
+#: "open", "half-open", "closed".
+BREAKER_TRANSITIONS = "breaker.transitions"
+#: Requests failed fast by an open breaker (no remote traffic), keyed by
+#: (path,).
+BREAKER_FAST_FAILS = "breaker.fast_fails"
+#: Hedged (second) requests launched after the latency trigger, keyed by ().
+HEDGE_LAUNCHED = "hedge.launched"
+#: Hedges whose second request finished first, keyed by ().
+HEDGE_WINS = "hedge.wins"
+#: Hedges whose primary won anyway (the hedge was wasted cost), keyed by ().
+HEDGE_WASTED = "hedge.wasted"
+#: Operations shed because the deadline had already expired, keyed by ().
+DEADLINE_SHED = "deadline.shed"
+
 # -- serving layer (spans / counters; see repro.serve) ----------------------
 
 #: One dispatched batch of admitted queries (span; args: width, queue_depth).
@@ -122,7 +162,7 @@ SPAN_SERVER_BATCH = "server.batch"
 #: Queries admitted, keyed by (client,).
 SERVER_QUERIES = "server.queries"
 #: Admission rejections, keyed by (reason,): "closed", "queue-full",
-#: "client-inflight", "client-bytes", "unknown-dataset".
+#: "client-inflight", "client-bytes", "unknown-dataset", "deadline".
 SERVER_REJECTED = "server.rejected"
 #: Batches dispatched, keyed by ().
 SERVER_BATCHES = "server.batches"
@@ -158,3 +198,9 @@ EV_REPAIR_ACTION = "repair.action"
 EV_GENERATION_COMMIT = "generation.commit"
 EV_CURRENT_FALLBACK = "generation.fallback"
 EV_SERVER_REJECT = "server.reject"
+#: Circuit-breaker state change (args: path, from, to, failures).
+EV_BREAKER_STATE = "breaker.state"
+#: A hedged second request was launched (args: path, op, waited_s).
+EV_HEDGE = "hedge.launch"
+#: An operation was shed because its deadline expired (args: path, op).
+EV_DEADLINE_SHED = "deadline.shed_op"

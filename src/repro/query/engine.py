@@ -45,7 +45,9 @@ import numpy as np
 from repro.domain.box import Box
 from repro.errors import (
     BackendError,
+    BreakerOpenError,
     DataChecksumError,
+    DeadlineExceededError,
     FormatError,
     QueryError,
     TransientBackendError,
@@ -263,6 +265,10 @@ class QueryResult:
 def _skip_reason(exc: Exception) -> str:
     if isinstance(exc, DataChecksumError):
         return "checksum"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, BreakerOpenError):
+        return "unavailable"
     if isinstance(exc, TransientBackendError):
         return "transient-exhausted"
     if isinstance(exc, BackendError):
@@ -812,6 +818,7 @@ class QueryEngine:
         recorder: Recorder | None = None,
         strict: bool | None = None,
         staged: StagedReads | None = None,
+        deadline=None,
     ) -> QueryResult:
         """Execute a plan.  ``exact=True`` filters particles to the plan's box.
 
@@ -835,10 +842,22 @@ class QueryEngine:
         :class:`StagedReads`).  Strict execution raises on the first (in
         plan order) unrecoverable error; non-strict skips the partition
         and logs it in the returned report.
+
+        ``deadline`` (a :class:`~repro.io.resilience.Deadline`, defaulting
+        to the caller's ambient one) bounds the whole execution: it is
+        re-entered *inside* each entry's task body — executor worker
+        threads do not inherit the caller's context — so the remote tier's
+        per-request budgets and retry loops see it, and an entry that
+        starts after expiry is shed before any I/O.  In non-strict mode a
+        shed entry becomes a skipped partition with reason ``"deadline"``;
+        breaker fast-fails likewise skip with reason ``"unavailable"``.
         """
+        from repro.io.resilience import current_deadline, deadline_scope
+
         self.check_generation(plan)
         recorder = recorder if recorder is not None else self.recorder
         strict = self.strict if strict is None else strict
+        deadline = deadline if deadline is not None else current_deadline()
         use_runs = exact and plan.box is not None
         entries: list[tuple[MetadataRecord, int]] = []
         runs_for: list[tuple[tuple[int, int], ...] | None] = []
@@ -862,12 +881,21 @@ class QueryEngine:
         mark = recorder.event_mark()
         try:
             with recorder.span(PHASE_FILE_IO, cat="read", files=plan.num_files):
+                def _entry_task(r, rec, count, runs, dest):
+                    if deadline is None:
+                        return self._read_entry_into(
+                            rec, count, runs, dest, r, strict, staged
+                        )
+                    with deadline_scope(deadline):
+                        deadline.check(f"read {rec.file_path!r}")
+                        return self._read_entry_into(
+                            rec, count, runs, dest, r, strict, staged
+                        )
+
                 tasks = [
                     (
                         lambda r, rec=rec, count=count, runs=runs, dest=dest:
-                        self._read_entry_into(
-                            rec, count, runs, dest, r, strict, staged
-                        )
+                        _entry_task(r, rec, count, runs, dest)
                     )
                     for (rec, count), runs, dest in zip(
                         entries,

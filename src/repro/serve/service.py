@@ -37,8 +37,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.dataset import Dataset, as_dataset
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import AdmissionError, DeadlineExceededError, ServiceError
+from repro.io.resilience import Deadline
 from repro.obs.names import (
+    DEADLINE_SHED,
+    EV_DEADLINE_SHED,
     EV_SERVER_REJECT,
     SERVER_BATCH_WIDTH,
     SERVER_BATCHES,
@@ -81,6 +84,7 @@ class _PendingQuery:
     where: dict[str, tuple[float, float]] | None
     exact: bool
     future: "Future[QueryResult]"
+    deadline: Deadline | None = None
     submitted: float = field(default_factory=time.monotonic)
 
 
@@ -148,6 +152,11 @@ class QueryService:
         self._batch_width_sum = 0
         self._ops_saved = 0
         self._staged_files = 0
+        self._drained = 0
+        self._cancelled = 0
+        #: dispatched batches (pool future + members) still possibly live;
+        #: close()'s force-cancel path needs to find stragglers.
+        self._batch_futures: list[tuple[Future, list[_PendingQuery]]] = []
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -173,31 +182,84 @@ class QueryService:
                 self._dispatcher.start()
         return self
 
-    def close(self) -> None:
-        """Stop admitting, drain every admitted query, release the workers.
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Stop admitting, drain admitted queries, release the workers.
 
         Clean-shutdown contract: every future obtained from :meth:`submit`
         before ``close`` is resolved (result or exception) by the time
-        ``close`` returns.
+        ``close`` returns.  With ``drain_timeout=None`` the drain blocks
+        until every admitted query has executed (the historical behaviour).
+        With a timeout, queries that have not finished within
+        ``drain_timeout`` seconds are **force-cancelled**: their futures
+        fail with :class:`~repro.errors.ServiceError` immediately — a dead
+        remote store can therefore never wedge shutdown.  Queries that
+        completed during the drain count as *drained*, force-failed ones
+        as *cancelled*; :meth:`stats` reports both.
         """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
             dispatcher = self._dispatcher
+            done_at_close = self._queries_done
             self._cond.notify_all()
         if dispatcher is not None:
-            dispatcher.join()
+            dispatcher.join(drain_timeout)
         else:
             # Never started: fail the queue rather than strand its futures.
-            with self._cond:
-                stranded = list(self._queue)
-                self._queue.clear()
-            for pending in stranded:
-                pending.future.set_exception(
-                    ServiceError("service closed before dispatch started")
+            self._cancel_all(
+                ServiceError("service closed before dispatch started")
+            )
+        if drain_timeout is None:
+            self._pool.shutdown(wait=True)
+        else:
+            # Bounded drain: give in-flight batches what is left of the
+            # budget, then cut every straggler loose.
+            stop = time.monotonic() + max(0.0, drain_timeout)
+            for fut, _batch in self._snapshot_batches():
+                remaining = stop - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    fut.exception(timeout=remaining)
+                except Exception:  # noqa: BLE001 — timeout or batch failure
+                    pass
+            self._cancel_all(
+                ServiceError(
+                    f"query cancelled: close() drain timeout "
+                    f"({drain_timeout}s) expired"
                 )
-        self._pool.shutdown(wait=True)
+            )
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        with self._cond:
+            self._drained += self._queries_done - done_at_close
+
+    def _snapshot_batches(self) -> list[tuple[Future, list[_PendingQuery]]]:
+        with self._cond:
+            return list(self._batch_futures)
+
+    def _cancel_all(self, exc: ServiceError) -> None:
+        """Fail every unresolved admitted query with ``exc`` (see close)."""
+        with self._cond:
+            queued = list(self._queue)
+            self._queue.clear()
+            batches = list(self._batch_futures)
+        for fut, batch in batches:
+            fut.cancel()  # keeps a not-yet-started batch from ever running
+            for pending in batch:
+                self._cancel(pending, exc)
+        for pending in queued:
+            self._cancel(pending, exc)
+
+    def _cancel(self, pending: _PendingQuery, exc: ServiceError) -> None:
+        with self._cond:
+            if pending.future.done():
+                return
+            self._inflight[pending.client] = max(
+                0, self._inflight.get(pending.client, 0) - 1
+            )
+            self._cancelled += 1
+            pending.future.set_exception(exc)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -222,6 +284,7 @@ class QueryService:
         attrs: tuple[str, ...] | list[str] | None = None,
         where: dict[str, tuple[float, float]] | None = None,
         exact: bool = True,
+        deadline_s: float | None = None,
     ) -> "Future[QueryResult]":
         """Admit one spatial query; returns a future of its
         :class:`~repro.query.engine.QueryResult`.
@@ -229,8 +292,28 @@ class QueryService:
         Admission is all-or-nothing and synchronous: on return the query
         is queued for the batching window, or an
         :class:`~repro.errors.AdmissionError` was raised (and counted).
+
+        ``deadline_s`` gives the query an end-to-end budget: a budget the
+        service knows it cannot meet (it does not even cover the batching
+        window) is shed *at admission* with reason ``"deadline"``; an
+        admitted deadline rides the query into the engine, where the
+        remote tier's per-request timeouts, retries, and degraded reads
+        all honour it.  A deadline that expires while the query waits in
+        the queue fails that query's future with
+        :class:`~repro.errors.DeadlineExceededError` at dispatch.
         """
         client = str(client)
+        deadline: Deadline | None = None
+        if deadline_s is not None:
+            if deadline_s <= self.batch_window:
+                raise self._reject(
+                    client,
+                    "deadline",
+                    f"deadline of {deadline_s * 1e3:.1f} ms cannot be met: "
+                    f"it does not cover the {self.batch_window * 1e3:.1f} ms "
+                    "batching window",
+                )
+            deadline = Deadline.after(deadline_s)
         with self._cond:
             if self._closed:
                 raise self._reject(client, "closed", "service is closed")
@@ -280,6 +363,7 @@ class QueryService:
                 where=dict(where) if where else None,
                 exact=exact,
                 future=Future(),
+                deadline=deadline,
             )
             self._inflight[client] = self._inflight.get(client, 0) + 1
             self.recorder.add(SERVER_QUERIES, 1, key=(client,))
@@ -313,7 +397,12 @@ class QueryService:
                     self._queue.popleft()
                     for _ in range(min(depth, self.max_batch))
                 ]
-            self._pool.submit(self._run_batch, batch, depth)
+            fut = self._pool.submit(self._run_batch, batch, depth)
+            with self._cond:
+                self._batch_futures = [
+                    (f, b) for f, b in self._batch_futures if not f.done()
+                ]
+                self._batch_futures.append((fut, batch))
 
     def _run_batch(self, batch: list[_PendingQuery], depth: int) -> None:
         try:
@@ -345,6 +434,21 @@ class QueryService:
             # future and drops it from the batch.
             planned: list[tuple[_PendingQuery, Any]] = []
             for pending in batch:
+                if pending.deadline is not None and pending.deadline.expired():
+                    # Expired while queued: shed before any planning or I/O.
+                    self.recorder.add(DEADLINE_SHED, 1)
+                    self.recorder.event(
+                        EV_DEADLINE_SHED, path=pending.dataset, op="serve"
+                    )
+                    self._finish(
+                        pending,
+                        None,
+                        DeadlineExceededError(
+                            f"deadline of {pending.deadline.total_s * 1e3:.0f} "
+                            "ms expired while the query was queued"
+                        ),
+                    )
+                    continue
                 engine = self._datasets[pending.dataset].engine()
                 try:
                     plan = engine.plan_box(
@@ -377,7 +481,11 @@ class QueryService:
                     child = self.recorder.child()
                     try:
                         result = engine.run(
-                            plan, pending.exact, recorder=child, staged=staged
+                            plan,
+                            pending.exact,
+                            recorder=child,
+                            staged=staged,
+                            deadline=pending.deadline,
                         )
                     except Exception as exc:  # noqa: BLE001
                         self.recorder.merge(child)
@@ -401,11 +509,19 @@ class QueryService:
         result: QueryResult | None,
         error: Exception | None,
     ) -> None:
-        """Resolve one query's future and settle its admission accounting."""
+        """Resolve one query's future and settle its admission accounting.
+
+        The future is resolved under the service lock so this can never
+        race :meth:`_cancel` (close's force-cancel path); a query that was
+        already cancelled is a no-op here — its accounting settled when it
+        was cancelled.
+        """
         nbytes = (
             int(result.batch.data.nbytes) if result is not None else 0
         )
         with self._cond:
+            if pending.future.done():
+                return  # force-cancelled by close(); already settled
             self._inflight[pending.client] = max(
                 0, self._inflight.get(pending.client, 0) - 1
             )
@@ -415,15 +531,15 @@ class QueryService:
                 )
             self._queries_done += 1
             self._latencies.append(time.monotonic() - pending.submitted)
+            if error is not None:
+                pending.future.set_exception(error)
+            else:
+                assert result is not None
+                pending.future.set_result(result)
         if nbytes:
             self.recorder.add(
                 SERVER_CLIENT_BYTES, nbytes, key=(pending.client,)
             )
-        if error is not None:
-            pending.future.set_exception(error)
-        else:
-            assert result is not None
-            pending.future.set_result(result)
 
     # -- introspection -------------------------------------------------------
 
@@ -451,6 +567,8 @@ class QueryService:
                 "p50_latency_s": self._percentile(latencies, 0.50),
                 "p99_latency_s": self._percentile(latencies, 0.99),
                 "client_bytes": dict(self._client_bytes),
+                "drained": self._drained,
+                "cancelled": self._cancelled,
             }
 
     def __repr__(self) -> str:

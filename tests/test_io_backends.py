@@ -176,3 +176,66 @@ class TestPosixSpecific:
     def test_listdir_missing_raises(self, tmp_path):
         with pytest.raises(BackendError):
             PosixBackend(tmp_path).listdir("missing")
+
+
+class TestCachingBackendEpochs:
+    """Store-after-invalidate: a write that interleaves with an in-flight
+    read must keep the pre-write bytes out of the cache (see the epoch
+    guard in :mod:`repro.io.cache`)."""
+
+    def test_concurrent_writer_cannot_recache_stale_bytes(self):
+        import threading
+
+        from repro.io import CachingBackend
+
+        entered = threading.Event()
+        gate = threading.Event()
+
+        class GatedBackend(VirtualBackend):
+            """Snapshots the answer, then stalls until the writer lands."""
+
+            def read_range(self, path, offset, length, actor=-1):
+                data = super().read_range(path, offset, length, actor=actor)
+                entered.set()
+                gate.wait(5.0)
+                return data
+
+        base = GatedBackend()
+        base.write_file("f", b"old-old-old")
+        cache = CachingBackend(base, max_bytes=1 << 20)
+        got: dict[str, bytes] = {}
+        reader = threading.Thread(
+            target=lambda: got.update(r=cache.read_range("f", 0, 7))
+        )
+        reader.start()
+        assert entered.wait(5.0)
+        cache.write_file("f", b"new-new-new")  # invalidates mid-read
+        gate.set()
+        reader.join(5.0)
+        # The in-flight read observed the pre-write world -- fine -- but
+        # its result must not have been cached behind the write.
+        assert got["r"] == b"old-old"
+        assert cache.cached_bytes == 0
+        assert cache.read_range("f", 0, 7) == b"new-new"
+
+    def test_epoch_guard_survives_eviction_pressure(self):
+        from repro.io import CachingBackend
+
+        base = VirtualBackend()
+        for i in range(6):
+            base.write_file(f"f{i}", bytes([i]) * 40)
+        cache = CachingBackend(base, max_bytes=100)
+        for i in range(6):
+            cache.read_file(f"f{i}")
+        assert cache.evictions == 4
+        assert cache.cached_bytes == 80
+        # Invalidating an already-evicted path is a harmless no-op.
+        cache.write_file("f0", b"zz")
+        assert cache.read_file("f0") == b"zz"
+        # The guard still rejects a stale store for a surviving path even
+        # while evictions churn the LRU.
+        epoch = cache._epoch("f5")
+        stale = base.read_file("f5")
+        cache.write_file("f5", b"fresh!")
+        cache._store(("file", "f5"), "f5", stale, epoch)
+        assert cache.read_file("f5") == b"fresh!"

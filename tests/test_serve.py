@@ -405,3 +405,48 @@ class TestStalePlan:
         # Replanning against the new generation works.
         fresh = engine.plan_box(BOXES[0])
         engine.run(fresh, True)
+
+
+class TestDeadlineAdmission:
+    """The "deadline" admission reason and queued-deadline shedding
+    (satellites of the resilience layer; see repro.io.resilience)."""
+
+    def test_unmeetable_deadline_rejected_at_admission(self):
+        backend = _row_backend()
+        with QueryService(
+            Dataset.open(backend), batch_window=0.05, autostart=False
+        ) as service:
+            with pytest.raises(AdmissionError) as exc:
+                service.submit(BOXES[0], deadline_s=0.01)
+            assert exc.value.reason == "deadline"
+            assert service.recorder.value(SERVER_REJECTED, ("deadline",)) == 1
+            service.start()
+
+    def test_deadline_expiring_in_queue_fails_that_future(self):
+        from repro.errors import DeadlineExceededError
+        from repro.obs.names import DEADLINE_SHED
+
+        backend = _row_backend()
+        service = QueryService(
+            Dataset.open(backend), batch_window=0.0, autostart=False
+        )
+        doomed = service.submit(BOXES[0], deadline_s=0.05)
+        healthy = service.submit(BOXES[1])
+        time.sleep(0.1)  # the queued deadline lapses before dispatch
+        service.start()
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=60)
+        assert healthy.result(timeout=60).batch.data is not None
+        service.close()
+        assert service.recorder.total(DEADLINE_SHED) == 1
+
+    def test_close_drain_accounting(self):
+        backend = _row_backend()
+        service = QueryService(Dataset.open(backend), autostart=False)
+        futures = [service.submit(box) for box in BOXES[:3]]
+        service.start()
+        service.close(drain_timeout=60.0)
+        assert all(f.done() and f.exception() is None for f in futures)
+        stats = service.stats()
+        assert stats["drained"] == 3
+        assert stats["cancelled"] == 0
