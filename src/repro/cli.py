@@ -168,10 +168,17 @@ def _print_remote_stats(transport) -> None:
     print(f"remote time     : {transport.virtual_time_s * 1e3:.1f} ms simulated")
 
 
+def _executor(args: argparse.Namespace):
+    """The executor the ``--workers`` / ``--process-pool`` flags select."""
+    from repro.io.executor import executor_for
+
+    mode = "process" if getattr(args, "process_pool", False) else "thread"
+    return executor_for(args.workers, mode=mode)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
     from repro.domain.box import Box
-    from repro.io.executor import executor_for
     from repro.io.resilience import Deadline, deadline_scope
 
     transport = None
@@ -182,7 +189,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         target, cache_bytes = args.dataset, int(args.cache_mb * 2**20)
     reader = Dataset.open(
         target,
-        executor=executor_for(args.workers),
+        executor=_executor(args),
         cache_bytes=cache_bytes,
     ).reader()
     box = Box(args.box[:3], args.box[3:])
@@ -273,9 +280,8 @@ def _cmd_write(args: argparse.Namespace) -> int:
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
-    from repro.io.executor import executor_for
 
-    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    ds = Dataset(args.dataset, executor=_executor(args))
     report = ds.scrub()
     for line in report.summary_lines():
         print(line)
@@ -284,10 +290,9 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 
 def _cmd_repair(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
-    from repro.io.executor import executor_for
     from repro.series.index import SERIES_INDEX_PATH
 
-    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    ds = Dataset(args.dataset, executor=_executor(args))
     if ds.backend.exists(SERIES_INDEX_PATH):
         from repro.core.repair import repair_series
 
@@ -302,9 +307,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 def _cmd_compact(args: argparse.Namespace) -> int:
     from repro.core.compact import compact_dataset
     from repro.dataset import Dataset
-    from repro.io.executor import executor_for
 
-    ds = Dataset(args.dataset, executor=executor_for(args.workers))
+    ds = Dataset(args.dataset, executor=_executor(args))
     report = compact_dataset(
         ds,
         target_files=args.target_files,
@@ -325,7 +329,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
     from repro.domain.box import Box
     from repro.errors import AdmissionError, DeadlineExceededError
-    from repro.io.executor import executor_for
     from repro.serve import ClientQuota, QueryService
 
     transport = None
@@ -337,7 +340,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ds = Dataset.open(
         target,
         strict=not args.degraded,
-        executor=executor_for(args.workers),
+        executor=_executor(args),
         cache_bytes=cache_bytes,
     )
     domain = ds.domain()
@@ -468,12 +471,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         # Existing dataset: trace a full instrumented read.
         from repro.dataset import Dataset
         from repro.domain.box import Box
-        from repro.io.executor import executor_for
 
         ds = Dataset(
             backend,
             strict=False,
-            executor=executor_for(args.workers),
+            executor=_executor(args),
             cache_bytes=int(args.cache_mb * 2**20),
         )
         # Re-attach through the facade's backend so a cache wrapper's
@@ -580,6 +582,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "ordinals in [START, STOP) (with --remote)")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file reads (1 = serial)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="run CRC+decode in worker processes instead of "
+                        "threads (escapes the GIL; needs --workers > 1)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("write", help="write a synthetic dataset")
@@ -602,6 +607,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file verification (1 = serial)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="verify in worker processes instead of threads")
     p.set_defaults(func=_cmd_scrub)
 
     p = sub.add_parser(
@@ -613,6 +620,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the repair plan without writing anything")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent per-file repair work (1 = serial)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="repair in worker processes instead of threads")
     p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser(
@@ -624,6 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the compaction plan without writing anything")
     p.add_argument("--workers", type=int, default=1,
                    help="concurrent read work during the merge (1 = serial)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="read in worker processes instead of threads")
     p.add_argument("--target-files", type=int, default=None,
                    help="consolidated file count (default: files/8, min 1)")
     p.add_argument("--keep", type=int, default=2,
@@ -649,6 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-client inflight quota (0 = unlimited)")
     p.add_argument("--workers", type=int, default=4,
                    help="service worker threads (default 4)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="per-file reads in worker processes instead of "
+                        "threads")
     p.add_argument("--cache-mb", type=float, default=0.0,
                    help="shared block-cache budget in MiB (0 disables)")
     p.add_argument("--remote", action="store_true",
@@ -703,6 +717,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="read mode: concurrent per-file reads (1 = serial)")
+    p.add_argument("--process-pool", action="store_true",
+                   help="read mode: worker processes instead of threads")
     p.set_defaults(func=_cmd_trace)
     return parser
 

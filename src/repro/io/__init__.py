@@ -39,6 +39,8 @@ from repro.io.cache import CachingBackend
 from repro.io.diskcache import DiskCacheBackend
 from repro.io.executor import (
     IoExecutor,
+    ProcessExecutor,
+    ProcessTask,
     SerialExecutor,
     TaskOutcome,
     ThreadedExecutor,
@@ -84,6 +86,8 @@ __all__ = [
     "IoExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "ProcessTask",
     "TaskOutcome",
     "executor_for",
     "Transport",

@@ -61,6 +61,18 @@ class FileBackend(ABC):
         """
         self.recorder = recorder
 
+    def process_clone(self):
+        """A picklable read-equivalent of this backend, or ``None``.
+
+        The process executor ships reads to worker processes only when the
+        backend can describe itself picklably; ``None`` (the default) means
+        "keep my reads in this process" and callers degrade to threads.
+        Stateful wrappers (caches, fault injectors, remote stacks) must
+        stay at the default — their in-memory state cannot follow the
+        clone.
+        """
+        return None
+
     # -- instrumentation helpers (no-ops without an attached recorder) ------
 
     def _note_open(self, path: str) -> None:

@@ -55,26 +55,91 @@ submitting, so recursion can never deadlock the pool waiting on itself.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.names import SPAN_EXECUTOR_RUN
 from repro.obs.recorder import Recorder
 
 __all__ = [
     "IoTask",
+    "ProcessTask",
     "TaskOutcome",
     "IoExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "executor_for",
 ]
 
 #: One independent unit of I/O work: called with its private child recorder.
 IoTask = Callable[[Recorder], Any]
+
+
+class ProcessTask:
+    """A task that can ship to a worker *process* (or run locally).
+
+    Serial and threaded executors simply call the task — ``local`` runs in
+    this process exactly like any plain :data:`IoTask`.  The
+    :class:`ProcessExecutor` instead pickles ``(fn, payload)`` to a worker
+    process: ``fn`` must be a module-level callable
+    ``fn(payload, recorder) -> value`` whose payload and return value are
+    picklable; the worker's recorder is shipped back as a snapshot and
+    absorbed into a child recorder parent-side, preserving the
+    merge-in-submission-order obs contract.  ``finish`` (optional) runs on
+    the parent after the worker returns — the hook a caller uses to copy a
+    shared-memory result into its destination buffer.
+
+    A ``ProcessTask`` whose payload turns out to be unpicklable degrades
+    to its ``local`` form, so shipping is an optimisation, never a
+    behaviour change.
+    """
+
+    __slots__ = ("local", "fn", "payload", "finish")
+
+    def __init__(
+        self,
+        local: IoTask,
+        fn: Callable[[Any, Recorder], Any],
+        payload: Any,
+        finish: Callable[[Any], Any] | None = None,
+    ):
+        self.local = local
+        self.fn = fn
+        self.payload = payload
+        self.finish = finish
+
+    def __call__(self, recorder: Recorder) -> Any:
+        return self.local(recorder)
+
+
+def _process_child(
+    fn: Callable[[Any, Recorder], Any], payload: Any, rank: int
+) -> tuple[Any, tuple, Exception | None]:
+    """Worker-process shim: run ``fn`` against a fresh recorder.
+
+    Returns ``(value, recorder_snapshot, error)`` — all picklable — so the
+    parent can rebuild the exact child-recorder stream a local run would
+    have produced.
+    """
+    recorder = Recorder(rank=rank)
+    try:
+        value = fn(payload, recorder)
+    except Exception as exc:  # noqa: BLE001 — error policy is the caller's
+        return None, recorder.snapshot(), exc
+    return value, recorder.snapshot(), None
 
 
 @dataclass
@@ -110,6 +175,26 @@ def _run_one(index: int, task: IoTask, parent: Recorder) -> TaskOutcome:
 class IoExecutor(ABC):
     """Executes a batch of independent I/O tasks; see the module docstring."""
 
+    #: Display/span label: "serial" | "thread" | "process".
+    mode: str = "serial"
+
+    def _run_span(self, recorder: Recorder, tasks: int, queue_depth: int):
+        """The per-batch ``executor.run`` span (queue-depth observability).
+
+        Every executor emits exactly one span per non-empty batch, on the
+        *caller's* thread, so serial and parallel runs stay span-stream
+        parallel; the args carry what differs (worker count, in-flight
+        window, mode).
+        """
+        return recorder.span(
+            SPAN_EXECUTOR_RUN,
+            cat="executor",
+            tasks=tasks,
+            workers=getattr(self, "max_workers", 1),
+            queue_depth=queue_depth,
+            mode=self.mode,
+        )
+
     @abstractmethod
     def run(
         self,
@@ -136,6 +221,8 @@ class IoExecutor(ABC):
 class SerialExecutor(IoExecutor):
     """Tasks run inline, one at a time, on the calling thread."""
 
+    mode = "serial"
+
     def run(
         self,
         tasks: Sequence[IoTask],
@@ -143,15 +230,19 @@ class SerialExecutor(IoExecutor):
         fail_fast: bool = False,
     ) -> list[TaskOutcome]:
         tasks = list(tasks)
+        if not tasks:
+            return []
         outcomes: list[TaskOutcome] = []
-        for index, task in enumerate(tasks):
-            outcome = _run_one(index, task, recorder)
-            outcomes.append(outcome)
-            if fail_fast and outcome.error is not None:
-                outcomes.extend(
-                    TaskOutcome(i, ran=False) for i in range(index + 1, len(tasks))
-                )
-                break
+        with self._run_span(recorder, len(tasks), 1):
+            for index, task in enumerate(tasks):
+                outcome = _run_one(index, task, recorder)
+                outcomes.append(outcome)
+                if fail_fast and outcome.error is not None:
+                    outcomes.extend(
+                        TaskOutcome(i, ran=False)
+                        for i in range(index + 1, len(tasks))
+                    )
+                    break
         return outcomes
 
     def __repr__(self) -> str:
@@ -173,6 +264,8 @@ class ThreadedExecutor(IoExecutor):
     caller's window.  :meth:`shutdown` joins the pool; the next run
     recreates it.
     """
+
+    mode = "thread"
 
     def __init__(self, max_workers: int = 4, max_inflight: int | None = None):
         if max_workers < 1:
@@ -234,26 +327,30 @@ class ThreadedExecutor(IoExecutor):
         next_index = 0
         pending: dict[Future[TaskOutcome], int] = {}
         try:
-            while True:
-                while (
-                    next_index < len(tasks)
-                    and len(pending) < self.max_inflight
-                    and not (fail_fast and failed)
-                ):
-                    future = pool.submit(
-                        self._run_in_worker, next_index, tasks[next_index], recorder
-                    )
-                    pending[future] = next_index
-                    next_index += 1
-                if not pending:
-                    break
-                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
-                for future in done:
-                    pending.pop(future)
-                    outcome = future.result()
-                    outcomes[outcome.index] = outcome
-                    if outcome.error is not None:
-                        failed = True
+            with self._run_span(recorder, len(tasks), self.max_inflight):
+                while True:
+                    while (
+                        next_index < len(tasks)
+                        and len(pending) < self.max_inflight
+                        and not (fail_fast and failed)
+                    ):
+                        future = pool.submit(
+                            self._run_in_worker,
+                            next_index,
+                            tasks[next_index],
+                            recorder,
+                        )
+                        pending[future] = next_index
+                        next_index += 1
+                    if not pending:
+                        break
+                    done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        pending.pop(future)
+                        outcome = future.result()
+                        outcomes[outcome.index] = outcome
+                        if outcome.error is not None:
+                            failed = True
         finally:
             # Never leave this call's futures running loose on the shared
             # pool (a BaseException — e.g. KeyboardInterrupt — in the loop
@@ -282,11 +379,202 @@ class ThreadedExecutor(IoExecutor):
         )
 
 
-def executor_for(workers: int) -> IoExecutor:
+class ProcessExecutor(IoExecutor):
+    """A process pool that ships :class:`ProcessTask` descriptors off-GIL.
+
+    CRC verification and columnar decode of large payloads are CPU work
+    that Python threads serialise on the GIL; a worker *process* runs them
+    truly in parallel.  The price is transport: tasks must describe their
+    work as picklable ``(fn, payload)`` descriptors, and results come back
+    by value (callers use shared memory for bulk data — see
+    :meth:`repro.query.engine.QueryEngine.run`).
+
+    The determinism contract is identical to :class:`ThreadedExecutor`:
+    outcomes in submission order, a bounded in-flight window, per-task
+    child recorders (rebuilt from worker-side snapshots) merged by the
+    caller in submission order, and fail-fast leaving unstarted tasks
+    ``ran=False``.
+
+    Graceful degradation, in order:
+
+    * a batch containing any plain (non-:class:`ProcessTask`) task runs
+      entirely on an internal :class:`ThreadedExecutor` — callers that
+      cannot describe their work picklably lose nothing;
+    * a platform without the ``fork`` start method (worker processes
+      inherit loaded modules and need no re-import) likewise falls back
+      to threads;
+    * a single task whose payload fails to pickle at submission runs its
+      ``local`` form inline, in submission-order position.
+
+    A broken pool (a worker killed mid-batch) fails the affected tasks'
+    outcomes and is discarded; the next :meth:`run` starts a fresh pool.
+    """
+
+    mode = "process"
+
+    def __init__(self, max_workers: int = 4, max_inflight: int | None = None):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.max_inflight = (
+            int(max_inflight) if max_inflight is not None else 2 * self.max_workers
+        )
+        if self.max_inflight < self.max_workers:
+            raise ValueError(
+                f"max_inflight ({self.max_inflight}) must be >= max_workers "
+                f"({self.max_workers})"
+            )
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._fallback = ThreadedExecutor(
+            max_workers=self.max_workers, max_inflight=self.max_inflight
+        )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        with self._pool_lock:
+            if self._pool is None:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers, mp_context=ctx
+                    )
+                except (ValueError, OSError):
+                    return None
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _consume(
+        self, future: Future, task: ProcessTask, index: int, recorder: Recorder
+    ) -> TaskOutcome:
+        """Turn one worker result into a TaskOutcome with a rebuilt child."""
+        child = recorder.child()
+        try:
+            value, snap, error = future.result()
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            return TaskOutcome(index, error=exc, recorder=child)
+        except Exception:  # noqa: BLE001 — transport, not task, failure
+            # The worker shim catches task exceptions and returns them as
+            # values, so anything *raised* here is transport-level: the
+            # payload (or result) failed to pickle and ``fn`` may never
+            # have run.  Shipping is an optimisation — fall back to the
+            # task's local form, in submission-order position.
+            return _run_one(index, task, recorder)
+        child.absorb(snap)
+        if error is not None:
+            return TaskOutcome(index, error=error, recorder=child)
+        if task.finish is not None:
+            try:
+                value = task.finish(value)
+            except Exception as exc:  # noqa: BLE001
+                return TaskOutcome(index, error=exc, recorder=child)
+        return TaskOutcome(index, value=value, recorder=child)
+
+    def run(
+        self,
+        tasks: Sequence[IoTask],
+        recorder: Recorder,
+        fail_fast: bool = False,
+    ) -> list[TaskOutcome]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if not all(isinstance(t, ProcessTask) for t in tasks):
+            return self._fallback.run(tasks, recorder, fail_fast)
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._fallback.run(tasks, recorder, fail_fast)
+        outcomes: list[TaskOutcome] = [
+            TaskOutcome(i, ran=False) for i in range(len(tasks))
+        ]
+        failed = False
+        next_index = 0
+        pending: dict[Future, int] = {}
+        try:
+            with self._run_span(recorder, len(tasks), self.max_inflight):
+                while True:
+                    while (
+                        next_index < len(tasks)
+                        and len(pending) < self.max_inflight
+                        and not (fail_fast and failed)
+                    ):
+                        index = next_index
+                        task = tasks[index]
+                        next_index += 1
+                        try:
+                            future = pool.submit(
+                                _process_child,
+                                task.fn,
+                                task.payload,
+                                recorder.rank,
+                            )
+                        except Exception:  # noqa: BLE001 — unpicklable payload
+                            # Inline degradation: run the local form now, in
+                            # submission-order position.
+                            outcome = _run_one(index, task, recorder)
+                            outcomes[index] = outcome
+                            if outcome.error is not None:
+                                failed = True
+                            continue
+                        pending[future] = index
+                    if not pending:
+                        break
+                    done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        outcome = self._consume(
+                            future, tasks[index], index, recorder
+                        )
+                        outcomes[index] = outcome
+                        if outcome.error is not None:
+                            failed = True
+        finally:
+            # Drain this call's in-flight futures so a BaseException in the
+            # loop above never leaves orphaned work racing a sibling caller.
+            if pending:
+                for future in pending:
+                    future.cancel()
+                done, _ = wait(set(pending))
+                for future in done:
+                    if future.cancelled():
+                        continue
+                    index = pending[future]
+                    outcomes[index] = self._consume(
+                        future, tasks[index], index, recorder
+                    )
+        return outcomes
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self._fallback.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessExecutor(max_workers={self.max_workers}, "
+            f"max_inflight={self.max_inflight})"
+        )
+
+
+def executor_for(workers: int, mode: str = "thread") -> IoExecutor:
     """The executor a worker count selects (the ``--workers`` CLI mapping).
 
-    ``workers <= 1`` is serial — a one-thread pool only adds overhead.
+    ``workers <= 1`` is serial — a one-worker pool only adds overhead.
+    ``mode`` selects the pool flavour above that: ``"thread"`` (default)
+    for I/O-bound overlap, ``"process"`` (the ``--process-pool`` CLI flag)
+    to move CRC+decode of large payloads off the GIL.
     """
+    if mode not in ("thread", "process"):
+        raise ValueError(f"unknown executor mode {mode!r}")
     if workers <= 1:
         return SerialExecutor()
+    if mode == "process":
+        return ProcessExecutor(max_workers=workers)
     return ThreadedExecutor(max_workers=workers)

@@ -40,6 +40,14 @@ from repro.obs.recorder import Recorder
 __all__ = ["RetryPolicy", "RetryStats"]
 
 
+def _no_sleep(_s: float) -> None:
+    """The :meth:`RetryPolicy.immediate` sleep: record the request, never wait.
+
+    A module-level function (not a lambda) so immediate policies stay
+    picklable — the process executor ships the retry policy to workers.
+    """
+
+
 @dataclass
 class RetryStats:
     """Mutable counters a policy fills in across one logical operation set."""
@@ -111,7 +119,7 @@ class RetryPolicy:
             max_attempts=max_attempts,
             backoff_base=0.0,
             seed=seed,
-            sleep=lambda _s: None,
+            sleep=_no_sleep,
         )
 
     def delay(self, attempt: int, previous: float | None = None) -> float:

@@ -108,6 +108,28 @@ GEN_COMMITS = "generation.commits"
 #: keyed by ().
 GEN_FALLBACKS = "generation.fallbacks"
 
+# -- raw-speed read path (keyed by (path,); see repro.io.posix) --------------
+
+#: Read ops served zero-copy from a pooled mmap view.
+IO_MMAP_HITS = "io.mmap_hit"
+#: Read ops that fell back to fd-based ``pread``/``preadv`` (file too large
+#: for the mapping budget, empty file, or mmap disabled).
+IO_MMAP_MISSES = "io.mmap_miss"
+#: Open handles reused from the backend's LRU pool (the saved ``open``
+#: syscalls satellite — every reuse is one open the legacy path would pay).
+IO_HANDLE_REUSES = "io.handle_reuse"
+
+# -- decode path (keyed by (path,); see repro.query.engine) ------------------
+
+#: Coalesced runs/segment groups decoded as single vectorized passes
+#: (one numpy frombuffer+reshape instead of a per-chunk Python loop).
+DECODE_VECTORIZED_RUNS = "decode.vectorized_runs"
+
+# -- executor (span; see repro.io.executor) ----------------------------------
+
+#: One executor batch (span; args: tasks, workers, queue_depth, mode).
+SPAN_EXECUTOR_RUN = "executor.run"
+
 # -- block cache counters (keyed by (path,); see repro.io.cache) ------------
 
 CACHE_HIT = "cache.hit"

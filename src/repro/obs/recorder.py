@@ -270,6 +270,29 @@ class Recorder:
         """
         return Recorder(rank=self.rank, clock=self._clock)
 
+    def snapshot(self) -> tuple[list[Span], list[Event], dict[tuple[str, Key], float]]:
+        """A picklable image of everything recorded so far.
+
+        :class:`Span`/:class:`Event` are frozen dataclasses of plain
+        values, so the snapshot crosses process boundaries — this is how
+        the process executor ships a worker's child recorder back to the
+        parent (:meth:`absorb` on the receiving side).  The recorder
+        itself is *not* picklable (it holds a lock and thread-local span
+        stacks); snapshots are the transport format.
+        """
+        with self._lock:
+            return (list(self.spans), list(self.events), dict(self._counters))
+
+    def absorb(self, snap) -> "Recorder":
+        """Fold a :meth:`snapshot` into this recorder in place."""
+        spans, events, counters = snap
+        with self._lock:
+            self.spans.extend(spans)
+            self.events.extend(events)
+            for cell, v in counters.items():
+                self._counters[cell] = self._counters.get(cell, 0.0) + v
+        return self
+
     def merge(self, other: "Recorder") -> "Recorder":
         """Fold ``other`` into this recorder in place; returns ``self``.
 

@@ -60,6 +60,7 @@ from repro.format.datafile import (
 )
 from repro.format.metadata import MetadataRecord
 from repro.obs.names import (
+    DECODE_VECTORIZED_RUNS,
     EV_CHUNK_SKIPPED,
     EV_PARTITION_READ,
     EV_PARTITION_SKIPPED,
@@ -408,6 +409,237 @@ class StagedReads:
         )
 
 
+def verify_prefix(
+    path: str, data, recorder: Recorder, checksum_entry: dict | None
+) -> None:
+    """Check a prefix read against the manifest's per-LOD checksums.
+
+    Ranged reads never see the v2 file footer, so this is the only
+    integrity check they get.  Verification happens when the read count
+    lands exactly on a recorded LOD boundary (checksums are prefix CRCs
+    — they cannot verify arbitrary lengths).  ``data`` is the decoded
+    particle array (or a :class:`ParticleBatch`); the CRC streams over
+    its contiguous byte view, so no copy of the payload is made.
+    """
+    if not checksum_entry:
+        return
+    arr = data.data if isinstance(data, ParticleBatch) else data
+    for rec_count, rec_crc in checksum_entry.get("prefixes", ()):
+        if rec_count == len(arr):
+            actual = zlib.crc32(np.ascontiguousarray(arr).view(np.uint8))
+            if actual != int(rec_crc):
+                raise DataChecksumError(
+                    f"{path}: prefix of {len(arr)} particles has "
+                    f"CRC32 {actual:#010x}, manifest records "
+                    f"{int(rec_crc):#010x}"
+                )
+            recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(arr))
+            return
+
+
+def read_entry_into(
+    backend,
+    dtype: np.dtype,
+    rec: MetadataRecord,
+    count: int,
+    runs: tuple[tuple[int, int], ...] | None,
+    dest: np.ndarray,
+    recorder: Recorder,
+    strict: bool,
+    retry,
+    actor: int,
+    index,
+    checksum_entry: dict | None,
+    staged: StagedReads | None = None,
+) -> int:
+    """Read one plan entry directly into its slice of the result.
+
+    The module-level core of :meth:`QueryEngine.run`'s per-entry task:
+    everything it needs arrives as arguments (backend, dtype, the entry's
+    memoized chunk ``index``, the manifest ``checksum_entry`` for prefix
+    verification), so the *same* function serves the serial path, executor
+    worker threads, and — because every argument is picklable — worker
+    *processes* (see the engine's process-task descriptors).
+
+    ``dest`` is the entry's preallocated destination (sized to ``count``
+    particles, or to the run total when ``runs`` prunes the file); the
+    whole multi-op read runs under one retry call so a transient fault
+    costs exactly one retry, as on the legacy one-op path.  ``recorder``
+    is the entry's child recorder when run on an executor; retry and
+    verification events land there and are merged back in plan order by
+    :meth:`QueryEngine.run`.  Returns the particles delivered.
+
+    ``dest`` may carry a *projected* dtype (a field subset of the file
+    dtype).  Columnar (v4) files then fetch only the projected columns'
+    segments; row files read whole records into a scratch buffer and
+    copy the projected fields out.  Columnar files are detected by the
+    chunk index carrying a codec and always route through
+    :func:`read_columnar_runs_into` — in non-strict mode that read can
+    *degrade at chunk granularity*: surviving chunks are packed at the
+    head of ``dest``, each lost chunk is logged as an
+    ``EV_CHUNK_SKIPPED`` event, and the packed count is returned.
+
+    With ``staged`` (cross-query batching), the stage is consulted
+    first: a hit scatters the decoded particles out of the shared
+    batch buffer and performs zero backend I/O.  Vectorized decode
+    accounting lands on ``recorder`` as ``decode.vectorized_runs``
+    (coalesced extents for columnar files, gathered runs for row files),
+    keyed by path.
+    """
+    if runs is not None and not runs:
+        return 0  # file intersects the box, but no chunk does
+    if staged is not None:
+        got = staged.fetch(rec, count, runs, dest)
+        if got is not None:
+            return got
+    if index is not None and index.codec is not None:
+        # Columnar file: runs and whole-file reads are chunk-aligned by
+        # construction.  LOD prefix counts are apportioned globally and
+        # can land mid-chunk, so a prefix read rounds up to the covering
+        # chunk boundary, decodes into a scratch, and trims.
+        prefix = runs is None and count < rec.particle_count
+        if prefix:
+            if count == 0:
+                return 0
+            ends = np.asarray(index.starts) + np.asarray(index.counts)
+            pos = int(np.searchsorted(ends, count, side="left"))
+            aligned = int(ends[min(pos, len(ends) - 1)])
+            eff_runs: tuple[tuple[int, int], ...] = ((0, aligned),)
+            target = np.empty(aligned, dtype=dest.dtype)
+        else:
+            eff_runs = runs if runs is not None else ((0, count),)
+            target = dest
+        skipped: list[tuple[int, str, str]] = []
+        decode_stats: dict = {}
+        got = retry.call(
+            read_columnar_runs_into,
+            backend,
+            rec.file_path,
+            dtype,
+            index,
+            eff_runs,
+            target,
+            actor=actor,
+            strict=strict,
+            skipped=skipped,
+            decode_stats=decode_stats,
+            recorder=recorder,
+        )
+        if decode_stats.get("vectorized_runs"):
+            recorder.add(
+                DECODE_VECTORIZED_RUNS,
+                decode_stats["vectorized_runs"],
+                key=(rec.file_path,),
+            )
+        if prefix:
+            got = min(count, got)
+            dest[:got] = target[:got]
+        for ci, column, error in skipped:
+            recorder.event(
+                EV_CHUNK_SKIPPED,
+                path=rec.file_path,
+                box_id=rec.box_id,
+                chunk=ci,
+                column=column,
+                error=error,
+            )
+        if (
+            runs is None
+            and count < rec.particle_count
+            and not skipped
+            and dest.dtype == dtype
+        ):
+            verify_prefix(rec.file_path, dest, recorder, checksum_entry)
+        return got
+    projected = dest.dtype != dtype
+    scratch = np.empty(len(dest), dtype=dtype) if projected else dest
+    if runs is not None:
+        got = retry.call(
+            read_particle_runs_into,
+            backend,
+            rec.file_path,
+            dtype,
+            runs,
+            scratch,
+            actor=actor,
+            recorder=recorder,
+        )
+        recorder.add(DECODE_VECTORIZED_RUNS, len(runs), key=(rec.file_path,))
+    elif count == rec.particle_count:
+        got = retry.call(
+            read_data_file_into,
+            backend,
+            rec.file_path,
+            dtype,
+            scratch,
+            actor=actor,
+            recorder=recorder,
+        )
+        recorder.add(DECODE_VECTORIZED_RUNS, 1, key=(rec.file_path,))
+    else:
+        retry.call(
+            read_data_prefix_into,
+            backend,
+            rec.file_path,
+            dtype,
+            scratch,
+            actor=actor,
+            recorder=recorder,
+        )
+        recorder.add(DECODE_VECTORIZED_RUNS, 1, key=(rec.file_path,))
+        verify_prefix(rec.file_path, scratch, recorder, checksum_entry)
+        got = count
+    if projected:
+        for name in dest.dtype.names or ():
+            dest[name] = scratch[name]
+    return got
+
+
+def _process_entry(payload: dict, recorder: Recorder) -> int:
+    """Worker-process body of one plan entry (see ``ProcessTask``).
+
+    The payload carries a pickled backend clone, the entry facts, and the
+    name plus byte offset of the parent's shared-memory *result block*:
+    the decoded particles land directly in the entry's slice of the final
+    result (zero extra copies child-side, zero copies parent-side), and
+    only the delivered count rides back over the result pipe.  Per-file
+    backend counters are routed into the task recorder when the parent had
+    a recorder attached, so they merge into the execution stream like
+    every other child record.
+    """
+    from multiprocessing import shared_memory
+
+    backend = payload["backend"]
+    if payload["note_io"]:
+        backend.attach_recorder(recorder)
+    shm = shared_memory.SharedMemory(name=payload["shm_name"])
+    dest = None
+    try:
+        dest = np.ndarray(
+            payload["n"],
+            dtype=payload["result_dtype"],
+            buffer=shm.buf,
+            offset=payload["byte_offset"],
+        )
+        return read_entry_into(
+            backend,
+            payload["dtype"],
+            payload["rec"],
+            payload["count"],
+            payload["runs"],
+            dest,
+            recorder,
+            payload["strict"],
+            payload["retry"],
+            payload["actor"],
+            payload["index"],
+            payload["checksum_entry"],
+        )
+    finally:
+        dest = None  # release the exported buffer before closing the block
+        shm.close()
+
+
 class QueryEngine:
     """Plans and executes reads over one :class:`~repro.dataset.Dataset`.
 
@@ -648,155 +880,92 @@ class QueryEngine:
         strict: bool,
         staged: StagedReads | None = None,
     ) -> int:
-        """Read one plan entry directly into its slice of the result.
-
-        ``dest`` is the entry's preallocated destination (sized to ``count``
-        particles, or to the run total when ``runs`` prunes the file); the
-        whole multi-op read runs under one retry call so a transient fault
-        costs exactly one retry, as on the legacy one-op path.  ``recorder``
-        is the entry's child recorder when run on an executor; retry and
-        verification events land there and are merged back in plan order by
-        :meth:`run`.  Returns the particles delivered.
-
-        ``dest`` may carry a *projected* dtype (a field subset of the file
-        dtype).  Columnar (v4) files then fetch only the projected columns'
-        segments; row files read whole records into a scratch buffer and
-        copy the projected fields out.  Columnar files are detected by the
-        chunk index carrying a codec and always route through
-        :func:`read_columnar_runs_into` — in non-strict mode that read can
-        *degrade at chunk granularity*: surviving chunks are packed at the
-        head of ``dest``, each lost chunk is logged as an
-        ``EV_CHUNK_SKIPPED`` event, and the packed count is returned.
-
-        With ``staged`` (cross-query batching), the stage is consulted
-        first: a hit scatters the decoded particles out of the shared
-        batch buffer and performs zero backend I/O.
-        """
-        if runs is not None and not runs:
-            return 0  # file intersects the box, but no chunk does
-        if staged is not None:
-            got = staged.fetch(rec, count, runs, dest)
-            if got is not None:
-                return got
-        index = self.dataset.chunk_index(rec)
-        if index is not None and index.codec is not None:
-            # Columnar file: runs and whole-file reads are chunk-aligned by
-            # construction.  LOD prefix counts are apportioned globally and
-            # can land mid-chunk, so a prefix read rounds up to the covering
-            # chunk boundary, decodes into a scratch, and trims.
-            prefix = runs is None and count < rec.particle_count
-            if prefix:
-                if count == 0:
-                    return 0
-                ends = np.asarray(index.starts) + np.asarray(index.counts)
-                pos = int(np.searchsorted(ends, count, side="left"))
-                aligned = int(ends[min(pos, len(ends) - 1)])
-                eff_runs: tuple[tuple[int, int], ...] = ((0, aligned),)
-                target = np.empty(aligned, dtype=dest.dtype)
-            else:
-                eff_runs = runs if runs is not None else ((0, count),)
-                target = dest
-            skipped: list[tuple[int, str, str]] = []
-            got = self.retry.call(
-                read_columnar_runs_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                index,
-                eff_runs,
-                target,
-                actor=self.actor,
-                strict=strict,
-                skipped=skipped,
-                recorder=recorder,
-            )
-            if prefix:
-                got = min(count, got)
-                dest[:got] = target[:got]
-            for ci, column, error in skipped:
-                recorder.event(
-                    EV_CHUNK_SKIPPED,
-                    path=rec.file_path,
-                    box_id=rec.box_id,
-                    chunk=ci,
-                    column=column,
-                    error=error,
-                )
-            if (
-                runs is None
-                and count < rec.particle_count
-                and not skipped
-                and dest.dtype == self.dtype
-            ):
-                self._verify_prefix(rec.file_path, dest, recorder)
-            return got
-        projected = dest.dtype != self.dtype
-        scratch = np.empty(len(dest), dtype=self.dtype) if projected else dest
-        if runs is not None:
-            got = self.retry.call(
-                read_particle_runs_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                runs,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-        elif count == rec.particle_count:
-            got = self.retry.call(
-                read_data_file_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-        else:
-            self.retry.call(
-                read_data_prefix_into,
-                self.backend,
-                rec.file_path,
-                self.dtype,
-                scratch,
-                actor=self.actor,
-                recorder=recorder,
-            )
-            self._verify_prefix(rec.file_path, scratch, recorder)
-            got = count
-        if projected:
-            for name in dest.dtype.names or ():
-                dest[name] = scratch[name]
-        return got
+        """One plan entry into its result slice (see :func:`read_entry_into`)."""
+        return read_entry_into(
+            self.backend,
+            self.dtype,
+            rec,
+            count,
+            runs,
+            dest,
+            recorder,
+            strict,
+            self.retry,
+            self.actor,
+            self.dataset.chunk_index(rec),
+            self.manifest.checksums.get(rec.file_path),
+            staged,
+        )
 
     def _verify_prefix(
         self, path: str, data, recorder: Recorder
     ) -> None:
-        """Check a prefix read against the manifest's per-LOD checksums.
+        """Prefix-checksum check against the manifest (see :func:`verify_prefix`)."""
+        verify_prefix(path, data, recorder, self.manifest.checksums.get(path))
 
-        Ranged reads never see the v2 file footer, so this is the only
-        integrity check they get.  Verification happens when the read count
-        lands exactly on a recorded LOD boundary (checksums are prefix CRCs
-        — they cannot verify arbitrary lengths).  ``data`` is the decoded
-        particle array (or a :class:`ParticleBatch`); the CRC streams over
-        its contiguous byte view, so no copy of the payload is made.
+    def _process_clone(self, staged: StagedReads | None, deadline):
+        """The backend clone process-shipping would use, or ``None``.
+
+        Shipping is declined — and the process executor degrades to its
+        internal thread pool — when the work cannot cross a process
+        boundary: staged buffers and ambient deadlines are in-memory
+        parent state, and the backend must volunteer a picklable
+        read-equivalent via
+        :meth:`~repro.io.backend.FileBackend.process_clone`.
         """
-        entry = self.manifest.checksums.get(path)
-        if not entry:
-            return
-        arr = data.data if isinstance(data, ParticleBatch) else data
-        for rec_count, rec_crc in entry.get("prefixes", ()):
-            if rec_count == len(arr):
-                actual = zlib.crc32(np.ascontiguousarray(arr).view(np.uint8))
-                if actual != int(rec_crc):
-                    raise DataChecksumError(
-                        f"{path}: prefix of {len(arr)} particles has "
-                        f"CRC32 {actual:#010x}, manifest records "
-                        f"{int(rec_crc):#010x}"
-                    )
-                recorder.event(EV_PREFIX_VERIFIED, path=path, count=len(arr))
-                return
+        if getattr(self.executor, "mode", "serial") != "process":
+            return None
+        if staged is not None or deadline is not None:
+            return None
+        return self.backend.process_clone()
+
+    def _process_tasks(
+        self,
+        tasks: list,
+        entries: list[tuple[MetadataRecord, int]],
+        runs_for: list[tuple[tuple[int, int], ...] | None],
+        dests: list[np.ndarray],
+        offsets: list[int],
+        strict: bool,
+        clone,
+        shm_name: str,
+    ) -> list:
+        """Wrap plan-entry tasks as process descriptors.
+
+        Only a :class:`~repro.io.executor.ProcessExecutor` consumes the
+        descriptors; every other executor just calls the task's ``local``
+        form, so wrapping is behaviour-neutral.  ``shm_name`` names the
+        shared-memory block backing the *whole result array* (see
+        :meth:`run`): each descriptor carries its entry's byte offset into
+        it, the worker decodes straight into that slice, and nothing is
+        copied parent-side.
+        """
+        from repro.io.executor import ProcessTask
+
+        note_io = self.backend.recorder is not None
+        wrapped: list = []
+        for (rec, count), runs, dest, off, local in zip(
+            entries, runs_for, dests, offsets, tasks
+        ):
+            payload = {
+                "backend": clone,
+                "dtype": self.dtype,
+                "rec": rec,
+                "count": count,
+                "runs": runs,
+                "strict": strict,
+                "retry": self.retry,
+                "actor": self.actor,
+                "index": self.dataset.chunk_index(rec),
+                "checksum_entry": self.manifest.checksums.get(rec.file_path),
+                "shm_name": shm_name,
+                "byte_offset": off * dest.dtype.itemsize,
+                "n": len(dest),
+                "result_dtype": dest.dtype,
+                "note_io": note_io,
+            }
+            wrapped.append(ProcessTask(local, _process_entry, payload))
+        return wrapped
 
     def check_generation(self, plan: QueryPlan) -> None:
         """Refuse a plan built against a different generation snapshot."""
@@ -875,7 +1044,26 @@ class QueryEngine:
         for i, n in enumerate(expected):
             offsets[i] = pos
             pos += n
-        out = np.empty(pos, dtype=plan.result_dtype(self.dtype))
+        result_dtype = plan.result_dtype(self.dtype)
+        # Process-shipped execution decodes every entry directly into one
+        # shared-memory block that *is* the result array — workers write
+        # their slices in place, so bulk bytes never cross the result pipe
+        # and the parent copies nothing per entry.
+        clone = self._process_clone(staged, deadline)
+        shm_out = None
+        if clone is not None:
+            try:
+                from multiprocessing import shared_memory
+
+                shm_out = shared_memory.SharedMemory(
+                    create=True, size=max(1, pos * result_dtype.itemsize)
+                )
+            except OSError:
+                shm_out = None  # no shared memory here: keep reads local
+        if shm_out is not None:
+            out = np.ndarray(pos, dtype=result_dtype, buffer=shm_out.buf)
+        else:
+            out = np.empty(pos, dtype=result_dtype)
         #: particles delivered per entry (None = skipped / not run).
         delivered: list[int | None] = [None] * len(entries)
         mark = recorder.event_mark()
@@ -892,20 +1080,24 @@ class QueryEngine:
                             rec, count, runs, dest, r, strict, staged
                         )
 
-                tasks = [
+                dests = [
+                    out[offsets[i] : offsets[i] + expected[i]]
+                    for i in range(len(entries))
+                ]
+                tasks: list = [
                     (
                         lambda r, rec=rec, count=count, runs=runs, dest=dest:
                         _entry_task(r, rec, count, runs, dest)
                     )
                     for (rec, count), runs, dest in zip(
-                        entries,
-                        runs_for,
-                        (
-                            out[offsets[i] : offsets[i] + expected[i]]
-                            for i in range(len(entries))
-                        ),
+                        entries, runs_for, dests
                     )
                 ]
+                if shm_out is not None:
+                    tasks = self._process_tasks(
+                        tasks, entries, runs_for, dests, offsets,
+                        strict, clone, shm_out.name,
+                    )
                 outcomes = self.executor.run(
                     tasks, recorder, fail_fast=strict
                 )
@@ -937,8 +1129,23 @@ class QueryEngine:
                         box_id=rec.box_id,
                         particles=delivered[i],
                     )
+            if shm_out is not None:
+                # Land the result in private memory with one bulk copy so
+                # the shared block can be released before returning.
+                plain = np.empty_like(out)
+                np.copyto(plain, out)
+                out = plain
         finally:
             report = ReadReport.from_events(recorder.events_since(mark))
+            if shm_out is not None:
+                # Unlink only: the entry slices (`dests`, task closures)
+                # still reference the mapping, so the munmap happens via
+                # GC when this frame's locals die.  The kernel keeps the
+                # memory alive until then; the name is gone immediately.
+                try:
+                    shm_out.unlink()
+                except OSError:
+                    pass
         if all(
             d is not None and d == e for d, e in zip(delivered, expected)
         ):

@@ -5,6 +5,7 @@ submission order, same captured errors, and per-task child recorders that
 merge back into an executor-independent stream.
 """
 
+import os
 import threading
 import time
 
@@ -12,6 +13,8 @@ import pytest
 
 from repro.errors import BackendError
 from repro.io.executor import (
+    ProcessExecutor,
+    ProcessTask,
     SerialExecutor,
     TaskOutcome,
     ThreadedExecutor,
@@ -23,6 +26,9 @@ EXECUTORS = [
     SerialExecutor(),
     ThreadedExecutor(max_workers=2),
     ThreadedExecutor(max_workers=4, max_inflight=4),
+    # Plain (non-ProcessTask) batches: the whole contract must hold on the
+    # process executor's internal thread fallback.
+    ProcessExecutor(max_workers=2),
 ]
 
 
@@ -274,15 +280,169 @@ class TestThreadedShared:
         executor.shutdown()
 
 
+# -- process-pool shipping ----------------------------------------------------
+#
+# ProcessTask work functions must be module-level (picklable by reference).
+
+
+def _square(payload, recorder):
+    recorder.add("touched", 1)
+    recorder.event("task-ran", n=payload)
+    return payload * payload
+
+
+def _boom(payload, recorder):
+    raise BackendError(f"injected for {payload}")
+
+
+def _worker_pid(payload, recorder):
+    return os.getpid()
+
+
+def _die(payload, recorder):
+    os._exit(1)  # simulate a worker killed mid-task
+
+
+def _ptask(fn, payload):
+    """A ProcessTask whose local form computes the same thing inline."""
+    return ProcessTask(
+        lambda recorder, p=payload: fn(p, recorder), fn, payload
+    )
+
+
+class TestProcess:
+    """ProcessTask shipping: ordering, recorders, degradation ladders."""
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=4, max_inflight=2)
+
+    def test_ships_to_worker_processes_in_order(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            tasks = [_ptask(_square, i) for i in range(12)]
+            outcomes = executor.run(tasks, Recorder())
+            assert [o.index for o in outcomes] == list(range(12))
+            assert [o.value for o in outcomes] == [i * i for i in range(12)]
+            assert all(o.ok for o in outcomes)
+            # Shipped for real: the pool spun up, the fallback never did.
+            assert executor._pool is not None
+            assert executor._fallback._pool is None
+            # Proof of other-process execution, observed parent-side.
+            pids = executor.run(
+                [_ptask(_worker_pid, i) for i in range(4)], Recorder()
+            )
+            assert all(o.value != os.getpid() for o in pids)
+        finally:
+            executor.shutdown()
+
+    def test_child_recorder_snapshots_merge(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            parent = Recorder(rank=5)
+            outcomes = executor.run(
+                [_ptask(_square, i) for i in range(4)], parent
+            )
+            assert parent.total("touched") == 0  # nothing until the merge
+            for outcome in outcomes:
+                assert outcome.recorder.rank == parent.rank
+                parent.merge(outcome.recorder)
+            assert parent.total("touched") == 4
+            # Events survive the snapshot round-trip in submission order.
+            assert [e.args["n"] for e in parent.events_named("task-ran")] == [
+                0, 1, 2, 3,
+            ]
+        finally:
+            executor.shutdown()
+
+    def test_worker_errors_captured_not_raised(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            tasks = [_ptask(_square, 1), _ptask(_boom, 2), _ptask(_square, 3)]
+            outcomes = executor.run(tasks, Recorder())
+            assert [o.ok for o in outcomes] == [True, False, True]
+            assert isinstance(outcomes[1].error, BackendError)
+            assert "injected for 2" in str(outcomes[1].error)
+        finally:
+            executor.shutdown()
+
+    def test_mixed_batch_runs_on_thread_fallback(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            tasks = [_ptask(_square, 1), lambda _r: 7]
+            outcomes = executor.run(tasks, Recorder())
+            assert [o.value for o in outcomes] == [1, 7]
+            assert executor._pool is None  # never shipped
+            assert executor._fallback._pool is not None
+        finally:
+            executor.shutdown()
+
+    def test_unpicklable_payload_degrades_to_local_form(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            bad = ProcessTask(
+                lambda _r: "local-ran", _square, payload=lambda: None
+            )
+            outcomes = executor.run(
+                [_ptask(_square, 2), bad, _ptask(_square, 3)], Recorder()
+            )
+            assert [o.value for o in outcomes] == [4, "local-ran", 9]
+            assert all(o.ok for o in outcomes)
+        finally:
+            executor.shutdown()
+
+    def test_broken_pool_fails_tasks_and_recovers(self):
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            outcomes = executor.run([_ptask(_die, 0)], Recorder())
+            assert not outcomes[0].ok
+            assert outcomes[0].ran
+            # The broken pool was discarded; the next run gets a fresh one.
+            again = executor.run([_ptask(_square, 6)], Recorder())
+            assert [o.value for o in again] == [36]
+        finally:
+            executor.shutdown()
+
+    def test_local_form_equivalence_on_serial(self):
+        """Serial/threaded executors run a ProcessTask's local form."""
+        tasks = [_ptask(_square, i) for i in range(4)]
+        outcomes = SerialExecutor().run(tasks, Recorder())
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+
+    def test_shutdown_then_reuse_recreates_pool(self):
+        executor = ProcessExecutor(max_workers=2)
+        assert [
+            o.value for o in executor.run([_ptask(_square, 3)], Recorder())
+        ] == [9]
+        executor.shutdown()
+        executor.shutdown()  # idempotent
+        assert [
+            o.value for o in executor.run([_ptask(_square, 4)], Recorder())
+        ] == [16]
+        executor.shutdown()
+
+
 class TestExecutorFor:
     def test_serial_at_or_below_one(self):
         assert isinstance(executor_for(1), SerialExecutor)
         assert isinstance(executor_for(0), SerialExecutor)
+        assert isinstance(executor_for(1, mode="process"), SerialExecutor)
 
     def test_threaded_above_one(self):
         ex = executor_for(8)
         assert isinstance(ex, ThreadedExecutor)
         assert ex.max_workers == 8
+
+    def test_process_mode(self):
+        ex = executor_for(4, mode="process")
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 4
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            executor_for(4, mode="fiber")
 
 
 class TestTaskOutcome:

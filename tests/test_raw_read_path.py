@@ -1,0 +1,399 @@
+"""The raw-speed read path must be invisible except for being fast.
+
+Three optimisations ride under the unchanged :class:`FileBackend`
+contract — the pooled-handle mmap/preadv fast path in
+:class:`PosixBackend`, the vectorized whole-run decode, and the
+process-pool executor that ships CRC+decode off the GIL.  This suite pins
+the interchangeability contract: mmap on/off, buffered pread, thread
+pools, and process pools all produce bit-identical batches, equal
+``ReadReport`` ledgers, and the same span/event streams — including under
+on-disk corruption (degraded skips), fault-injecting wrappers, and warm
+caches (where the process executor must quietly degrade to threads).  It
+also pins the handle pool's lifecycle (reuse, invalidation, external
+replacement, LRU bounds) and the new obs coverage
+(``io.mmap_hit``/``io.mmap_miss``/``io.handle_reuse``,
+``decode.vectorized_runs``, the ``executor.run`` span).
+"""
+
+import os
+
+import pytest
+
+from repro.core import SpatialReader, WriterConfig
+from repro.dataset import Dataset
+from repro.domain import Box
+from repro.errors import BackendError
+from repro.format.datafile import HEADER_BYTES
+from repro.io import PosixBackend
+from repro.io.executor import ProcessExecutor, SerialExecutor, ThreadedExecutor
+from repro.io.faults import FaultInjectingBackend, FaultPlan
+from repro.obs.names import (
+    DECODE_VECTORIZED_RUNS,
+    IO_HANDLE_REUSES,
+    IO_MMAP_HITS,
+    IO_MMAP_MISSES,
+    SPAN_EXECUTOR_RUN,
+)
+from repro.particles.dtype import make_particle_dtype
+
+from .conftest import write_dataset
+from .test_read_parity import FAULT_SEED, QUERY, event_shape, span_shape
+
+ATTRS = ("energy", "temperature")
+COLUMNAR_DTYPE = make_particle_dtype(extra_scalars=ATTRS)
+
+
+def write_posix(root):
+    """A default (chunk-indexed, row v3) dataset on the real filesystem."""
+    backend, _, _ = write_dataset(
+        nprocs=8, partition_factor=(2, 2, 2), backend=PosixBackend(root)
+    )
+    return backend
+
+
+def write_posix_columnar(root):
+    """A columnar v4 dataset (shuffle-zlib) on the real filesystem."""
+    backend, _, _ = write_dataset(
+        nprocs=8,
+        partition_factor=(2, 2, 1),
+        config=WriterConfig(
+            partition_factor=(2, 2, 1),
+            chunk_size=64,
+            attr_index=ATTRS,
+            layout="columnar",
+            codec="shuffle-zlib",
+        ),
+        dtype=COLUMNAR_DTYPE,
+        backend=PosixBackend(root),
+    )
+    return backend
+
+
+def data_paths(backend):
+    return sorted(f"data/{n}" for n in backend.listdir("data"))
+
+
+def run_box(backend, executor=None, **ds_kw):
+    """One exact box query; returns (batch, report, dataset recorder)."""
+    ds = Dataset.open(
+        backend, executor=executor or SerialExecutor(), **ds_kw
+    )
+    reader = ds.reader()
+    batch = reader.execute(reader.plan_box_read(QUERY), exact=True)
+    return batch, reader.last_report, ds.recorder
+
+
+def process_pool_ran(executor: ProcessExecutor) -> bool:
+    """Parent-observable probe: the process pool spun up and the internal
+    thread fallback never did (child-side state is invisible post-fork)."""
+    return executor._pool is not None and executor._fallback._pool is None
+
+
+class TestMmapParity:
+    """mmap fast path vs buffered pread: identical everything."""
+
+    def test_mmap_vs_buffered_bit_identical(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        mb, mr, mrec = run_box(PosixBackend(tmp_path / "ds"))
+        bb, br, brec = run_box(PosixBackend(tmp_path / "ds", use_mmap=False))
+        assert mb.data.tobytes() == bb.data.tobytes()
+        assert mr == br
+        assert span_shape(mrec) == span_shape(brec)
+        assert event_shape(mrec) == event_shape(brec)
+
+    def test_full_read_parity(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        a = Dataset.open(PosixBackend(tmp_path / "ds")).reader()
+        b = Dataset.open(
+            PosixBackend(tmp_path / "ds", use_mmap=False)
+        ).reader()
+        assert a.read_full().data.tobytes() == b.read_full().data.tobytes()
+        assert a.last_report == b.last_report
+
+    def test_mmap_counters(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        ds = Dataset.open(PosixBackend(tmp_path / "ds"))
+        ds.backend.attach_recorder(ds.recorder)
+        ds.reader().read_full()
+        assert ds.recorder.total(IO_MMAP_HITS) > 0
+        assert ds.recorder.total(IO_MMAP_MISSES) == 0
+
+    def test_buffered_counts_misses(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        ds = Dataset.open(PosixBackend(tmp_path / "ds", use_mmap=False))
+        ds.backend.attach_recorder(ds.recorder)
+        ds.reader().read_full()
+        assert ds.recorder.total(IO_MMAP_HITS) == 0
+        assert ds.recorder.total(IO_MMAP_MISSES) > 0
+
+    def test_mapping_budget_falls_back_to_preadv(self, tmp_path):
+        """Files past max_mapped_bytes serve via pread/preadv, bit-identical."""
+        write_posix(tmp_path / "ds")
+        want = Dataset.open(PosixBackend(tmp_path / "ds")).reader().read_full()
+        ds = Dataset.open(PosixBackend(tmp_path / "ds", max_mapped_bytes=1))
+        ds.backend.attach_recorder(ds.recorder)
+        got = ds.reader().read_full()
+        assert got.data.tobytes() == want.data.tobytes()
+        assert ds.recorder.total(IO_MMAP_HITS) == 0
+        assert ds.recorder.total(IO_MMAP_MISSES) > 0
+
+
+class TestHandlePool:
+    """Lifecycle of the LRU handle pool behind every PosixBackend read."""
+
+    def test_repeat_reads_reuse_the_handle(self, tmp_path):
+        backend = write_posix(tmp_path / "ds")
+        path = data_paths(backend)[0]
+        backend.read_file(path)
+        s0 = backend.pool_stats()
+        backend.read_file(path)
+        backend.read_range(path, 0, HEADER_BYTES)
+        s1 = backend.pool_stats()
+        assert s1["reuses"] == s0["reuses"] + 2
+        assert s1["opens"] == s0["opens"]  # no fresh os.open paid
+
+    def test_reuse_counter_recorded(self, tmp_path):
+        backend = write_posix(tmp_path / "ds")
+        ds = Dataset.open(backend)
+        ds.backend.attach_recorder(ds.recorder)
+        reader = ds.reader()
+        reader.read_full()
+        reader.read_full()
+        assert ds.recorder.total(IO_HANDLE_REUSES) > 0
+
+    def test_write_invalidates_pooled_handle(self, tmp_path):
+        backend = write_posix(tmp_path / "ds")
+        path = data_paths(backend)[0]
+        old = backend.read_file(path)
+        inv0 = backend.pool_stats()["invalidations"]
+        new = bytearray(old)
+        new[HEADER_BYTES + 4] ^= 0x01
+        backend.write_file(path, bytes(new))
+        assert backend.pool_stats()["invalidations"] == inv0 + 1
+        assert backend.read_file(path) == bytes(new)
+
+    def test_external_replace_detected(self, tmp_path):
+        """A rename done behind the backend's back (no invalidate call) is
+        caught by the (ino, size, mtime_ns) identity check on acquire."""
+        backend = write_posix(tmp_path / "ds")
+        path = data_paths(backend)[0]
+        old = backend.read_file(path)  # handle now pooled
+        swapped = old[:-1] + bytes([old[-1] ^ 0xFF])
+        tmp = tmp_path / "swap"
+        tmp.write_bytes(swapped)
+        os.replace(tmp, tmp_path / "ds" / path)
+        assert backend.read_file(path) == swapped
+
+    def test_delete_invalidates(self, tmp_path):
+        backend = write_posix(tmp_path / "ds")
+        path = data_paths(backend)[0]
+        backend.read_file(path)
+        backend.delete(path)
+        assert not backend.exists(path)
+        with pytest.raises(BackendError):
+            backend.read_file(path)
+
+    def test_lru_eviction_bounds_pool(self, tmp_path):
+        backend, _, _ = write_dataset(
+            nprocs=8,
+            partition_factor=(1, 1, 1),  # 8 data files
+            backend=PosixBackend(tmp_path / "ds", max_handles=2),
+        )
+        for path in data_paths(backend):
+            backend.read_file(path)
+        stats = backend.pool_stats()
+        assert stats["pooled"] <= 2
+        assert stats["evictions"] >= len(data_paths(backend)) - 2
+
+    def test_close_drops_everything_and_refills(self, tmp_path):
+        backend = write_posix(tmp_path / "ds")
+        want = backend.read_file(data_paths(backend)[0])
+        backend.close()
+        assert backend.pool_stats()["pooled"] == 0
+        assert backend.read_file(data_paths(backend)[0]) == want
+
+
+class TestProcessPoolParity:
+    """Process-pool execution: same bytes, reports, traces as serial."""
+
+    def test_box_read_bit_identical(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        sb, sr, srec = run_box(PosixBackend(tmp_path / "ds"))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            pb, pr, prec = run_box(PosixBackend(tmp_path / "ds"), executor)
+            assert process_pool_ran(executor)
+        finally:
+            executor.shutdown()
+        assert pb.data.tobytes() == sb.data.tobytes()
+        assert pr == sr
+        assert span_shape(srec) == span_shape(prec)
+        assert event_shape(srec) == event_shape(prec)
+
+    def test_full_read_bit_identical(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        serial = Dataset.open(PosixBackend(tmp_path / "ds")).reader()
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            pooled = Dataset.open(
+                PosixBackend(tmp_path / "ds"), executor=executor
+            ).reader()
+            a = serial.read_full()
+            b = pooled.read_full()
+            assert process_pool_ran(executor)
+        finally:
+            executor.shutdown()
+        assert a.data.tobytes() == b.data.tobytes()
+        assert serial.last_report == pooled.last_report
+
+    def test_columnar_read_bit_identical(self, tmp_path):
+        write_posix_columnar(tmp_path / "ds")
+        sb, sr, srec = run_box(PosixBackend(tmp_path / "ds"))
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            pb, pr, prec = run_box(PosixBackend(tmp_path / "ds"), executor)
+            assert process_pool_ran(executor)
+        finally:
+            executor.shutdown()
+        assert pb.data.tobytes() == sb.data.tobytes()
+        assert pr == sr
+        assert event_shape(srec) == event_shape(prec)
+        # The vectorized-decode accounting crosses the process boundary.
+        assert srec.total(DECODE_VECTORIZED_RUNS) > 0
+        assert prec.total(DECODE_VECTORIZED_RUNS) == srec.total(
+            DECODE_VECTORIZED_RUNS
+        )
+
+    def test_degraded_corruption_skips_identically(self, tmp_path):
+        """One flipped byte on disk: the same partition is skipped with the
+        same ledger whether the decode ran in-process or in a worker."""
+        backend, _, _ = write_dataset(
+            nprocs=8,
+            partition_factor=(1, 1, 1),  # one file per rank
+            backend=PosixBackend(tmp_path / "ds"),
+        )
+        victim = SpatialReader(backend).metadata.records[2]
+        raw = bytearray(backend.read_file(victim.file_path))
+        raw[HEADER_BYTES + 4] ^= 0x01
+        backend.write_file(victim.file_path, bytes(raw))
+
+        def degraded(executor):
+            reader = Dataset.open(
+                PosixBackend(tmp_path / "ds"), strict=False, executor=executor
+            ).reader()
+            return reader.read_full(), reader.last_report
+
+        want, want_report = degraded(SerialExecutor())
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            got, got_report = degraded(executor)
+            assert process_pool_ran(executor)
+        finally:
+            executor.shutdown()
+        assert want_report.skipped_boxes() == [victim.box_id]
+        assert got.data.tobytes() == want.data.tobytes()
+        assert got_report == want_report
+
+    def test_fault_wrapper_degrades_to_threads(self, tmp_path):
+        """A FaultInjectingBackend has no process_clone, so the engine keeps
+        the tasks local and the process executor quietly runs them on its
+        thread fallback — results still bit-identical and complete."""
+        inner = write_posix(tmp_path / "ds")
+        clean = SpatialReader(inner)
+        want = clean.execute(clean.plan_box_read(QUERY), exact=True)
+        faulty = FaultInjectingBackend(
+            PosixBackend(tmp_path / "ds"),
+            FaultPlan.transient_reads(
+                heal_after=1, path_glob="data/*", seed=FAULT_SEED
+            ),
+        )
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            reader = Dataset.open(faulty, executor=executor).reader()
+            got = reader.execute(reader.plan_box_read(QUERY), exact=True)
+            assert executor._pool is None  # never shipped
+            assert executor._fallback._pool is not None  # threads ran it
+        finally:
+            executor.shutdown()
+        assert got.data.tobytes() == want.data.tobytes()
+        assert reader.last_report.complete
+        assert reader.last_report.retries > 0
+
+    def test_warm_cache_parity(self, tmp_path):
+        """A CachingBackend wrapper likewise keeps execution local; warm
+        hits serve the same bytes with zero inner-backend reads."""
+        backend = write_posix(tmp_path / "ds")
+        plain = Dataset.open(PosixBackend(tmp_path / "ds")).reader()
+        want = plain.execute(plain.plan_box_read(QUERY), exact=True)
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            ds = Dataset.open(
+                backend, cache_bytes=32 * 2**20, executor=executor
+            )
+            reader = ds.reader()
+            cold = reader.execute(reader.plan_box_read(QUERY), exact=True)
+            hits_before = ds.backend.hits
+            opens_before = backend.pool_stats()["opens"]
+            warm = reader.execute(reader.plan_box_read(QUERY), exact=True)
+            assert executor._pool is None  # cache wrapper -> local tasks
+        finally:
+            executor.shutdown()
+        assert want.data.tobytes() == cold.data.tobytes()
+        assert want.data.tobytes() == warm.data.tobytes()
+        assert ds.backend.hits > hits_before
+        assert backend.pool_stats()["opens"] == opens_before
+
+
+class TestObsCoverage:
+    """The new counters and the executor.run span are actually emitted."""
+
+    def test_vectorized_decode_counted_for_pruned_runs(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        batch, _report, recorder = run_box(PosixBackend(tmp_path / "ds"))
+        assert len(batch)
+        assert recorder.total(DECODE_VECTORIZED_RUNS) > 0
+
+    def test_vectorized_decode_executor_independent(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        _, _, srec = run_box(PosixBackend(tmp_path / "ds"))
+        _, _, trec = run_box(
+            PosixBackend(tmp_path / "ds"), ThreadedExecutor(max_workers=4)
+        )
+        assert srec.total(DECODE_VECTORIZED_RUNS) == trec.total(
+            DECODE_VECTORIZED_RUNS
+        )
+
+    def exec_spans(self, recorder):
+        return [s for s in recorder.spans if s.name == SPAN_EXECUTOR_RUN]
+
+    def test_executor_span_args_serial(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        _, _, recorder = run_box(PosixBackend(tmp_path / "ds"))
+        spans = self.exec_spans(recorder)
+        assert spans
+        assert all(s.args["mode"] == "serial" for s in spans)
+        assert all(s.args["queue_depth"] == 1 for s in spans)
+        assert all(s.args["tasks"] >= 1 for s in spans)
+
+    def test_executor_span_args_thread(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        _, _, recorder = run_box(
+            PosixBackend(tmp_path / "ds"), ThreadedExecutor(max_workers=3)
+        )
+        spans = self.exec_spans(recorder)
+        assert spans
+        assert all(s.args["mode"] == "thread" for s in spans)
+        assert all(s.args["workers"] == 3 for s in spans)
+        assert all(s.args["queue_depth"] == 6 for s in spans)
+
+    def test_executor_span_args_process(self, tmp_path):
+        write_posix(tmp_path / "ds")
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            _, _, recorder = run_box(PosixBackend(tmp_path / "ds"), executor)
+        finally:
+            executor.shutdown()
+        spans = self.exec_spans(recorder)
+        assert spans
+        assert all(s.args["mode"] == "process" for s in spans)
+        assert all(s.args["workers"] == 2 for s in spans)
